@@ -1,0 +1,59 @@
+"""Ablation: descriptor XML parse/validate cost.
+
+M-Proxy descriptors are design-time artifacts parsed when the plugin or
+the registry loads; this bench quantifies that (amortized) cost for the
+largest shipped descriptor and for schema validation separately.
+"""
+
+import pytest
+
+from repro.core.descriptor.registry import ProxyRegistry
+from repro.core.descriptor.schema import validate_descriptor_xml
+from repro.core.descriptor.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.core.proxies.location.descriptor import build_location_descriptor
+
+
+@pytest.fixture(scope="module")
+def location_xml():
+    return descriptor_to_xml(build_location_descriptor())
+
+
+def test_serialize(benchmark):
+    descriptor = build_location_descriptor()
+    benchmark(lambda: descriptor_to_xml(descriptor))
+
+
+def test_parse(benchmark, location_xml):
+    benchmark(lambda: descriptor_from_xml(location_xml))
+
+
+def test_schema_validate(benchmark, location_xml):
+    result = benchmark(lambda: validate_descriptor_xml(location_xml))
+    assert result == []
+
+
+def test_full_registry_load(benchmark):
+    """Parse + validate + register all four shipped proxies from XML."""
+    from repro.core.proxies.location.descriptor import build_location_descriptor
+    from repro.core.proxies.sms.descriptor import build_sms_descriptor
+    from repro.core.proxies.call.descriptor import build_call_descriptor
+    from repro.core.proxies.http.descriptor import build_http_descriptor
+
+    documents = [
+        descriptor_to_xml(build())
+        for build in (
+            build_location_descriptor,
+            build_sms_descriptor,
+            build_call_descriptor,
+            build_http_descriptor,
+        )
+    ]
+
+    def load():
+        registry = ProxyRegistry()
+        for document in documents:
+            registry.register_xml(document)
+        return registry
+
+    registry = benchmark(load)
+    assert len(registry) == 4

@@ -1,0 +1,83 @@
+"""Ablation: Android Intent-broadcast fan-out vs. direct listener dispatch.
+
+The Android Location proxy's callback adaptation rides the platform's
+broadcast machinery (register an IntentReceiver, match IntentFilters).
+This bench compares that path against a direct listener call — the cost
+the proxy pays per delivered event — and how it scales with the number of
+unrelated receivers registered in the same application.
+"""
+
+import pytest
+
+from repro.device.device import MobileDevice
+from repro.platforms.android.intents import (
+    FunctionIntentReceiver,
+    Intent,
+    IntentFilter,
+)
+from repro.platforms.android.platform import AndroidPlatform
+from repro.bench.harness import format_table
+
+
+def _platform_with_receivers(extra_receivers: int):
+    device = MobileDevice("+1")
+    platform = AndroidPlatform(device)
+    platform.install("app", set())
+    context = platform.new_context("app")
+    hits = []
+    context.register_receiver(
+        FunctionIntentReceiver(lambda c, i: hits.append(1)), IntentFilter("TARGET")
+    )
+    for index in range(extra_receivers):
+        context.register_receiver(
+            FunctionIntentReceiver(lambda c, i: None),
+            IntentFilter(f"UNRELATED_{index}"),
+        )
+    return context, hits
+
+
+@pytest.mark.parametrize("extra", [0, 10, 100])
+def test_broadcast_fanout(benchmark, extra):
+    context, hits = _platform_with_receivers(extra)
+    intent = Intent("TARGET").put_extra("entering", True)
+    benchmark(lambda: context.send_broadcast(intent))
+    assert hits  # the matching receiver did run
+
+
+def test_direct_listener_baseline(benchmark):
+    """What the S60-style direct listener call costs (no matching)."""
+    hits = []
+
+    class Listener:
+        def proximity_event(self, entering):
+            hits.append(entering)
+
+    listener = Listener()
+    benchmark(lambda: listener.proximity_event(True))
+    assert hits
+
+
+def test_fanout_scaling_summary(benchmark):
+    """Summarize per-delivery cost across registry sizes."""
+    import time
+
+    def measure_all():
+        rows = []
+        for extra in (0, 10, 100, 500):
+            context, hits = _platform_with_receivers(extra)
+            intent = Intent("TARGET")
+            iterations = 2_000
+            start = time.perf_counter()
+            for _ in range(iterations):
+                context.send_broadcast(intent)
+            elapsed_us = (time.perf_counter() - start) / iterations * 1e6
+            rows.append([str(extra + 1), f"{elapsed_us:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    print("\n\n=== Ablation: broadcast cost vs. registered receivers ===")
+    print(format_table(["receivers registered", "per-broadcast us"], rows))
+    # Cost grows with registry size (linear matching), which is why the
+    # proxy registers exactly one receiver per alert.
+    costs = [float(row[1]) for row in rows]
+    assert costs[0] < costs[-1]

@@ -1,0 +1,58 @@
+"""Ablation: cost of the generic ``set_property`` mechanism.
+
+MobiVine routes platform attributes through a validated key/value store
+instead of constructor parameters.  This bench quantifies that validation
+overhead against a plain attribute write — the design-cost side of the
+flexibility the paper argues for.
+"""
+
+import pytest
+
+from repro.core.proxies import create_proxy, standard_registry
+from repro.apps.workforce import scenario
+
+
+@pytest.fixture(scope="module")
+def s60_location_proxy():
+    sc = scenario.build_s60()
+    return create_proxy("Location", sc.platform)
+
+
+def test_set_property_validated(benchmark, s60_location_proxy):
+    """The MobiVine path: key check + allowed-values check."""
+    benchmark(lambda: s60_location_proxy.set_property("preferredResponseTime", 1000))
+
+
+def test_set_property_with_allowed_values(benchmark, s60_location_proxy):
+    benchmark(lambda: s60_location_proxy.set_property("powerConsumption", "LOW"))
+
+
+def test_plain_attribute_baseline(benchmark):
+    """The unvalidated alternative a hand-rolled wrapper would use."""
+
+    class Bare:
+        preferred_response_time = 0
+
+    bare = Bare()
+
+    def assign():
+        bare.preferred_response_time = 1000
+
+    benchmark(assign)
+
+
+def test_get_property_with_default(benchmark, s60_location_proxy):
+    benchmark(lambda: s60_location_proxy.get_property("horizontalAccuracy"))
+
+
+def test_property_error_path(benchmark, s60_location_proxy):
+    """Rejections should also be cheap (they happen at dev-time mostly)."""
+    from repro.errors import ProxyPropertyError
+
+    def misuse():
+        try:
+            s60_location_proxy.set_property("warpDrive", 9)
+        except ProxyPropertyError:
+            pass
+
+    benchmark(misuse)

@@ -1,0 +1,117 @@
+"""Ablation: WebView notification-delivery latency vs. polling interval.
+
+The paper's WebView design delivers callbacks by *polling* a Java-side
+Notification Table from JS (no callback can cross the bridge).  That
+design has an inherent latency/overhead trade-off the paper doesn't
+quantify: events wait, on average, half a poll period before the JS
+callback sees them, while shorter periods burn more bridge crossings.
+This bench measures both sides of the trade.
+"""
+
+import pytest
+
+from repro.core.proxies.webview_common import NotificationHandler
+from repro.device.device import MobileDevice
+from repro.platforms.webview.platform import WebViewPlatform
+from repro.bench.harness import format_table
+
+POLL_INTERVALS_MS = [100.0, 250.0, 500.0, 1000.0, 2000.0]
+#: Post events at a co-prime-ish period so phases spread over the poll cycle.
+POST_PERIOD_MS = 333.0
+POST_COUNT = 60
+
+
+class _CountingWrapper:
+    """Minimal Java-side wrapper exposing only get_notifications."""
+
+    def __init__(self, platform):
+        self._platform = platform
+        self.crossings = 0
+
+    def get_notifications(self, notification_id: str) -> str:
+        self.crossings += 1
+        return self._platform.notification_table.drain_json(notification_id)
+
+
+def _measure_polling(interval_ms: float):
+    device = MobileDevice("+1")
+    platform = WebViewPlatform(device)
+    webview = platform.new_webview()
+    window = webview.load_page(lambda w: None)
+    wrapper = _CountingWrapper(platform)
+    notification_id = platform.notification_table.new_id()
+
+    latencies = []
+
+    def dispatch(notification):
+        latencies.append(
+            platform.clock.now_ms - notification["posted_at_ms"]
+        )
+
+    handler = NotificationHandler(
+        window, wrapper, notification_id, dispatch, poll_interval_ms=interval_ms
+    )
+    handler.start_polling()
+
+    posted = {"count": 0}
+
+    def post_one():
+        platform.notification_table.post(
+            notification_id, "tick", {"n": posted["count"]}, platform.clock.now_ms
+        )
+        posted["count"] += 1
+
+    post_timer = platform.scheduler.call_every(POST_PERIOD_MS, post_one)
+    platform.run_for(POST_PERIOD_MS * POST_COUNT + 4 * interval_ms)
+    post_timer.cancel()
+    handler.stop_polling()
+    platform.run_for(interval_ms)  # drain any stragglers (already stopped)
+
+    mean_latency = sum(latencies) / len(latencies)
+    duration_s = platform.clock.now_ms / 1000.0
+    crossings_per_s = wrapper.crossings / duration_s
+    return mean_latency, crossings_per_s, len(latencies)
+
+
+def test_polling_interval_tradeoff(benchmark):
+    results = benchmark.pedantic(
+        lambda: {interval: _measure_polling(interval) for interval in POLL_INTERVALS_MS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for interval, (latency, crossings, delivered) in sorted(results.items()):
+        rows.append(
+            [
+                f"{interval:.0f}",
+                f"{latency:.1f}",
+                f"{interval / 2:.1f}",
+                f"{crossings:.2f}",
+                str(delivered),
+            ]
+        )
+    print("\n\n=== Ablation: WebView notification polling interval ===")
+    print(
+        format_table(
+            [
+                "poll interval (ms)",
+                "mean delivery latency (ms)",
+                "theory (interval/2)",
+                "bridge crossings /s",
+                "events delivered",
+            ],
+            rows,
+        )
+    )
+    # Latency grows with the interval, ~interval/2.
+    intervals = sorted(results)
+    latencies = [results[i][0] for i in intervals]
+    assert latencies == sorted(latencies)
+    for interval in intervals:
+        latency = results[interval][0]
+        assert 0.25 * interval <= latency <= 0.85 * interval
+    # Bridge traffic shrinks as the interval grows.
+    crossings = [results[i][1] for i in intervals]
+    assert crossings == sorted(crossings, reverse=True)
+    # Nothing is lost at any interval.
+    assert all(results[i][2] >= POST_COUNT - 1 for i in intervals)

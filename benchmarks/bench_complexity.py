@@ -1,0 +1,65 @@
+"""Complexity evaluation (paper Section 5).
+
+Static metrics over the real app sources: the with-proxy variant must be
+smaller, less branchy, and touch a far narrower platform API surface than
+each without-proxy variant.
+"""
+
+import pytest
+
+from repro.analysis.metrics import measure, source_of
+from repro.apps.workforce import native_webview
+from repro.apps.workforce.native_android import WorkforceNativeAndroid
+from repro.apps.workforce.native_s60 import WorkforceNativeS60
+from repro.apps.workforce.proxied import WorkforceLogic
+from repro.bench.harness import format_table
+
+
+def test_complexity_table(benchmark):
+    def compute():
+        return {
+            "native android": measure(WorkforceNativeAndroid, "android"),
+            "native s60": measure(WorkforceNativeS60, "s60"),
+            "native webview": measure(native_webview.make_native_page, "webview"),
+            "proxied (android)": measure(WorkforceLogic, "android"),
+            "proxied (s60)": measure(WorkforceLogic, "s60"),
+            "proxied (webview)": measure(WorkforceLogic, "webview"),
+        }
+
+    metrics = benchmark(compute)
+
+    headers = [
+        "variant", "LoC", "platform API kinds", "platform API uses",
+        "cyclomatic", "callback entry points", "try blocks",
+    ]
+    rows = [
+        [
+            name,
+            str(m.loc),
+            str(m.platform_marker_kinds),
+            str(m.platform_marker_uses),
+            str(m.cyclomatic),
+            str(m.callback_entry_points),
+            str(m.try_blocks),
+        ]
+        for name, m in metrics.items()
+    ]
+    print("\n\n=== Complexity: static metrics over the real app sources ===")
+    print(format_table(headers, rows))
+
+    proxied = metrics["proxied (android)"]
+    for native_name in ("native android", "native s60"):
+        native = metrics[native_name]
+        assert proxied.loc < native.loc, native_name
+        assert proxied.cyclomatic < native.cyclomatic, native_name
+        assert proxied.platform_marker_kinds < native.platform_marker_kinds
+        assert proxied.platform_marker_uses < native.platform_marker_uses
+    # The proxied app's coupling to ANY platform is near zero.
+    for name in ("proxied (android)", "proxied (s60)", "proxied (webview)"):
+        assert metrics[name].platform_marker_kinds <= 1
+
+    # Business logic concentration: the proxied variant has exactly one
+    # callback entry point (proximity_event); the native S60 variant needs
+    # several interleaved listener callbacks.
+    assert proxied.callback_entry_points == 1
+    assert metrics["native s60"].callback_entry_points >= 3

@@ -1,0 +1,68 @@
+"""Maintenance evaluation (paper Section 5): the Android m5-rc15 → 1.0
+``addProximityAlert`` evolution.
+
+Two measurements: (1) static — lines the application must change with and
+without proxies; (2) dynamic — the unmodified code actually run on both
+SDK versions (native m5 code must *fail* on 1.0; proxied code must work on
+both).
+"""
+
+import pytest
+
+from repro.analysis.maintenance import sdk_migration_report
+from repro.apps.workforce import scenario
+from repro.apps.workforce.native_android import WorkforceNativeAndroid
+from repro.apps.workforce.proxied import launch_on_android
+from repro.bench.harness import format_table
+from repro.platforms.android.exceptions import IllegalArgumentException
+from repro.platforms.android.versions import SdkVersion
+
+
+def test_migration_change_impact(benchmark):
+    report = benchmark(sdk_migration_report)
+    rows = [
+        [
+            "without proxies",
+            str(report.native_impact.changed),
+            f"{report.native_impact.fraction:.1%}",
+        ],
+        [
+            "with proxies",
+            str(report.proxied_impact.changed),
+            f"{report.proxied_impact.fraction:.1%}",
+        ],
+    ]
+    print("\n\n=== Maintenance: application lines changed for m5-rc15 -> 1.0 ===")
+    print(format_table(["variant", "changed lines", "fraction of app"], rows))
+    assert report.native_impact.changed > 0
+    assert report.proxied_impact.changed == 0
+
+
+def test_migration_dynamic_behaviour(benchmark):
+    """Run the unmodified apps on SDK 1.0 and record what happens."""
+
+    def run_both():
+        outcome = {}
+        sc = scenario.build_android(sdk_version=SdkVersion.V1_0)
+        app = WorkforceNativeAndroid(sc.platform, scenario.PACKAGE)
+        app.config = sc.config
+        try:
+            app.perform_launch()
+            outcome["native-m5-on-1.0"] = "ran (unexpected)"
+        except IllegalArgumentException:
+            outcome["native-m5-on-1.0"] = "IllegalArgumentException (must be ported)"
+
+        for sdk in (SdkVersion.M5_RC15, SdkVersion.V1_0):
+            sc = scenario.build_android(sdk_version=sdk)
+            logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+            sc.platform.run_for(200_000.0)
+            outcome[f"proxied-on-{sdk.value}"] = ",".join(logic.activity_events)
+        return outcome
+
+    outcome = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print("\n\n=== Maintenance: dynamic check on SDK 1.0 ===")
+    for name, result in outcome.items():
+        print(f"  {name:22s}: {result}")
+    assert "IllegalArgumentException" in outcome["native-m5-on-1.0"]
+    assert outcome["proxied-on-m5-rc15"] == outcome["proxied-on-1.0"]
+    assert outcome["proxied-on-1.0"] == "arrived,departed,arrived"

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fig10-reps",
+        action="store",
+        default="30",
+        help="repetitions per Figure-10 bar",
+    )
+
+
+@pytest.fixture(scope="session")
+def fig10_reps(request):
+    return int(request.config.getoption("--fig10-reps"))

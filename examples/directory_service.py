@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Directory services — the paper's other motivating application class.
+
+"Using the location information available on the mobile phone, one can
+design a number of location-based applications — directory services,
+workforce management solutions, etc."  (Section 1.)
+
+A field engineer's directory app, written once against five proxies:
+
+* **Location** — where am I?
+* **Http** — ask the enterprise directory for sites near that position.
+* **Contacts** — find the nearest site's on-call engineer in the address
+  book.
+* **Call** (with the retry enrichment) — ring them, riding out the first
+  unreachable attempt.
+* **Calendar** — book the site visit.
+
+Run:  python examples/directory_service.py
+"""
+
+import json
+
+from repro.apps.workforce import scenario
+from repro.core.enrichment import CallRetryCoordinator, RetryPolicy
+from repro.core.proxies import create_proxy
+from repro.device.network import HttpResponse
+from repro.device.telephony import TelephonyUnit
+from repro.platforms.android.calendar_provider import READ_CALENDAR, WRITE_CALENDAR
+from repro.platforms.android.contacts import READ_CONTACTS, WRITE_CONTACTS
+from repro.util.geo import destination_point, haversine_m
+
+DIRECTORY_HOST = "directory.example.com"
+
+#: The enterprise's sites, placed around the scenario's base point.
+SITES = [
+    {"site": "north-substation", "bearing": 0.0, "distance_m": 1_500.0, "oncall": "Nina North"},
+    {"site": "east-tower", "bearing": 90.0, "distance_m": 900.0, "oncall": "Ed East"},
+    {"site": "south-depot", "bearing": 180.0, "distance_m": 4_000.0, "oncall": "Sam South"},
+]
+
+
+def build_world():
+    sc = scenario.build_android()
+    sc.platform.install(
+        "directory",
+        scenario.ANDROID_PERMISSIONS
+        | {READ_CONTACTS, WRITE_CONTACTS, READ_CALENDAR, WRITE_CALENDAR},
+    )
+    # Populate the directory server.
+    placed = []
+    for entry in SITES:
+        point = destination_point(
+            scenario.SITE.latitude,
+            scenario.SITE.longitude,
+            entry["bearing"],
+            entry["distance_m"],
+        )
+        placed.append(
+            {
+                "site": entry["site"],
+                "latitude": point.latitude,
+                "longitude": point.longitude,
+                "oncall": entry["oncall"],
+            }
+        )
+
+    def nearby(request):
+        body = json.loads(request.body)
+        ranked = sorted(
+            placed,
+            key=lambda s: haversine_m(
+                body["latitude"], body["longitude"], s["latitude"], s["longitude"]
+            ),
+        )
+        return HttpResponse(200, json.dumps(ranked[: body.get("limit", 3)]))
+
+    sc.device.network.add_server(DIRECTORY_HOST).route("POST", "/nearby", nearby)
+    # Populate the device address book (one engineer per site).
+    for index, entry in enumerate(SITES):
+        sc.device.contacts.add(entry["oncall"], (f"+9155577{index:02d}",))
+    return sc
+
+
+def main():
+    sc = build_world()
+    context = sc.platform.new_context("directory")
+
+    location = create_proxy("Location", sc.platform)
+    location.set_property("context", context)
+    http = create_proxy("Http", sc.platform)
+    http.set_property("context", context)
+    contacts = create_proxy("Contacts", sc.platform)
+    contacts.set_property("context", context)
+    call = create_proxy("Call", sc.platform)
+    call.set_property("context", context)
+    calendar = create_proxy("Calendar", sc.platform)
+    calendar.set_property("context", context)
+
+    print("== 1. Where am I? (Location proxy) ==")
+    position = location.get_location()
+    print(f"  {position.latitude:.5f}, {position.longitude:.5f}")
+
+    print("\n== 2. Nearby sites (Http proxy -> enterprise directory) ==")
+    result = http.post(
+        f"http://{DIRECTORY_HOST}/nearby",
+        json.dumps(
+            {"latitude": position.latitude, "longitude": position.longitude, "limit": 2}
+        ),
+    )
+    nearby_sites = json.loads(result.body)
+    for entry in nearby_sites:
+        print(f"  {entry['site']:18s} on-call: {entry['oncall']}")
+    nearest = nearby_sites[0]
+
+    print("\n== 3. Find the on-call engineer (Contacts proxy) ==")
+    matches = contacts.find_by_name(nearest["oncall"])
+    engineer = matches[0]
+    print(f"  {engineer.name} -> {engineer.primary_number}")
+
+    print("\n== 4. Ring them (Call proxy + retry enrichment) ==")
+    # First attempt fails: the engineer is in a dead zone, then resurfaces.
+    sc.device.telephony.set_callee_behavior(
+        engineer.primary_number, TelephonyUnit.UNREACHABLE
+    )
+    coordinator = CallRetryCoordinator(
+        call, sc.platform.scheduler, RetryPolicy(max_attempts=3, retry_delay_ms=2_000.0)
+    )
+    report = coordinator.make_a_call(engineer.primary_number)
+    sc.platform.run_for(1_000.0)
+    sc.device.telephony.set_callee_behavior(
+        engineer.primary_number, TelephonyUnit.ANSWER
+    )
+    sc.platform.run_for(20_000.0)
+    print(f"  attempts: {report.attempts}, outcomes so far: "
+          f"{[o.value for o in report.outcomes]} (second attempt answered)")
+
+    print("\n== 5. Book the visit (Calendar proxy) ==")
+    calendar.set_property("eventLocation", nearest["site"])
+    now = sc.platform.clock.now_ms
+    event_id = calendar.add_event(
+        f"Visit {nearest['site']} with {engineer.name}", now + 3_600_000, now + 5_400_000
+    )
+    event = calendar.list_events()[0]
+    print(f"  booked {event.summary!r} at {event.location} "
+          f"({event.duration_ms / 60000:.0f} min), id={event_id}")
+
+
+if __name__ == "__main__":
+    main()

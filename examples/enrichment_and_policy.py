@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Proxy enrichment (paper Section 3.3): formats, retries, security.
+
+Three value-added layers stacked on plain proxies:
+
+* location output in radians / degrees / DMS,
+* call-retry coordination against an unreachable callee,
+* a security policy gating which roles may use which proxy APIs.
+
+Run:  python examples/enrichment_and_policy.py
+"""
+
+from repro.apps.workforce import scenario
+from repro.core.enrichment import (
+    CallRetryCoordinator,
+    LocationFormatEnrichment,
+    Principal,
+    RetryPolicy,
+    SecuredProxy,
+    SecurityPolicy,
+)
+from repro.core.proxies import create_proxy
+from repro.core.proxy.datatypes import AngleFormat
+from repro.device.telephony import TelephonyUnit
+from repro.errors import ProxyPermissionError
+
+
+def main():
+    sc = scenario.build_android()
+    context = sc.new_context()
+
+    print("== Format enrichment ==")
+    location = create_proxy("Location", sc.platform)
+    location.set_property("context", context)
+    for angle_format in (AngleFormat.DEGREES, AngleFormat.RADIANS):
+        enriched = LocationFormatEnrichment(location, angle_format)
+        position = enriched.get_position()
+        print(
+            f"  {angle_format.value:8s}: lat={position.latitude:.6f} "
+            f"lon={position.longitude:.6f}"
+        )
+    dms = LocationFormatEnrichment(location).get_position().dms()
+    print(f"  dms     : lat={dms[0]}  lon={dms[1]}")
+
+    print("\n== Call retry coordination ==")
+    call = create_proxy("Call", sc.platform)
+    call.set_property("context", context)
+    telephony = sc.device.telephony
+    supervisor = sc.config.agent.supervisor_number
+    telephony.set_callee_behavior(supervisor, TelephonyUnit.UNREACHABLE)
+    coordinator = CallRetryCoordinator(
+        call,
+        sc.platform.scheduler,
+        RetryPolicy(max_attempts=4, retry_delay_ms=3_000.0),
+    )
+    report = coordinator.make_a_call(supervisor)
+    sc.platform.run_for(5_000.0)
+    print(f"  after 5s : attempts={report.attempts} outcomes={[o.value for o in report.outcomes]}")
+    telephony.set_callee_behavior(supervisor, TelephonyUnit.ANSWER)  # back in coverage
+    sc.platform.run_for(30_000.0)
+    print(f"  after 35s: attempts={report.attempts} outcomes={[o.value for o in report.outcomes]}")
+    print(f"  final call answered: {report.final is None and 'in progress' or report.final.outcome}")
+
+    print("\n== Security policy ==")
+    sms = create_proxy("Sms", sc.platform)
+    sms.set_property("context", context)
+    policy = (
+        SecurityPolicy()
+        .deny(roles="contractor", interface="Call")
+        .allow(roles="contractor", interface="Sms")
+        .allow(roles="employee")
+    )
+    contractor = Principal("temp-7", frozenset({"contractor"}))
+    secured_sms = SecuredProxy(sms, policy, contractor)
+    message_id = secured_sms.send_text_message(supervisor, "report filed")
+    print(f"  contractor SMS allowed: {message_id}")
+    secured_call = SecuredProxy(call, policy, contractor)
+    try:
+        secured_call.make_a_call(supervisor)
+    except ProxyPermissionError as error:
+        print(f"  contractor Call denied: {error}")
+    print("  audit trail:")
+    for record in secured_sms.audit_log + secured_call.audit_log:
+        print(
+            f"    {record.principal} -> {record.interface}.{record.method}: "
+            f"{record.decision.value}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The maintenance story: Android m5-rc15 → 1.0 (Section 5).
+
+Release 1.0 changed ``addProximityAlert`` to take a ``PendingIntent``.
+This example shows all four quadrants:
+
+* native m5 code on m5       — works
+* native m5 code on 1.0      — IllegalArgumentException (must be ported)
+* proxied code on m5         — works
+* proxied code on 1.0        — works, byte-identical application
+
+and prints the measured change impact from the real sources.
+
+Run:  python examples/platform_evolution.py
+"""
+
+from repro.analysis.maintenance import sdk_migration_report
+from repro.apps.workforce import scenario
+from repro.apps.workforce.native_android import (
+    WorkforceNativeAndroid,
+    WorkforceNativeAndroidV10,
+)
+from repro.apps.workforce.proxied import launch_on_android
+from repro.platforms.android.exceptions import IllegalArgumentException
+from repro.platforms.android.versions import SdkVersion
+
+
+def run_native(app_class, sdk):
+    sc = scenario.build_android(sdk_version=sdk)
+    app = app_class(sc.platform, scenario.PACKAGE)
+    app.config = sc.config
+    try:
+        app.perform_launch()
+    except IllegalArgumentException as error:
+        return f"FAILS: IllegalArgumentException: {error}"
+    sc.platform.run_for(200_000.0)
+    return f"works: {app.activity_events}"
+
+
+def run_proxied(sdk):
+    sc = scenario.build_android(sdk_version=sdk)
+    logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+    sc.platform.run_for(200_000.0)
+    return f"works: {logic.activity_events}"
+
+
+def main():
+    print("== Native application (Figure 2a style) ==")
+    print(f"  m5 code on SDK m5-rc15 : {run_native(WorkforceNativeAndroid, SdkVersion.M5_RC15)}")
+    print(f"  m5 code on SDK 1.0     : {run_native(WorkforceNativeAndroid, SdkVersion.V1_0)}")
+    print(f"  ported code on SDK 1.0 : {run_native(WorkforceNativeAndroidV10, SdkVersion.V1_0)}")
+
+    print("\n== Proxied application (Figure 8 style), UNMODIFIED ==")
+    print(f"  on SDK m5-rc15         : {run_proxied(SdkVersion.M5_RC15)}")
+    print(f"  on SDK 1.0             : {run_proxied(SdkVersion.V1_0)}")
+
+    print("\n== Measured change impact (from the real module sources) ==")
+    report = sdk_migration_report()
+    print(
+        f"  without proxies: {report.native_impact.changed} lines changed "
+        f"({report.native_impact.fraction:.1%} of the registration code)"
+    )
+    print(f"  with proxies   : {report.proxied_impact.changed} lines changed")
+    print(
+        "\n  The difference is absorbed inside the Android binding, which "
+        "wraps the Intent\n  in a PendingIntent when "
+        "platform.sdk_version requires it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: the same MobiVine proxy code on three different platforms.
+
+Builds a simulated handset per platform, registers a proximity alert,
+reads the position and sends an SMS — through the *identical* uniform API
+each time.  Also shows the one capability gap proxies cannot invent:
+there is no Call proxy on S60.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.workforce import scenario
+from repro.core.plugin.packaging import WebViewPlatformExtension
+from repro.core.proxies import create_proxy
+from repro.core.proxy.callbacks import ProximityListener
+from repro.errors import ProxyUnavailableError
+
+SITE = scenario.SITE
+
+
+class PrintingListener(ProximityListener):
+    """Uniform callback — the same class works on every platform."""
+
+    def __init__(self, platform_name):
+        self.platform_name = platform_name
+
+    def proximity_event(self, ref_lat, ref_lon, ref_alt, current, entering):
+        action = "ENTERED" if entering else "LEFT"
+        print(
+            f"  [{self.platform_name}] {action} site region "
+            f"(device at {current.latitude:.5f}, {current.longitude:.5f})"
+        )
+
+
+def drive(platform_name, sc, location, sms):
+    """The portable part: identical on Android, S60 and WebView."""
+    location.add_proximity_alert(
+        SITE.latitude, SITE.longitude, 0.0, SITE.radius_m, -1,
+        PrintingListener(platform_name),
+    )
+    position = location.get_location()
+    print(f"  [{platform_name}] current position: "
+          f"{position.latitude:.5f}, {position.longitude:.5f}")
+    message_id = sms.send_text_message(
+        "+915550001", f"hello from {platform_name}",
+        lambda event, mid, reason: print(f"  [{platform_name}] sms {event}"),
+    )
+    print(f"  [{platform_name}] sent message {message_id}")
+    sc.platform.run_for(200_000.0)  # drive the simulated world forward
+
+
+def main():
+    print("== Android ==")
+    sc = scenario.build_android()
+    location = create_proxy("Location", sc.platform)
+    location.set_property("context", sc.new_context())  # Android-mandated attribute
+    sms = create_proxy("Sms", sc.platform)
+    sms.set_property("context", sc.new_context())
+    drive("android", sc, location, sms)
+
+    print("\n== Nokia S60 ==")
+    sc = scenario.build_s60()
+    location = create_proxy("Location", sc.platform)
+    location.set_property("preferredResponseTime", 1000)  # S60-mandated attribute
+    sms = create_proxy("Sms", sc.platform)
+    drive("s60", sc, location, sms)
+
+    print("\n== Android WebView ==")
+    sc = scenario.build_webview()
+    webview = sc.platform.new_webview()
+    WebViewPlatformExtension().install_wrappers(
+        webview, sc.platform, sc.new_context(), ["Location", "Sms"]
+    )
+
+    def page(window):
+        location = create_proxy("Location", sc.platform)
+        sms = create_proxy("Sms", sc.platform)
+        drive("webview", sc, location, sms)
+
+    webview.load_page(page)
+
+    print("\n== The capability gap proxies cannot hide ==")
+    sc = scenario.build_s60()
+    try:
+        create_proxy("Call", sc.platform)
+    except ProxyUnavailableError as error:
+        print(f"  Call proxy on S60: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The M-Plugin flow: drawer → configuration dialog → code → packaging.
+
+Reproduces the developer experience of Figures 7(a) and 7(b): browse the
+proxy drawer, configure ``addProximityAlert`` for S60 (note the platform
+Properties column with defaults and allowed values), preview the generated
+code, embed it into a project, and build the single-jar MIDlet suite.
+
+Run:  python examples/toolkit_codegen.py
+"""
+
+from repro.core.plugin import CodeFile, MobiVinePlugin, Toolkit
+from repro.core.plugin.codegen import generator_for
+from repro.core.proxies import standard_registry
+from repro.platforms.s60.packaging import Jar, JarEntry
+
+
+def main():
+    toolkit = Toolkit("eclipse")
+    registry = standard_registry()
+
+    print("== Proxy Drawer per platform (Figure 7a) ==")
+    for platform in ("android", "s60", "webview"):
+        plugin = MobiVinePlugin(toolkit, registry, platform)
+        for category in plugin.drawer.categories():
+            items = ", ".join(i.name for i in plugin.drawer.items(category))
+            print(f"  [{platform}] {category}: {items}")
+        print()
+
+    plugin = MobiVinePlugin(toolkit, registry, "s60")
+    item = plugin.drawer.find("Location", "addProximityAlert")
+    dialog = plugin.open_configuration(item)
+
+    print("== Configuration dialog (Figure 7b) ==")
+    print("  Variables:")
+    for field in dialog.variable_fields():
+        print(f"    {field.name:20s} {field.type_name:45s} {field.description}")
+    print("  Properties (S60-specific):")
+    for field in dialog.property_fields():
+        allowed = f" allowed={list(field.allowed_values)}" if field.allowed_values else ""
+        print(f"    {field.name:20s} default={field.default!r}{allowed}")
+
+    dialog.set_variable("radius", 500.0)
+    dialog.set_variable("timer", -1)
+    dialog.set_property("powerConsumption", "LOW")
+    dialog.set_callback_target("this")
+
+    print("\n== Source preview (S60 / Java) ==")
+    print(dialog.preview())
+
+    print("\n== Same proxy, other generators ==")
+    descriptor = registry.descriptor("Location")
+    for language in ("javascript", "python"):
+        print(f"--- {language} ---")
+        print(
+            generator_for(language).generate(
+                descriptor,
+                "addProximityAlert",
+                "webview" if language == "javascript" else "android",
+                variables={"radius": 500.0},
+                properties={"provider": "gps"},
+            )
+        )
+
+    print("\n== Embedding + S60 single-jar packaging ==")
+    project = toolkit.create_project("workforce-s60", "s60")
+    project.add_file(
+        CodeFile(
+            "WorkForceManagement.java",
+            "public void startApp() {\n    /*PROXY*/\n}\n",
+        )
+    )
+    plugin.embed(
+        project, dialog, file_name="WorkForceManagement.java", marker="/*PROXY*/"
+    )
+    print(f"  classpath after embed: {project.classpath}")
+    suite = plugin.extension.build_suite(
+        project, Jar("workforce.jar", [JarEntry("WorkForceManagement.class", 4096)])
+    )
+    print(f"  merged suite jar     : {[e.path for e in suite.jar.entries]}")
+    print(f"  JAD permissions      : {suite.jad.permissions}")
+    print("\n  deployed JAD:")
+    for line in suite.jad.to_text().splitlines():
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

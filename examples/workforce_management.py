@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The paper's motivating application, end to end (Section 2, Figure 1).
+
+A field agent's handset runs the workforce app; the enterprise server
+tracks positions, assigns requests and keeps the activity log.  The SAME
+``WorkforceLogic`` class runs on Android, S60 and WebView — only the thin
+launcher differs.
+
+Run:  python examples/workforce_management.py
+"""
+
+from repro.apps.workforce import scenario
+from repro.apps.workforce.common import (
+    PATH_POLL_ASSIGNMENT,
+    SERVER_HOST,
+    encode,
+)
+from repro.apps.workforce.proxied import (
+    launch_on_android,
+    launch_on_s60,
+    launch_on_webview,
+)
+from repro.core.plugin.packaging import WebViewPlatformExtension
+
+
+def run_android():
+    sc = scenario.build_android()
+    logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+    # dispatcher assigns a job while the agent commutes
+    sc.server.dispatch(sc.config.agent.agent_id, sc.config.site.site_id,
+                       "replace backup battery")
+    sc.platform.run_for(90_000.0)
+    logic.report_location()
+    # the device polls for its assignment over the HTTP proxy
+    result = logic.http.post(
+        f"http://{SERVER_HOST}{PATH_POLL_ASSIGNMENT}",
+        encode({"agent": sc.config.agent.agent_id}),
+    )
+    print(f"  assignment poll -> {result.body}")
+    sc.platform.run_for(110_000.0)
+    logic.report_location()
+    return sc, logic
+
+
+def run_s60():
+    sc = scenario.build_s60()
+    logic = launch_on_s60(sc.platform, sc.config)
+    sc.platform.run_for(200_000.0)
+    logic.report_location()
+    return sc, logic
+
+
+def run_webview():
+    sc = scenario.build_webview()
+    webview = sc.platform.new_webview()
+    WebViewPlatformExtension().install_wrappers(
+        webview, sc.platform, sc.new_context(), ["Location", "Sms", "Http"]
+    )
+    holder = {}
+    webview.load_page(
+        lambda window: holder.update(logic=launch_on_webview(sc.platform, sc.config))
+    )
+    sc.platform.run_for(200_000.0)
+    holder["logic"].report_location()
+    return sc, holder["logic"]
+
+
+def dashboard(name, sc, logic):
+    agent = sc.config.agent.agent_id
+    track = sc.server.track_of(agent)
+    print(f"\n-- {name} --")
+    print(f"  device events : {logic.activity_events}")
+    print(f"  activity log  : {[r.event for r in sc.server.activity_log(agent)]}")
+    if track:
+        print(
+            f"  last position : {track.latitude:.5f}, {track.longitude:.5f} "
+            f"({track.report_count} reports)"
+        )
+    supervisor_inbox = sc.device.sms_center.inbox_of(
+        sc.config.agent.supervisor_number
+    )
+    print(f"  supervisor sms: {[m.text for m in supervisor_inbox]}")
+
+
+def main():
+    print("Workforce management: one business-logic class, three platforms")
+    dashboard("Android", *run_android())
+    dashboard("Nokia S60", *run_s60())
+    dashboard("Android WebView", *run_webview())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; this file lets ``pip install -e .`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.core.proxies": ["descriptors/*.xml"]},
+    python_requires=">=3.9",
+)

@@ -1,0 +1,30 @@
+"""MobiVine reproduction package.
+
+This package reproduces *MobiVine — A Middleware Layer to Handle
+Fragmentation of Platform Interfaces for Mobile Applications* (IBM Research
+Report RI 09009 / MIDDLEWARE 2009).
+
+Layout
+------
+``repro.util``
+    Virtual clock, scheduler, event bus, geo math, latency models.
+``repro.device``
+    Simulated mobile device hardware: GPS, cellular radio, SMS center,
+    network, battery.
+``repro.platforms``
+    Three deliberately heterogeneous platform substrates: Android-like,
+    Nokia S60/J2ME-like, and Android WebView-like.
+``repro.core``
+    The paper's contribution: the M-Proxy model (descriptors, runtime,
+    concrete proxies) and the M-Plugin toolkit integration.
+``repro.apps``
+    The motivating workforce-management application, native and proxied.
+``repro.analysis``
+    Software-engineering metrics used by the evaluation.
+``repro.bench``
+    Benchmark harness and latency calibration for Figure 10.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

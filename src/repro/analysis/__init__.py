@@ -1,0 +1,38 @@
+"""Software-engineering metrics for the evaluation (paper Section 5).
+
+The paper argues portability, complexity and maintenance qualitatively
+from code fragments; this package makes the same arguments *measurable*
+against the real sources of the workforce-app variants in
+``repro.apps.workforce``.
+"""
+
+from repro.analysis.metrics import (
+    CodeMetrics,
+    count_loc,
+    cyclomatic_complexity,
+    measure,
+    platform_api_surface,
+    source_of,
+)
+from repro.analysis.portability import (
+    normalize_tokens,
+    pairwise_similarity,
+    portability_score,
+    similarity,
+)
+from repro.analysis.maintenance import change_impact, sdk_migration_report
+
+__all__ = [
+    "CodeMetrics",
+    "change_impact",
+    "count_loc",
+    "cyclomatic_complexity",
+    "measure",
+    "normalize_tokens",
+    "pairwise_similarity",
+    "platform_api_surface",
+    "portability_score",
+    "sdk_migration_report",
+    "similarity",
+    "source_of",
+]

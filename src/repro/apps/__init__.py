@@ -1,0 +1,1 @@
+"""Applications built on the substrates and on MobiVine."""

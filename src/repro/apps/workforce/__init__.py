@@ -1,0 +1,24 @@
+"""The mobile workforce-management application (paper Section 2, Figure 1).
+
+An enterprise tracks on-field agents and assigns tasks.  The device side
+reports agent positions, watches proximity to assigned sites, and messages
+the region supervisor; the server side does the book-keeping (agent
+registry, request allocation, activity log).
+
+Variants:
+
+* ``native_android`` / ``native_s60`` / ``native_webview`` — the
+  *without-proxy* implementations, one per platform, each shaped by its
+  platform's API style (the paper's Figure 2 fragments, grown into full
+  modules).
+* ``proxied`` — the *with-proxy* implementation: one business-logic class
+  shared verbatim across all three platforms (Figures 8 and 9).
+
+The evaluation benchmarks compute their software-engineering metrics from
+these modules' actual sources.
+"""
+
+from repro.apps.workforce.common import AgentProfile, SiteRegion, WorkforceConfig
+from repro.apps.workforce.server import WorkforceServer
+
+__all__ = ["AgentProfile", "SiteRegion", "WorkforceConfig", "WorkforceServer"]

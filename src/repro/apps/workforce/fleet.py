@@ -1,0 +1,142 @@
+"""Multi-agent fleet scenarios.
+
+The paper's Figure 1 shows an enterprise managing *agents*, plural.  This
+module wires several simulated handsets onto shared infrastructure — one
+virtual clock, one SMS center, one data network, one workforce server, and
+a supervisor handset that actually receives the agents' messages — so the
+whole deployment advances under a single ``run_for``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.apps.workforce.common import AgentProfile, SiteRegion, WorkforceConfig
+from repro.apps.workforce.proxied import WorkforceLogic, launch_on_android
+from repro.apps.workforce.scenario import ANDROID_PERMISSIONS, PACKAGE
+from repro.apps.workforce.server import WorkforceServer
+from repro.device.device import MobileDevice
+from repro.device.gps import Trajectory, Waypoint
+from repro.device.messaging import SmsCenter
+from repro.device.network import SimulatedNetwork
+from repro.platforms.android.platform import AndroidPlatform
+from repro.util.clock import Scheduler, SimulatedClock
+from repro.util.events import EventBus
+from repro.util.geo import GeoPoint, destination_point
+
+SUPERVISOR_NUMBER = "+915550001"
+
+
+@dataclass
+class FleetAgent:
+    """One agent's slice of the fleet."""
+
+    profile: AgentProfile
+    site: SiteRegion
+    device: MobileDevice
+    platform: AndroidPlatform
+    logic: WorkforceLogic = None
+
+
+@dataclass
+class Fleet:
+    """A deployed fleet sharing one simulated world."""
+
+    scheduler: Scheduler
+    server: WorkforceServer
+    supervisor: MobileDevice
+    agents: List[FleetAgent] = field(default_factory=list)
+
+    def run_for(self, delta_ms: float) -> int:
+        """Advance the whole fleet's shared virtual time."""
+        return self.scheduler.run_for(delta_ms)
+
+    def agent(self, agent_id: str) -> FleetAgent:
+        for entry in self.agents:
+            if entry.profile.agent_id == agent_id:
+                return entry
+        raise KeyError(f"no agent {agent_id!r} in the fleet")
+
+    @property
+    def supervisor_inbox(self) -> List[str]:
+        """Texts the supervisor handset has received, in order."""
+        return [message.text for message in self.supervisor.inbox]
+
+
+def build_fleet(
+    agent_count: int = 3,
+    *,
+    base_latitude: float = 28.6,
+    base_longitude: float = 77.2,
+    leg_ms: float = 60_000.0,
+) -> Fleet:
+    """Deploy ``agent_count`` Android agents on shared infrastructure.
+
+    Agent *k* gets its own work site 5 km apart from the others and a
+    staggered commute (each starts ``k × leg/4`` later), so proximity
+    events interleave realistically on the shared clock.
+    """
+    if agent_count < 1:
+        raise ValueError("a fleet needs at least one agent")
+    scheduler = Scheduler(SimulatedClock())
+    shared_bus = EventBus()
+    sms_center = SmsCenter(scheduler, shared_bus)
+    network = SimulatedNetwork(scheduler)
+    server = WorkforceServer(network)
+    supervisor = MobileDevice(
+        SUPERVISOR_NUMBER,
+        sms_center=sms_center,
+        network=network,
+        scheduler=scheduler,
+    )
+    fleet = Fleet(scheduler=scheduler, server=server, supervisor=supervisor)
+    for index in range(agent_count):
+        site_centre = destination_point(
+            base_latitude, base_longitude, bearing=360.0 * index / agent_count,
+            distance_m=5_000.0 * (index + 1),
+        )
+        site = SiteRegion(
+            site_id=f"site-{index + 1}",
+            latitude=site_centre.latitude,
+            longitude=site_centre.longitude,
+            radius_m=500.0,
+        )
+        profile = AgentProfile(
+            agent_id=f"agent-{index + 1}",
+            phone_number=f"+91555100{index + 1}",
+            supervisor_number=SUPERVISOR_NUMBER,
+        )
+        start_offset = index * leg_ms / 4.0
+        away = destination_point(
+            site.latitude, site.longitude, bearing=90.0, distance_m=2_000.0
+        )
+        home = GeoPoint(site.latitude, site.longitude)
+        device = MobileDevice(
+            profile.phone_number,
+            sms_center=sms_center,
+            network=network,
+            scheduler=scheduler,
+            trajectory=Trajectory(
+                [
+                    Waypoint(0.0, away),
+                    Waypoint(start_offset + leg_ms, home),
+                    Waypoint(start_offset + 2 * leg_ms, away),
+                ]
+            ),
+            gps_seed=index,
+        )
+        platform = AndroidPlatform(device)
+        platform.install(PACKAGE, ANDROID_PERMISSIONS)
+        fleet.agents.append(
+            FleetAgent(profile=profile, site=site, device=device, platform=platform)
+        )
+    return fleet
+
+
+def launch_fleet(fleet: Fleet) -> None:
+    """Start the proxied workforce app on every agent handset."""
+    for agent in fleet.agents:
+        config = WorkforceConfig(agent=agent.profile, site=agent.site)
+        context = agent.platform.new_context(PACKAGE)
+        agent.logic = launch_on_android(agent.platform, context, config)

@@ -1,0 +1,199 @@
+"""Without-proxy Android device app (the paper's Figure 2a, grown to a
+full module).
+
+Everything platform-specific is in the application's face: Intent actions,
+IntentReceiver subclasses, PendingIntent result plumbing for SMS, the
+Apache HTTP objects, and Android's exception set.  Business logic is
+scattered across the receiver callbacks.  Kept deliberately in this style
+— it is the *measured artifact* for the portability/complexity evaluation.
+
+Two classes: :class:`WorkforceNativeAndroid` targets SDK m5-rc15 (raw
+Intent) and :class:`WorkforceNativeAndroidV10` is the *same application
+ported to SDK 1.0* (PendingIntent) — the diff between them is the paper's
+maintenance cost for the without-proxy world.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workforce.common import (
+    PATH_LOG_EVENT,
+    PATH_REPORT_LOCATION,
+    SERVER_HOST,
+    WorkforceConfig,
+    encode,
+)
+from repro.platforms.android.activity import Activity
+from repro.platforms.android.context import Context
+from repro.platforms.android.exceptions import AndroidRuntimeException
+from repro.platforms.android.http import HttpPost, IOException
+from repro.platforms.android.intents import (
+    Intent,
+    IntentFilter,
+    IntentReceiver,
+    PendingIntent,
+)
+from repro.platforms.android.location import NO_EXPIRATION
+
+PROXIMITY_ALERT = "com.ibm.workforce.android.intent.action.PROXIMITY_ALERT"
+SMS_SENT = "com.ibm.workforce.android.intent.action.SMS_SENT"
+
+
+class WorkforceNativeAndroid(Activity):
+    """SDK m5-rc15 variant: addProximityAlert takes a raw Intent."""
+
+    config: WorkforceConfig  # assigned by the launcher before perform_launch
+
+    def on_create(self) -> None:
+        self.entered_site = False
+        self.activity_events = []
+        outer = self
+
+        class ProximityIntentReceiver(IntentReceiver):
+            def __init__(self, latitude: float, longitude: float) -> None:
+                self.latitude = latitude
+                self.longitude = longitude
+
+            def on_receive_intent(self, ctxt: Context, i: Intent) -> None:
+                action = i.get_action()
+                if action == PROXIMITY_ALERT:
+                    entering = i.get_boolean_extra("entering", False)
+                    lm = ctxt.get_system_service(Context.LOCATION_SERVICE)
+                    loc = lm.get_current_location("gps")
+                    if entering:
+                        outer.entered_site = True
+                        outer._log_event("arrived", loc)
+                        outer._notify_supervisor("Arrived at site")
+                    else:
+                        outer.entered_site = False
+                        outer._log_event("departed", loc)
+
+        class SmsSentReceiver(IntentReceiver):
+            def on_receive_intent(self, ctxt: Context, i: Intent) -> None:
+                outer.activity_events.append("sms-result")
+
+        site = self.config.site
+        try:
+            # registering for proximity events
+            proximity_receiver = ProximityIntentReceiver(site.latitude, site.longitude)
+            self.register_receiver(proximity_receiver, IntentFilter(PROXIMITY_ALERT))
+            self.register_receiver(SmsSentReceiver(), IntentFilter(SMS_SENT))
+            lm = self.get_system_service(Context.LOCATION_SERVICE)
+            i = Intent(PROXIMITY_ALERT)
+            timer = self.config.alert_timer_s
+            expiration = NO_EXPIRATION if timer == -1 else timer * 1000.0
+            lm.add_proximity_alert(
+                site.latitude, site.longitude, site.radius_m, expiration, i
+            )
+        except AndroidRuntimeException:
+            # Handle Android specific exceptions
+            raise
+
+    # -- business actions, each wired to a raw platform stack ------------------
+
+    def report_location(self) -> None:
+        """Send the current position to the server over Apache HTTP."""
+        lm = self.get_system_service(Context.LOCATION_SERVICE)
+        loc = lm.get_current_location("gps")
+        client = self.platform.http_client(self)
+        request = HttpPost(f"http://{SERVER_HOST}{PATH_REPORT_LOCATION}")
+        request.set_entity(
+            encode(
+                {
+                    "agent": self.config.agent.agent_id,
+                    "latitude": loc.get_latitude(),
+                    "longitude": loc.get_longitude(),
+                    "timestamp_ms": loc.get_time(),
+                }
+            )
+        )
+        try:
+            response = client.execute(request)
+            if response.get_status_line().get_status_code() != 200:
+                self.activity_events.append("report-failed")
+        except IOException:
+            self.activity_events.append("report-failed")
+
+    def _log_event(self, event: str, loc) -> None:
+        client = self.platform.http_client(self)
+        request = HttpPost(f"http://{SERVER_HOST}{PATH_LOG_EVENT}")
+        request.set_entity(
+            encode(
+                {
+                    "agent": self.config.agent.agent_id,
+                    "event": event,
+                    "detail": f"{loc.get_latitude():.5f},{loc.get_longitude():.5f}",
+                    "timestamp_ms": loc.get_time(),
+                }
+            )
+        )
+        try:
+            client.execute(request)
+        except IOException:
+            self.activity_events.append("log-failed")
+        self.activity_events.append(event)
+
+    def _notify_supervisor(self, text: str) -> None:
+        manager = self.platform.sms_manager(self)
+        sent_intent = PendingIntent.get_broadcast(self, 0, Intent(SMS_SENT))
+        try:
+            manager.send_text_message(
+                self.config.agent.supervisor_number, None, text, sent_intent, None
+            )
+        except AndroidRuntimeException:
+            # Handle Android specific exceptions
+            self.activity_events.append("sms-failed")
+
+
+class WorkforceNativeAndroidV10(WorkforceNativeAndroid):
+    """The same application *ported to SDK 1.0*.
+
+    The only behavioural difference is the ``addProximityAlert`` call
+    site: release 1.0 takes a ``PendingIntent``.  Without proxies, every
+    application carrying this call must be edited and re-released — the
+    maintenance burden Section 5 quantifies.
+    """
+
+    def on_create(self) -> None:
+        self.entered_site = False
+        self.activity_events = []
+        outer = self
+
+        class ProximityIntentReceiver(IntentReceiver):
+            def __init__(self, latitude: float, longitude: float) -> None:
+                self.latitude = latitude
+                self.longitude = longitude
+
+            def on_receive_intent(self, ctxt: Context, i: Intent) -> None:
+                action = i.get_action()
+                if action == PROXIMITY_ALERT:
+                    entering = i.get_boolean_extra("entering", False)
+                    lm = ctxt.get_system_service(Context.LOCATION_SERVICE)
+                    loc = lm.get_current_location("gps")
+                    if entering:
+                        outer.entered_site = True
+                        outer._log_event("arrived", loc)
+                        outer._notify_supervisor("Arrived at site")
+                    else:
+                        outer.entered_site = False
+                        outer._log_event("departed", loc)
+
+        class SmsSentReceiver(IntentReceiver):
+            def on_receive_intent(self, ctxt: Context, i: Intent) -> None:
+                outer.activity_events.append("sms-result")
+
+        site = self.config.site
+        try:
+            proximity_receiver = ProximityIntentReceiver(site.latitude, site.longitude)
+            self.register_receiver(proximity_receiver, IntentFilter(PROXIMITY_ALERT))
+            self.register_receiver(SmsSentReceiver(), IntentFilter(SMS_SENT))
+            lm = self.get_system_service(Context.LOCATION_SERVICE)
+            # SDK 1.0: the Intent must be wrapped in a PendingIntent.
+            pi = PendingIntent.get_broadcast(self, 0, Intent(PROXIMITY_ALERT))
+            timer = self.config.alert_timer_s
+            expiration = NO_EXPIRATION if timer == -1 else timer * 1000.0
+            lm.add_proximity_alert(
+                site.latitude, site.longitude, site.radius_m, expiration, pi
+            )
+        except AndroidRuntimeException:
+            # Handle Android specific exceptions
+            raise

@@ -1,0 +1,171 @@
+"""Without-proxy S60 device app (the paper's Figure 2b, grown to a full
+module).
+
+The MIDlet itself implements the native ``ProximityListener`` *and*
+``LocationListener`` interfaces, carries the timeout bookkeeping, the
+re-registration after each one-shot fire, and the hand-rolled exit
+detection — business logic interleaved with gap-filling, exactly the
+structure the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.workforce.common import (
+    PATH_LOG_EVENT,
+    PATH_REPORT_LOCATION,
+    SERVER_HOST,
+    WorkforceConfig,
+    encode,
+)
+from repro.platforms.s60.connector import HttpConnection
+from repro.platforms.s60.exceptions import IOException, J2meException
+from repro.platforms.s60.location import (
+    Coordinates,
+    Criteria,
+    LocationListener,
+    LocationProvider,
+    ProximityListener,
+    S60Location,
+)
+from repro.platforms.s60.midlet import MIDlet
+
+
+class WorkforceNativeS60(MIDlet, ProximityListener, LocationListener):
+    """The Figure 2(b) shape: MIDlet + both native listener interfaces."""
+
+    config: WorkforceConfig  # assigned by the launcher before perform_start
+
+    def start_app(self) -> None:
+        self.entered_site = False
+        self.activity_events = []
+        site = self.config.site
+        self.radius = site.radius_m
+        self.coordinates = Coordinates(site.latitude, site.longitude, 0.0)
+        self.time_out_s = self.config.alert_timer_s
+        self.start_time_s = self.platform.clock.now_ms / 1000.0
+        try:
+            # registering for proximity events
+            criteria = Criteria()
+            criteria.set_preferred_response_time(Criteria.NO_REQUIREMENT)
+            criteria.set_vertical_accuracy(50)
+            self.lp = self.platform.location_provider.get_instance(criteria)
+            self.lp.set_location_listener(self, -1, -1, -1)
+            self.platform.location_provider.add_proximity_listener(
+                self, self.coordinates, self.radius
+            )
+        except J2meException:
+            # Handle S60 specific exceptions
+            raise
+
+    # -- native ProximityListener (one-shot; fires on entry only) ---------------
+
+    def proximity_event(self, coordinates: Coordinates, lo: S60Location) -> None:
+        current_time = self.platform.clock.now_ms / 1000.0
+        if self.time_out_s != -1 and (current_time - self.start_time_s) > self.time_out_s:
+            # time out: stop everything
+            self.lp.set_location_listener(None, -1, -1, -1)
+            self.platform.location_provider.remove_proximity_listener(self)
+            return
+        self.entered_site = True
+        # business logic for entry event
+        self._log_event("arrived", lo)
+        self._notify_supervisor("Arrived at site")
+
+    def monitoring_state_changed(self, is_monitoring_active: bool) -> None:
+        pass
+
+    # -- native LocationListener (hand-rolled exit detection) ---------------------
+
+    def location_updated(self, lp: LocationProvider, lo: S60Location) -> None:
+        current_time = self.platform.clock.now_ms / 1000.0
+        if self.time_out_s != -1 and (current_time - self.start_time_s) > self.time_out_s:
+            # time out: stop everything
+            self.lp.set_location_listener(None, -1, -1, -1)
+            self.platform.location_provider.remove_proximity_listener(self)
+            return
+        if not self.entered_site:
+            return
+        distance = self.coordinates.distance(lo.get_qualified_coordinates())
+        if distance > self.radius:
+            self.entered_site = False
+            # business logic for exit event
+            self._log_event("departed", lo)
+            try:
+                # re-register the one-shot listener for the next entry
+                self.platform.location_provider.add_proximity_listener(
+                    self, self.coordinates, self.radius
+                )
+            except J2meException:
+                # Handle S60 specific exceptions
+                self.activity_events.append("reregister-failed")
+
+    def provider_state_changed(self, provider: LocationProvider, new_state: int) -> None:
+        pass
+
+    # -- business actions, each wired to the GCF stacks -----------------------------
+
+    def report_location(self) -> None:
+        """Send the current position to the server over an HttpConnection."""
+        lo = self.lp.get_location(-1)
+        coordinates = lo.get_qualified_coordinates()
+        connection = self.platform.connector.open(
+            f"http://{SERVER_HOST}{PATH_REPORT_LOCATION}"
+        )
+        try:
+            connection.set_request_method(HttpConnection.POST)
+            connection.write_body(
+                encode(
+                    {
+                        "agent": self.config.agent.agent_id,
+                        "latitude": coordinates.get_latitude(),
+                        "longitude": coordinates.get_longitude(),
+                        "timestamp_ms": lo.get_timestamp(),
+                    }
+                )
+            )
+            if connection.get_response_code() != 200:
+                self.activity_events.append("report-failed")
+        except IOException:
+            self.activity_events.append("report-failed")
+        finally:
+            connection.close()
+
+    def _log_event(self, event: str, lo: S60Location) -> None:
+        coordinates = lo.get_qualified_coordinates()
+        connection = self.platform.connector.open(
+            f"http://{SERVER_HOST}{PATH_LOG_EVENT}"
+        )
+        try:
+            connection.set_request_method(HttpConnection.POST)
+            connection.write_body(
+                encode(
+                    {
+                        "agent": self.config.agent.agent_id,
+                        "event": event,
+                        "detail": (
+                            f"{coordinates.get_latitude():.5f},"
+                            f"{coordinates.get_longitude():.5f}"
+                        ),
+                        "timestamp_ms": lo.get_timestamp(),
+                    }
+                )
+            )
+            connection.get_response_code()
+        except IOException:
+            self.activity_events.append("log-failed")
+        finally:
+            connection.close()
+        self.activity_events.append(event)
+
+    def _notify_supervisor(self, text: str) -> None:
+        try:
+            connection = self.platform.connector.open(
+                f"sms://{self.config.agent.supervisor_number}"
+            )
+            message = connection.new_message(connection.TEXT_MESSAGE)
+            message.set_payload_text(text)
+            connection.send(message)
+            connection.close()
+        except J2meException:
+            # Handle S60 specific exceptions
+            self.activity_events.append("sms-failed")

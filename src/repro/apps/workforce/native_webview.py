@@ -1,0 +1,165 @@
+"""Without-proxy WebView device app.
+
+No MobiVine: the developer injects raw Java shims over the Android
+managers with ``addJavascriptInterface`` and the page hand-rolls
+everything the bridge cannot do — proximity detection by polling position
+and computing distances in JS, SMS results dropped on the floor (no
+callback can cross), errors as untyped strings.  This is the measured
+without-proxy artifact for the WebView column of the evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.apps.workforce.common import (
+    PATH_LOG_EVENT,
+    PATH_REPORT_LOCATION,
+    SERVER_HOST,
+    WorkforceConfig,
+    encode,
+)
+from repro.platforms.android.context import Context
+from repro.platforms.android.http import HttpPost, IOException
+from repro.platforms.webview.webview import JsWindow, WebView
+
+
+class LocationManagerShim:
+    """Raw Java shim: exposes position reads as bridge-legal primitives."""
+
+    def __init__(self, platform, context: Context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def get_location_json(self) -> str:
+        lm = self._context.get_system_service(Context.LOCATION_SERVICE)
+        loc = lm.get_current_location("gps")
+        return json.dumps(
+            {
+                "latitude": loc.get_latitude(),
+                "longitude": loc.get_longitude(),
+                "timestamp_ms": loc.get_time(),
+            }
+        )
+
+
+class SmsManagerShim:
+    """Raw Java shim: fire-and-forget send (results cannot reach JS)."""
+
+    def __init__(self, platform, context: Context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def send_text_message(self, destination: str, text: str) -> str:
+        manager = self._platform.sms_manager(self._context)
+        return manager.send_text_message(destination, None, text)
+
+
+class HttpShim:
+    """Raw Java shim: blocking POST, status code only."""
+
+    def __init__(self, platform, context: Context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def post(self, url: str, body: str) -> int:
+        client = self._platform.http_client(self._context)
+        request = HttpPost(url)
+        request.set_entity(body)
+        try:
+            return client.execute(request).get_status_line().get_status_code()
+        except IOException:
+            return -1
+
+
+def install_native_shims(webview: WebView, platform, context: Context) -> None:
+    """The without-proxy developer's manual bridge wiring."""
+    webview.add_javascript_interface(
+        LocationManagerShim(platform.android, context), "LocationManager"
+    )
+    webview.add_javascript_interface(
+        SmsManagerShim(platform.android, context), "SmsManager"
+    )
+    webview.add_javascript_interface(HttpShim(platform.android, context), "Http")
+
+
+def make_native_page(config: WorkforceConfig, poll_interval_ms: float = 1000.0):
+    """Build the page script (the HTML+JS application body).
+
+    Returns the page callable; after loading, the window global
+    ``"app_state"`` holds the mutable application state dict.
+    """
+
+    def page(window: JsWindow) -> None:
+        state = {"entered_site": False, "activity_events": []}
+        window.set_global("app_state", state)
+        location_manager = window.bridge_object("LocationManager")
+        sms_manager = window.bridge_object("SmsManager")
+        http = window.bridge_object("Http")
+        site = config.site
+
+        def distance_m(lat1, lon1, lat2, lon2):
+            # hand-rolled haversine in page JS (no platform helper exists)
+            phi1, phi2 = math.radians(lat1), math.radians(lat2)
+            dphi = math.radians(lat2 - lat1)
+            dlam = math.radians(lon2 - lon1)
+            a = (
+                math.sin(dphi / 2.0) ** 2
+                + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+            )
+            return 2.0 * 6371008.8 * math.asin(min(1.0, math.sqrt(a)))
+
+        def log_event(event, loc):
+            status = http.post(
+                f"http://{SERVER_HOST}{PATH_LOG_EVENT}",
+                encode(
+                    {
+                        "agent": config.agent.agent_id,
+                        "event": event,
+                        "detail": "%.5f,%.5f" % (loc["latitude"], loc["longitude"]),
+                        "timestamp_ms": loc["timestamp_ms"],
+                    }
+                ),
+            )
+            if status != 200:
+                state["activity_events"].append("log-failed")
+            state["activity_events"].append(event)
+
+        def poll_proximity():
+            # hand-rolled proximity detection: no alerts exist in JS
+            loc = json.loads(location_manager.get_location_json())
+            d = distance_m(
+                loc["latitude"], loc["longitude"], site.latitude, site.longitude
+            )
+            inside = d <= site.radius_m
+            if inside and not state["entered_site"]:
+                state["entered_site"] = True
+                log_event("arrived", loc)
+                sms_manager.send_text_message(
+                    config.agent.supervisor_number, "Arrived at site"
+                )
+            elif not inside and state["entered_site"]:
+                state["entered_site"] = False
+                log_event("departed", loc)
+
+        def report_location():
+            loc = json.loads(location_manager.get_location_json())
+            status = http.post(
+                f"http://{SERVER_HOST}{PATH_REPORT_LOCATION}",
+                encode(
+                    {
+                        "agent": config.agent.agent_id,
+                        "latitude": loc["latitude"],
+                        "longitude": loc["longitude"],
+                        "timestamp_ms": loc["timestamp_ms"],
+                    }
+                ),
+            )
+            if status != 200:
+                state["activity_events"].append("report-failed")
+
+        window.set_global("report_location", report_location)
+        window.set_interval(poll_proximity, poll_interval_ms)
+
+    return page

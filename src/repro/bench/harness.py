@@ -1,0 +1,387 @@
+"""The Figure-10 runner: API invocation time with and without proxies.
+
+Measurement model (see ``repro.bench.calibration``): one invocation's cost
+is *(virtual native latency charged by the substrate)* + *(real Python
+time spent executing the call path)*.  Both modes pay the same calibrated
+native charge; the proxy mode additionally executes the M-Proxy layer in
+real time — so the measured overhead is genuinely the proxy layer's cost,
+exactly what the paper's Figure 10 isolates.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.apps.workforce import scenario
+from repro.bench.calibration import (
+    PAPER_FIGURE_10,
+    figure10_android_latency,
+    figure10_s60_latency,
+    figure10_webview_bridge_latency,
+)
+from repro.core.proxies import create_proxy
+from repro.core.proxy.callbacks import ProximityListener
+from repro.platforms.android.context import Context
+from repro.platforms.android.intents import Intent
+from repro.platforms.android.location import NO_EXPIRATION as ANDROID_NO_EXPIRATION
+from repro.platforms.s60.location import Coordinates
+from repro.platforms.s60.location import ProximityListener as S60NativeListener
+
+#: The three APIs Figure 10 charts.
+APIS = ("addProximityAlert", "getLocation", "sendSMS")
+PLATFORMS = ("android", "webview", "s60")
+MODES = ("without", "with")
+
+
+class _NullUniformListener(ProximityListener):
+    def proximity_event(self, *args) -> None:  # pragma: no cover - never fires
+        pass
+
+
+class _NullS60Listener(S60NativeListener):
+    def proximity_event(self, coordinates, location) -> None:  # pragma: no cover
+        pass
+
+    def monitoring_state_changed(self, active: bool) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class InvocationSample:
+    """One measured API invocation."""
+
+    api: str
+    platform: str
+    mode: str  # "without" | "with"
+    virtual_ms: float
+    real_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.virtual_ms + self.real_ms
+
+
+@dataclass
+class _Bench:
+    """One (platform, mode) bench context: invoke + cleanup per API."""
+
+    clock_now: Callable[[], float]
+    invoke: Dict[str, Callable[[], None]]
+    cleanup: Dict[str, Callable[[], None]]
+
+
+class Fig10Runner:
+    """Builds the calibrated scenarios and measures every bar of Figure 10."""
+
+    def __init__(self, *, jitter_fraction: float = 0.0) -> None:
+        self._jitter = jitter_fraction
+
+    # -- per-platform bench builders -----------------------------------------
+
+    def _android_bench(self, with_proxy: bool) -> _Bench:
+        sc = scenario.build_android(
+            latency=figure10_android_latency(jitter_fraction=self._jitter)
+        )
+        sc.device.gps.power_on()
+        sc.platform.run_for(5_000)
+        context = sc.new_context()
+        site = sc.config.site
+        if with_proxy:
+            location = create_proxy("Location", sc.platform)
+            location.set_property("context", context)
+            sms = create_proxy("Sms", sc.platform)
+            sms.set_property("context", context)
+            listener = _NullUniformListener()
+            return _Bench(
+                clock_now=lambda: sc.platform.clock.now_ms,
+                invoke={
+                    "addProximityAlert": lambda: location.add_proximity_alert(
+                        site.latitude, site.longitude, 0.0, site.radius_m, -1, listener
+                    ),
+                    "getLocation": lambda: location.get_location(),
+                    "sendSMS": lambda: sms.send_text_message("+900", "bench"),
+                },
+                cleanup={
+                    "addProximityAlert": lambda: location.remove_proximity_alert(
+                        listener
+                    ),
+                },
+            )
+        manager = context.get_system_service(Context.LOCATION_SERVICE)
+        sms_manager = sc.platform.sms_manager(context)
+        intents: List[Intent] = []
+
+        def add_alert() -> None:
+            intent = Intent("bench.PROXIMITY")
+            intents.append(intent)
+            manager.add_proximity_alert(
+                site.latitude, site.longitude, site.radius_m,
+                ANDROID_NO_EXPIRATION, intent,
+            )
+
+        def remove_alert() -> None:
+            while intents:
+                manager.remove_proximity_alert(intents.pop())
+
+        return _Bench(
+            clock_now=lambda: sc.platform.clock.now_ms,
+            invoke={
+                "addProximityAlert": add_alert,
+                "getLocation": lambda: manager.get_current_location("gps"),
+                "sendSMS": lambda: sms_manager.send_text_message("+900", None, "bench"),
+            },
+            cleanup={"addProximityAlert": remove_alert},
+        )
+
+    def _s60_bench(self, with_proxy: bool) -> _Bench:
+        sc = scenario.build_s60(
+            latency=figure10_s60_latency(jitter_fraction=self._jitter)
+        )
+        sc.device.gps.power_on()
+        sc.platform.run_for(5_000)
+        site = sc.config.site
+        if with_proxy:
+            location = create_proxy("Location", sc.platform)
+            sms = create_proxy("Sms", sc.platform)
+            listener = _NullUniformListener()
+            return _Bench(
+                clock_now=lambda: sc.platform.clock.now_ms,
+                invoke={
+                    "addProximityAlert": lambda: location.add_proximity_alert(
+                        site.latitude, site.longitude, 0.0, site.radius_m, -1, listener
+                    ),
+                    "getLocation": lambda: location.get_location(),
+                    "sendSMS": lambda: sms.send_text_message("+900", "bench"),
+                },
+                cleanup={
+                    "addProximityAlert": lambda: location.remove_proximity_alert(
+                        listener
+                    ),
+                },
+            )
+        statics = sc.platform.location_provider
+        provider = statics.get_instance(None)
+        native_listener = _NullS60Listener()
+        coordinates = Coordinates(site.latitude, site.longitude)
+
+        def send_sms() -> None:
+            connection = sc.platform.connector.open("sms://+900")
+            message = connection.new_message(connection.TEXT_MESSAGE)
+            message.set_payload_text("bench")
+            connection.send(message)
+            connection.close()
+
+        return _Bench(
+            clock_now=lambda: sc.platform.clock.now_ms,
+            invoke={
+                "addProximityAlert": lambda: statics.add_proximity_listener(
+                    native_listener, coordinates, site.radius_m
+                ),
+                "getLocation": lambda: provider.get_location(-1),
+                "sendSMS": send_sms,
+            },
+            cleanup={
+                "addProximityAlert": lambda: statics.remove_proximity_listener(
+                    native_listener
+                ),
+            },
+        )
+
+    def _webview_bench(self, with_proxy: bool) -> _Bench:
+        sc = scenario.build_webview(
+            latency=figure10_webview_bridge_latency(jitter_fraction=self._jitter),
+            android_latency=figure10_android_latency(jitter_fraction=self._jitter),
+        )
+        sc.device.gps.power_on()
+        sc.platform.run_for(5_000)
+        context = sc.new_context()
+        webview = sc.platform.new_webview()
+        site = sc.config.site
+        if with_proxy:
+            from repro.core.plugin.packaging import WebViewPlatformExtension
+            from repro.core.proxies.location.webview import LocationProxyJs
+            from repro.core.proxies.sms.webview import SmsProxyJs
+
+            WebViewPlatformExtension().install_wrappers(
+                webview, sc.platform, context, ["Location", "Sms"]
+            )
+            holder: Dict[str, object] = {}
+
+            def page(window) -> None:
+                holder["location"] = LocationProxyJs.in_page(window)
+                holder["sms"] = SmsProxyJs.in_page(window)
+
+            webview.load_page(page)
+            location = holder["location"]
+            sms = holder["sms"]
+            listener = _NullUniformListener()
+            return _Bench(
+                clock_now=lambda: sc.platform.clock.now_ms,
+                invoke={
+                    "addProximityAlert": lambda: location.add_proximity_alert(
+                        site.latitude, site.longitude, 0.0, site.radius_m, -1, listener
+                    ),
+                    "getLocation": lambda: location.get_location(),
+                    "sendSMS": lambda: sms.send_text_message("+900", "bench"),
+                },
+                cleanup={
+                    "addProximityAlert": lambda: location.remove_proximity_alert(
+                        listener
+                    ),
+                },
+            )
+
+        # Without proxy: the developer's raw shims over the Android managers.
+        android = sc.platform.android
+
+        class RawShims:
+            """Bench-only Java shim exposing the three calls directly."""
+
+            def add_proximity_alert(self, latitude, longitude, radius) -> str:
+                manager = context.get_system_service(Context.LOCATION_SERVICE)
+                intent = Intent("bench.PROXIMITY")
+                manager.add_proximity_alert(
+                    latitude, longitude, radius, ANDROID_NO_EXPIRATION, intent
+                )
+                return "ok"
+
+            def get_location(self) -> str:
+                manager = context.get_system_service(Context.LOCATION_SERVICE)
+                location = manager.get_current_location("gps")
+                return f"{location.get_latitude()},{location.get_longitude()}"
+
+            def send_text_message(self, destination: str, text: str) -> str:
+                return android.sms_manager(context).send_text_message(
+                    destination, None, text
+                )
+
+        webview.add_javascript_interface(RawShims(), "RawShims")
+        holder = {}
+        webview.load_page(lambda window: holder.update(shims=window.bridge_object("RawShims")))
+        shims = holder["shims"]
+
+        def clear_alerts() -> None:
+            android.location_state._alerts.clear()
+
+        return _Bench(
+            clock_now=lambda: sc.platform.clock.now_ms,
+            invoke={
+                "addProximityAlert": lambda: shims.add_proximity_alert(
+                    site.latitude, site.longitude, site.radius_m
+                ),
+                "getLocation": lambda: shims.get_location(),
+                "sendSMS": lambda: shims.send_text_message("+900", "bench"),
+            },
+            cleanup={"addProximityAlert": clear_alerts},
+        )
+
+    def _bench_for(self, platform: str, with_proxy: bool) -> _Bench:
+        if platform == "android":
+            return self._android_bench(with_proxy)
+        if platform == "s60":
+            return self._s60_bench(with_proxy)
+        if platform == "webview":
+            return self._webview_bench(with_proxy)
+        raise ValueError(f"unknown platform {platform!r}")
+
+    # -- measurement -------------------------------------------------------------
+
+    def measure(
+        self, platform: str, api: str, *, with_proxy: bool, repetitions: int = 10
+    ) -> List[InvocationSample]:
+        """Measure ``repetitions`` invocations of one bar of Figure 10."""
+        bench = self._bench_for(platform, with_proxy)
+        invoke = bench.invoke[api]
+        cleanup = bench.cleanup.get(api)
+        mode = "with" if with_proxy else "without"
+        samples: List[InvocationSample] = []
+        # Warm-up (outside the measurement, as the paper's averaging implies).
+        invoke()
+        if cleanup is not None:
+            cleanup()
+        for _ in range(repetitions):
+            virtual_before = bench.clock_now()
+            real_before = time.perf_counter()
+            invoke()
+            real_ms = (time.perf_counter() - real_before) * 1_000.0
+            virtual_ms = bench.clock_now() - virtual_before
+            samples.append(
+                InvocationSample(
+                    api=api,
+                    platform=platform,
+                    mode=mode,
+                    virtual_ms=virtual_ms,
+                    real_ms=real_ms,
+                )
+            )
+            if cleanup is not None:
+                cleanup()
+        return samples
+
+    def run(self, repetitions: int = 30) -> Dict[Tuple[str, str, str], float]:
+        """The whole figure: (api, platform, mode) → median total ms.
+
+        The paper averaged 10 runs on a handset where the proxy cost was
+        milliseconds; our proxy cost is tens of microseconds, so the
+        median over more repetitions keeps scheduler noise below the
+        signal.
+        """
+        results: Dict[Tuple[str, str, str], float] = {}
+        for platform in PLATFORMS:
+            for with_proxy in (False, True):
+                mode = "with" if with_proxy else "without"
+                for api in APIS:
+                    samples = self.measure(
+                        platform, api, with_proxy=with_proxy, repetitions=repetitions
+                    )
+                    results[(api, platform, mode)] = statistics.median(
+                        s.total_ms for s in samples
+                    )
+        return results
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Monospace table for benchmark output."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def figure10_report(repetitions: int = 30) -> str:
+    """The full Figure-10 comparison table (measured vs paper)."""
+    runner = Fig10Runner()
+    measured = runner.run(repetitions)
+    headers = [
+        "API", "Platform",
+        "paper w/o", "ours w/o",
+        "paper w/", "ours w/",
+        "paper ovh", "ours ovh",
+    ]
+    rows = []
+    for platform in PLATFORMS:
+        for api in APIS:
+            paper_without, paper_with = PAPER_FIGURE_10[(api, platform)]
+            ours_without = measured[(api, platform, "without")]
+            ours_with = measured[(api, platform, "with")]
+            rows.append(
+                [
+                    api,
+                    platform,
+                    f"{paper_without:.1f}",
+                    f"{ours_without:.1f}",
+                    f"{paper_with:.1f}",
+                    f"{ours_with:.1f}",
+                    f"{paper_with - paper_without:.1f}",
+                    f"{ours_with - ours_without:.2f}",
+                ]
+            )
+    return format_table(headers, rows)

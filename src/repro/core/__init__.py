@@ -1,0 +1,18 @@
+"""MobiVine core: the paper's contribution.
+
+``repro.core.descriptor``
+    The three-plane M-Proxy descriptor model, its five XML schemas, and
+    the proxy registry.
+``repro.core.proxy``
+    The M-Proxy runtime: uniform datatypes, property mechanism, exception
+    mapping.
+``repro.core.proxies``
+    Concrete proxies (Location, SMS, Call, HTTP) with one binding per
+    platform.
+``repro.core.plugin``
+    The M-Plugin: toolkit integration, configuration dialogs, code
+    generation, packaging extensions.
+``repro.core.enrichment``
+    Value-added layers on top of proxies (unit conversion, retry
+    coordination, security policy).
+"""

@@ -1,0 +1,69 @@
+"""M-Proxy descriptors: the three-plane model as data.
+
+A :class:`ProxyDescriptor` is the structured unit of Section 3.1:
+
+* one :class:`SemanticPlane` — canonical method names, parameters with
+  dimensions, return and callback shapes;
+* one :class:`SyntacticPlane` per programming language — concrete data
+  types and callback styles;
+* one :class:`BindingPlane` per platform — implementation module,
+  platform properties (with defaults and allowed values) and the
+  platform's exception set.
+
+Descriptors round-trip through XML (``xml_io``) against five schemas
+(``schema``), are collected in a :class:`ProxyRegistry`, and drive the
+proxy runtime and the plugin's configuration dialogs at run time.
+"""
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    CallbackSpec,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+from repro.core.descriptor.typesys import Dimension, DimensionRegistry, STANDARD_DIMENSIONS
+from repro.core.descriptor.schema import (
+    BindingJavaSchema,
+    BindingJavascriptSchema,
+    SchemaViolation,
+    SemanticSchema,
+    SyntacticJavaSchema,
+    SyntacticJavascriptSchema,
+    validate_descriptor_xml,
+)
+from repro.core.descriptor.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.core.descriptor.registry import ProxyRegistry
+
+__all__ = [
+    "BindingJavaSchema",
+    "BindingJavascriptSchema",
+    "BindingPlane",
+    "CallbackSpec",
+    "Dimension",
+    "DimensionRegistry",
+    "ExceptionSpec",
+    "MethodSpec",
+    "ParameterSpec",
+    "PropertySpec",
+    "ProxyDescriptor",
+    "ProxyRegistry",
+    "ReturnSpec",
+    "STANDARD_DIMENSIONS",
+    "SchemaViolation",
+    "SemanticPlane",
+    "SemanticSchema",
+    "SyntacticJavaSchema",
+    "SyntacticJavascriptSchema",
+    "SyntacticPlane",
+    "TypeBinding",
+    "descriptor_from_xml",
+    "descriptor_to_xml",
+    "validate_descriptor_xml",
+]

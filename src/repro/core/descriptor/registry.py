@@ -1,0 +1,92 @@
+"""The proxy registry: where descriptors live at run time.
+
+The registry backs both the proxy runtime (bindings, properties, exception
+maps) and the M-Plugin (drawer contents, configuration dialogs).  The
+paper's extension story — "a new platform publishes only binding
+artifacts" — is :meth:`ProxyRegistry.add_binding`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.descriptor.model import BindingPlane, ProxyDescriptor
+from repro.core.descriptor.schema import validate_descriptor_xml
+from repro.core.descriptor.xml_io import descriptor_from_xml
+from repro.errors import DescriptorError, RegistryError
+
+
+class ProxyRegistry:
+    """Interface name → descriptor, with platform-aware lookups."""
+
+    def __init__(self) -> None:
+        self._descriptors: Dict[str, ProxyDescriptor] = {}
+
+    # -- population ----------------------------------------------------------
+
+    def register(self, descriptor: ProxyDescriptor) -> None:
+        """Add a validated descriptor; duplicate interfaces are an error."""
+        descriptor.validate()
+        if descriptor.interface in self._descriptors:
+            raise RegistryError(
+                f"interface {descriptor.interface!r} already registered"
+            )
+        self._descriptors[descriptor.interface] = descriptor
+
+    def register_xml(self, xml_text: str) -> ProxyDescriptor:
+        """Parse, schema-validate and register a descriptor document."""
+        violations = validate_descriptor_xml(xml_text)
+        if violations:
+            summary = "; ".join(str(v) for v in violations[:5])
+            raise DescriptorError(
+                f"descriptor fails schema validation ({len(violations)} "
+                f"violations): {summary}"
+            )
+        descriptor = descriptor_from_xml(xml_text)
+        self.register(descriptor)
+        return descriptor
+
+    def add_binding(self, interface: str, binding: BindingPlane) -> None:
+        """Extension point: attach a new platform to an existing proxy."""
+        self.descriptor(interface).add_binding(binding)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def descriptor(self, interface: str) -> ProxyDescriptor:
+        try:
+            return self._descriptors[interface]
+        except KeyError:
+            raise RegistryError(f"unknown interface {interface!r}") from None
+
+    def binding(self, interface: str, platform: str) -> BindingPlane:
+        """The binding plane for (interface, platform).
+
+        Missing bindings are a :class:`RegistryError` — the lookup failure
+        an application sees when a capability simply does not exist on a
+        platform (the paper's S60 Call case).
+        """
+        descriptor = self.descriptor(interface)
+        if platform not in descriptor.bindings:
+            raise RegistryError(
+                f"interface {interface!r} has no binding for platform "
+                f"{platform!r} (available: {descriptor.platforms()})"
+            )
+        return descriptor.bindings[platform]
+
+    def interfaces(self) -> List[str]:
+        """All registered interface names, sorted."""
+        return sorted(self._descriptors)
+
+    def interfaces_for_platform(self, platform: str) -> List[str]:
+        """Interfaces that have a binding on ``platform`` (drawer contents)."""
+        return sorted(
+            name
+            for name, descriptor in self._descriptors.items()
+            if platform in descriptor.bindings
+        )
+
+    def __contains__(self, interface: str) -> bool:
+        return interface in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)

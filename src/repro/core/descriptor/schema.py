@@ -1,0 +1,367 @@
+"""The five descriptor schemas.
+
+The paper defines five XML Schemas: one for the semantic plane, one per
+language (Java, JavaScript) for the syntactic plane, and one per language
+for the binding plane.  The offline environment has no XSD validator, so
+each schema is a structural validator that walks the element tree and
+accumulates :class:`SchemaViolation` records — which is also friendlier
+tooling behaviour, since a dialog can show every problem at once.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.descriptor.typesys import STANDARD_DIMENSIONS
+from repro.errors import DescriptorError
+
+
+@dataclass(frozen=True)
+class SchemaViolation:
+    """One schema problem: where it is and what is wrong."""
+
+    schema: str
+    path: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.schema}] {self.path}: {self.message}"
+
+
+class _SchemaBase:
+    """Shared walk/report helpers."""
+
+    name = "abstract"
+
+    def validate(self, element: ET.Element) -> List[SchemaViolation]:
+        """Return all violations (empty list = valid)."""
+        raise NotImplementedError
+
+    def _violation(self, path: str, message: str) -> SchemaViolation:
+        return SchemaViolation(self.name, path, message)
+
+
+class SemanticSchema(_SchemaBase):
+    """Schema 1: the ``<semantic>`` plane."""
+
+    name = "semantic"
+
+    def validate(self, element: ET.Element) -> List[SchemaViolation]:
+        violations: List[SchemaViolation] = []
+        methods = element.findall("method")
+        if not methods:
+            violations.append(
+                self._violation("semantic", "at least one <method> is required")
+            )
+        seen_methods = set()
+        for method in methods:
+            name = method.get("name", "")
+            path = f"semantic/method[@name={name!r}]"
+            if not name:
+                violations.append(self._violation(path, "missing name attribute"))
+                continue
+            if name in seen_methods:
+                violations.append(self._violation(path, "duplicate method name"))
+            seen_methods.add(name)
+            violations.extend(self._validate_parameters(method, path))
+            callback = method.find("callback")
+            if callback is not None:
+                cb_path = f"{path}/callback"
+                if not callback.get("parameter"):
+                    violations.append(
+                        self._violation(cb_path, "missing parameter attribute")
+                    )
+                if not callback.get("event"):
+                    violations.append(
+                        self._violation(cb_path, "missing event attribute")
+                    )
+                violations.extend(self._validate_parameters(callback, cb_path))
+        return violations
+
+    def _validate_parameters(
+        self, parent: ET.Element, path: str
+    ) -> List[SchemaViolation]:
+        violations: List[SchemaViolation] = []
+        orders = []
+        seen_names = set()
+        for parameter in parent.findall("parameter"):
+            p_name = parameter.get("name", "")
+            p_path = f"{path}/parameter[@name={p_name!r}]"
+            if not p_name:
+                violations.append(self._violation(p_path, "missing name attribute"))
+            elif p_name in seen_names:
+                violations.append(self._violation(p_path, "duplicate parameter name"))
+            seen_names.add(p_name)
+            dimension = parameter.get("dimension", "")
+            if not dimension:
+                violations.append(
+                    self._violation(p_path, "missing dimension attribute")
+                )
+            elif dimension not in STANDARD_DIMENSIONS:
+                violations.append(
+                    self._violation(p_path, f"unknown dimension {dimension!r}")
+                )
+            order_text = parameter.get("order", "")
+            if not order_text.isdigit():
+                violations.append(
+                    self._violation(p_path, f"order must be an integer, got {order_text!r}")
+                )
+            else:
+                orders.append(int(order_text))
+        if orders and sorted(orders) != list(range(1, len(orders) + 1)):
+            violations.append(
+                self._violation(path, f"parameter orders must be 1..N, got {orders}")
+            )
+        return violations
+
+
+class _SyntacticSchema(_SchemaBase):
+    """Shared syntactic-plane checks; subclasses pin the language."""
+
+    language = "abstract"
+    #: Type names the language's plane may use (empty = unconstrained).
+    primitive_types: frozenset = frozenset()
+    callback_styles: frozenset = frozenset({"object", "function"})
+
+    def validate(self, element: ET.Element) -> List[SchemaViolation]:
+        violations: List[SchemaViolation] = []
+        path = f"syntactic[@language={self.language!r}]"
+        if element.get("language") != self.language:
+            violations.append(
+                self._violation(
+                    path,
+                    f"language attribute is {element.get('language')!r}, "
+                    f"expected {self.language!r}",
+                )
+            )
+        style = element.get("callbackStyle", "object")
+        if style not in self.callback_styles:
+            violations.append(
+                self._violation(
+                    path,
+                    f"callbackStyle {style!r} not allowed for {self.language} "
+                    f"(allowed: {sorted(self.callback_styles)})",
+                )
+            )
+        for method in element.findall("method"):
+            name = method.get("name", "")
+            m_path = f"{path}/method[@name={name!r}]"
+            if not name:
+                violations.append(self._violation(m_path, "missing name attribute"))
+            for type_el in method.findall("type"):
+                t_path = f"{m_path}/type[@parameter={type_el.get('parameter')!r}]"
+                if not type_el.get("parameter"):
+                    violations.append(
+                        self._violation(t_path, "missing parameter attribute")
+                    )
+                type_name = (type_el.text or "").strip()
+                if not type_name:
+                    violations.append(self._violation(t_path, "empty type name"))
+                elif self.primitive_types and (
+                    "." not in type_name and type_name not in self.primitive_types
+                ):
+                    violations.append(
+                        self._violation(
+                            t_path,
+                            f"{type_name!r} is neither a {self.language} primitive "
+                            "nor a qualified class name",
+                        )
+                    )
+        return violations
+
+
+class SyntacticJavaSchema(_SyntacticSchema):
+    """Schema 2: syntactic plane for Java (S60 and Android)."""
+
+    name = "syntactic-java"
+    language = "java"
+    primitive_types = frozenset(
+        {"boolean", "byte", "char", "short", "int", "long", "float", "double", "void"}
+    )
+    callback_styles = frozenset({"object"})
+
+
+class SyntacticJavascriptSchema(_SyntacticSchema):
+    """Schema 3: syntactic plane for JavaScript (WebView)."""
+
+    name = "syntactic-javascript"
+    language = "javascript"
+    primitive_types = frozenset(
+        {"number", "string", "boolean", "object", "function", "undefined", "void"}
+    )
+    callback_styles = frozenset({"function"})
+
+
+class SyntacticCSchema(_SyntacticSchema):
+    """Schema for the C syntactic plane (callbacks are function pointers).
+
+    C type names have no package qualification, so the plane accepts any
+    non-empty type text (``float``, ``const char *``, ``prox_cb_t``).
+    """
+
+    name = "syntactic-c"
+    language = "c"
+    primitive_types = frozenset()  # unconstrained: C types carry no dots
+    callback_styles = frozenset({"function"})
+
+
+class _BindingSchema(_SchemaBase):
+    """Shared binding-plane checks; subclasses pin the language.
+
+    The allowed platform set is derived from the live platform vocabulary
+    so run-time platform registration (the extension story) immediately
+    extends what the schema accepts.
+    """
+
+    language = "abstract"
+
+    _PROPERTY_TYPES = frozenset({"string", "int", "float", "double", "bool", "boolean", "object"})
+
+    @property
+    def platforms(self) -> frozenset:
+        from repro.core.descriptor.model import _PLATFORM_LANGUAGES
+
+        return frozenset(
+            name
+            for name, language in _PLATFORM_LANGUAGES.items()
+            if language == self.language
+        )
+
+    def validate(self, element: ET.Element) -> List[SchemaViolation]:
+        violations: List[SchemaViolation] = []
+        platform = element.get("platform", "")
+        path = f"binding[@platform={platform!r}]"
+        if platform not in self.platforms:
+            violations.append(
+                self._violation(
+                    path,
+                    f"platform {platform!r} not allowed for the {self.language} "
+                    f"binding schema (allowed: {sorted(self.platforms)})",
+                )
+            )
+        if element.get("language") != self.language:
+            violations.append(
+                self._violation(
+                    path,
+                    f"language attribute is {element.get('language')!r}, "
+                    f"expected {self.language!r}",
+                )
+            )
+        class_el = element.find("class")
+        if class_el is None or not (class_el.text or "").strip():
+            violations.append(self._violation(path, "missing <class> element"))
+        for exc in element.findall("exception"):
+            e_path = f"{path}/exception[@class={exc.get('class')!r}]"
+            if not exc.get("class"):
+                violations.append(self._violation(e_path, "missing class attribute"))
+            code = exc.get("code", "")
+            if not code.isdigit():
+                violations.append(
+                    self._violation(e_path, f"code must be an integer, got {code!r}")
+                )
+        seen_properties = set()
+        for prop in element.findall("property"):
+            p_name = prop.get("name", "")
+            p_path = f"{path}/property[@name={p_name!r}]"
+            if not p_name:
+                violations.append(self._violation(p_path, "missing name attribute"))
+            elif p_name in seen_properties:
+                violations.append(self._violation(p_path, "duplicate property name"))
+            seen_properties.add(p_name)
+            type_name = prop.get("type", "string")
+            if type_name not in self._PROPERTY_TYPES:
+                violations.append(
+                    self._violation(p_path, f"unknown property type {type_name!r}")
+                )
+        return violations
+
+
+class BindingJavaSchema(_BindingSchema):
+    """Schema 4: binding plane for Java platforms (Android, S60)."""
+
+    name = "binding-java"
+    language = "java"
+
+
+class BindingJavascriptSchema(_BindingSchema):
+    """Schema 5: binding plane for JavaScript platforms (WebView)."""
+
+    name = "binding-javascript"
+    language = "javascript"
+
+
+class BindingCSchema(_BindingSchema):
+    """Binding schema for C platforms (none shipped; extension point)."""
+
+    name = "binding-c"
+    language = "c"
+
+
+#: Schema instances keyed by (element kind, language).
+_SYNTACTIC_SCHEMAS = {
+    "java": SyntacticJavaSchema(),
+    "javascript": SyntacticJavascriptSchema(),
+    "c": SyntacticCSchema(),
+}
+_BINDING_SCHEMAS = {
+    "java": BindingJavaSchema(),
+    "javascript": BindingJavascriptSchema(),
+    "c": BindingCSchema(),
+}
+_SEMANTIC_SCHEMA = SemanticSchema()
+
+
+def validate_descriptor_xml(xml_text: str) -> List[SchemaViolation]:
+    """Validate a full descriptor document against all five schemas.
+
+    Returns every violation found; an empty list means the document is
+    valid.  Raises :class:`DescriptorError` only for documents too broken
+    to walk (not well-formed, wrong root).
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DescriptorError(f"malformed descriptor XML: {exc}") from exc
+    if root.tag != "proxy":
+        raise DescriptorError(f"root element must be <proxy>, got <{root.tag}>")
+    violations: List[SchemaViolation] = []
+    if not root.get("interface"):
+        violations.append(
+            SchemaViolation("proxy", "proxy", "missing interface attribute")
+        )
+    semantic = root.find("semantic")
+    if semantic is None:
+        violations.append(
+            SchemaViolation("proxy", "proxy", "missing <semantic> plane")
+        )
+    else:
+        violations.extend(_SEMANTIC_SCHEMA.validate(semantic))
+    for syntactic in root.findall("syntactic"):
+        language = syntactic.get("language", "")
+        schema = _SYNTACTIC_SCHEMAS.get(language)
+        if schema is None:
+            violations.append(
+                SchemaViolation(
+                    "proxy",
+                    f"syntactic[@language={language!r}]",
+                    f"no schema for language {language!r}",
+                )
+            )
+        else:
+            violations.extend(schema.validate(syntactic))
+    for binding in root.findall("binding"):
+        language = binding.get("language", "")
+        schema = _BINDING_SCHEMAS.get(language)
+        if schema is None:
+            violations.append(
+                SchemaViolation(
+                    "proxy",
+                    f"binding[@platform={binding.get('platform')!r}]",
+                    f"no binding schema for language {language!r}",
+                )
+            )
+        else:
+            violations.extend(schema.validate(binding))
+    return violations

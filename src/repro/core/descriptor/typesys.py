@@ -1,0 +1,195 @@
+"""The dimension system of the semantic plane.
+
+The paper's semantic plane fixes each parameter's *dimension* — its
+meaning and unit, independent of any language type.  A
+:class:`Dimension` validates values (so ``latitude=417`` fails at the
+proxy boundary, uniformly on every platform) and carries the default
+type names the syntactic plane offers per language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import DescriptorError
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A semantic value space: name, unit, bounds, and default lang types."""
+
+    name: str
+    unit: str = ""
+    description: str = ""
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    java_type: str = "java.lang.Object"
+    javascript_type: str = "object"
+    python_type: type = object
+
+    def validate(self, value: Any) -> None:
+        """Raise ``ValueError`` when ``value`` is outside the dimension."""
+        if self.python_type in (int, float):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{self.name}: expected a number, got {type(value).__name__}"
+                )
+            if self.minimum is not None and value < self.minimum:
+                raise ValueError(
+                    f"{self.name}: {value} below minimum {self.minimum}"
+                )
+            if self.maximum is not None and value > self.maximum:
+                raise ValueError(
+                    f"{self.name}: {value} above maximum {self.maximum}"
+                )
+        elif self.python_type is str:
+            if not isinstance(value, str):
+                raise ValueError(
+                    f"{self.name}: expected a string, got {type(value).__name__}"
+                )
+        elif self.python_type is bool:
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"{self.name}: expected a bool, got {type(value).__name__}"
+                )
+        # python_type is object: any value passes (callbacks, opaque handles)
+
+    def type_for_language(self, language: str) -> str:
+        """The default concrete type for ``language`` ('java'/'javascript')."""
+        if language == "java":
+            return self.java_type
+        if language == "javascript":
+            return self.javascript_type
+        raise DescriptorError(f"unknown language {language!r}")
+
+
+class DimensionRegistry:
+    """Named dimensions available to descriptors."""
+
+    def __init__(self) -> None:
+        self._dimensions: Dict[str, Dimension] = {}
+
+    def register(self, dimension: Dimension) -> None:
+        if dimension.name in self._dimensions:
+            raise DescriptorError(f"dimension {dimension.name!r} already registered")
+        self._dimensions[dimension.name] = dimension
+
+    def get(self, name: str) -> Dimension:
+        try:
+            return self._dimensions[name]
+        except KeyError:
+            raise DescriptorError(f"unknown dimension {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._dimensions
+
+    def names(self) -> list:
+        return sorted(self._dimensions)
+
+
+def _build_standard() -> DimensionRegistry:
+    registry = DimensionRegistry()
+    for dimension in (
+        Dimension(
+            "angle.latitude", "degrees", "WGS-84 latitude",
+            minimum=-90.0, maximum=90.0,
+            java_type="double", javascript_type="number", python_type=float,
+        ),
+        Dimension(
+            "angle.longitude", "degrees", "WGS-84 longitude",
+            minimum=-180.0, maximum=180.0,
+            java_type="double", javascript_type="number", python_type=float,
+        ),
+        Dimension(
+            "length.altitude", "metres", "height above the ellipsoid",
+            minimum=-500.0, maximum=40_000.0,
+            java_type="double", javascript_type="number", python_type=float,
+        ),
+        Dimension(
+            "length.radius", "metres", "proximity region radius",
+            minimum=1e-9,
+            java_type="float", javascript_type="number", python_type=float,
+        ),
+        Dimension(
+            "time.duration", "seconds", "expiration or timeout; -1 = unbounded",
+            minimum=-1.0,
+            java_type="long", javascript_type="number", python_type=float,
+        ),
+        Dimension(
+            "identity.phone_number", "", "E.164-ish dialable number",
+            java_type="java.lang.String", javascript_type="string", python_type=str,
+        ),
+        Dimension(
+            "text.message", "", "short-message payload",
+            java_type="java.lang.String", javascript_type="string", python_type=str,
+        ),
+        Dimension(
+            "web.url", "", "absolute http URL",
+            java_type="java.lang.String", javascript_type="string", python_type=str,
+        ),
+        Dimension(
+            "web.body", "", "request entity body",
+            java_type="java.lang.String", javascript_type="string", python_type=str,
+        ),
+        Dimension(
+            "callback.proximity", "", "uniform proximity listener",
+            java_type="com.ibm.telecom.proxy.ProximityListener",
+            javascript_type="function", python_type=object,
+        ),
+        Dimension(
+            "callback.sms_status", "", "uniform SMS status listener",
+            java_type="com.ibm.telecom.proxy.SmsStatusListener",
+            javascript_type="function", python_type=object,
+        ),
+        Dimension(
+            "callback.call_state", "", "uniform call state listener",
+            java_type="com.ibm.telecom.proxy.CallStateListener",
+            javascript_type="function", python_type=object,
+        ),
+        Dimension(
+            "callback.http_response", "", "uniform HTTP response listener",
+            java_type="com.ibm.telecom.proxy.HttpResponseListener",
+            javascript_type="function", python_type=object,
+        ),
+        Dimension(
+            "object.location", "", "uniform location value",
+            java_type="com.ibm.telecom.proxy.Location",
+            javascript_type="object", python_type=object,
+        ),
+        Dimension(
+            "object.http_result", "", "uniform HTTP result value",
+            java_type="com.ibm.telecom.proxy.HttpResult",
+            javascript_type="object", python_type=object,
+        ),
+        Dimension(
+            "object.call_handle", "", "uniform call handle",
+            java_type="com.ibm.telecom.proxy.CallHandle",
+            javascript_type="object", python_type=object,
+        ),
+        Dimension(
+            "object.contact", "", "uniform contact value",
+            java_type="com.ibm.telecom.proxy.Contact",
+            javascript_type="object", python_type=object,
+        ),
+        Dimension(
+            "object.event", "", "uniform calendar-event value",
+            java_type="com.ibm.telecom.proxy.CalendarEvent",
+            javascript_type="object", python_type=object,
+        ),
+        Dimension(
+            "time.instant", "milliseconds", "absolute instant on the device clock",
+            minimum=0.0,
+            java_type="long", javascript_type="number", python_type=float,
+        ),
+        Dimension(
+            "flag.boolean", "", "true/false switch",
+            java_type="boolean", javascript_type="boolean", python_type=bool,
+        ),
+    ):
+        registry.register(dimension)
+    return registry
+
+
+#: The dimensions every shipped descriptor draws from.
+STANDARD_DIMENSIONS = _build_standard()

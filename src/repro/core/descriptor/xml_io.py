@@ -1,0 +1,325 @@
+"""XML serialization of proxy descriptors.
+
+The paper's proxies are XML documents against five schemas.  This module
+renders a :class:`ProxyDescriptor` to that XML form and parses it back; the
+round trip is exercised by property-based tests.  Document shape follows
+the paper's listings (Section 3.1): a ``<proxy>`` root with one
+``<semantic>`` element, one ``<syntactic>`` per language and one
+``<binding>`` per platform.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Optional
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    CallbackSpec,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+from repro.errors import DescriptorError
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+def _parameter_element(parent: ET.Element, spec: ParameterSpec) -> None:
+    element = ET.SubElement(
+        parent,
+        "parameter",
+        name=spec.name,
+        dimension=spec.dimension,
+        order=str(spec.order),
+    )
+    if spec.optional:
+        element.set("optional", "true")
+    if spec.description:
+        element.text = spec.description
+
+
+def _semantic_element(parent: ET.Element, plane: SemanticPlane) -> None:
+    semantic = ET.SubElement(parent, "semantic")
+    if plane.description:
+        ET.SubElement(semantic, "description").text = plane.description
+    for method in plane.methods:
+        method_el = ET.SubElement(semantic, "method", name=method.name)
+        if method.description:
+            method_el.set("description", method.description)
+        for parameter in method.ordered_parameters():
+            _parameter_element(method_el, parameter)
+        if method.callback is not None:
+            callback_el = ET.SubElement(
+                method_el,
+                "callback",
+                parameter=method.callback.parameter_name,
+                event=method.callback.event_name,
+            )
+            for parameter in method.callback.event_parameters:
+                _parameter_element(callback_el, parameter)
+        if method.returns is not None:
+            return_el = ET.SubElement(
+                method_el, "return", dimension=method.returns.dimension
+            )
+            if method.returns.description:
+                return_el.text = method.returns.description
+
+
+def _syntactic_element(parent: ET.Element, plane: SyntacticPlane) -> None:
+    syntactic = ET.SubElement(
+        parent,
+        "syntactic",
+        language=plane.language,
+        callbackStyle=plane.callback_style,
+    )
+    for method_name in sorted(plane.method_types):
+        method_el = ET.SubElement(syntactic, "method", name=method_name)
+        for binding in plane.method_types[method_name]:
+            type_el = ET.SubElement(
+                method_el, "type", parameter=binding.parameter_name
+            )
+            type_el.text = binding.type_name
+        if method_name in plane.return_types:
+            ET.SubElement(method_el, "return").text = plane.return_types[method_name]
+
+
+def _binding_element(parent: ET.Element, plane: BindingPlane) -> None:
+    binding = ET.SubElement(
+        parent,
+        "binding",
+        platform=plane.platform,
+        language=plane.language,
+    )
+    ET.SubElement(binding, "class").text = plane.implementation_class
+    for exc in plane.exceptions:
+        exc_el = ET.SubElement(
+            binding,
+            "exception",
+            mapsTo=exc.maps_to,
+            code=str(exc.error_code),
+        )
+        exc_el.set("class", exc.platform_class)
+        if exc.description:
+            exc_el.text = exc.description
+    for prop in plane.properties:
+        prop_el = ET.SubElement(
+            binding,
+            "property",
+            name=prop.name,
+            type=prop.type_name,
+        )
+        if prop.required:
+            prop_el.set("required", "true")
+        if prop.description:
+            ET.SubElement(prop_el, "description").text = prop.description
+        if prop.default is not None:
+            ET.SubElement(prop_el, "default").text = _render_value(prop.default)
+        for allowed in prop.allowed_values:
+            ET.SubElement(prop_el, "allowed").text = _render_value(allowed)
+    if plane.notes:
+        ET.SubElement(binding, "notes").text = plane.notes
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def descriptor_to_xml(descriptor: ProxyDescriptor) -> str:
+    """Render a descriptor as an XML document string."""
+    root = ET.Element("proxy", interface=descriptor.interface)
+    _semantic_element(root, descriptor.semantic)
+    for language in sorted(descriptor.syntactic):
+        _syntactic_element(root, descriptor.syntactic[language])
+    for platform in sorted(descriptor.bindings):
+        _binding_element(root, descriptor.bindings[platform])
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+def _parse_parameter(element: ET.Element) -> ParameterSpec:
+    try:
+        name = element.attrib["name"]
+        dimension = element.attrib["dimension"]
+        order = int(element.attrib["order"])
+    except KeyError as exc:
+        raise DescriptorError(f"parameter missing attribute {exc}") from None
+    return ParameterSpec(
+        name=name,
+        dimension=dimension,
+        order=order,
+        description=(element.text or "").strip(),
+        optional=element.get("optional", "false") == "true",
+    )
+
+
+def _parse_semantic(element: ET.Element) -> SemanticPlane:
+    interface = element.get("_interface", "")
+    description_el = element.find("description")
+    methods = []
+    for method_el in element.findall("method"):
+        name = method_el.get("name")
+        if not name:
+            raise DescriptorError("method element missing name")
+        parameters = tuple(
+            _parse_parameter(p) for p in method_el.findall("parameter")
+        )
+        callback: Optional[CallbackSpec] = None
+        callback_el = method_el.find("callback")
+        if callback_el is not None:
+            callback = CallbackSpec(
+                parameter_name=callback_el.get("parameter", ""),
+                event_name=callback_el.get("event", ""),
+                event_parameters=tuple(
+                    _parse_parameter(p) for p in callback_el.findall("parameter")
+                ),
+            )
+        returns: Optional[ReturnSpec] = None
+        return_el = method_el.find("return")
+        if return_el is not None:
+            returns = ReturnSpec(
+                dimension=return_el.get("dimension", ""),
+                description=(return_el.text or "").strip(),
+            )
+        methods.append(
+            MethodSpec(
+                name=name,
+                description=method_el.get("description", ""),
+                parameters=parameters,
+                returns=returns,
+                callback=callback,
+            )
+        )
+    return SemanticPlane(
+        interface=interface,
+        description=(description_el.text or "").strip()
+        if description_el is not None
+        else "",
+        methods=tuple(methods),
+    )
+
+
+def _parse_syntactic(element: ET.Element) -> SyntacticPlane:
+    language = element.get("language", "")
+    method_types = {}
+    return_types = {}
+    for method_el in element.findall("method"):
+        name = method_el.get("name")
+        if not name:
+            raise DescriptorError("syntactic method element missing name")
+        bindings = tuple(
+            TypeBinding(
+                parameter_name=t.get("parameter", ""),
+                type_name=(t.text or "").strip(),
+            )
+            for t in method_el.findall("type")
+        )
+        method_types[name] = bindings
+        return_el = method_el.find("return")
+        if return_el is not None and return_el.text:
+            return_types[name] = return_el.text.strip()
+    return SyntacticPlane(
+        language=language,
+        callback_style=element.get("callbackStyle", "object"),
+        method_types=method_types,
+        return_types=return_types,
+    )
+
+
+def _parse_value(text: str, type_name: str) -> Any:
+    if type_name == "int":
+        return int(text)
+    if type_name in ("float", "double"):
+        return float(text)
+    if type_name in ("bool", "boolean"):
+        return text == "true"
+    return text
+
+
+def _parse_binding(element: ET.Element) -> BindingPlane:
+    class_el = element.find("class")
+    if class_el is None or not (class_el.text or "").strip():
+        raise DescriptorError("binding element missing <class>")
+    exceptions = tuple(
+        ExceptionSpec(
+            platform_class=e.get("class", ""),
+            maps_to=e.get("mapsTo", "ProxyPlatformError"),
+            error_code=int(e.get("code", "1005")),
+            description=(e.text or "").strip(),
+        )
+        for e in element.findall("exception")
+    )
+    properties = []
+    for prop_el in element.findall("property"):
+        type_name = prop_el.get("type", "string")
+        default_el = prop_el.find("default")
+        description_el = prop_el.find("description")
+        properties.append(
+            PropertySpec(
+                name=prop_el.get("name", ""),
+                description=(description_el.text or "").strip()
+                if description_el is not None
+                else "",
+                type_name=type_name,
+                default=_parse_value(default_el.text or "", type_name)
+                if default_el is not None
+                else None,
+                allowed_values=tuple(
+                    _parse_value((a.text or "").strip(), type_name)
+                    for a in prop_el.findall("allowed")
+                ),
+                required=prop_el.get("required", "false") == "true",
+            )
+        )
+    notes_el = element.find("notes")
+    return BindingPlane(
+        platform=element.get("platform", ""),
+        language=element.get("language", ""),
+        implementation_class=(class_el.text or "").strip(),
+        properties=tuple(properties),
+        exceptions=exceptions,
+        notes=(notes_el.text or "").strip() if notes_el is not None else "",
+    )
+
+
+def descriptor_from_xml(xml_text: str) -> ProxyDescriptor:
+    """Parse an XML document back into a :class:`ProxyDescriptor`.
+
+    Validation against the five schemas is a separate, explicit step
+    (:func:`repro.core.descriptor.schema.validate_descriptor_xml`) so
+    tooling can report *all* schema violations, not just the first parse
+    error.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DescriptorError(f"malformed descriptor XML: {exc}") from exc
+    if root.tag != "proxy":
+        raise DescriptorError(f"root element must be <proxy>, got <{root.tag}>")
+    interface = root.get("interface")
+    if not interface:
+        raise DescriptorError("<proxy> missing interface attribute")
+    semantic_el = root.find("semantic")
+    if semantic_el is None:
+        raise DescriptorError("descriptor missing <semantic> plane")
+    semantic_el.set("_interface", interface)
+    descriptor = ProxyDescriptor(semantic=_parse_semantic(semantic_el))
+    for syntactic_el in root.findall("syntactic"):
+        descriptor.add_syntactic(_parse_syntactic(syntactic_el))
+    for binding_el in root.findall("binding"):
+        descriptor.add_binding(_parse_binding(binding_el))
+    return descriptor

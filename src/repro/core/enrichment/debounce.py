@@ -1,0 +1,84 @@
+"""Proximity-debounce enrichment.
+
+GPS fixes wobble; an agent parked near the region boundary can generate
+rapid enter/exit *flapping* through any proximity stack.  This enrichment
+wraps the uniform listener and only forwards a transition once it has been
+confirmed by ``confirmations`` consecutive events in the same direction —
+extra functionality layered on the native behaviour, exactly the paper's
+enrichment notion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.proxy.callbacks import ProximityListener
+from repro.core.proxy.datatypes import Location
+from repro.errors import ConfigurationError
+
+
+class DebouncedProximityListener(ProximityListener):
+    """Forwards enter/exit transitions only after K confirmations.
+
+    The first event (establishing the initial state) always forwards
+    immediately; afterwards, a direction change must repeat
+    ``confirmations`` times in a row before it reaches the inner listener.
+    Because the underlying proxies only deliver *transitions*, repeated
+    same-direction events are themselves evidence of flapping; a debounce
+    count of 1 forwards everything (no debouncing).
+    """
+
+    def __init__(self, inner: ProximityListener, confirmations: int = 2) -> None:
+        if confirmations < 1:
+            raise ConfigurationError("confirmations must be >= 1")
+        self._inner = inner
+        self._confirmations = confirmations
+        self._confirmed_state: Optional[bool] = None
+        self._candidate_state: Optional[bool] = None
+        self._candidate_count = 0
+        #: Raw events seen, for diagnostics: (entering, forwarded).
+        self.history: List[tuple] = []
+
+    @property
+    def confirmed_state(self) -> Optional[bool]:
+        """The state last forwarded to the inner listener."""
+        return self._confirmed_state
+
+    @property
+    def suppressed_count(self) -> int:
+        """Events absorbed by the debounce so far."""
+        return sum(1 for __, forwarded in self.history if not forwarded)
+
+    def proximity_event(
+        self,
+        ref_latitude: float,
+        ref_longitude: float,
+        ref_altitude: float,
+        current_location: Location,
+        entering: bool,
+    ) -> None:
+        forward = False
+        if self._confirmed_state is None:
+            # Initial state: always forward (the app needs a baseline).
+            self._confirmed_state = entering
+            forward = True
+        elif entering == self._confirmed_state:
+            # Re-assertion of the confirmed state: resets any candidate.
+            self._candidate_state = None
+            self._candidate_count = 0
+        else:
+            if self._candidate_state == entering:
+                self._candidate_count += 1
+            else:
+                self._candidate_state = entering
+                self._candidate_count = 1
+            if self._candidate_count >= self._confirmations:
+                self._confirmed_state = entering
+                self._candidate_state = None
+                self._candidate_count = 0
+                forward = True
+        self.history.append((entering, forward))
+        if forward:
+            self._inner.proximity_event(
+                ref_latitude, ref_longitude, ref_altitude, current_location, entering
+            )

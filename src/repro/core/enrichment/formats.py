@@ -1,0 +1,90 @@
+"""Location format enrichment — output in radians, degrees, or DMS.
+
+The paper: "proxy for fetching location can be made to offer output in
+various formats — radians, degrees, etc."  The enrichment wraps any
+Location proxy binding and converts on read; the inner proxy (and hence
+the platform) is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.proxies.location.api import LocationProxy
+from repro.core.proxy.datatypes import AngleFormat, Location
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FormattedPosition:
+    """A position expressed in a chosen angle format."""
+
+    latitude: float
+    longitude: float
+    altitude: float
+    angle_format: AngleFormat
+
+    def as_degrees(self) -> "FormattedPosition":
+        if self.angle_format is AngleFormat.DEGREES:
+            return self
+        return FormattedPosition(
+            math.degrees(self.latitude),
+            math.degrees(self.longitude),
+            self.altitude,
+            AngleFormat.DEGREES,
+        )
+
+    def dms(self) -> Tuple[Tuple[int, int, float], Tuple[int, int, float]]:
+        """Degrees/minutes/seconds tuples for (latitude, longitude)."""
+        base = self.as_degrees()
+        return (_to_dms(base.latitude), _to_dms(base.longitude))
+
+
+def _to_dms(value_deg: float) -> Tuple[int, int, float]:
+    sign = -1 if value_deg < 0 else 1
+    magnitude = abs(value_deg)
+    degrees = int(magnitude)
+    minutes_float = (magnitude - degrees) * 60.0
+    minutes = int(minutes_float)
+    seconds = (minutes_float - minutes) * 60.0
+    return (sign * degrees, minutes, seconds)
+
+
+class LocationFormatEnrichment:
+    """Wraps a Location proxy; ``get_position`` converts on read."""
+
+    def __init__(
+        self,
+        inner: LocationProxy,
+        angle_format: AngleFormat = AngleFormat.DEGREES,
+    ) -> None:
+        if not isinstance(angle_format, AngleFormat):
+            raise ConfigurationError(
+                f"angle_format must be an AngleFormat, got {angle_format!r}"
+            )
+        self._inner = inner
+        self.angle_format = angle_format
+
+    @property
+    def inner(self) -> LocationProxy:
+        return self._inner
+
+    def get_position(self) -> FormattedPosition:
+        """Read the current position in the configured format."""
+        location = self._inner.get_location()
+        return FormattedPosition(
+            latitude=location.latitude_in(self.angle_format),
+            longitude=location.longitude_in(self.angle_format),
+            altitude=location.altitude,
+            angle_format=self.angle_format,
+        )
+
+    def get_location(self) -> Location:
+        """Pass-through for code that wants the raw uniform value."""
+        return self._inner.get_location()
+
+    def __getattr__(self, name: str):
+        # Everything else (add_proximity_alert, set_property, ...) delegates.
+        return getattr(self._inner, name)

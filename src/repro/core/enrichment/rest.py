@@ -1,0 +1,178 @@
+"""REST resource enrichment over the HTTP proxy.
+
+The paper's conclusion: "proxies can be created to interact with various
+Web-offerings based on the REST architecture."  A :class:`RestResource`
+wraps any HTTP proxy binding with resource-oriented verbs and JSON
+encoding, so the same REST client code runs on every platform the HTTP
+proxy covers.
+
+The simulated network's routing is exact-match (GCF has no URL templates
+either), so a REST service exposes item operations as
+``POST <collection>/get`` / ``POST <collection>/delete`` with the id in
+the body — the enrichment hides that convention behind proper
+``retrieve``/``delete`` verbs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.core.proxies.http.api import HttpProxy
+from repro.core.proxy.datatypes import HttpResult
+from repro.errors import ProxyPlatformError
+
+
+@dataclass(frozen=True)
+class RestResult:
+    """Decoded outcome of one REST operation."""
+
+    status: int
+    body: Any
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class RestError(ProxyPlatformError):
+    """A REST operation returned a non-2xx status."""
+
+    def __init__(self, operation: str, result: HttpResult) -> None:
+        super().__init__(
+            f"{operation} failed with status {result.status}: {result.body[:120]}"
+        )
+        self.status = result.status
+
+
+class RestResource:
+    """Resource-oriented verbs over a collection URL.
+
+    Parameters
+    ----------
+    http:
+        Any HTTP proxy binding (Android, S60, WebView, or an extension
+        platform's) — the enrichment composes, it does not care which.
+    collection_url:
+        Absolute URL of the collection, e.g.
+        ``http://api.example.com/assignments``.
+    """
+
+    def __init__(self, http: HttpProxy, collection_url: str) -> None:
+        if not collection_url.startswith("http://"):
+            raise ValueError(f"collection_url must be absolute: {collection_url!r}")
+        self._http = http
+        self._collection_url = collection_url.rstrip("/")
+        self._http.set_property("contentType", "application/json")
+
+    # -- collection verbs -------------------------------------------------------
+
+    def list(self) -> RestResult:
+        """GET the collection."""
+        return self._decode("list", self._http.get(self._collection_url))
+
+    def create(self, payload: Dict[str, Any]) -> RestResult:
+        """POST a new item to the collection."""
+        return self._decode(
+            "create", self._http.post(self._collection_url, json.dumps(payload))
+        )
+
+    # -- item verbs ---------------------------------------------------------------
+
+    def retrieve(self, item_id: str) -> RestResult:
+        """Fetch one item by id."""
+        return self._decode(
+            "retrieve",
+            self._http.post(
+                f"{self._collection_url}/get", json.dumps({"id": item_id})
+            ),
+        )
+
+    def update(self, item_id: str, payload: Dict[str, Any]) -> RestResult:
+        """Replace an item's representation."""
+        body = dict(payload)
+        body["id"] = item_id
+        return self._decode(
+            "update",
+            self._http.post(f"{self._collection_url}/update", json.dumps(body)),
+        )
+
+    def delete(self, item_id: str) -> RestResult:
+        """Remove an item."""
+        return self._decode(
+            "delete",
+            self._http.post(
+                f"{self._collection_url}/delete", json.dumps({"id": item_id})
+            ),
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _decode(operation: str, result: HttpResult) -> RestResult:
+        if not result.ok:
+            raise RestError(operation, result)
+        body: Any = result.body
+        if body:
+            try:
+                body = json.loads(body)
+            except ValueError:
+                pass  # non-JSON representations pass through as text
+        return RestResult(status=result.status, body=body)
+
+
+class InMemoryRestService:
+    """A small REST service for the simulated network (test/server side).
+
+    Mount it on a :class:`~repro.device.network.VirtualServer` and it
+    serves the collection conventions :class:`RestResource` speaks.
+    """
+
+    def __init__(self, server, collection_path: str) -> None:
+        from repro.device.network import HttpResponse
+
+        self._items: Dict[str, Dict[str, Any]] = {}
+        self._next_id = 1
+        path = collection_path.rstrip("/")
+
+        def _list(request):
+            return HttpResponse(200, json.dumps(list(self._items.values())))
+
+        def _create(request):
+            payload = json.loads(request.body or "{}")
+            item_id = f"item-{self._next_id}"
+            self._next_id += 1
+            payload["id"] = item_id
+            self._items[item_id] = payload
+            return HttpResponse(201, json.dumps(payload))
+
+        def _get(request):
+            item_id = json.loads(request.body or "{}").get("id", "")
+            item = self._items.get(item_id)
+            if item is None:
+                return HttpResponse(404, json.dumps({"error": "not found"}))
+            return HttpResponse(200, json.dumps(item))
+
+        def _update(request):
+            payload = json.loads(request.body or "{}")
+            item_id = payload.get("id", "")
+            if item_id not in self._items:
+                return HttpResponse(404, json.dumps({"error": "not found"}))
+            self._items[item_id] = payload
+            return HttpResponse(200, json.dumps(payload))
+
+        def _delete(request):
+            item_id = json.loads(request.body or "{}").get("id", "")
+            if self._items.pop(item_id, None) is None:
+                return HttpResponse(404, json.dumps({"error": "not found"}))
+            return HttpResponse(200, json.dumps({"ok": True}))
+
+        server.route("GET", path, _list)
+        server.route("POST", path, _create)
+        server.route("POST", f"{path}/get", _get)
+        server.route("POST", f"{path}/update", _update)
+        server.route("POST", f"{path}/delete", _delete)
+
+    def item_count(self) -> int:
+        return len(self._items)

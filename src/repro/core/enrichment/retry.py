@@ -1,0 +1,127 @@
+"""Call retry coordination.
+
+The paper: "proxy for invoking 'Call' can provide the utility for
+coordinating the number of retries in case the callee is unreachable."
+The coordinator wraps a Call proxy and redials on configurable outcomes
+with a backoff delay, surfacing one final result to the caller's listener.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.proxies.call.api import CallProxy, UniformCallCallback, as_call_listener
+from repro.core.proxy.callbacks import CallStateListener
+from repro.core.proxy.datatypes import CallHandle, CallOutcome
+from repro.errors import ConfigurationError
+from repro.util.clock import Scheduler
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how often to redial."""
+
+    max_attempts: int = 3
+    retry_delay_ms: float = 5_000.0
+    retry_on: frozenset = frozenset({CallOutcome.UNREACHABLE, CallOutcome.BUSY})
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.retry_delay_ms < 0:
+            raise ConfigurationError("retry_delay_ms cannot be negative")
+
+
+@dataclass
+class RetryReport:
+    """Outcome summary of a coordinated call."""
+
+    number: str
+    attempts: int = 0
+    outcomes: List[CallOutcome] = field(default_factory=list)
+    final: Optional[CallHandle] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.final is not None and self.final.outcome is CallOutcome.COMPLETED
+
+
+class CallRetryCoordinator:
+    """Wraps a Call proxy with redial-on-failure behaviour."""
+
+    def __init__(
+        self,
+        inner: CallProxy,
+        scheduler: Scheduler,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._inner = inner
+        self._scheduler = scheduler
+        self.policy = policy or RetryPolicy()
+
+    @property
+    def inner(self) -> CallProxy:
+        return self._inner
+
+    def make_a_call(
+        self,
+        number: str,
+        call_listener: Optional[UniformCallCallback] = None,
+    ) -> RetryReport:
+        """Dial with retries; returns a live report that fills in as the
+        attempts progress under the virtual clock.
+
+        The caller's listener sees ringing/answered events of every
+        attempt, but exactly one ``on_finished`` — for the final attempt.
+        """
+        listener = as_call_listener(call_listener)
+        report = RetryReport(number=number)
+        self._attempt(number, listener, report)
+        return report
+
+    def _attempt(
+        self,
+        number: str,
+        listener: Optional[CallStateListener],
+        report: RetryReport,
+    ) -> None:
+        report.attempts += 1
+        coordinator = self
+
+        class _AttemptListener(CallStateListener):
+            def on_ringing(self, call: CallHandle) -> None:
+                if listener is not None:
+                    listener.on_ringing(call)
+
+            def on_answered(self, call: CallHandle) -> None:
+                if listener is not None:
+                    listener.on_answered(call)
+
+            def on_finished(self, call: CallHandle) -> None:
+                coordinator._on_attempt_finished(number, listener, report, call)
+
+        self._inner.make_a_call(number, _AttemptListener())
+
+    def _on_attempt_finished(
+        self,
+        number: str,
+        listener: Optional[CallStateListener],
+        report: RetryReport,
+        call: CallHandle,
+    ) -> None:
+        report.outcomes.append(call.outcome)
+        retryable = (
+            call.outcome in self.policy.retry_on
+            and report.attempts < self.policy.max_attempts
+        )
+        if retryable:
+            self._scheduler.call_later(
+                self.policy.retry_delay_ms,
+                lambda: self._attempt(number, listener, report),
+                name=f"call-retry-{number}-{report.attempts}",
+            )
+            return
+        report.final = call
+        if listener is not None:
+            listener.on_finished(call)

@@ -1,0 +1,154 @@
+"""Security and policy enrichment.
+
+The paper: "Security and other policy modules can also be added to provide
+a layer of trust, authentication and access control."  A
+:class:`SecurityPolicy` is an ordered rule list evaluated per
+(principal, interface, method); :class:`SecuredProxy` enforces it in front
+of any proxy and keeps an audit trail.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.proxy.base import MProxy
+from repro.errors import ConfigurationError, ProxyPermissionError
+
+
+class AccessDecision(enum.Enum):
+    """Outcome of a policy evaluation."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated caller identity."""
+
+    name: str
+    roles: frozenset = frozenset()
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+
+@dataclass(frozen=True)
+class AccessRule:
+    """One policy rule: glob patterns over role / interface / method."""
+
+    decision: AccessDecision
+    role_pattern: str = "*"
+    interface_pattern: str = "*"
+    method_pattern: str = "*"
+
+    def matches(self, principal: Principal, interface: str, method: str) -> bool:
+        role_hit = self.role_pattern == "*" or any(
+            fnmatch.fnmatchcase(role, self.role_pattern) for role in principal.roles
+        )
+        return (
+            role_hit
+            and fnmatch.fnmatchcase(interface, self.interface_pattern)
+            and fnmatch.fnmatchcase(method, self.method_pattern)
+        )
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One enforcement event."""
+
+    principal: str
+    interface: str
+    method: str
+    decision: AccessDecision
+
+
+class SecurityPolicy:
+    """First-match-wins rule list with a configurable default."""
+
+    def __init__(
+        self,
+        rules: Optional[List[AccessRule]] = None,
+        default: AccessDecision = AccessDecision.DENY,
+    ) -> None:
+        self.rules: List[AccessRule] = list(rules or [])
+        self.default = default
+
+    def allow(self, *, roles: str = "*", interface: str = "*", method: str = "*") -> "SecurityPolicy":
+        """Append an allow rule (chainable)."""
+        self.rules.append(
+            AccessRule(AccessDecision.ALLOW, roles, interface, method)
+        )
+        return self
+
+    def deny(self, *, roles: str = "*", interface: str = "*", method: str = "*") -> "SecurityPolicy":
+        """Append a deny rule (chainable)."""
+        self.rules.append(AccessRule(AccessDecision.DENY, roles, interface, method))
+        return self
+
+    def evaluate(self, principal: Principal, interface: str, method: str) -> AccessDecision:
+        for rule in self.rules:
+            if rule.matches(principal, interface, method):
+                return rule.decision
+        return self.default
+
+
+class SecuredProxy:
+    """Access-control front for any M-Proxy.
+
+    Every public proxy method call is checked against the policy for the
+    bound principal before delegation; denials raise
+    :class:`~repro.errors.ProxyPermissionError` and everything is audited.
+    """
+
+    #: Methods that are administrative, not platform invocations.
+    _UNCHECKED = frozenset({"set_property", "get_property"})
+
+    def __init__(
+        self,
+        inner: MProxy,
+        policy: SecurityPolicy,
+        principal: Principal,
+    ) -> None:
+        if not isinstance(inner, MProxy):
+            raise ConfigurationError("SecuredProxy wraps an MProxy binding")
+        self._inner = inner
+        self._policy = policy
+        self._principal = principal
+        self.audit_log: List[AuditRecord] = []
+
+    @property
+    def inner(self) -> MProxy:
+        return self._inner
+
+    def _check(self, method: str) -> None:
+        decision = self._policy.evaluate(
+            self._principal, self._inner.interface, method
+        )
+        self.audit_log.append(
+            AuditRecord(
+                principal=self._principal.name,
+                interface=self._inner.interface,
+                method=method,
+                decision=decision,
+            )
+        )
+        if decision is AccessDecision.DENY:
+            raise ProxyPermissionError(
+                f"policy denies {self._principal.name} access to "
+                f"{self._inner.interface}.{method}"
+            )
+
+    def __getattr__(self, name: str) -> Any:
+        attribute = getattr(self._inner, name)
+        if not callable(attribute) or name.startswith("_") or name in self._UNCHECKED:
+            return attribute
+
+        def guarded(*args: Any, **kwargs: Any) -> Any:
+            self._check(name)
+            return attribute(*args, **kwargs)
+
+        return guarded

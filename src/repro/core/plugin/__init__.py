@@ -1,0 +1,43 @@
+"""The M-Plugin: MobiVine's toolkit integration (paper Sections 3.2, 4.2).
+
+A plugin bridges M-Proxies into an existing development toolkit with four
+features:
+
+1. **Visibility** — the :class:`ProxyDrawer` lists every proxy (category)
+   and API (item) available on the plugin's platform.
+2. **Presentation** — the :class:`ConfigurationDialog` shows an API's
+   Variables (semantic parameters) and Properties (platform attributes)
+   with descriptions, defaults and allowed values.
+3. **Configuration** — the dialog validates user inputs and generates
+   invocation code, with a Source preview.
+4. **Embedding** — platform-specific extensions wire the proxy
+   implementation artifacts into the project (classpath entries, the S60
+   single-jar merge, WebView JS injection).
+"""
+
+from repro.core.plugin.toolkit import CodeFile, Project, Toolkit
+from repro.core.plugin.docs import render_proxy_markdown, render_registry_markdown
+from repro.core.plugin.drawer import DrawerItem, ProxyDrawer
+from repro.core.plugin.configuration import ConfigurationDialog, DialogField
+from repro.core.plugin.packaging import (
+    AndroidPlatformExtension,
+    S60PlatformExtension,
+    WebViewPlatformExtension,
+)
+from repro.core.plugin.plugin import MobiVinePlugin
+
+__all__ = [
+    "AndroidPlatformExtension",
+    "CodeFile",
+    "ConfigurationDialog",
+    "DialogField",
+    "DrawerItem",
+    "MobiVinePlugin",
+    "Project",
+    "ProxyDrawer",
+    "S60PlatformExtension",
+    "Toolkit",
+    "WebViewPlatformExtension",
+    "render_proxy_markdown",
+    "render_registry_markdown",
+]

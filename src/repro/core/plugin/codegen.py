@@ -1,0 +1,246 @@
+"""Invocation-code generation (plugin feature 3).
+
+Given a configured proxy API, the generators emit the snippet the plugin
+drops into the editor — Figure 8 for Java, Figure 9 for JavaScript, plus a
+Python generator targeting this reproduction's own runnable API.  One
+common generation routine walks the descriptor; per-language subclasses
+supply syntax — mirroring the paper's claim that a common proxy
+interpretation routine powers every plugin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.descriptor.model import MethodSpec, ProxyDescriptor
+from repro.errors import ConfigurationError
+
+
+def _simple_class_name(qualified: str) -> str:
+    return qualified.rsplit(".", 1)[-1]
+
+
+class CodeGenerator:
+    """Language-independent walk; subclasses provide syntax."""
+
+    language = "abstract"
+
+    def generate(
+        self,
+        descriptor: ProxyDescriptor,
+        method_name: str,
+        platform: str,
+        variables: Dict[str, Any],
+        properties: Dict[str, Any],
+        *,
+        callback_target: Optional[str] = None,
+    ) -> str:
+        """Render the invocation snippet.
+
+        ``variables`` maps semantic parameter names to literal values or
+        identifier strings; ``properties`` maps property names to values;
+        ``callback_target`` names the handler (``this`` / a function name)
+        for APIs with a callback parameter.
+        """
+        method = descriptor.semantic.method(method_name)
+        binding = descriptor.binding_for(platform)
+        impl = _simple_class_name(binding.implementation_class)
+        arguments: List[str] = []
+        for parameter in method.ordered_parameters():
+            if (
+                method.callback is not None
+                and parameter.name == method.callback.parameter_name
+            ):
+                arguments.append(callback_target or self.default_callback_target())
+            elif parameter.name in variables:
+                arguments.append(self.render_value(variables[parameter.name]))
+            else:
+                arguments.append(parameter.name)  # reference a user variable
+        lines: List[str] = []
+        lines.extend(self.prologue(impl))
+        for key in sorted(properties):
+            lines.append(self.property_line(key, properties[key]))
+        lines.append(self.call_line(method, arguments))
+        exceptions = [e.platform_class for e in binding.exceptions]
+        return self.wrap_try(lines, exceptions, platform)
+
+    # -- syntax hooks ---------------------------------------------------------
+
+    def default_callback_target(self) -> str:
+        raise NotImplementedError
+
+    def render_value(self, value: Any) -> str:
+        raise NotImplementedError
+
+    def prologue(self, impl_class: str) -> List[str]:
+        raise NotImplementedError
+
+    def property_line(self, key: str, value: Any) -> str:
+        raise NotImplementedError
+
+    def call_line(self, method: MethodSpec, arguments: List[str]) -> str:
+        raise NotImplementedError
+
+    def wrap_try(self, lines: List[str], exceptions: List[str], platform: str) -> str:
+        raise NotImplementedError
+
+
+class JavaGenerator(CodeGenerator):
+    """Figure-8 style Java snippets (Android and S60 projects)."""
+
+    language = "java"
+
+    def default_callback_target(self) -> str:
+        return "this"
+
+    def render_value(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            return f'"{value}"'
+        return str(value)
+
+    def prologue(self, impl_class: str) -> List[str]:
+        return [f"{impl_class} proxy = new {impl_class}();"]
+
+    def property_line(self, key: str, value: Any) -> str:
+        rendered = "this" if value == "__context__" else self.render_value(value)
+        return f'proxy.setProperty("{key}", {rendered});'
+
+    def call_line(self, method: MethodSpec, arguments: List[str]) -> str:
+        return f"proxy.{method.name}({', '.join(arguments)});"
+
+    def wrap_try(self, lines: List[str], exceptions: List[str], platform: str) -> str:
+        body = "\n".join(f"    {line}" for line in lines)
+        comment = f"// Handle {platform} specific exceptions"
+        if exceptions:
+            comment += ": " + ", ".join(
+                _simple_class_name(name) for name in exceptions
+            )
+        return f"try {{\n{body}\n}} catch (Exception e) {{\n    {comment}\n}}"
+
+
+class JavascriptGenerator(CodeGenerator):
+    """Figure-9 style JavaScript snippets (WebView projects)."""
+
+    language = "javascript"
+
+    def default_callback_target(self) -> str:
+        return "callbackFunction"
+
+    def render_value(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            return f'"{value}"'
+        return str(value)
+
+    def prologue(self, impl_class: str) -> List[str]:
+        return [f"var proxy = new {impl_class}();"]
+
+    def property_line(self, key: str, value: Any) -> str:
+        return f'proxy.setProperty("{key}", {self.render_value(value)});'
+
+    def call_line(self, method: MethodSpec, arguments: List[str]) -> str:
+        return f"proxy.{method.name}({', '.join(arguments)});"
+
+    def wrap_try(self, lines: List[str], exceptions: List[str], platform: str) -> str:
+        body = "\n".join(f"    {line}" for line in lines)
+        return (
+            f"try {{\n{body}\n}} catch (ex) {{\n"
+            f"    // Handle {platform} specific error codes\n}}"
+        )
+
+
+class PythonGenerator(CodeGenerator):
+    """Snippets targeting this reproduction's runnable Python API."""
+
+    language = "python"
+
+    _SNAKE = {
+        "addProximityAlert": "add_proximity_alert",
+        "removeProximityAlert": "remove_proximity_alert",
+        "getLocation": "get_location",
+        "sendTextMessage": "send_text_message",
+        "makeACall": "make_a_call",
+        "endCall": "end_call",
+        "get": "get",
+        "post": "post",
+    }
+
+    def default_callback_target(self) -> str:
+        return "listener"
+
+    def render_value(self, value: Any) -> str:
+        return repr(value)
+
+    def prologue(self, impl_class: str) -> List[str]:
+        return ["proxy = create_proxy(interface, platform)"]
+
+    def property_line(self, key: str, value: Any) -> str:
+        rendered = "context" if value == "__context__" else self.render_value(value)
+        return f"proxy.set_property({key!r}, {rendered})"
+
+    def call_line(self, method: MethodSpec, arguments: List[str]) -> str:
+        snake = self._SNAKE.get(method.name, method.name)
+        return f"proxy.{snake}({', '.join(arguments)})"
+
+    def wrap_try(self, lines: List[str], exceptions: List[str], platform: str) -> str:
+        body = "\n".join(f"    {line}" for line in lines)
+        return (
+            f"try:\n{body}\nexcept ProxyError as exc:\n"
+            f"    ...  # uniform errors replace {platform}-specific exceptions"
+        )
+
+
+class CGenerator(CodeGenerator):
+    """C-style snippets: callbacks are function pointers (paper §3.1)."""
+
+    language = "c"
+
+    def default_callback_target(self) -> str:
+        return "&callback_function"
+
+    def render_value(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, str):
+            return f'"{value}"'
+        return str(value)
+
+    def prologue(self, impl_class: str) -> List[str]:
+        handle = impl_class.lower()
+        return [f"{impl_class}_t *proxy = {handle}_new();"]
+
+    def property_line(self, key: str, value: Any) -> str:
+        return f'proxy_set_property(proxy, "{key}", {self.render_value(value)});'
+
+    def call_line(self, method: MethodSpec, arguments: List[str]) -> str:
+        snake = "".join(
+            f"_{c.lower()}" if c.isupper() else c for c in method.name
+        )
+        return f"proxy_{snake}(proxy, {', '.join(arguments)});"
+
+    def wrap_try(self, lines: List[str], exceptions: List[str], platform: str) -> str:
+        body = "\n".join(lines)
+        return (
+            f"{body}\n"
+            f"if (proxy_last_error(proxy) != PROXY_OK) {{\n"
+            f"    /* handle {platform} specific error codes */\n}}"
+        )
+
+
+_GENERATORS: Dict[str, CodeGenerator] = {
+    "java": JavaGenerator(),
+    "javascript": JavascriptGenerator(),
+    "python": PythonGenerator(),
+    "c": CGenerator(),
+}
+
+
+def generator_for(language: str) -> CodeGenerator:
+    """Resolve a generator by language name."""
+    try:
+        return _GENERATORS[language]
+    except KeyError:
+        raise ConfigurationError(f"no code generator for {language!r}") from None

@@ -1,0 +1,170 @@
+"""The Proxy Configuration dialog (paper Figure 7b).
+
+For one drawer item, the dialog presents two columns:
+
+* **Variables** — the semantic plane's parameters, each with its
+  description and dimension (the callback parameter is shown as the
+  handler slot);
+* **Properties** — the binding plane's platform attributes, each with its
+  description, default and allowed values (e.g. the paper's
+  ``powerConsumption`` snapshot).
+
+User inputs are validated immediately (dimension bounds for variables,
+allowed values for properties) and the Source view previews the generated
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.descriptor.model import ProxyDescriptor
+from repro.core.descriptor.typesys import STANDARD_DIMENSIONS
+from repro.core.plugin.codegen import generator_for
+from repro.errors import ConfigurationError
+
+#: Platform → default snippet language.
+_PLATFORM_LANGUAGE = {"android": "java", "s60": "java", "webview": "javascript"}
+
+
+@dataclass(frozen=True)
+class DialogField:
+    """One row of the dialog: a variable or a property."""
+
+    kind: str  # "variable" | "property"
+    name: str
+    description: str
+    type_name: str
+    default: Optional[Any] = None
+    allowed_values: Tuple[Any, ...] = ()
+    required: bool = False
+
+
+class ConfigurationDialog:
+    """Model of the configuration dialog for one (API, platform) pair."""
+
+    def __init__(
+        self,
+        descriptor: ProxyDescriptor,
+        method_name: str,
+        platform: str,
+        *,
+        language: Optional[str] = None,
+    ) -> None:
+        self.descriptor = descriptor
+        self.method = descriptor.semantic.method(method_name)
+        self.binding = descriptor.binding_for(platform)
+        self.platform = platform
+        self.language = language or _PLATFORM_LANGUAGE[platform]
+        self._variables: Dict[str, Any] = {}
+        self._properties: Dict[str, Any] = {}
+        self._callback_target: Optional[str] = None
+
+    # -- presentation (plugin feature 2) ----------------------------------------
+
+    def variable_fields(self) -> List[DialogField]:
+        """The Variables column."""
+        syntactic = self.descriptor.syntactic[self.language]
+        fields = []
+        for parameter in self.method.ordered_parameters():
+            fields.append(
+                DialogField(
+                    kind="variable",
+                    name=parameter.name,
+                    description=parameter.description,
+                    type_name=syntactic.type_of(self.method.name, parameter.name),
+                    required=not parameter.optional,
+                )
+            )
+        return fields
+
+    def property_fields(self) -> List[DialogField]:
+        """The Properties column (platform attributes)."""
+        return [
+            DialogField(
+                kind="property",
+                name=spec.name,
+                description=spec.description,
+                type_name=spec.type_name,
+                default=spec.default,
+                allowed_values=spec.allowed_values,
+                required=spec.required,
+            )
+            for spec in self.binding.properties
+        ]
+
+    # -- configuration (plugin feature 3) -----------------------------------------
+
+    def set_variable(self, name: str, value: Any) -> None:
+        """Provide a value for a semantic parameter (dimension-checked)."""
+        parameter = self.method.parameter(name)
+        if not isinstance(value, str) or _is_literal_string_dimension(
+            parameter.dimension
+        ):
+            # Literal values are checked against the dimension; bare
+            # identifier strings (references to user variables) are not.
+            try:
+                parameter.validate_value(value)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from exc
+        self._variables[name] = value
+
+    def set_property(self, name: str, value: Any) -> None:
+        """Provide a value for a platform property (allowed-values-checked)."""
+        spec = self.binding.property_spec(name)
+        try:
+            spec.validate_value(value)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        self._properties[name] = value
+
+    def set_callback_target(self, target: str) -> None:
+        """Name the handler object/function for the callback parameter."""
+        self._callback_target = target
+
+    def validation_issues(self) -> List[str]:
+        """Everything still missing before code can be embedded."""
+        issues = []
+        for spec in self.binding.properties:
+            if spec.required and spec.name not in self._properties and spec.default is None:
+                issues.append(f"required property {spec.name!r} is not set")
+        callback_name = (
+            self.method.callback.parameter_name
+            if self.method.callback is not None
+            else None
+        )
+        for parameter in self.method.parameters:
+            if parameter.name == callback_name or parameter.optional:
+                continue
+            if parameter.name not in self._variables:
+                # Unset variables are emitted as identifier references,
+                # which is valid — but surface it so the user notices.
+                issues.append(
+                    f"variable {parameter.name!r} will reference an "
+                    "identifier of the same name"
+                )
+        return issues
+
+    # -- the Source view -----------------------------------------------------------
+
+    def preview(self) -> str:
+        """Generate the invocation snippet for the Source view."""
+        effective_properties = dict(self._properties)
+        for spec in self.binding.properties:
+            if spec.required and spec.name not in effective_properties:
+                if spec.name == "context":
+                    effective_properties["context"] = "__context__"
+        return generator_for(self.language).generate(
+            self.descriptor,
+            self.method.name,
+            self.platform,
+            self._variables,
+            effective_properties,
+            callback_target=self._callback_target,
+        )
+
+
+def _is_literal_string_dimension(dimension: str) -> bool:
+    spec = STANDARD_DIMENSIONS.get(dimension)
+    return spec.python_type is str

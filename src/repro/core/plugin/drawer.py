@@ -1,0 +1,59 @@
+"""The Proxy Drawer (paper Figure 7a).
+
+A categorized store of proxies: each proxy interface is a *category*, each
+of its APIs an *item*.  Contents come straight from the registry, filtered
+to the plugin's platform — so an S60 drawer simply has no Call category,
+matching the platform's capability gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.descriptor.registry import ProxyRegistry
+from repro.errors import RegistryError
+
+
+@dataclass(frozen=True)
+class DrawerItem:
+    """One draggable API entry in the drawer."""
+
+    category: str  # proxy interface, e.g. "Location"
+    name: str  # canonical method, e.g. "addProximityAlert"
+    description: str
+
+
+class ProxyDrawer:
+    """The Snippets-view model for one platform."""
+
+    def __init__(self, registry: ProxyRegistry, platform: str) -> None:
+        self._registry = registry
+        self.platform = platform
+
+    def categories(self) -> List[str]:
+        """Proxy interfaces available on this platform, sorted."""
+        return self._registry.interfaces_for_platform(self.platform)
+
+    def items(self, category: str) -> List[DrawerItem]:
+        """The APIs of one proxy, as drawer items."""
+        if category not in self.categories():
+            raise RegistryError(
+                f"proxy {category!r} is not available on {self.platform!r}"
+            )
+        descriptor = self._registry.descriptor(category)
+        return [
+            DrawerItem(category=category, name=method.name, description=method.description)
+            for method in descriptor.semantic.methods
+        ]
+
+    def all_items(self) -> Dict[str, List[DrawerItem]]:
+        """The full drawer: category → items."""
+        return {category: self.items(category) for category in self.categories()}
+
+    def find(self, category: str, item_name: str) -> DrawerItem:
+        """Locate one item (the drag source for a drop action)."""
+        for item in self.items(category):
+            if item.name == item_name:
+                return item
+        raise RegistryError(f"no item {item_name!r} in category {category!r}")

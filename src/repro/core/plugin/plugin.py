@@ -1,0 +1,68 @@
+"""The MobiVine Plug-in: the four features tied together.
+
+One plugin instance per platform, registered into the host toolkit; the
+flow mirrors a developer's: browse the drawer → open the configuration
+dialog → preview generated code → embed into a project file.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.descriptor.registry import ProxyRegistry
+from repro.core.plugin.configuration import ConfigurationDialog
+from repro.core.plugin.drawer import DrawerItem, ProxyDrawer
+from repro.core.plugin.packaging import extension_for
+from repro.core.plugin.toolkit import Project, Toolkit
+from repro.errors import ConfigurationError
+
+
+class MobiVinePlugin:
+    """A platform's MobiVine plug-in inside the host toolkit."""
+
+    def __init__(
+        self,
+        toolkit: Toolkit,
+        registry: ProxyRegistry,
+        platform: str,
+    ) -> None:
+        self.toolkit = toolkit
+        self.registry = registry
+        self.platform = platform
+        #: Feature 1: proxy visibility.
+        self.drawer = ProxyDrawer(registry, platform)
+        #: Feature 4: platform-specific embedding rules.
+        self.extension = extension_for(platform)
+        toolkit.register_plugin(self)
+
+    # -- feature 2: presentation ------------------------------------------------
+
+    def open_configuration(self, item: DrawerItem) -> ConfigurationDialog:
+        """Open the configuration dialog for a drawer item."""
+        descriptor = self.registry.descriptor(item.category)
+        return ConfigurationDialog(descriptor, item.name, self.platform)
+
+    # -- feature 4: embedding ----------------------------------------------------
+
+    def embed(
+        self,
+        project: Project,
+        dialog: ConfigurationDialog,
+        *,
+        file_name: str,
+        marker: str,
+    ) -> str:
+        """Drop the configured proxy into a project.
+
+        Inserts the generated snippet at ``marker`` in ``file_name`` and
+        wires the implementation artifacts per the platform extension.
+        Returns the embedded snippet.
+        """
+        if project.platform != self.platform:
+            raise ConfigurationError(
+                f"project targets {project.platform!r}, plugin is for "
+                f"{self.platform!r}"
+            )
+        snippet = dialog.preview()
+        project.file(file_name).insert_at_marker(marker, snippet)
+        self.extension.embed_proxy(project, dialog.descriptor.interface)
+        return snippet

@@ -1,0 +1,101 @@
+"""A minimal model of the host development toolkit (Eclipse in the paper).
+
+MobiVine's design constraint is *seamless integration*: proxies must appear
+inside the platform vendor's existing tooling rather than a new IDE.  The
+substrate models just enough of a toolkit for that integration to be
+observable: projects with source files, classpaths, resources, and a
+plugin registration point (the Snippet-Contributor analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CodeFile:
+    """One source file in a project."""
+
+    name: str
+    content: str = ""
+    language: str = "java"
+
+    def insert_at_marker(self, marker: str, snippet: str) -> None:
+        """Insert ``snippet`` at the line containing ``marker``.
+
+        This models drag-and-drop into the editor at the cursor location.
+        """
+        if marker not in self.content:
+            raise ConfigurationError(
+                f"marker {marker!r} not found in {self.name}"
+            )
+        self.content = self.content.replace(marker, snippet, 1)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.content.splitlines())
+
+
+@dataclass
+class Project:
+    """A toolkit project targeting one platform."""
+
+    name: str
+    platform: str  # "android" | "s60" | "webview"
+    language: str = "java"
+    files: Dict[str, CodeFile] = field(default_factory=dict)
+    classpath: List[str] = field(default_factory=list)
+    resources: List[str] = field(default_factory=list)
+
+    def add_file(self, code_file: CodeFile) -> None:
+        if code_file.name in self.files:
+            raise ConfigurationError(f"file {code_file.name!r} already in project")
+        self.files[code_file.name] = code_file
+
+    def file(self, name: str) -> CodeFile:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise ConfigurationError(f"no file {name!r} in project {self.name!r}") from None
+
+    def add_classpath_entry(self, entry: str) -> None:
+        """Idempotent classpath wiring (re-embedding must not duplicate)."""
+        if entry not in self.classpath:
+            self.classpath.append(entry)
+
+    def add_resource(self, resource: str) -> None:
+        if resource not in self.resources:
+            self.resources.append(resource)
+
+
+class Toolkit:
+    """The host IDE: projects plus registered plugins."""
+
+    def __init__(self, name: str = "eclipse") -> None:
+        self.name = name
+        self._projects: Dict[str, Project] = {}
+        self._plugins: List[object] = []
+
+    def create_project(self, name: str, platform: str, language: str = "java") -> Project:
+        if name in self._projects:
+            raise ConfigurationError(f"project {name!r} already exists")
+        project = Project(name=name, platform=platform, language=language)
+        self._projects[name] = project
+        return project
+
+    def project(self, name: str) -> Project:
+        try:
+            return self._projects[name]
+        except KeyError:
+            raise ConfigurationError(f"no project {name!r}") from None
+
+    def register_plugin(self, plugin: object) -> None:
+        """The Eclipse plug-in extension point."""
+        self._plugins.append(plugin)
+
+    @property
+    def plugins(self) -> List[object]:
+        return list(self._plugins)

@@ -1,0 +1,30 @@
+"""Concrete M-Proxies: Location, SMS, Call, HTTP.
+
+Each proxy subpackage ships:
+
+* ``descriptor`` — a builder for the proxy's three-plane descriptor;
+* ``api`` — the uniform interface applications program against;
+* one binding module per platform (``android``, ``s60``, ``webview``),
+  registered in the implementation-class table so the factory can
+  instantiate them from the binding plane's ``implementation_class``
+  string.
+
+``create_proxy`` is the application-facing entry point:
+
+    >>> proxy = create_proxy("Location", android_platform)   # doctest: +SKIP
+    >>> proxy.set_property("context", activity)              # doctest: +SKIP
+"""
+
+from repro.core.proxies.factory import (
+    create_proxy,
+    implementation_class,
+    register_implementation,
+    standard_registry,
+)
+
+__all__ = [
+    "create_proxy",
+    "implementation_class",
+    "register_implementation",
+    "standard_registry",
+]

@@ -1,0 +1,7 @@
+"""The Calendar M-Proxy — the second half of the paper's future-work item
+("calendaring and contact list information")."""
+
+from repro.core.proxies.calendar.api import CalendarProxy
+from repro.core.proxies.calendar.descriptor import build_calendar_descriptor
+
+__all__ = ["CalendarProxy", "build_calendar_descriptor"]

@@ -1,0 +1,201 @@
+"""Three-plane descriptor for the Calendar proxy."""
+
+from __future__ import annotations
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+
+ANDROID_IMPL = "com.ibm.proxies.android.calendar.CalendarProxyImpl"
+S60_IMPL = "com.ibm.S60.calendar.CalendarProxy"
+WEBVIEW_IMPL = "com.ibm.proxies.webview.calendar.CalendarProxyJs"
+
+
+def build_calendar_descriptor() -> ProxyDescriptor:
+    """Construct the full Calendar descriptor."""
+    semantic = SemanticPlane(
+        interface="Calendar",
+        description="Read and modify the device calendar",
+        methods=(
+            MethodSpec(
+                name="listEvents",
+                description="All events, ordered by start time",
+                returns=ReturnSpec("object.event", "list of uniform events"),
+            ),
+            MethodSpec(
+                name="eventsBetween",
+                description="Events overlapping a half-open time window",
+                parameters=(
+                    ParameterSpec("startMs", "time.instant", 1, "window start"),
+                    ParameterSpec("endMs", "time.instant", 2, "window end (exclusive)"),
+                ),
+                returns=ReturnSpec("object.event", "overlapping uniform events"),
+            ),
+            MethodSpec(
+                name="addEvent",
+                description="Create a calendar entry",
+                parameters=(
+                    ParameterSpec("summary", "text.message", 1, "event title"),
+                    ParameterSpec("startMs", "time.instant", 2, "start instant"),
+                    ParameterSpec("endMs", "time.instant", 3, "end instant"),
+                ),
+                returns=ReturnSpec("text.message", "new event identifier"),
+            ),
+            MethodSpec(
+                name="removeEvent",
+                description="Delete an entry by identifier",
+                parameters=(
+                    ParameterSpec("eventId", "text.message", 1, "identifier from addEvent/listEvents"),
+                ),
+            ),
+        ),
+    )
+
+    java = SyntacticPlane(
+        language="java",
+        callback_style="object",
+        method_types={
+            "listEvents": (),
+            "eventsBetween": (
+                TypeBinding("startMs", "long"),
+                TypeBinding("endMs", "long"),
+            ),
+            "addEvent": (
+                TypeBinding("summary", "java.lang.String"),
+                TypeBinding("startMs", "long"),
+                TypeBinding("endMs", "long"),
+            ),
+            "removeEvent": (TypeBinding("eventId", "java.lang.String"),),
+        },
+        return_types={
+            "listEvents": "com.ibm.telecom.proxy.CalendarEvent",
+            "eventsBetween": "com.ibm.telecom.proxy.CalendarEvent",
+            "addEvent": "java.lang.String",
+            "removeEvent": "void",
+        },
+    )
+
+    javascript = SyntacticPlane(
+        language="javascript",
+        callback_style="function",
+        method_types={
+            "listEvents": (),
+            "eventsBetween": (
+                TypeBinding("startMs", "number"),
+                TypeBinding("endMs", "number"),
+            ),
+            "addEvent": (
+                TypeBinding("summary", "string"),
+                TypeBinding("startMs", "number"),
+                TypeBinding("endMs", "number"),
+            ),
+            "removeEvent": (TypeBinding("eventId", "string"),),
+        },
+        return_types={
+            "listEvents": "object",
+            "eventsBetween": "object",
+            "addEvent": "string",
+            "removeEvent": "void",
+        },
+    )
+
+    android = BindingPlane(
+        platform="android",
+        language="java",
+        implementation_class=ANDROID_IMPL,
+        properties=(
+            PropertySpec(
+                "context",
+                description="Application context used to obtain the ContentResolver",
+                type_name="object",
+                required=True,
+            ),
+            PropertySpec(
+                "eventLocation",
+                description="Default eventLocation column for created events",
+                type_name="string",
+                default="",
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+                description="READ_CALENDAR / WRITE_CALENDAR missing",
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="Cursor/ContentValues plumbing over the calendar provider.",
+    )
+
+    s60 = BindingPlane(
+        platform="s60",
+        language="java",
+        implementation_class=S60_IMPL,
+        properties=(
+            PropertySpec(
+                "eventLocation",
+                description="Default LOCATION field for created events",
+                type_name="string",
+                default="",
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "javax.microedition.pim.PIMException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+            ),
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="JSR-75 EventList open/iterate/commit ceremony hidden inside "
+        "the binding; window filtering is client-side (the JSR offers none).",
+    )
+
+    webview = BindingPlane(
+        platform="webview",
+        language="javascript",
+        implementation_class=WEBVIEW_IMPL,
+        properties=(
+            PropertySpec(
+                "eventLocation",
+                description="Default location for created events",
+                type_name="string",
+                default="",
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="Event lists cross the bridge as JSON.",
+    )
+
+    descriptor = ProxyDescriptor(semantic=semantic)
+    descriptor.add_syntactic(java)
+    descriptor.add_syntactic(javascript)
+    descriptor.add_binding(android)
+    descriptor.add_binding(s60)
+    descriptor.add_binding(webview)
+    return descriptor

@@ -1,0 +1,96 @@
+"""S60 binding of the Calendar proxy (JSR-75 EventList underneath)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.descriptor.model import ProxyDescriptor
+from repro.core.proxies.calendar.api import CalendarProxy
+from repro.core.proxies.calendar.descriptor import S60_IMPL
+from repro.core.proxies.factory import register_implementation
+from repro.core.proxy.datatypes import CalendarEvent
+from repro.errors import ProxyInvalidArgumentError
+from repro.platforms.s60.pim import Event, EventItem, PimStatics
+from repro.platforms.s60.platform import S60Platform
+
+
+def _to_uniform(item: EventItem) -> CalendarEvent:
+    try:
+        location = item.get_string(Event.LOCATION)
+    except Exception:
+        location = ""
+    return CalendarEvent(
+        event_id=item.record_id,
+        summary=item.get_string(Event.SUMMARY),
+        start_ms=item.get_date(Event.START),
+        end_ms=item.get_date(Event.END),
+        location=location,
+    )
+
+
+class S60CalendarProxyImpl(CalendarProxy):
+    """``com.ibm.S60.calendar.CalendarProxy``."""
+
+    def __init__(self, descriptor: ProxyDescriptor, platform: S60Platform) -> None:
+        super().__init__(descriptor, "s60")
+        self._platform = platform
+
+    def _open(self, mode: int):
+        return self._platform.pim.open_pim_list(PimStatics.EVENT_LIST, mode)
+
+    def list_events(self) -> List[CalendarEvent]:
+        self._record("listEvents")
+        with self._guard("listEvents"):
+            event_list = self._open(PimStatics.READ_ONLY)
+            try:
+                return [_to_uniform(item) for item in event_list.items()]
+            finally:
+                event_list.close()
+
+    def events_between(self, start_ms: float, end_ms: float) -> List[CalendarEvent]:
+        self._validate_arguments("eventsBetween", startMs=start_ms, endMs=end_ms)
+        self._record("eventsBetween", start_ms=start_ms, end_ms=end_ms)
+        # JSR-75 offers no window query; filter client-side (binding note).
+        return [
+            event
+            for event in self.list_events()
+            if event.start_ms < end_ms and start_ms < event.end_ms
+        ]
+
+    def add_event(self, summary: str, start_ms: float, end_ms: float) -> str:
+        self._validate_arguments(
+            "addEvent", summary=summary, startMs=start_ms, endMs=end_ms
+        )
+        if end_ms < start_ms:
+            raise ProxyInvalidArgumentError("event ends before it starts")
+        self._record("addEvent", summary=summary)
+        with self._guard("addEvent"):
+            event_list = self._open(PimStatics.READ_WRITE)
+            try:
+                item = event_list.create_event()
+                item.add_string(Event.SUMMARY, 0, summary)
+                item.add_date(Event.START, 0, start_ms)
+                item.add_date(Event.END, 0, end_ms)
+                location = self.get_property("eventLocation")
+                if location:
+                    item.add_string(Event.LOCATION, 0, location)
+                item.commit()
+                return item.record_id
+            finally:
+                event_list.close()
+
+    def remove_event(self, event_id: str) -> None:
+        self._validate_arguments("removeEvent", eventId=event_id)
+        self._record("removeEvent", event_id=event_id)
+        with self._guard("removeEvent"):
+            event_list = self._open(PimStatics.READ_WRITE)
+            try:
+                for item in event_list.items():
+                    if item.record_id == event_id:
+                        event_list.remove_event(item)
+                        return
+            finally:
+                event_list.close()
+
+
+register_implementation(S60_IMPL, S60CalendarProxyImpl)

@@ -1,0 +1,63 @@
+"""The uniform Call proxy API."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.core.proxy.base import MProxy
+from repro.core.proxy.callbacks import CallStateListener
+from repro.core.proxy.datatypes import CallHandle
+
+
+class FunctionCallStateListener(CallStateListener):
+    """Adapter for the JavaScript ``function`` callback style.
+
+    The function receives ``(event, call_id, outcome)`` where ``event`` is
+    ``"ringing"``, ``"answered"`` or ``"finished"`` (``outcome`` is only
+    set for ``"finished"``).
+    """
+
+    def __init__(self, fn: Callable[[str, str, Optional[str]], None]) -> None:
+        self._fn = fn
+
+    def on_ringing(self, call: CallHandle) -> None:
+        self._fn("ringing", call.call_id, None)
+
+    def on_answered(self, call: CallHandle) -> None:
+        self._fn("answered", call.call_id, None)
+
+    def on_finished(self, call: CallHandle) -> None:
+        outcome = call.outcome.value if call.outcome is not None else None
+        self._fn("finished", call.call_id, outcome)
+
+
+UniformCallCallback = Union[CallStateListener, Callable[[str, str, Optional[str]], None]]
+
+
+def as_call_listener(callback: Optional[UniformCallCallback]) -> Optional[CallStateListener]:
+    """Normalize object-style and function-style callbacks."""
+    if callback is None or isinstance(callback, CallStateListener):
+        return callback
+    return FunctionCallStateListener(callback)
+
+
+class CallProxy(MProxy):
+    """Abstract uniform API; platform bindings subclass this."""
+
+    interface = "Call"
+
+    def make_a_call(
+        self,
+        number: str,
+        call_listener: Optional[UniformCallCallback] = None,
+    ) -> CallHandle:
+        """Dial ``number``; returns a handle immediately.
+
+        The listener receives ``on_ringing``, ``on_answered`` and finally
+        ``on_finished`` (with ``handle.outcome`` set).
+        """
+        raise NotImplementedError
+
+    def end_call(self, call_handle: CallHandle) -> None:
+        """Hang up a ringing or active call."""
+        raise NotImplementedError

@@ -1,0 +1,159 @@
+"""Three-plane descriptor for the Call proxy (no S60 binding, by design)."""
+
+from __future__ import annotations
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    CallbackSpec,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+
+ANDROID_IMPL = "com.ibm.proxies.android.call.CallProxyImpl"
+WEBVIEW_IMPL = "com.ibm.proxies.webview.call.CallProxyJs"
+
+
+def build_call_descriptor() -> ProxyDescriptor:
+    """Construct the full Call descriptor."""
+    semantic = SemanticPlane(
+        interface="Call",
+        description="Place voice calls with uniform progress callbacks",
+        methods=(
+            MethodSpec(
+                name="makeACall",
+                description="Dial a number",
+                parameters=(
+                    ParameterSpec("number", "identity.phone_number", 1, "callee number"),
+                    ParameterSpec(
+                        "callListener",
+                        "callback.call_state",
+                        2,
+                        "ringing/answered/finished callbacks",
+                        optional=True,
+                    ),
+                ),
+                returns=ReturnSpec("object.call_handle", "uniform call handle"),
+                callback=CallbackSpec(
+                    parameter_name="callListener",
+                    event_name="callState",
+                    event_parameters=(
+                        ParameterSpec("event", "text.message", 1, "ringing | answered | finished"),
+                        ParameterSpec("callId", "text.message", 2, "handle identifier"),
+                        ParameterSpec("outcome", "text.message", 3, "terminal outcome", optional=True),
+                    ),
+                ),
+            ),
+            MethodSpec(
+                name="endCall",
+                description="Hang up an in-progress call",
+                parameters=(
+                    ParameterSpec("callHandle", "object.call_handle", 1, "handle from makeACall"),
+                ),
+            ),
+        ),
+    )
+
+    java = SyntacticPlane(
+        language="java",
+        callback_style="object",
+        method_types={
+            "makeACall": (
+                TypeBinding("number", "java.lang.String"),
+                TypeBinding("callListener", "com.ibm.telecom.proxy.CallStateListener"),
+            ),
+            "endCall": (
+                TypeBinding("callHandle", "com.ibm.telecom.proxy.CallHandle"),
+            ),
+        },
+        return_types={
+            "makeACall": "com.ibm.telecom.proxy.CallHandle",
+            "endCall": "void",
+        },
+    )
+
+    javascript = SyntacticPlane(
+        language="javascript",
+        callback_style="function",
+        method_types={
+            "makeACall": (
+                TypeBinding("number", "string"),
+                TypeBinding("callListener", "function"),
+            ),
+            "endCall": (
+                TypeBinding("callHandle", "object"),
+            ),
+        },
+        return_types={"makeACall": "object", "endCall": "void"},
+    )
+
+    android = BindingPlane(
+        platform="android",
+        language="java",
+        implementation_class=ANDROID_IMPL,
+        properties=(
+            PropertySpec(
+                "context",
+                description="Application context used to obtain the telephony service",
+                type_name="object",
+                required=True,
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+                description="CALL_PHONE missing from the manifest",
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalStateException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+                description="voice channel already busy",
+            ),
+        ),
+        notes="Built on the internal android.telephony.IPhone interface, as "
+        "in the paper (the public SDK did not expose calling).",
+    )
+
+    webview = BindingPlane(
+        platform="webview",
+        language="javascript",
+        implementation_class=WEBVIEW_IMPL,
+        properties=(
+            PropertySpec(
+                "pollInterval",
+                description="JS notification-poll period in milliseconds",
+                type_name="int",
+                default=500,
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="Call-state callbacks ride the Notification Table.",
+    )
+
+    descriptor = ProxyDescriptor(semantic=semantic)
+    descriptor.add_syntactic(java)
+    descriptor.add_syntactic(javascript)
+    descriptor.add_binding(android)
+    descriptor.add_binding(webview)
+    # Deliberately no S60 binding: the platform does not expose calling.
+    return descriptor

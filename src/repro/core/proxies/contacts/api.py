@@ -1,0 +1,30 @@
+"""The uniform Contacts proxy API."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.proxy.base import MProxy
+from repro.core.proxy.datatypes import Contact
+
+
+class ContactsProxy(MProxy):
+    """Abstract uniform API; platform bindings subclass this."""
+
+    interface = "Contacts"
+
+    def list_contacts(self) -> List[Contact]:
+        """Every address-book entry, deterministically ordered."""
+        raise NotImplementedError
+
+    def find_by_name(self, name: str) -> List[Contact]:
+        """Entries whose display name contains ``name`` (case-insensitive)."""
+        raise NotImplementedError
+
+    def add_contact(self, name: str, phone_number: str) -> str:
+        """Create an entry; returns its identifier."""
+        raise NotImplementedError
+
+    def remove_contact(self, contact_id: str) -> None:
+        """Delete an entry.  Unknown ids are a no-op (uniform semantics)."""
+        raise NotImplementedError

@@ -1,0 +1,170 @@
+"""Three-plane descriptor for the Contacts proxy."""
+
+from __future__ import annotations
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+
+ANDROID_IMPL = "com.ibm.proxies.android.contacts.ContactsProxyImpl"
+S60_IMPL = "com.ibm.S60.contacts.ContactsProxy"
+WEBVIEW_IMPL = "com.ibm.proxies.webview.contacts.ContactsProxyJs"
+
+
+def build_contacts_descriptor() -> ProxyDescriptor:
+    """Construct the full Contacts descriptor."""
+    semantic = SemanticPlane(
+        interface="Contacts",
+        description="Read and modify the device address book",
+        methods=(
+            MethodSpec(
+                name="listContacts",
+                description="All contacts, deterministically ordered",
+                returns=ReturnSpec("object.contact", "list of uniform contacts"),
+            ),
+            MethodSpec(
+                name="findByName",
+                description="Contacts whose display name contains the fragment",
+                parameters=(
+                    ParameterSpec("name", "text.message", 1, "case-insensitive fragment"),
+                ),
+                returns=ReturnSpec("object.contact", "matching uniform contacts"),
+            ),
+            MethodSpec(
+                name="addContact",
+                description="Create an address-book entry",
+                parameters=(
+                    ParameterSpec("name", "text.message", 1, "display name"),
+                    ParameterSpec("phoneNumber", "identity.phone_number", 2, "primary number"),
+                ),
+                returns=ReturnSpec("text.message", "new contact identifier"),
+            ),
+            MethodSpec(
+                name="removeContact",
+                description="Delete an entry by identifier",
+                parameters=(
+                    ParameterSpec("contactId", "text.message", 1, "identifier from addContact/listContacts"),
+                ),
+            ),
+        ),
+    )
+
+    java = SyntacticPlane(
+        language="java",
+        callback_style="object",
+        method_types={
+            "listContacts": (),
+            "findByName": (TypeBinding("name", "java.lang.String"),),
+            "addContact": (
+                TypeBinding("name", "java.lang.String"),
+                TypeBinding("phoneNumber", "java.lang.String"),
+            ),
+            "removeContact": (TypeBinding("contactId", "java.lang.String"),),
+        },
+        return_types={
+            "listContacts": "com.ibm.telecom.proxy.Contact",
+            "findByName": "com.ibm.telecom.proxy.Contact",
+            "addContact": "java.lang.String",
+            "removeContact": "void",
+        },
+    )
+
+    javascript = SyntacticPlane(
+        language="javascript",
+        callback_style="function",
+        method_types={
+            "listContacts": (),
+            "findByName": (TypeBinding("name", "string"),),
+            "addContact": (
+                TypeBinding("name", "string"),
+                TypeBinding("phoneNumber", "string"),
+            ),
+            "removeContact": (TypeBinding("contactId", "string"),),
+        },
+        return_types={
+            "listContacts": "object",
+            "findByName": "object",
+            "addContact": "string",
+            "removeContact": "void",
+        },
+    )
+
+    android = BindingPlane(
+        platform="android",
+        language="java",
+        implementation_class=ANDROID_IMPL,
+        properties=(
+            PropertySpec(
+                "context",
+                description="Application context used to obtain the ContentResolver",
+                type_name="object",
+                required=True,
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+                description="READ_CONTACTS / WRITE_CONTACTS missing",
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="Cursor/ContentValues plumbing hidden inside the binding.",
+    )
+
+    s60 = BindingPlane(
+        platform="s60",
+        language="java",
+        implementation_class=S60_IMPL,
+        properties=(),
+        exceptions=(
+            ExceptionSpec(
+                "javax.microedition.pim.PIMException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+            ),
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="JSR-75 open/iterate/commit ceremony hidden inside the binding.",
+    )
+
+    webview = BindingPlane(
+        platform="webview",
+        language="javascript",
+        implementation_class=WEBVIEW_IMPL,
+        properties=(),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="Contact lists cross the bridge as JSON.",
+    )
+
+    descriptor = ProxyDescriptor(semantic=semantic)
+    descriptor.add_syntactic(java)
+    descriptor.add_syntactic(javascript)
+    descriptor.add_binding(android)
+    descriptor.add_binding(s60)
+    descriptor.add_binding(webview)
+    return descriptor

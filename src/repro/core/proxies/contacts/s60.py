@@ -1,0 +1,94 @@
+"""S60 binding of the Contacts proxy (JSR-75 PIM underneath)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.descriptor.model import ProxyDescriptor
+from repro.core.proxies.contacts.api import ContactsProxy
+from repro.core.proxies.contacts.descriptor import S60_IMPL
+from repro.core.proxies.factory import register_implementation
+from repro.core.proxy.datatypes import Contact as UniformContact
+from repro.platforms.s60.pim import Contact, ContactItem, PimStatics
+from repro.platforms.s60.platform import S60Platform
+
+
+def _to_uniform(item: ContactItem) -> UniformContact:
+    numbers = tuple(
+        item.get_string(Contact.TEL, index)
+        for index in range(item.count_values(Contact.TEL))
+    )
+    email = (
+        item.get_string(Contact.EMAIL, 0)
+        if item.count_values(Contact.EMAIL)
+        else ""
+    )
+    return UniformContact(
+        contact_id=item.record_id,
+        name=item.get_string(Contact.FORMATTED_NAME, 0),
+        phone_numbers=numbers,
+        email=email,
+    )
+
+
+class S60ContactsProxyImpl(ContactsProxy):
+    """``com.ibm.S60.contacts.ContactsProxy``."""
+
+    def __init__(self, descriptor: ProxyDescriptor, platform: S60Platform) -> None:
+        super().__init__(descriptor, "s60")
+        self._platform = platform
+
+    def _open(self, mode: int):
+        return self._platform.pim.open_pim_list(PimStatics.CONTACT_LIST, mode)
+
+    def list_contacts(self) -> List[UniformContact]:
+        self._record("listContacts")
+        with self._guard("listContacts"):
+            contact_list = self._open(PimStatics.READ_ONLY)
+            try:
+                return [_to_uniform(item) for item in contact_list.items()]
+            finally:
+                contact_list.close()
+
+    def find_by_name(self, name: str) -> List[UniformContact]:
+        self._validate_arguments("findByName", name=name)
+        self._record("findByName", name=name)
+        with self._guard("findByName"):
+            contact_list = self._open(PimStatics.READ_ONLY)
+            try:
+                return [
+                    _to_uniform(item) for item in contact_list.items_matching(name)
+                ]
+            finally:
+                contact_list.close()
+
+    def add_contact(self, name: str, phone_number: str) -> str:
+        self._validate_arguments("addContact", name=name, phoneNumber=phone_number)
+        self._record("addContact", name=name)
+        with self._guard("addContact"):
+            contact_list = self._open(PimStatics.READ_WRITE)
+            try:
+                item = contact_list.create_contact()
+                item.add_string(Contact.FORMATTED_NAME, 0, name)
+                item.add_string(Contact.TEL, 0, phone_number)
+                item.commit()
+                return item.record_id
+            finally:
+                contact_list.close()
+
+    def remove_contact(self, contact_id: str) -> None:
+        self._validate_arguments("removeContact", contactId=contact_id)
+        self._record("removeContact", contact_id=contact_id)
+        with self._guard("removeContact"):
+            contact_list = self._open(PimStatics.READ_WRITE)
+            try:
+                for item in contact_list.items():
+                    if item.record_id == contact_id:
+                        contact_list.remove_contact(item)
+                        return
+                # Unknown ids are a uniform no-op.
+            finally:
+                contact_list.close()
+
+
+register_implementation(S60_IMPL, S60ContactsProxyImpl)

@@ -1,0 +1,65 @@
+"""The uniform HTTP proxy API."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.core.proxy.base import MProxy
+from repro.core.proxy.callbacks import HttpResponseListener
+from repro.core.proxy.datatypes import HttpResult
+
+
+class FunctionHttpResponseListener(HttpResponseListener):
+    """Adapter for the JavaScript ``function`` callback style.
+
+    The function receives ``(result, error)``: exactly one of them is
+    non-``None``.
+    """
+
+    def __init__(self, fn: Callable[[Optional[HttpResult], Optional[str]], None]) -> None:
+        self._fn = fn
+
+    def on_response(self, result: HttpResult) -> None:
+        self._fn(result, None)
+
+    def on_error(self, reason: str) -> None:
+        self._fn(None, reason)
+
+
+UniformHttpCallback = Union[
+    HttpResponseListener, Callable[[Optional[HttpResult], Optional[str]], None]
+]
+
+
+def as_response_listener(callback: UniformHttpCallback) -> HttpResponseListener:
+    """Normalize object-style and function-style callbacks."""
+    if isinstance(callback, HttpResponseListener):
+        return callback
+    return FunctionHttpResponseListener(callback)
+
+
+class HttpProxy(MProxy):
+    """Abstract uniform API; platform bindings subclass this."""
+
+    interface = "Http"
+
+    def get(self, url: str) -> HttpResult:
+        """Fetch ``url`` synchronously."""
+        raise NotImplementedError
+
+    def post(self, url: str, body: str) -> HttpResult:
+        """Post ``body`` to ``url`` synchronously.
+
+        The Content-Type comes from the ``contentType`` property.
+        """
+        raise NotImplementedError
+
+    def get_async(self, url: str, response_listener: UniformHttpCallback) -> None:
+        """Fetch ``url`` without blocking.
+
+        Exactly one of the listener's ``on_response`` / ``on_error`` fires
+        later.  On the Java-style platforms this models the worker thread
+        a blocking HTTP stack forces on applications; on WebView the
+        result rides the Notification Table like every other async result.
+        """
+        raise NotImplementedError

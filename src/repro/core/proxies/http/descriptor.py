@@ -1,0 +1,211 @@
+"""Three-plane descriptor for the HTTP proxy."""
+
+from __future__ import annotations
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    CallbackSpec,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+
+ANDROID_IMPL = "com.ibm.proxies.android.http.HttpProxyImpl"
+S60_IMPL = "com.ibm.S60.http.HttpProxy"
+WEBVIEW_IMPL = "com.ibm.proxies.webview.http.HttpProxyJs"
+
+
+def build_http_descriptor() -> ProxyDescriptor:
+    """Construct the full HTTP descriptor."""
+    semantic = SemanticPlane(
+        interface="Http",
+        description="Synchronous HTTP interaction with a uniform result value",
+        methods=(
+            MethodSpec(
+                name="get",
+                description="Fetch a URL",
+                parameters=(
+                    ParameterSpec("url", "web.url", 1, "absolute http URL"),
+                ),
+                returns=ReturnSpec("object.http_result", "status + body"),
+            ),
+            MethodSpec(
+                name="post",
+                description="Post a body to a URL",
+                parameters=(
+                    ParameterSpec("url", "web.url", 1, "absolute http URL"),
+                    ParameterSpec("body", "web.body", 2, "request entity"),
+                ),
+                returns=ReturnSpec("object.http_result", "status + body"),
+            ),
+            MethodSpec(
+                name="getAsync",
+                description="Fetch a URL without blocking; the listener "
+                "receives the result or the transport error",
+                parameters=(
+                    ParameterSpec("url", "web.url", 1, "absolute http URL"),
+                    ParameterSpec(
+                        "responseListener",
+                        "callback.http_response",
+                        2,
+                        "uniform response/error callback",
+                    ),
+                ),
+                callback=CallbackSpec(
+                    parameter_name="responseListener",
+                    event_name="httpResponse",
+                    event_parameters=(
+                        ParameterSpec("result", "object.http_result", 1, "the response", optional=True),
+                        ParameterSpec("error", "text.message", 2, "transport failure reason", optional=True),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+    java = SyntacticPlane(
+        language="java",
+        callback_style="object",
+        method_types={
+            "get": (TypeBinding("url", "java.lang.String"),),
+            "post": (
+                TypeBinding("url", "java.lang.String"),
+                TypeBinding("body", "java.lang.String"),
+            ),
+            "getAsync": (
+                TypeBinding("url", "java.lang.String"),
+                TypeBinding("responseListener", "com.ibm.telecom.proxy.HttpResponseListener"),
+            ),
+        },
+        return_types={
+            "get": "com.ibm.telecom.proxy.HttpResult",
+            "post": "com.ibm.telecom.proxy.HttpResult",
+            "getAsync": "void",
+        },
+    )
+
+    javascript = SyntacticPlane(
+        language="javascript",
+        callback_style="function",
+        method_types={
+            "get": (TypeBinding("url", "string"),),
+            "post": (
+                TypeBinding("url", "string"),
+                TypeBinding("body", "string"),
+            ),
+            "getAsync": (
+                TypeBinding("url", "string"),
+                TypeBinding("responseListener", "function"),
+            ),
+        },
+        return_types={"get": "object", "post": "object", "getAsync": "void"},
+    )
+
+    _common_properties = (
+        PropertySpec(
+            "userAgent",
+            description="User-Agent header sent with every request",
+            type_name="string",
+            default="MobiVine/1.0",
+        ),
+        PropertySpec(
+            "contentType",
+            description="Content-Type header for POST bodies",
+            type_name="string",
+            default="application/x-www-form-urlencoded",
+        ),
+    )
+
+    android = BindingPlane(
+        platform="android",
+        language="java",
+        implementation_class=ANDROID_IMPL,
+        properties=_common_properties
+        + (
+            PropertySpec(
+                "context",
+                description="Application context (INTERNET permission check)",
+                type_name="object",
+                required=True,
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.io.IOException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+                description="transport failure from the Apache client",
+            ),
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="Built on org.apache.http request/response objects.",
+    )
+
+    s60 = BindingPlane(
+        platform="s60",
+        language="java",
+        implementation_class=S60_IMPL,
+        properties=_common_properties,
+        exceptions=(
+            ExceptionSpec(
+                "java.io.IOException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+                description="GCF transport failure",
+            ),
+            ExceptionSpec(
+                "javax.microedition.io.ConnectionNotFoundException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+            ),
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="Built on Connector.open / HttpConnection streams.",
+    )
+
+    webview = BindingPlane(
+        platform="webview",
+        language="javascript",
+        implementation_class=WEBVIEW_IMPL,
+        properties=_common_properties,
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="Synchronous bridge call; results come back as JSON envelopes.",
+    )
+
+    descriptor = ProxyDescriptor(semantic=semantic)
+    descriptor.add_syntactic(java)
+    descriptor.add_syntactic(javascript)
+    descriptor.add_binding(android)
+    descriptor.add_binding(s60)
+    descriptor.add_binding(webview)
+    return descriptor

@@ -1,0 +1,99 @@
+"""S60 binding of the HTTP proxy (GCF streams underneath)."""
+
+from __future__ import annotations
+
+from urllib.parse import urlparse
+
+from repro.core.descriptor.model import ProxyDescriptor
+from repro.core.proxies.factory import register_implementation
+from repro.core.proxies.http.api import (
+    HttpProxy,
+    UniformHttpCallback,
+    as_response_listener,
+)
+from repro.core.proxies.http.descriptor import S60_IMPL
+from repro.core.proxy.datatypes import HttpResult
+from repro.device.network import HttpRequest
+from repro.errors import ProxyInvalidArgumentError
+from repro.platforms.s60.connector import HttpConnection, PERMISSION_HTTP
+from repro.platforms.s60.exceptions import SecurityException
+from repro.platforms.s60.platform import S60Platform
+
+
+class S60HttpProxyImpl(HttpProxy):
+    """``com.ibm.S60.http.HttpProxy``."""
+
+    def __init__(self, descriptor: ProxyDescriptor, platform: S60Platform) -> None:
+        super().__init__(descriptor, "s60")
+        self._platform = platform
+
+    def get(self, url: str) -> HttpResult:
+        self._validate_arguments("get", url=url)
+        self._record("get", url=url)
+        with self._guard("get"):
+            connection = self._platform.connector.open(url)
+            try:
+                connection.set_request_method(HttpConnection.GET)
+                connection.set_request_property(
+                    "User-Agent", self.get_property("userAgent")
+                )
+                status = connection.get_response_code()
+                body = connection.open_input_stream().read_fully()
+            finally:
+                connection.close()
+        return HttpResult(status=status, body=body)
+
+    def post(self, url: str, body: str) -> HttpResult:
+        self._validate_arguments("post", url=url, body=body)
+        self._record("post", url=url, length=len(body))
+        with self._guard("post"):
+            connection = self._platform.connector.open(url)
+            try:
+                connection.set_request_method(HttpConnection.POST)
+                connection.set_request_property(
+                    "User-Agent", self.get_property("userAgent")
+                )
+                connection.set_request_property(
+                    "Content-Type", self.get_property("contentType")
+                )
+                connection.write_body(body)
+                status = connection.get_response_code()
+                response_body = connection.open_input_stream().read_fully()
+            finally:
+                connection.close()
+        return HttpResult(status=status, body=response_body)
+
+    def get_async(self, url: str, response_listener: UniformHttpCallback) -> None:
+        """Non-blocking fetch: models the worker thread a MIDlet spawns
+        around the blocking GCF connection."""
+        self._validate_arguments("getAsync", url=url)
+        self._record("getAsync", url=url)
+        listener = as_response_listener(response_listener)
+        parsed = urlparse(url)
+        if parsed.scheme != "http" or not parsed.netloc:
+            raise ProxyInvalidArgumentError(f"malformed http url {url!r}")
+        with self._guard("getAsync"):
+            suite = self._platform.connector._suite_name
+            if suite is not None and not self._platform.suite_has_permission(
+                suite, PERMISSION_HTTP
+            ):
+                raise SecurityException(f"suite {suite!r} lacks {PERMISSION_HTTP}")
+            self._platform.charge_native("s60.http")
+            path = parsed.path or "/"
+            if parsed.query:
+                path = f"{path}?{parsed.query}"
+            self._platform.device.network.request_async(
+                HttpRequest(
+                    method="GET",
+                    host=parsed.netloc,
+                    path=path,
+                    headers=(("User-Agent", self.get_property("userAgent")),),
+                ),
+                on_response=lambda raw: listener.on_response(
+                    HttpResult(status=raw.status, body=raw.body, headers=raw.headers)
+                ),
+                on_error=lambda exc: listener.on_error(str(exc)),
+            )
+
+
+register_implementation(S60_IMPL, S60HttpProxyImpl)

@@ -1,0 +1,48 @@
+"""The uniform Location proxy API (paper Figure 8).
+
+Applications program against this class on every platform; only the
+``set_property`` keys differ per platform (and those are discoverable from
+the binding plane via the plugin's configuration dialog).
+"""
+
+from __future__ import annotations
+
+from repro.core.proxy.base import MProxy
+from repro.core.proxy.callbacks import ProximityListener
+from repro.core.proxy.datatypes import Location
+
+#: ``timer`` value meaning "the alert never expires".
+NO_EXPIRATION = -1
+
+
+class LocationProxy(MProxy):
+    """Abstract uniform API; platform bindings subclass this."""
+
+    interface = "Location"
+
+    def add_proximity_alert(
+        self,
+        latitude: float,
+        longitude: float,
+        altitude: float,
+        radius: float,
+        timer: float,
+        proximity_listener: ProximityListener,
+    ) -> None:
+        """Register a repeating proximity alert.
+
+        The listener's ``proximity_event`` fires with ``entering=True`` on
+        every entry into the region and ``entering=False`` on every exit,
+        until ``timer`` seconds elapse (:data:`NO_EXPIRATION` = never).
+        Identical behaviour on all platforms — bindings fill whatever the
+        native stack lacks.
+        """
+        raise NotImplementedError
+
+    def remove_proximity_alert(self, proximity_listener: ProximityListener) -> None:
+        """Deregister every alert attached to ``proximity_listener``."""
+        raise NotImplementedError
+
+    def get_location(self) -> Location:
+        """Read the device's current position as a uniform value."""
+        raise NotImplementedError

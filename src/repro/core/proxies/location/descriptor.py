@@ -1,0 +1,290 @@
+"""Three-plane descriptor for the Location proxy.
+
+The listings in Section 3.1 of the paper are fragments of exactly this
+document: the common ``addProximityAlert`` semantics, the Java data-type
+bindings, and the per-platform binding planes with properties such as
+S60's ``preferredResponseTime`` (default + allowed values) and Android's
+application ``context``.
+"""
+
+from __future__ import annotations
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    CallbackSpec,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+
+#: Implementation-class strings used in the binding planes (Java-style, as
+#: in the paper's listings; the factory maps them to Python classes).
+ANDROID_IMPL = "com.ibm.proxies.android.location.LocationProxyImpl"
+S60_IMPL = "com.ibm.S60.location.LocationProxy"
+WEBVIEW_IMPL = "com.ibm.proxies.webview.location.LocationProxyJs"
+
+_EVENT_PARAMETERS = (
+    ParameterSpec("refLatitude", "angle.latitude", 1, "registered region latitude"),
+    ParameterSpec("refLongitude", "angle.longitude", 2, "registered region longitude"),
+    ParameterSpec("refAltitude", "length.altitude", 3, "registered region altitude"),
+    ParameterSpec("currentLocation", "object.location", 4, "device position at the event"),
+    ParameterSpec("entering", "flag.boolean", 5, "True on entry, False on exit"),
+)
+
+
+def build_location_descriptor() -> ProxyDescriptor:
+    """Construct the full Location descriptor."""
+    semantic = SemanticPlane(
+        interface="Location",
+        description="Access device position and register proximity alerts",
+        methods=(
+            MethodSpec(
+                name="addProximityAlert",
+                description=(
+                    "Register a repeating proximity alert around a point; the "
+                    "listener receives both entry and exit events until the "
+                    "timer expires"
+                ),
+                parameters=(
+                    ParameterSpec("latitude", "angle.latitude", 1, "region centre latitude"),
+                    ParameterSpec("longitude", "angle.longitude", 2, "region centre longitude"),
+                    ParameterSpec("altitude", "length.altitude", 3, "region centre altitude"),
+                    ParameterSpec("radius", "length.radius", 4, "region radius"),
+                    ParameterSpec("timer", "time.duration", 5, "expiration in seconds; -1 = never"),
+                    ParameterSpec("proximityListener", "callback.proximity", 6, "uniform event sink"),
+                ),
+                callback=CallbackSpec(
+                    parameter_name="proximityListener",
+                    event_name="proximityEvent",
+                    event_parameters=_EVENT_PARAMETERS,
+                ),
+            ),
+            MethodSpec(
+                name="removeProximityAlert",
+                description="Deregister a previously added proximity alert",
+                parameters=(
+                    ParameterSpec("proximityListener", "callback.proximity", 1, "listener to remove"),
+                ),
+            ),
+            MethodSpec(
+                name="getLocation",
+                description="Read the device's current position",
+                returns=ReturnSpec("object.location", "uniform location value"),
+            ),
+        ),
+    )
+
+    java = SyntacticPlane(
+        language="java",
+        callback_style="object",
+        method_types={
+            "addProximityAlert": (
+                TypeBinding("latitude", "double"),
+                TypeBinding("longitude", "double"),
+                TypeBinding("altitude", "double"),
+                TypeBinding("radius", "float"),
+                TypeBinding("timer", "long"),
+                TypeBinding("proximityListener", "com.ibm.telecom.proxy.ProximityListener"),
+            ),
+            "removeProximityAlert": (
+                TypeBinding("proximityListener", "com.ibm.telecom.proxy.ProximityListener"),
+            ),
+            "getLocation": (),
+        },
+        return_types={
+            "addProximityAlert": "void",
+            "removeProximityAlert": "void",
+            "getLocation": "com.ibm.telecom.proxy.Location",
+        },
+    )
+
+    javascript = SyntacticPlane(
+        language="javascript",
+        callback_style="function",
+        method_types={
+            "addProximityAlert": (
+                TypeBinding("latitude", "number"),
+                TypeBinding("longitude", "number"),
+                TypeBinding("altitude", "number"),
+                TypeBinding("radius", "number"),
+                TypeBinding("timer", "number"),
+                TypeBinding("proximityListener", "function"),
+            ),
+            "removeProximityAlert": (
+                TypeBinding("proximityListener", "function"),
+            ),
+            "getLocation": (),
+        },
+        return_types={
+            "addProximityAlert": "void",
+            "removeProximityAlert": "void",
+            "getLocation": "object",
+        },
+    )
+
+    # The C plane demonstrates the paper's claim that callback style is a
+    # per-language concern ("in C we can specify a function pointer").
+    # No shipped platform binds it; a native OS vendor would.
+    c_plane = SyntacticPlane(
+        language="c",
+        callback_style="function",
+        method_types={
+            "addProximityAlert": (
+                TypeBinding("latitude", "double"),
+                TypeBinding("longitude", "double"),
+                TypeBinding("altitude", "double"),
+                TypeBinding("radius", "float"),
+                TypeBinding("timer", "long"),
+                TypeBinding("proximityListener", "proximity_event_fn *"),
+            ),
+            "removeProximityAlert": (
+                TypeBinding("proximityListener", "proximity_event_fn *"),
+            ),
+            "getLocation": (),
+        },
+        return_types={
+            "addProximityAlert": "void",
+            "removeProximityAlert": "void",
+            "getLocation": "proxy_location_t *",
+        },
+    )
+
+    android = BindingPlane(
+        platform="android",
+        language="java",
+        implementation_class=ANDROID_IMPL,
+        properties=(
+            PropertySpec(
+                "context",
+                description="Application context used to obtain the LocationManager",
+                type_name="object",
+                required=True,
+            ),
+            PropertySpec(
+                "provider",
+                description="Location provider to read fixes from",
+                type_name="string",
+                default="gps",
+                allowed_values=("gps",),
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+                description="ACCESS_FINE_LOCATION is missing from the manifest",
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="Intent/IntentReceiver plumbing and the m5-rc15 vs 1.0 "
+        "PendingIntent change are absorbed inside this binding.",
+    )
+
+    s60 = BindingPlane(
+        platform="s60",
+        language="java",
+        implementation_class=S60_IMPL,
+        properties=(
+            PropertySpec(
+                "preferredResponseTime",
+                description="Preferred max. response time used internally for polling of updates",
+                type_name="int",
+                default=1000,
+            ),
+            PropertySpec(
+                "horizontalAccuracy",
+                description="Requested horizontal accuracy in metres",
+                type_name="int",
+                default=50,
+            ),
+            PropertySpec(
+                "verticalAccuracy",
+                description="Requested vertical accuracy in metres",
+                type_name="int",
+                default=50,
+            ),
+            PropertySpec(
+                "powerConsumption",
+                description="Criteria power-usage level",
+                type_name="string",
+                default="NO_REQUIREMENT",
+                allowed_values=("NO_REQUIREMENT", "LOW", "MEDIUM", "HIGH"),
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "javax.microedition.location.LocationException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+                description="provider out of service or request timed out",
+            ),
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+            ExceptionSpec(
+                "java.lang.NullPointerException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="One-shot native listeners are re-registered, exit events are "
+        "synthesized from location polling, and expiration is emulated "
+        "with a platform timer.",
+    )
+
+    webview = BindingPlane(
+        platform="webview",
+        language="javascript",
+        implementation_class=WEBVIEW_IMPL,
+        properties=(
+            PropertySpec(
+                "provider",
+                description="Location provider on the underlying Android platform",
+                type_name="string",
+                default="gps",
+                allowed_values=("gps",),
+            ),
+            PropertySpec(
+                "pollInterval",
+                description="JS notification-poll period in milliseconds",
+                type_name="int",
+                default=500,
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="Callbacks ride the Notification Table; errors cross the "
+        "bridge as numeric codes.",
+    )
+
+    descriptor = ProxyDescriptor(semantic=semantic)
+    descriptor.add_syntactic(java)
+    descriptor.add_syntactic(javascript)
+    descriptor.add_syntactic(c_plane)
+    descriptor.add_binding(android)
+    descriptor.add_binding(s60)
+    descriptor.add_binding(webview)
+    return descriptor

@@ -1,0 +1,60 @@
+"""The uniform SMS proxy API."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.core.proxy.base import MProxy
+from repro.core.proxy.callbacks import SmsStatusListener
+
+
+class FunctionSmsStatusListener(SmsStatusListener):
+    """Adapter for the JavaScript ``function`` callback style.
+
+    The function receives ``(event, message_id, reason)`` where ``event``
+    is ``"sent"``, ``"delivered"`` or ``"failed"`` (``reason`` is ``None``
+    except for failures).
+    """
+
+    def __init__(self, fn: Callable[[str, str, Optional[str]], None]) -> None:
+        self._fn = fn
+
+    def on_sent(self, message_id: str) -> None:
+        self._fn("sent", message_id, None)
+
+    def on_delivered(self, message_id: str) -> None:
+        self._fn("delivered", message_id, None)
+
+    def on_failed(self, message_id: str, reason: str) -> None:
+        self._fn("failed", message_id, reason)
+
+
+UniformSmsCallback = Union[SmsStatusListener, Callable[[str, str, Optional[str]], None]]
+
+
+def as_status_listener(callback: Optional[UniformSmsCallback]) -> Optional[SmsStatusListener]:
+    """Normalize object-style and function-style callbacks."""
+    if callback is None or isinstance(callback, SmsStatusListener):
+        return callback
+    return FunctionSmsStatusListener(callback)
+
+
+class SmsProxy(MProxy):
+    """Abstract uniform API; platform bindings subclass this."""
+
+    interface = "Sms"
+
+    def send_text_message(
+        self,
+        destination: str,
+        text: str,
+        status_listener: Optional[UniformSmsCallback] = None,
+    ) -> str:
+        """Submit ``text`` to ``destination``; returns a message id.
+
+        The optional listener receives ``on_sent`` when the network accepts
+        the message, then ``on_delivered`` or ``on_failed``.  Platforms
+        without delivery visibility fire what they can (see each binding
+        plane's notes).
+        """
+        raise NotImplementedError

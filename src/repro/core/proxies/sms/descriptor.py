@@ -1,0 +1,199 @@
+"""Three-plane descriptor for the SMS proxy."""
+
+from __future__ import annotations
+
+from repro.core.descriptor.model import (
+    BindingPlane,
+    CallbackSpec,
+    ExceptionSpec,
+    MethodSpec,
+    ParameterSpec,
+    PropertySpec,
+    ProxyDescriptor,
+    ReturnSpec,
+    SemanticPlane,
+    SyntacticPlane,
+    TypeBinding,
+)
+
+ANDROID_IMPL = "com.ibm.proxies.android.sms.SmsProxyImpl"
+S60_IMPL = "com.ibm.S60.sms.SmsProxy"
+WEBVIEW_IMPL = "com.ibm.proxies.webview.sms.SmsProxyJs"
+
+
+def build_sms_descriptor() -> ProxyDescriptor:
+    """Construct the full SMS descriptor."""
+    semantic = SemanticPlane(
+        interface="Sms",
+        description="Send short text messages with uniform status callbacks",
+        methods=(
+            MethodSpec(
+                name="sendTextMessage",
+                description="Submit a text message for delivery",
+                parameters=(
+                    ParameterSpec("destination", "identity.phone_number", 1, "recipient number"),
+                    ParameterSpec("text", "text.message", 2, "message body"),
+                    ParameterSpec(
+                        "statusListener",
+                        "callback.sms_status",
+                        3,
+                        "sent/delivered/failed callbacks",
+                        optional=True,
+                    ),
+                ),
+                returns=ReturnSpec("text.message", "opaque message identifier"),
+                callback=CallbackSpec(
+                    parameter_name="statusListener",
+                    event_name="messageStatus",
+                    event_parameters=(
+                        ParameterSpec("event", "text.message", 1, "sent | delivered | failed"),
+                        ParameterSpec("messageId", "text.message", 2, "identifier from sendTextMessage"),
+                        ParameterSpec("reason", "text.message", 3, "failure reason", optional=True),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+    java = SyntacticPlane(
+        language="java",
+        callback_style="object",
+        method_types={
+            "sendTextMessage": (
+                TypeBinding("destination", "java.lang.String"),
+                TypeBinding("text", "java.lang.String"),
+                TypeBinding("statusListener", "com.ibm.telecom.proxy.SmsStatusListener"),
+            ),
+        },
+        return_types={"sendTextMessage": "java.lang.String"},
+    )
+
+    javascript = SyntacticPlane(
+        language="javascript",
+        callback_style="function",
+        method_types={
+            "sendTextMessage": (
+                TypeBinding("destination", "string"),
+                TypeBinding("text", "string"),
+                TypeBinding("statusListener", "function"),
+            ),
+        },
+        return_types={"sendTextMessage": "string"},
+    )
+
+    android = BindingPlane(
+        platform="android",
+        language="java",
+        implementation_class=ANDROID_IMPL,
+        properties=(
+            PropertySpec(
+                "context",
+                description="Application context (PendingIntent minting, permissions)",
+                type_name="object",
+                required=True,
+            ),
+            PropertySpec(
+                "serviceCenter",
+                description="SMSC address override (Android scAddress parameter)",
+                type_name="string",
+            ),
+            PropertySpec(
+                "deliveryReports",
+                description="Whether to request end-to-end delivery reports",
+                type_name="boolean",
+                default=True,
+                allowed_values=(True, False),
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+                description="SEND_SMS missing from the manifest",
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="Sent/delivered PendingIntent broadcasts are translated to the "
+        "uniform status listener inside the binding.",
+    )
+
+    s60 = BindingPlane(
+        platform="s60",
+        language="java",
+        implementation_class=S60_IMPL,
+        properties=(
+            PropertySpec(
+                "serviceCenter",
+                description="SMSC address override (informational on S60)",
+                type_name="string",
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.io.IOException",
+                maps_to="ProxyPlatformError",
+                error_code=1005,
+                description="GCF send failure",
+            ),
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException",
+                maps_to="ProxyInvalidArgumentError",
+                error_code=1003,
+            ),
+        ),
+        notes="WMA send is blocking: the binding fires 'sent' after the "
+        "blocking call returns; the platform offers no delivery reports, "
+        "so 'delivered' never fires here (platform capability gap).",
+    )
+
+    webview = BindingPlane(
+        platform="webview",
+        language="javascript",
+        implementation_class=WEBVIEW_IMPL,
+        properties=(
+            PropertySpec(
+                "serviceCenter",
+                description="SMSC address override, forwarded to the Java side",
+                type_name="string",
+            ),
+            PropertySpec(
+                "deliveryReports",
+                description="Whether to request end-to-end delivery reports",
+                type_name="boolean",
+                default=True,
+                allowed_values=(True, False),
+            ),
+            PropertySpec(
+                "pollInterval",
+                description="JS notification-poll period in milliseconds",
+                type_name="int",
+                default=500,
+            ),
+        ),
+        exceptions=(
+            ExceptionSpec(
+                "java.lang.SecurityException",
+                maps_to="ProxyPermissionError",
+                error_code=1001,
+            ),
+        ),
+        notes="Status callbacks ride the Notification Table (paper Figure 6).",
+    )
+
+    descriptor = ProxyDescriptor(semantic=semantic)
+    descriptor.add_syntactic(java)
+    descriptor.add_syntactic(javascript)
+    descriptor.add_binding(android)
+    descriptor.add_binding(s60)
+    descriptor.add_binding(webview)
+    return descriptor

@@ -1,0 +1,147 @@
+"""Shared plumbing for WebView (JavaScript) proxy bindings.
+
+The paper's Figure 6 pattern, factored once for all four proxies:
+
+* a **Java wrapper backend** holding proxy instances keyed by integer
+  handles (the ``swi`` handle in the figure) — bridge calls carry the
+  handle because object references cannot cross;
+* JSON envelopes for results and errors (exceptions cannot cross the
+  bridge either, so uniform errors travel as ``{"error": code}``);
+* a JS-side **notification handler** (the figure's ``notifHandler``) that
+  polls the Java notification table and dispatches to local JS callbacks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.proxy.base import MProxy
+from repro.core.proxy.exceptions import code_to_error_class
+from repro.errors import ProxyError
+from repro.platforms.webview.notifications import NotificationTable
+from repro.platforms.webview.webview import JsWindow
+
+#: Default JS polling period for notification delivery (milliseconds).
+DEFAULT_POLL_INTERVAL_MS = 500.0
+
+
+# ---------------------------------------------------------------------------
+# JSON envelopes (everything that crosses the bridge is a string)
+# ---------------------------------------------------------------------------
+
+def encode_ok(payload: Optional[Dict[str, Any]] = None) -> str:
+    """Successful result envelope."""
+    return json.dumps({"ok": True, "payload": payload or {}})
+
+
+def encode_error(error: ProxyError) -> str:
+    """Error envelope carrying the uniform error code."""
+    return json.dumps(
+        {"ok": False, "error": type(error).error_code, "message": str(error)}
+    )
+
+
+def decode_or_raise(envelope_json: str) -> Dict[str, Any]:
+    """JS side: unwrap an envelope, re-raising coded errors as uniform
+    :class:`~repro.errors.ProxyError` subclasses."""
+    envelope = json.loads(envelope_json)
+    if envelope.get("ok"):
+        return envelope.get("payload", {})
+    error_class = code_to_error_class(int(envelope.get("error", 1000)))
+    raise error_class(envelope.get("message", "bridge call failed"))
+
+
+# ---------------------------------------------------------------------------
+# Java side
+# ---------------------------------------------------------------------------
+
+class WrapperBackend:
+    """Java-side instance store shared by a wrapper-factory/wrapper pair.
+
+    Holds real proxy instances (the platform's Java M-Proxy bindings) under
+    integer handles and owns the notification table used for asynchronous
+    results.
+    """
+
+    def __init__(self, notification_table: NotificationTable) -> None:
+        self.notifications = notification_table
+        self._instances: Dict[int, MProxy] = {}
+        self._next_handle = 1
+
+    def add_instance(self, proxy: MProxy) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self._instances[handle] = proxy
+        return handle
+
+    def instance(self, handle: int) -> MProxy:
+        try:
+            return self._instances[handle]
+        except KeyError:
+            raise ProxyError(f"unknown wrapper instance handle {handle}") from None
+
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    def set_property_json(self, handle: int, key: str, value_json: str) -> str:
+        """Bridge entry: ``setProperty`` with a JSON-encoded value."""
+        try:
+            self.instance(handle).set_property(key, json.loads(value_json))
+        except ProxyError as exc:
+            return encode_error(exc)
+        return encode_ok()
+
+
+# ---------------------------------------------------------------------------
+# JS side
+# ---------------------------------------------------------------------------
+
+class NotificationHandler:
+    """The figure's ``notifHandler``: polls one notification id.
+
+    ``dispatch`` receives each decoded notification dict
+    (``{"kind": ..., "payload": {...}}``) in posting order.
+    """
+
+    def __init__(
+        self,
+        window: JsWindow,
+        wrapper,
+        notification_id: str,
+        dispatch: Callable[[Dict[str, Any]], None],
+        *,
+        poll_interval_ms: float = DEFAULT_POLL_INTERVAL_MS,
+    ) -> None:
+        self._window = window
+        self._wrapper = wrapper
+        self._notification_id = notification_id
+        self._dispatch = dispatch
+        self._poll_interval_ms = poll_interval_ms
+        self._timer_id: Optional[int] = None
+
+    @property
+    def polling(self) -> bool:
+        return self._timer_id is not None
+
+    @property
+    def notification_id(self) -> str:
+        return self._notification_id
+
+    def start_polling(self) -> None:
+        """Begin the periodic drain (figure: ``nH.startPolling()``)."""
+        if self._timer_id is not None:
+            return
+        self._timer_id = self._window.set_interval(
+            self._poll_once, self._poll_interval_ms
+        )
+
+    def stop_polling(self) -> None:
+        if self._timer_id is not None:
+            self._window.clear_interval(self._timer_id)
+            self._timer_id = None
+
+    def _poll_once(self) -> None:
+        batch_json = self._wrapper.get_notifications(self._notification_id)
+        for notification in json.loads(batch_json):
+            self._dispatch(notification)

@@ -1,0 +1,44 @@
+"""The M-Proxy runtime.
+
+Everything an application touches when it uses MobiVine instead of a raw
+platform: uniform datatypes (:class:`Location`, :class:`HttpResult`),
+uniform listener interfaces, the generic ``set_property`` mechanism
+validated against the binding plane, and uniform exception mapping.
+"""
+
+from repro.core.proxy.datatypes import (
+    AngleFormat,
+    CallHandle,
+    CallOutcome,
+    Contact,
+    HttpResult,
+    Location,
+)
+from repro.core.proxy.callbacks import (
+    CallStateListener,
+    FunctionProximityListener,
+    HttpResponseListener,
+    ProximityListener,
+    SmsStatusListener,
+)
+from repro.core.proxy.properties import PropertySet
+from repro.core.proxy.exceptions import map_platform_exception, error_code_for
+from repro.core.proxy.base import MProxy
+
+__all__ = [
+    "AngleFormat",
+    "CallHandle",
+    "CallOutcome",
+    "CallStateListener",
+    "Contact",
+    "FunctionProximityListener",
+    "HttpResponseListener",
+    "HttpResult",
+    "Location",
+    "MProxy",
+    "PropertySet",
+    "ProximityListener",
+    "SmsStatusListener",
+    "error_code_for",
+    "map_platform_exception",
+]

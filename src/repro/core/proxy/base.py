@@ -1,0 +1,88 @@
+"""The M-Proxy base class.
+
+A concrete proxy binding (e.g. the Android Location proxy) subclasses
+:class:`MProxy` and gets, uniformly:
+
+* ``set_property`` validated against its binding plane;
+* semantic-plane argument validation (``_validate_arguments``);
+* uniform exception mapping (``_guard`` context manager);
+* an invocation log for the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.core.descriptor.model import BindingPlane, ProxyDescriptor
+from repro.core.proxy.exceptions import map_platform_exception
+from repro.core.proxy.properties import PropertySet
+from repro.errors import ProxyError, ProxyInvalidArgumentError
+
+
+class MProxy:
+    """Base of every concrete proxy binding.
+
+    Parameters
+    ----------
+    descriptor:
+        The proxy's three-plane descriptor.
+    platform:
+        Platform name this binding serves (must have a binding plane).
+    """
+
+    #: Interface this proxy class implements (set by subclasses; must match
+    #: the descriptor's interface name).
+    interface = "abstract"
+
+    def __init__(self, descriptor: ProxyDescriptor, platform: str) -> None:
+        if descriptor.interface != self.interface:
+            raise ProxyError(
+                f"descriptor is for {descriptor.interface!r}, proxy class "
+                f"implements {self.interface!r}"
+            )
+        self.descriptor = descriptor
+        self.binding: BindingPlane = descriptor.binding_for(platform)
+        self.properties = PropertySet(self.binding.properties)
+        self._invocations: List[Tuple[str, Dict[str, Any]]] = []
+
+    # -- the generic property mechanism (paper: setProperty) -----------------
+
+    def set_property(self, key: str, value: Any) -> None:
+        """Set a platform-specific attribute (validated against the
+        binding plane's property list)."""
+        self.properties.set(key, value)
+
+    def get_property(self, key: str) -> Any:
+        """Read a property's effective value (explicit or default)."""
+        return self.properties.get(key)
+
+    # -- shared invocation plumbing ---------------------------------------------
+
+    def _validate_arguments(self, method_name: str, **arguments: Any) -> None:
+        """Check named arguments against the semantic plane's dimensions."""
+        method = self.descriptor.semantic.method(method_name)
+        for name, value in arguments.items():
+            parameter = method.parameter(name)
+            try:
+                parameter.validate_value(value)
+            except ValueError as exc:
+                raise ProxyInvalidArgumentError(str(exc)) from exc
+
+    @contextlib.contextmanager
+    def _guard(self, operation: str) -> Iterator[None]:
+        """Map any escaping platform exception to the uniform hierarchy."""
+        try:
+            yield
+        except ProxyError:
+            raise  # already uniform
+        except Exception as exc:
+            raise map_platform_exception(self.binding, exc, operation) from exc
+
+    def _record(self, method_name: str, **arguments: Any) -> None:
+        self._invocations.append((method_name, arguments))
+
+    @property
+    def invocation_log(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Every proxied call made through this instance (evaluation aid)."""
+        return list(self._invocations)

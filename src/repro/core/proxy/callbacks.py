@@ -1,0 +1,87 @@
+"""Uniform listener interfaces — the semantic plane's callback shapes.
+
+Each platform binding adapts its native callback machinery (Android's
+Intent broadcasts, S60's one-shot listeners, WebView's polled
+notifications) onto these interfaces.  The signatures follow the paper's
+Figure 8: ``proximityEvent(refLatitude, refLongitude, refAltitude,
+currentLocation, entering)`` is identical on every platform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.proxy.datatypes import CallHandle, HttpResult, Location
+
+
+class ProximityListener:
+    """Uniform proximity callback (``com.ibm...proxy.ProximityListener``)."""
+
+    def proximity_event(
+        self,
+        ref_latitude: float,
+        ref_longitude: float,
+        ref_altitude: float,
+        current_location: Location,
+        entering: bool,
+    ) -> None:
+        """Called on every region entry (``entering=True``) and exit
+        (``entering=False``) until the alert expires."""
+        raise NotImplementedError
+
+
+class FunctionProximityListener(ProximityListener):
+    """Adapter: wrap a bare function as a listener.
+
+    This is how the JavaScript syntactic plane's ``function`` callback
+    style meets the Java-style ``object`` plane in one runtime.
+    """
+
+    def __init__(self, fn: Callable[[float, float, float, Location, bool], None]) -> None:
+        self._fn = fn
+
+    def proximity_event(
+        self,
+        ref_latitude: float,
+        ref_longitude: float,
+        ref_altitude: float,
+        current_location: Location,
+        entering: bool,
+    ) -> None:
+        self._fn(ref_latitude, ref_longitude, ref_altitude, current_location, entering)
+
+
+class SmsStatusListener:
+    """Uniform SMS progress callback."""
+
+    def on_sent(self, message_id: str) -> None:
+        """The message was accepted by the network."""
+
+    def on_delivered(self, message_id: str) -> None:
+        """The message reached the recipient handset."""
+
+    def on_failed(self, message_id: str, reason: str) -> None:
+        """The message could not be delivered."""
+
+
+class CallStateListener:
+    """Uniform voice-call progress callback."""
+
+    def on_ringing(self, call: CallHandle) -> None:
+        """The callee is being alerted."""
+
+    def on_answered(self, call: CallHandle) -> None:
+        """The call is active."""
+
+    def on_finished(self, call: CallHandle) -> None:
+        """The call reached a terminal state (see ``call.outcome``)."""
+
+
+class HttpResponseListener:
+    """Uniform asynchronous HTTP callback."""
+
+    def on_response(self, result: HttpResult) -> None:
+        """A response arrived."""
+
+    def on_error(self, reason: str) -> None:
+        """The request failed at the transport level."""

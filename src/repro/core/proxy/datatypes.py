@@ -1,0 +1,127 @@
+"""Uniform datatypes shared by every proxy binding.
+
+The paper's portability argument rests on these: ``currentLocation`` in a
+``proximityEvent`` is *the same type* on Android, S60 and WebView once
+proxies are in play.  The location type also carries the paper's example
+enrichment — output in degrees or radians.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.util.geo import haversine_m
+
+
+class AngleFormat(enum.Enum):
+    """Output format for angular fields (the paper's enrichment example)."""
+
+    DEGREES = "degrees"
+    RADIANS = "radians"
+
+
+@dataclass(frozen=True)
+class Location:
+    """The uniform location value (MobiVine's ``com.ibm...proxy.Location``).
+
+    Internally always decimal degrees; :meth:`latitude_in` /
+    :meth:`longitude_in` convert on read.
+    """
+
+    latitude: float
+    longitude: float
+    altitude: float = 0.0
+    accuracy_m: float = 0.0
+    timestamp_ms: float = 0.0
+    speed_mps: float = 0.0
+
+    def latitude_in(self, angle_format: AngleFormat) -> float:
+        if angle_format is AngleFormat.RADIANS:
+            return math.radians(self.latitude)
+        return self.latitude
+
+    def longitude_in(self, angle_format: AngleFormat) -> float:
+        if angle_format is AngleFormat.RADIANS:
+            return math.radians(self.longitude)
+        return self.longitude
+
+    def distance_to_m(self, other: "Location") -> float:
+        """Great-circle distance in metres."""
+        return haversine_m(
+            self.latitude, self.longitude, other.latitude, other.longitude
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.latitude, self.longitude, self.altitude)
+
+
+class CallOutcome(enum.Enum):
+    """Uniform terminal states of a proxied voice call."""
+
+    COMPLETED = "completed"
+    BUSY = "busy"
+    UNREACHABLE = "unreachable"
+    NO_ANSWER = "no-answer"
+    FAILED = "failed"
+
+
+@dataclass
+class CallHandle:
+    """Uniform handle for an in-flight proxied call."""
+
+    call_id: str
+    number: str
+    answered: bool = False
+    outcome: Optional[CallOutcome] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.outcome is not None
+
+
+@dataclass(frozen=True)
+class Contact:
+    """The uniform contact value (``com.ibm...proxy.Contact``).
+
+    Flattened from Android cursor rows and S60 PIM items alike.
+    """
+
+    contact_id: str
+    name: str
+    phone_numbers: Tuple[str, ...] = ()
+    email: str = ""
+
+    @property
+    def primary_number(self) -> Optional[str]:
+        return self.phone_numbers[0] if self.phone_numbers else None
+
+
+@dataclass(frozen=True)
+class CalendarEvent:
+    """The uniform calendar-event value (``com.ibm...proxy.CalendarEvent``)."""
+
+    event_id: str
+    summary: str
+    start_ms: float
+    end_ms: float
+    location: str = ""
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class HttpResult:
+    """Uniform HTTP response value."""
+
+    status: int
+    body: str
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300

@@ -1,0 +1,87 @@
+"""Uniform exception mapping.
+
+Each binding plane lists the platform exceptions its interface can throw
+and the uniform :class:`~repro.errors.ProxyError` subclass each maps to.
+:func:`map_platform_exception` performs the mapping at the proxy boundary;
+:func:`error_code_for` gives the stable numeric codes the WebView JS
+bindings use (exceptions cannot cross the JS/Java bridge, so errors travel
+as codes there — paper Section 4.1, step 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.descriptor.model import BindingPlane
+from repro.errors import (
+    ProxyError,
+    ProxyInvalidArgumentError,
+    ProxyPermissionError,
+    ProxyPlatformError,
+    ProxyPropertyError,
+    ProxyTimeoutError,
+    ProxyUnavailableError,
+)
+
+#: Uniform error classes addressable from a binding plane's ``mapsTo``.
+UNIFORM_ERRORS: Dict[str, Type[ProxyError]] = {
+    cls.__name__: cls
+    for cls in (
+        ProxyError,
+        ProxyPermissionError,
+        ProxyUnavailableError,
+        ProxyInvalidArgumentError,
+        ProxyPropertyError,
+        ProxyPlatformError,
+        ProxyTimeoutError,
+    )
+}
+
+
+def uniform_error_class(name: str) -> Type[ProxyError]:
+    """Resolve a ``mapsTo`` name; unknown names degrade to ProxyPlatformError."""
+    return UNIFORM_ERRORS.get(name, ProxyPlatformError)
+
+
+def error_code_for(name: str) -> int:
+    """The stable numeric code for a uniform error class name."""
+    return uniform_error_class(name).error_code
+
+
+def code_to_error_class(code: int) -> Type[ProxyError]:
+    """Inverse lookup used by the JS side when decoding bridge error codes."""
+    for cls in UNIFORM_ERRORS.values():
+        if cls.error_code == code:
+            return cls
+    return ProxyError
+
+
+def map_platform_exception(
+    binding: BindingPlane, exc: BaseException, operation: str
+) -> ProxyError:
+    """Build the uniform error for a platform exception.
+
+    The platform exception's class name is matched against the binding
+    plane's exception list (by simple class name, since descriptor entries
+    use Java-style qualified names whose last segment matches our Python
+    class names).  Unlisted exceptions map to
+    :class:`~repro.errors.ProxyPlatformError` — the proxy never lets a raw
+    platform type escape.  The original exception is chained as
+    ``__cause__``.
+    """
+    exc_name = type(exc).__name__
+    spec = None
+    for candidate in binding.exceptions:
+        candidate_simple = candidate.platform_class.rsplit(".", 1)[-1]
+        if candidate_simple == exc_name:
+            spec = candidate
+            break
+    if spec is not None:
+        error_class = uniform_error_class(spec.maps_to)
+    else:
+        error_class = ProxyPlatformError
+    error = error_class(
+        f"{operation} failed on {binding.platform}: {exc_name}: {exc}"
+    )
+    error.__cause__ = exc
+    return error

@@ -1,0 +1,49 @@
+"""Simulated mobile-device hardware.
+
+This package is the substitute for the physical handsets the paper measured
+on.  A :class:`~repro.device.device.MobileDevice` composes a GPS receiver,
+a cellular radio (voice + SMS), a data network interface and a battery, all
+driven by one shared virtual-time scheduler.  The platform substrates in
+``repro.platforms`` mount on top of a device and expose its capabilities
+through their (deliberately heterogeneous) APIs.
+"""
+
+from repro.device.profiles import DeviceProfile, InputMode
+from repro.device.gps import GpsReceiver, GpsFix, Trajectory, Waypoint
+from repro.device.telephony import CallSession, CallState, TelephonyUnit
+from repro.device.messaging import SmsCenter, SmsMessage, SmsDeliveryReport
+from repro.device.network import (
+    HttpRequest,
+    HttpResponse,
+    NetworkError,
+    SimulatedNetwork,
+)
+from repro.device.battery import Battery
+from repro.device.calendar import CalendarStore, EventRecord
+from repro.device.pim import ContactRecord, ContactStore
+from repro.device.device import MobileDevice
+
+__all__ = [
+    "DeviceProfile",
+    "InputMode",
+    "GpsReceiver",
+    "GpsFix",
+    "Trajectory",
+    "Waypoint",
+    "CallSession",
+    "CallState",
+    "TelephonyUnit",
+    "SmsCenter",
+    "SmsMessage",
+    "SmsDeliveryReport",
+    "HttpRequest",
+    "HttpResponse",
+    "NetworkError",
+    "SimulatedNetwork",
+    "Battery",
+    "CalendarStore",
+    "ContactRecord",
+    "ContactStore",
+    "EventRecord",
+    "MobileDevice",
+]

@@ -1,0 +1,101 @@
+"""Device calendar store.
+
+Substrate for the other half of the paper's future-work item
+("calendaring and contact list information").  One store per device,
+exposed through heterogeneous platform APIs exactly like the contact book.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.util.identifiers import IdGenerator
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One calendar entry (immutable; updates replace the record)."""
+
+    event_id: str
+    summary: str
+    start_ms: float
+    end_ms: float
+    location: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def overlaps(self, start_ms: float, end_ms: float) -> bool:
+        """Whether the event intersects the half-open window [start, end)."""
+        return self.start_ms < end_ms and start_ms < self.end_ms
+
+
+class CalendarStore:
+    """The device-level calendar."""
+
+    def __init__(self) -> None:
+        self._ids = IdGenerator()
+        self._records: Dict[str, EventRecord] = {}
+        #: Monotone revision, bumped on every mutation.
+        self.revision = 0
+
+    def add(
+        self,
+        summary: str,
+        start_ms: float,
+        end_ms: float,
+        location: str = "",
+    ) -> EventRecord:
+        """Create an event; returns it (with its new id)."""
+        if not summary:
+            raise ValueError("summary must be non-empty")
+        record = EventRecord(
+            event_id=self._ids.next("event"),
+            summary=summary,
+            start_ms=float(start_ms),
+            end_ms=float(end_ms),
+            location=location,
+        )
+        self._records[record.event_id] = record
+        self.revision += 1
+        return record
+
+    def update(self, record: EventRecord) -> None:
+        """Replace an existing event (matched by id)."""
+        if record.event_id not in self._records:
+            raise SimulationError(f"unknown event {record.event_id!r}")
+        self._records[record.event_id] = record
+        self.revision += 1
+
+    def remove(self, event_id: str) -> None:
+        """Delete an event; unknown ids raise."""
+        if event_id not in self._records:
+            raise SimulationError(f"unknown event {event_id!r}")
+        del self._records[event_id]
+        self.revision += 1
+
+    def get(self, event_id: str) -> EventRecord:
+        try:
+            return self._records[event_id]
+        except KeyError:
+            raise SimulationError(f"unknown event {event_id!r}") from None
+
+    def all(self) -> List[EventRecord]:
+        """Every event, ordered by start time then id (deterministic)."""
+        return sorted(
+            self._records.values(), key=lambda r: (r.start_ms, r.event_id)
+        )
+
+    def between(self, start_ms: float, end_ms: float) -> List[EventRecord]:
+        """Events overlapping the half-open window [start, end)."""
+        return [r for r in self.all() if r.overlaps(start_ms, end_ms)]
+
+    def __len__(self) -> int:
+        return len(self._records)

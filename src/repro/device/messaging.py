@@ -1,0 +1,201 @@
+"""SMS store-and-forward simulation.
+
+A single :class:`SmsCenter` (SMSC) connects every simulated device.  It
+models the parts of real SMS that matter to the platform substrates above:
+
+* GSM-7-style segmentation at 160 characters (153 per segment when
+  concatenated),
+* per-segment delivery latency on the virtual clock,
+* delivery reports back to the sender,
+* scriptable per-recipient failure injection (off-network numbers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.util.clock import Scheduler
+from repro.util.events import EventBus
+from repro.util.identifiers import IdGenerator
+
+TOPIC_SMS_DELIVERED = "sms.delivered"
+TOPIC_SMS_REPORT = "sms.report"
+
+#: Single-message character budget (GSM-7 septets).
+SINGLE_SEGMENT_CHARS = 160
+#: Per-segment budget once a concatenation header is needed.
+CONCAT_SEGMENT_CHARS = 153
+
+
+class DeliveryStatus(enum.Enum):
+    """Final status of a submitted message."""
+
+    PENDING = "pending"
+    DELIVERED = "delivered"
+    FAILED = "failed"
+
+
+@dataclass
+class SmsMessage:
+    """One logical text message (possibly multiple segments on the wire)."""
+
+    message_id: str
+    sender: str
+    recipient: str
+    text: str
+    submitted_at_ms: float
+    segments: int = 1
+    status: DeliveryStatus = DeliveryStatus.PENDING
+    delivered_at_ms: Optional[float] = None
+    failure_reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SmsDeliveryReport:
+    """Report handed back to the sending device."""
+
+    message_id: str
+    recipient: str
+    status: DeliveryStatus
+    timestamp_ms: float
+    failure_reason: Optional[str] = None
+
+
+def segment_count(text: str) -> int:
+    """Number of wire segments a text occupies under GSM-7 rules."""
+    if len(text) <= SINGLE_SEGMENT_CHARS:
+        return 1
+    full, rem = divmod(len(text), CONCAT_SEGMENT_CHARS)
+    return full + (1 if rem else 0)
+
+
+def split_segments(text: str) -> List[str]:
+    """The actual wire segments for ``text``."""
+    if len(text) <= SINGLE_SEGMENT_CHARS:
+        return [text]
+    return [
+        text[i : i + CONCAT_SEGMENT_CHARS]
+        for i in range(0, len(text), CONCAT_SEGMENT_CHARS)
+    ]
+
+
+class SmsCenter:
+    """The network-side message switch shared by all devices.
+
+    Devices appear as phone numbers.  A device "attaches" by registering an
+    inbox callback for its number; unattached numbers can be marked
+    reachable (messages queue silently) or unreachable (delivery fails).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        bus: EventBus,
+        *,
+        per_segment_latency_ms: float = 800.0,
+    ) -> None:
+        if per_segment_latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+        self._scheduler = scheduler
+        self._bus = bus
+        self._latency_ms = per_segment_latency_ms
+        self._ids = IdGenerator()
+        self._inboxes: Dict[str, List[Callable[[SmsMessage], None]]] = {}
+        self._unreachable: set = set()
+        self._messages: Dict[str, SmsMessage] = {}
+        self._inbox_log: Dict[str, List[SmsMessage]] = {}
+
+    def attach(self, number: str, on_message: Callable[[SmsMessage], None]) -> None:
+        """Register a device inbox callback for ``number``.
+
+        A number may have several callbacks (the device's own inbox plus a
+        platform's message-connection sink); all receive each delivery.
+        """
+        if not number:
+            raise ValueError("number must be non-empty")
+        self._inboxes.setdefault(number, []).append(on_message)
+
+    def detach(self, number: str) -> None:
+        """Remove every inbox callback for ``number``.  Idempotent."""
+        self._inboxes.pop(number, None)
+
+    def set_unreachable(self, number: str, unreachable: bool = True) -> None:
+        """Script delivery failure for a recipient number."""
+        if unreachable:
+            self._unreachable.add(number)
+        else:
+            self._unreachable.discard(number)
+
+    def message(self, message_id: str) -> SmsMessage:
+        """Look up a submitted message by id."""
+        try:
+            return self._messages[message_id]
+        except KeyError:
+            raise SimulationError(f"unknown message id {message_id!r}") from None
+
+    def inbox_of(self, number: str) -> List[SmsMessage]:
+        """Messages delivered to ``number`` so far (chronological)."""
+        return list(self._inbox_log.get(number, []))
+
+    def submit(
+        self,
+        sender: str,
+        recipient: str,
+        text: str,
+        on_report: Optional[Callable[[SmsDeliveryReport], None]] = None,
+    ) -> SmsMessage:
+        """Accept a message for delivery and return its tracking record.
+
+        Delivery (or failure) happens after ``segments * latency`` of
+        virtual time; the sender's ``on_report`` callback fires then.
+        """
+        if not recipient:
+            raise ValueError("recipient must be non-empty")
+        if text is None:
+            raise ValueError("text must not be None")
+        message = SmsMessage(
+            message_id=self._ids.next("sms"),
+            sender=sender,
+            recipient=recipient,
+            text=text,
+            submitted_at_ms=self._scheduler.clock.now_ms,
+            segments=segment_count(text),
+        )
+        self._messages[message.message_id] = message
+        delay = self._latency_ms * message.segments
+        self._scheduler.call_later(
+            delay,
+            lambda: self._deliver(message, on_report),
+            name=f"sms-deliver-{message.message_id}",
+        )
+        return message
+
+    def _deliver(
+        self,
+        message: SmsMessage,
+        on_report: Optional[Callable[[SmsDeliveryReport], None]],
+    ) -> None:
+        now = self._scheduler.clock.now_ms
+        if message.recipient in self._unreachable:
+            message.status = DeliveryStatus.FAILED
+            message.failure_reason = "recipient unreachable"
+        else:
+            message.status = DeliveryStatus.DELIVERED
+            message.delivered_at_ms = now
+            self._inbox_log.setdefault(message.recipient, []).append(message)
+            for inbox in list(self._inboxes.get(message.recipient, [])):
+                inbox(message)
+            self._bus.publish(TOPIC_SMS_DELIVERED, message)
+        report = SmsDeliveryReport(
+            message_id=message.message_id,
+            recipient=message.recipient,
+            status=message.status,
+            timestamp_ms=now,
+            failure_reason=message.failure_reason,
+        )
+        self._bus.publish(TOPIC_SMS_REPORT, report)
+        if on_report is not None:
+            on_report(report)

@@ -1,0 +1,174 @@
+"""Simulated data network and HTTP service fabric.
+
+The paper's workforce-management application talks to a server-side
+component over HTTP.  :class:`SimulatedNetwork` hosts named virtual servers
+(plain request handlers) and models per-round-trip latency and scriptable
+loss, all on the virtual clock.  Both synchronous and asynchronous request
+styles are provided because the three platform HTTP stacks differ on
+exactly this point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.util.clock import Scheduler
+from repro.util.identifiers import IdGenerator
+from repro.util.latency import LatencyModel
+
+
+class NetworkError(SimulationError):
+    """A request could not complete (no route, injected loss, bad host)."""
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A network-level HTTP request."""
+
+    method: str
+    host: str
+    path: str
+    headers: Tuple[Tuple[str, str], ...] = ()
+    body: str = ""
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A network-level HTTP response."""
+
+    status: int
+    body: str = ""
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+@dataclass
+class _Route:
+    method: str
+    path: str
+    handler: Handler
+
+
+class VirtualServer:
+    """A routed HTTP handler registered under a hostname."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._routes: List[_Route] = []
+        self.request_log: List[HttpRequest] = []
+
+    def route(self, method: str, path: str, handler: Handler) -> None:
+        """Register ``handler`` for exact (method, path) matches."""
+        self._routes.append(_Route(method.upper(), path, handler))
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch a request; 404 when no route matches."""
+        self.request_log.append(request)
+        for entry in self._routes:
+            if entry.method == request.method.upper() and entry.path == request.path:
+                return entry.handler(request)
+        return HttpResponse(status=404, body=f"no route for {request.path}")
+
+
+class SimulatedNetwork:
+    """The data bearer connecting devices to virtual servers.
+
+    Round-trip latency is drawn from a :class:`LatencyModel` under the
+    operation name ``"http.roundtrip"``; loss is scripted with
+    :meth:`fail_next`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._latency = latency or LatencyModel(mean_ms={"http.roundtrip": 120.0})
+        self._servers: Dict[str, VirtualServer] = {}
+        self._fail_queue: List[str] = []
+        self._ids = IdGenerator()
+
+    def add_server(self, host: str) -> VirtualServer:
+        """Create (or return the existing) virtual server for ``host``."""
+        if host not in self._servers:
+            self._servers[host] = VirtualServer(host)
+        return self._servers[host]
+
+    def server(self, host: str) -> VirtualServer:
+        try:
+            return self._servers[host]
+        except KeyError:
+            raise NetworkError(f"unknown host {host!r}") from None
+
+    def fail_next(self, reason: str = "injected loss") -> None:
+        """Make the next request fail with ``reason`` (FIFO if called twice)."""
+        self._fail_queue.append(reason)
+
+    def round_trip_latency_ms(self) -> float:
+        """Draw the latency the next request would experience."""
+        return self._latency.draw("http.roundtrip")
+
+    def request(self, request: HttpRequest) -> HttpResponse:
+        """Synchronous request: advances the virtual clock by the round trip.
+
+        Used by the blocking HTTP stacks (S60's ``HttpConnection``).
+        """
+        self._precheck(request)
+        self._scheduler.clock.advance(self.round_trip_latency_ms())
+        return self._dispatch(request)
+
+    def request_async(
+        self,
+        request: HttpRequest,
+        on_response: Callable[[HttpResponse], None],
+        on_error: Optional[Callable[[NetworkError], None]] = None,
+    ) -> str:
+        """Asynchronous request: response delivered via the scheduler.
+
+        Returns a request id.  Failures route to ``on_error`` when given,
+        otherwise raise at delivery time.
+        """
+        request_id = self._ids.next("http")
+
+        def deliver() -> None:
+            try:
+                self._precheck(request)
+            except NetworkError as exc:
+                if on_error is None:
+                    raise
+                on_error(exc)
+                return
+            on_response(self._dispatch(request))
+
+        self._scheduler.call_later(
+            self.round_trip_latency_ms(), deliver, name=f"http-{request_id}"
+        )
+        return request_id
+
+    def _precheck(self, request: HttpRequest) -> None:
+        if self._fail_queue:
+            reason = self._fail_queue.pop(0)
+            raise NetworkError(reason)
+        if request.host not in self._servers:
+            raise NetworkError(f"unknown host {request.host!r}")
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        return self._servers[request.host].handle(request)

@@ -1,0 +1,100 @@
+"""Personal-information-management store: the device's contact book.
+
+Substrate for the paper's future-work item ("extend MobiVine ... to cover
+other platform interfaces like those related to calendaring and contact
+list information").  One store per device; the platform substrates expose
+it through their own (heterogeneous) PIM APIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.util.identifiers import IdGenerator
+
+
+@dataclass(frozen=True)
+class ContactRecord:
+    """One address-book entry (immutable; updates replace the record)."""
+
+    contact_id: str
+    display_name: str
+    phone_numbers: Tuple[str, ...] = ()
+    email: str = ""
+
+    def with_number(self, number: str) -> "ContactRecord":
+        if number in self.phone_numbers:
+            return self
+        return replace(self, phone_numbers=self.phone_numbers + (number,))
+
+
+class ContactStore:
+    """The device-level contact book."""
+
+    def __init__(self) -> None:
+        self._ids = IdGenerator()
+        self._records: Dict[str, ContactRecord] = {}
+        #: Monotone revision, bumped on every mutation (lets platform
+        #: observers notice changes without content diffing).
+        self.revision = 0
+
+    def add(
+        self,
+        display_name: str,
+        phone_numbers: Tuple[str, ...] = (),
+        email: str = "",
+    ) -> ContactRecord:
+        """Create a record; returns it (with its new id)."""
+        if not display_name:
+            raise ValueError("display_name must be non-empty")
+        record = ContactRecord(
+            contact_id=self._ids.next("contact"),
+            display_name=display_name,
+            phone_numbers=tuple(phone_numbers),
+            email=email,
+        )
+        self._records[record.contact_id] = record
+        self.revision += 1
+        return record
+
+    def update(self, record: ContactRecord) -> None:
+        """Replace an existing record (matched by id)."""
+        if record.contact_id not in self._records:
+            raise SimulationError(f"unknown contact {record.contact_id!r}")
+        self._records[record.contact_id] = record
+        self.revision += 1
+
+    def remove(self, contact_id: str) -> None:
+        """Delete a record; unknown ids raise."""
+        if contact_id not in self._records:
+            raise SimulationError(f"unknown contact {contact_id!r}")
+        del self._records[contact_id]
+        self.revision += 1
+
+    def get(self, contact_id: str) -> ContactRecord:
+        try:
+            return self._records[contact_id]
+        except KeyError:
+            raise SimulationError(f"unknown contact {contact_id!r}") from None
+
+    def all(self) -> List[ContactRecord]:
+        """Every record, ordered by display name then id (deterministic)."""
+        return sorted(
+            self._records.values(), key=lambda r: (r.display_name, r.contact_id)
+        )
+
+    def find_by_name(self, fragment: str) -> List[ContactRecord]:
+        """Case-insensitive substring search over display names."""
+        needle = fragment.lower()
+        return [r for r in self.all() if needle in r.display_name.lower()]
+
+    def find_by_number(self, number: str) -> Optional[ContactRecord]:
+        for record in self.all():
+            if number in record.phone_numbers:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self._records)

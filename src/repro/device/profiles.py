@@ -1,0 +1,78 @@
+"""Device capability profiles.
+
+The paper's Section 6 enumerates three diversity axes — hardware, software
+platform, and environment.  A :class:`DeviceProfile` captures the hardware
+axis so the substrates can vary screen geometry, memory and input modes the
+way 2009-era handsets did.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+
+class InputMode(enum.Enum):
+    """Primary input hardware of a handset."""
+
+    KEYPAD = "keypad"
+    QWERTY = "qwerty"
+    TOUCH = "touch"
+    TOUCH_AND_KEYPAD = "touch+keypad"
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static hardware description of a simulated handset."""
+
+    name: str
+    screen_width_px: int = 320
+    screen_height_px: int = 480
+    color_depth_bits: int = 16
+    memory_mb: int = 128
+    input_mode: InputMode = InputMode.TOUCH
+    has_gps: bool = True
+    has_camera: bool = True
+    connectivity: FrozenSet[str] = field(
+        default_factory=lambda: frozenset({"gprs", "bluetooth"})
+    )
+    max_app_binary_kb: int = 10_240
+
+    def __post_init__(self) -> None:
+        if self.screen_width_px <= 0 or self.screen_height_px <= 0:
+            raise ValueError("screen dimensions must be positive")
+        if self.memory_mb <= 0:
+            raise ValueError("memory must be positive")
+        if self.max_app_binary_kb <= 0:
+            raise ValueError("max binary size must be positive")
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Width / height of the display."""
+        return self.screen_width_px / self.screen_height_px
+
+    def supports(self, bearer: str) -> bool:
+        """Whether the handset has the named connectivity bearer."""
+        return bearer in self.connectivity
+
+
+#: Profiles loosely modelled on the handset classes of the paper's era.
+ANDROID_DEV_PHONE = DeviceProfile(
+    name="android-dev-phone-1",
+    screen_width_px=320,
+    screen_height_px=480,
+    memory_mb=192,
+    input_mode=InputMode.TOUCH_AND_KEYPAD,
+    connectivity=frozenset({"gprs", "3g", "wifi", "bluetooth"}),
+)
+
+NOKIA_S60_HANDSET = DeviceProfile(
+    name="nokia-n95",
+    screen_width_px=240,
+    screen_height_px=320,
+    memory_mb=128,
+    input_mode=InputMode.KEYPAD,
+    connectivity=frozenset({"gprs", "3g", "wifi", "bluetooth", "ir"}),
+    max_app_binary_kb=4_096,
+)

@@ -1,0 +1,225 @@
+"""Voice-call simulation: a per-device telephony unit over a shared network.
+
+The call model is intentionally simple but stateful: a call progresses
+through DIALING → RINGING → ACTIVE → ENDED, with BUSY / UNREACHABLE /
+FAILED terminal branches.  Reachability of callees is scriptable, which
+the proxy-enrichment retry coordinator (Section 3.3 of the paper) exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.util.clock import Scheduler
+from repro.util.events import EventBus
+from repro.util.identifiers import IdGenerator
+
+TOPIC_CALL_STATE = "telephony.call"
+
+
+class CallState(enum.Enum):
+    """Lifecycle states of a voice call."""
+
+    DIALING = "dialing"
+    RINGING = "ringing"
+    ACTIVE = "active"
+    ENDED = "ended"
+    BUSY = "busy"
+    UNREACHABLE = "unreachable"
+    FAILED = "failed"
+
+
+#: States from which no further transitions happen.
+TERMINAL_STATES = frozenset(
+    {CallState.ENDED, CallState.BUSY, CallState.UNREACHABLE, CallState.FAILED}
+)
+
+_ALLOWED_TRANSITIONS: Dict[CallState, frozenset] = {
+    CallState.DIALING: frozenset(
+        {
+            CallState.RINGING,
+            CallState.BUSY,
+            CallState.UNREACHABLE,
+            CallState.FAILED,
+            CallState.ENDED,  # local hang-up before the network responds
+        }
+    ),
+    CallState.RINGING: frozenset({CallState.ACTIVE, CallState.ENDED, CallState.FAILED}),
+    CallState.ACTIVE: frozenset({CallState.ENDED, CallState.FAILED}),
+}
+
+
+@dataclass
+class CallSession:
+    """One voice call from this device to ``callee_number``."""
+
+    call_id: str
+    callee_number: str
+    state: CallState = CallState.DIALING
+    started_at_ms: float = 0.0
+    answered_at_ms: Optional[float] = None
+    ended_at_ms: Optional[float] = None
+    state_history: List[CallState] = field(default_factory=list)
+    #: State-change observers; notified on every transition, including
+    #: locally-initiated hang-ups.
+    listeners: List[Callable[["CallSession"], None]] = field(default_factory=list)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        """Talk time; ``None`` if the call never became active or not ended."""
+        if self.answered_at_ms is None or self.ended_at_ms is None:
+            return None
+        return self.ended_at_ms - self.answered_at_ms
+
+
+class TelephonyUnit:
+    """The voice-call modem of one device.
+
+    Callee behaviour is configured with :meth:`set_callee_behavior`: each
+    number maps to one of ``"answer"``, ``"busy"``, ``"unreachable"``, or
+    ``"no-answer"``.  Unknown numbers default to ``"answer"``.
+    """
+
+    ANSWER = "answer"
+    BUSY = "busy"
+    UNREACHABLE = "unreachable"
+    NO_ANSWER = "no-answer"
+
+    _BEHAVIORS = frozenset({ANSWER, BUSY, UNREACHABLE, NO_ANSWER})
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        bus: EventBus,
+        *,
+        dial_latency_ms: float = 300.0,
+        ring_duration_ms: float = 1_500.0,
+        ring_timeout_ms: float = 20_000.0,
+    ) -> None:
+        self._scheduler = scheduler
+        self._bus = bus
+        self._dial_latency_ms = dial_latency_ms
+        self._ring_duration_ms = ring_duration_ms
+        self._ring_timeout_ms = ring_timeout_ms
+        self._ids = IdGenerator()
+        self._behaviors: Dict[str, str] = {}
+        self._sessions: Dict[str, CallSession] = {}
+        self._active_call: Optional[CallSession] = None
+
+    @property
+    def active_call(self) -> Optional[CallSession]:
+        """The in-progress call, if any (one voice channel per device)."""
+        if self._active_call is not None and self._active_call.is_terminal:
+            return None
+        return self._active_call
+
+    def set_callee_behavior(self, number: str, behavior: str) -> None:
+        """Script how the given number reacts to incoming calls."""
+        if behavior not in self._BEHAVIORS:
+            raise ValueError(
+                f"behavior must be one of {sorted(self._BEHAVIORS)}, got {behavior!r}"
+            )
+        self._behaviors[number] = behavior
+
+    def session(self, call_id: str) -> CallSession:
+        """Look up a session by id."""
+        try:
+            return self._sessions[call_id]
+        except KeyError:
+            raise SimulationError(f"unknown call id {call_id!r}") from None
+
+    def dial(
+        self,
+        number: str,
+        on_state: Optional[Callable[[CallSession], None]] = None,
+    ) -> CallSession:
+        """Start a call to ``number``.
+
+        ``on_state`` (if given) is invoked on every state change, after the
+        event-bus publish.  Raises if a call is already in progress — the
+        single-voice-channel constraint of a handset.
+        """
+        if self.active_call is not None:
+            raise SimulationError(
+                f"voice channel busy with call {self._active_call.call_id}"
+            )
+        if not number:
+            raise ValueError("callee number must be non-empty")
+        session = CallSession(
+            call_id=self._ids.next("call"),
+            callee_number=number,
+            started_at_ms=self._scheduler.clock.now_ms,
+        )
+        session.state_history.append(session.state)
+        if on_state is not None:
+            session.listeners.append(on_state)
+        self._sessions[session.call_id] = session
+        self._active_call = session
+        self._scheduler.call_later(
+            self._dial_latency_ms,
+            lambda: self._on_dialed(session),
+            name=f"dial-{session.call_id}",
+        )
+        return session
+
+    def hang_up(self, session: CallSession) -> None:
+        """Locally terminate a ringing or active call."""
+        if session.is_terminal:
+            return
+        self._transition(session, CallState.ENDED)
+
+    def _on_dialed(self, session: CallSession) -> None:
+        if session.is_terminal:  # hung up while dialing
+            return
+        behavior = self._behaviors.get(session.callee_number, self.ANSWER)
+        if behavior == self.BUSY:
+            self._transition(session, CallState.BUSY)
+        elif behavior == self.UNREACHABLE:
+            self._transition(session, CallState.UNREACHABLE)
+        else:
+            self._transition(session, CallState.RINGING)
+            if behavior == self.ANSWER:
+                self._scheduler.call_later(
+                    self._ring_duration_ms,
+                    lambda: self._on_answered(session),
+                    name=f"answer-{session.call_id}",
+                )
+            else:  # NO_ANSWER: ring until timeout then end
+                self._scheduler.call_later(
+                    self._ring_timeout_ms,
+                    lambda: self._on_ring_timeout(session),
+                    name=f"ring-timeout-{session.call_id}",
+                )
+
+    def _on_answered(self, session: CallSession) -> None:
+        if session.is_terminal:
+            return
+        session.answered_at_ms = self._scheduler.clock.now_ms
+        self._transition(session, CallState.ACTIVE)
+
+    def _on_ring_timeout(self, session: CallSession) -> None:
+        if session.state is CallState.RINGING:
+            self._transition(session, CallState.ENDED)
+
+    def _transition(self, session: CallSession, new_state: CallState) -> None:
+        allowed = _ALLOWED_TRANSITIONS.get(session.state, frozenset())
+        if new_state not in allowed:
+            raise SimulationError(
+                f"illegal call transition {session.state.value} -> {new_state.value}"
+            )
+        session.state = new_state
+        session.state_history.append(new_state)
+        if new_state in TERMINAL_STATES:
+            session.ended_at_ms = self._scheduler.clock.now_ms
+            if self._active_call is session:
+                self._active_call = None
+        self._bus.publish(TOPIC_CALL_STATE, session)
+        for listener in list(session.listeners):
+            listener(session)

@@ -1,0 +1,89 @@
+"""Top-level exception hierarchy for the reproduction.
+
+Platform-specific exception types (``SecurityException`` on Android,
+``LocationException`` on S60, error codes on WebView) live inside their
+platform packages, because platform-specific exception sets are part of the
+fragmentation phenomenon the paper studies.  The types here are either
+infrastructure errors of the simulation itself or the *uniform* error
+surface that MobiVine exposes to applications.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction itself."""
+
+
+class SimulationError(ReproError):
+    """The simulated substrate was driven into an impossible state."""
+
+
+class ClockError(SimulationError):
+    """Virtual time was manipulated incorrectly (e.g. moved backwards)."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid inputs."""
+
+
+class DescriptorError(ReproError):
+    """An M-Proxy descriptor is malformed or fails schema validation."""
+
+
+class RegistryError(ReproError):
+    """Lookup in the proxy registry failed."""
+
+
+class ProxyError(ReproError):
+    """Base class of the uniform error surface exposed by M-Proxies.
+
+    Platform exceptions are mapped onto subclasses of this type by each
+    binding, per the binding plane's exception list.
+    """
+
+    #: Stable numeric code (used verbatim by the WebView JS bindings, where
+    #: exceptions cannot cross the bridge and must travel as error codes).
+    error_code = 1000
+
+
+class ProxyPermissionError(ProxyError):
+    """The platform denied the operation (Android ``SecurityException``...)."""
+
+    error_code = 1001
+
+
+class ProxyUnavailableError(ProxyError):
+    """The requested capability does not exist on this platform.
+
+    The paper's example: the Call interface is not exposed on Nokia S60, so
+    no Call proxy binding can exist there.
+    """
+
+    error_code = 1002
+
+
+class ProxyInvalidArgumentError(ProxyError):
+    """An argument violated the semantic plane's declared dimensions."""
+
+    error_code = 1003
+
+
+class ProxyPropertyError(ProxyError):
+    """A ``set_property`` call used an unknown key or disallowed value."""
+
+    error_code = 1004
+
+
+class ProxyPlatformError(ProxyError):
+    """A platform-internal failure surfaced through the proxy.
+
+    Carries the original platform exception as ``__cause__`` so diagnostics
+    survive the uniformization.
+    """
+
+    error_code = 1005
+
+
+class ProxyTimeoutError(ProxyError):
+    """The underlying platform operation did not finish in time."""
+
+    error_code = 1006

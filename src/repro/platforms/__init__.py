@@ -1,0 +1,25 @@
+"""Platform middleware substrates.
+
+Three deliberately heterogeneous platform stacks, mirroring the paper's
+implementation targets:
+
+``repro.platforms.android``
+    Android-like: Context + system services, Intent/IntentReceiver
+    broadcast callbacks, Activity lifecycle, ``SecurityException``-style
+    permission failures, and an SDK-version switch (m5-rc15 vs 1.0).
+``repro.platforms.s60``
+    Nokia S60 / J2ME-like: MIDlet lifecycle, Criteria-based
+    ``LocationProvider`` acquisition, one-shot ``ProximityListener``,
+    checked ``LocationException``, single-jar MIDlet-suite packaging.
+``repro.platforms.webview``
+    Android WebView-like: a JavaScript object domain bridged to Java via
+    ``add_javascript_interface`` with the real constraint that callbacks
+    cannot cross the bridge.
+
+The disagreement between these APIs is the phenomenon the paper studies;
+it is fixed behaviour under test, not an accident to be cleaned up.
+"""
+
+from repro.platforms.base import PlatformBase
+
+__all__ = ["PlatformBase"]

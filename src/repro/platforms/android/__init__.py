@@ -1,0 +1,60 @@
+"""Android-like platform substrate.
+
+Java API names map to Python ``snake_case`` one-for-one (documented on each
+method), e.g. ``LocationManager.addProximityAlert`` becomes
+``LocationManager.add_proximity_alert``.  Semantics follow the paper's two
+SDK targets:
+
+* **m5-rc15** — ``add_proximity_alert`` takes a plain :class:`Intent`.
+* **1.0** — the same API requires a :class:`PendingIntent`; passing a raw
+  Intent raises ``IllegalArgumentException``.  This one-line platform
+  evolution drives the paper's maintenance argument.
+"""
+
+from repro.platforms.android.exceptions import (
+    AndroidRuntimeException,
+    IllegalArgumentException,
+    IllegalStateException,
+    SecurityException,
+)
+from repro.platforms.android.intents import (
+    Intent,
+    IntentFilter,
+    IntentReceiver,
+    PendingIntent,
+)
+from repro.platforms.android.context import Context
+from repro.platforms.android.activity import Activity
+from repro.platforms.android.location import Location, LocationManager
+from repro.platforms.android.telephony import IPhone, SmsManager
+from repro.platforms.android.http import (
+    HttpClient,
+    HttpGet,
+    HttpPost,
+    HttpResponseAndroid,
+)
+from repro.platforms.android.versions import SdkVersion
+from repro.platforms.android.platform import AndroidPlatform
+
+__all__ = [
+    "AndroidPlatform",
+    "AndroidRuntimeException",
+    "Activity",
+    "Context",
+    "HttpClient",
+    "HttpGet",
+    "HttpPost",
+    "HttpResponseAndroid",
+    "IPhone",
+    "IllegalArgumentException",
+    "IllegalStateException",
+    "Intent",
+    "IntentFilter",
+    "IntentReceiver",
+    "Location",
+    "LocationManager",
+    "PendingIntent",
+    "SdkVersion",
+    "SecurityException",
+    "SmsManager",
+]

@@ -1,0 +1,126 @@
+"""Activity lifecycle.
+
+An Android application's entry point extends :class:`Activity` — part of
+the tight coupling between application structure and platform middleware
+the paper highlights (an S60 app extends ``MIDlet`` instead).  Lifecycle
+state transitions follow the classic diagram: created → started → resumed
+→ paused → stopped → destroyed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, TYPE_CHECKING
+
+from repro.platforms.android.context import Context
+from repro.platforms.android.exceptions import IllegalStateException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.android.platform import AndroidPlatform
+
+
+class ActivityState(enum.Enum):
+    """Lifecycle states an Activity moves through."""
+
+    INITIAL = "initial"
+    CREATED = "created"
+    STARTED = "started"
+    RESUMED = "resumed"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+
+class Activity(Context):
+    """Base class for Android application components.
+
+    An Activity *is a* Context (as in real Android) — application code can
+    pass ``self`` wherever a context is needed, which is exactly what the
+    paper's code fragments do (``loc.setProperty("context", this)``).
+
+    Subclasses override the ``on_*`` hooks.  Java mapping: ``onCreate`` →
+    :meth:`on_create`, etc.
+    """
+
+    def __init__(self, platform: "AndroidPlatform", package_name: str) -> None:
+        super().__init__(
+            platform,
+            package_name,
+            granted_permissions=platform.manifest_permissions(package_name),
+        )
+        self._state = ActivityState.INITIAL
+        self._lifecycle_log: List[ActivityState] = []
+
+    # -- lifecycle hooks (override points) ---------------------------------
+
+    def on_create(self) -> None:
+        """First lifecycle hook; register receivers and services here."""
+
+    def on_start(self) -> None:
+        """The activity is becoming visible."""
+
+    def on_resume(self) -> None:
+        """The activity is in the foreground."""
+
+    def on_pause(self) -> None:
+        """The activity is losing the foreground."""
+
+    def on_stop(self) -> None:
+        """The activity is no longer visible."""
+
+    def on_destroy(self) -> None:
+        """Final hook; release everything."""
+
+    # -- lifecycle driving (the platform calls these) -----------------------
+
+    @property
+    def state(self) -> ActivityState:
+        return self._state
+
+    @property
+    def lifecycle_log(self) -> List[ActivityState]:
+        """Every state entered, in order (test aid)."""
+        return list(self._lifecycle_log)
+
+    def _enter(self, state: ActivityState) -> None:
+        self._state = state
+        self._lifecycle_log.append(state)
+
+    def perform_launch(self) -> None:
+        """Drive create → start → resume."""
+        if self._state is not ActivityState.INITIAL:
+            raise IllegalStateException(f"cannot launch from {self._state.value}")
+        self._enter(ActivityState.CREATED)
+        self.on_create()
+        self._enter(ActivityState.STARTED)
+        self.on_start()
+        self._enter(ActivityState.RESUMED)
+        self.on_resume()
+
+    def perform_pause(self) -> None:
+        if self._state is not ActivityState.RESUMED:
+            raise IllegalStateException(f"cannot pause from {self._state.value}")
+        self._enter(ActivityState.PAUSED)
+        self.on_pause()
+
+    def perform_resume(self) -> None:
+        if self._state is not ActivityState.PAUSED:
+            raise IllegalStateException(f"cannot resume from {self._state.value}")
+        self._enter(ActivityState.RESUMED)
+        self.on_resume()
+
+    def perform_stop(self) -> None:
+        if self._state not in (ActivityState.PAUSED,):
+            raise IllegalStateException(f"cannot stop from {self._state.value}")
+        self._enter(ActivityState.STOPPED)
+        self.on_stop()
+
+    def perform_destroy(self) -> None:
+        if self._state in (ActivityState.DESTROYED, ActivityState.INITIAL):
+            raise IllegalStateException(f"cannot destroy from {self._state.value}")
+        if self._state is ActivityState.RESUMED:
+            self.perform_pause()
+        if self._state is ActivityState.PAUSED:
+            self.perform_stop()
+        self._enter(ActivityState.DESTROYED)
+        self.on_destroy()

@@ -1,0 +1,89 @@
+"""Android calendar content provider.
+
+Same content-provider idiom as contacts — string URI, cursor rows,
+``ContentValues`` — with the calendar provider's own column vocabulary
+(``title``/``dtstart``/``dtend``, as in real Android), which differs from
+both the contacts provider's and S60's typed event items.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.platforms.android.contacts import ContentValues, Cursor
+from repro.platforms.android.exceptions import IllegalArgumentException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.android.platform import AndroidPlatform
+
+#: The calendar provider URI.
+CALENDAR_URI = "content://calendar/events"
+
+#: Manifest permissions.
+READ_CALENDAR = "android.permission.READ_CALENDAR"
+WRITE_CALENDAR = "android.permission.WRITE_CALENDAR"
+
+#: Cursor column names (the provider's vocabulary).
+COLUMN_ID = "_id"
+COLUMN_TITLE = "title"
+COLUMN_DTSTART = "dtstart"
+COLUMN_DTEND = "dtend"
+COLUMN_EVENT_LOCATION = "eventLocation"
+
+
+class CalendarProvider:
+    """Provider backend mounted under :data:`CALENDAR_URI`."""
+
+    def __init__(self, platform: "AndroidPlatform", context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def query(self, selection: Optional[str] = None) -> Cursor:
+        """All events, or those whose title contains ``selection``."""
+        self._context.enforce_permission(READ_CALENDAR, "query")
+        self._platform.charge_native("android.calendar.query")
+        store = self._platform.device.calendar
+        records = store.all()
+        if selection:
+            needle = selection.lower()
+            records = [r for r in records if needle in r.summary.lower()]
+        rows = [
+            {
+                COLUMN_ID: record.event_id,
+                COLUMN_TITLE: record.summary,
+                COLUMN_DTSTART: str(record.start_ms),
+                COLUMN_DTEND: str(record.end_ms),
+                COLUMN_EVENT_LOCATION: record.location or None,
+            }
+            for record in records
+        ]
+        return Cursor(rows)
+
+    def insert(self, values: ContentValues) -> str:
+        self._context.enforce_permission(WRITE_CALENDAR, "insert")
+        title = values.get(COLUMN_TITLE)
+        if not title:
+            raise IllegalArgumentException(f"{COLUMN_TITLE} is required")
+        start = values.get(COLUMN_DTSTART)
+        end = values.get(COLUMN_DTEND)
+        if start is None or end is None:
+            raise IllegalArgumentException(
+                f"{COLUMN_DTSTART} and {COLUMN_DTEND} are required"
+            )
+        self._platform.charge_native("android.calendar.insert")
+        record = self._platform.device.calendar.add(
+            title,
+            float(start),
+            float(end),
+            location=values.get(COLUMN_EVENT_LOCATION) or "",
+        )
+        return f"{CALENDAR_URI}/{record.event_id}"
+
+    def delete(self, event_id: str) -> int:
+        self._context.enforce_permission(WRITE_CALENDAR, "delete")
+        self._platform.charge_native("android.calendar.delete")
+        try:
+            self._platform.device.calendar.remove(event_id)
+        except Exception:
+            return 0
+        return 1

@@ -1,0 +1,175 @@
+"""Android contacts: ContentResolver / Cursor / ContentValues style.
+
+Android exposes the address book through its content-provider interface:
+string URIs, row cursors with column names, and ``ContentValues`` bags —
+nothing like S60's typed PIM items.  The Contacts M-Proxy flattens both.
+
+Java mapping: ``getContentResolver`` →
+:meth:`~repro.platforms.android.context.Context.get_content_resolver`,
+``moveToNext`` → :meth:`Cursor.move_to_next`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.platforms.android.exceptions import IllegalArgumentException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.android.platform import AndroidPlatform
+
+#: The contacts provider URI (m5-era shape).
+CONTACTS_URI = "content://contacts/people"
+
+#: Manifest permissions.
+READ_CONTACTS = "android.permission.READ_CONTACTS"
+WRITE_CONTACTS = "android.permission.WRITE_CONTACTS"
+
+#: Cursor column names (the provider's vocabulary, not the device's).
+COLUMN_ID = "_id"
+COLUMN_DISPLAY_NAME = "display_name"
+COLUMN_NUMBER = "number"
+COLUMN_EMAIL = "email"
+
+
+class ContentValues:
+    """A typed bag of column values (Java: ``ContentValues``)."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Any] = {}
+
+    def put(self, key: str, value: Any) -> None:
+        if not key:
+            raise IllegalArgumentException("column name must be non-empty")
+        self._values[key] = value
+
+    def get(self, key: str) -> Any:
+        return self._values.get(key)
+
+    def keys(self) -> List[str]:
+        return sorted(self._values)
+
+
+class Cursor:
+    """A forward-only row cursor (Java: ``Cursor``)."""
+
+    def __init__(self, rows: List[Dict[str, Any]]) -> None:
+        self._rows = rows
+        self._position = -1
+        self._closed = False
+
+    def get_count(self) -> int:
+        return len(self._rows)
+
+    def move_to_next(self) -> bool:
+        """Advance; returns False past the last row (Java idiom)."""
+        if self._closed:
+            raise IllegalArgumentException("cursor is closed")
+        self._position += 1
+        return self._position < len(self._rows)
+
+    def get_string(self, column: str) -> Optional[str]:
+        if self._closed:
+            raise IllegalArgumentException("cursor is closed")
+        if not 0 <= self._position < len(self._rows):
+            raise IllegalArgumentException("cursor not positioned on a row")
+        value = self._rows[self._position].get(column)
+        return None if value is None else str(value)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class ContentResolver:
+    """The content-provider front door, bound to a calling context.
+
+    Dispatches by URI: the contacts provider lives here, the calendar
+    provider in :mod:`repro.platforms.android.calendar_provider`.
+    """
+
+    def __init__(self, platform: "AndroidPlatform", context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def _calendar(self):
+        from repro.platforms.android.calendar_provider import CalendarProvider
+
+        return CalendarProvider(self._platform, self._context)
+
+    @staticmethod
+    def _is_calendar(uri: str) -> bool:
+        from repro.platforms.android.calendar_provider import CALENDAR_URI
+
+        return uri == CALENDAR_URI or uri.startswith(f"{CALENDAR_URI}/")
+
+    def query(self, uri: str, selection: Optional[str] = None) -> Cursor:
+        """Query a provider URI.
+
+        ``selection`` (when given) is a name/title substring filter — a
+        simplified stand-in for SQL selections.  Requires the provider's
+        read permission.
+        """
+        if self._is_calendar(uri):
+            return self._calendar().query(selection)
+        self._check_uri(uri)
+        self._context.enforce_permission(READ_CONTACTS, "query")
+        self._platform.charge_native("android.contacts.query")
+        store = self._platform.device.contacts
+        records = (
+            store.find_by_name(selection) if selection else store.all()
+        )
+        rows = [
+            {
+                COLUMN_ID: record.contact_id,
+                COLUMN_DISPLAY_NAME: record.display_name,
+                COLUMN_NUMBER: record.phone_numbers[0] if record.phone_numbers else None,
+                COLUMN_EMAIL: record.email or None,
+            }
+            for record in records
+        ]
+        return Cursor(rows)
+
+    def insert(self, uri: str, values: ContentValues) -> str:
+        """Insert a row; returns the new row URI (Java contract).
+
+        Requires the provider's write permission.
+        """
+        if self._is_calendar(uri):
+            return self._calendar().insert(values)
+        self._check_uri(uri)
+        self._context.enforce_permission(WRITE_CONTACTS, "insert")
+        name = values.get(COLUMN_DISPLAY_NAME)
+        if not name:
+            raise IllegalArgumentException(f"{COLUMN_DISPLAY_NAME} is required")
+        self._platform.charge_native("android.contacts.insert")
+        number = values.get(COLUMN_NUMBER)
+        record = self._platform.device.contacts.add(
+            name,
+            phone_numbers=(number,) if number else (),
+            email=values.get(COLUMN_EMAIL) or "",
+        )
+        return f"{CONTACTS_URI}/{record.contact_id}"
+
+    def delete(self, row_uri: str) -> int:
+        """Delete by row URI; returns the number of rows removed."""
+        if self._is_calendar(row_uri):
+            from repro.platforms.android.calendar_provider import CALENDAR_URI
+
+            return self._calendar().delete(row_uri[len(f"{CALENDAR_URI}/"):])
+        prefix = f"{CONTACTS_URI}/"
+        if not row_uri.startswith(prefix):
+            raise IllegalArgumentException(f"bad row uri {row_uri!r}")
+        self._context.enforce_permission(WRITE_CONTACTS, "delete")
+        self._platform.charge_native("android.contacts.delete")
+        contact_id = row_uri[len(prefix):]
+        store = self._platform.device.contacts
+        try:
+            store.remove(contact_id)
+        except Exception:
+            return 0
+        return 1
+
+    @staticmethod
+    def _check_uri(uri: str) -> None:
+        if uri != CONTACTS_URI:
+            raise IllegalArgumentException(f"unknown content uri {uri!r}")

@@ -1,0 +1,104 @@
+"""Application context and system-service registry.
+
+The paper calls out that obtaining a ``LocationManager`` on Android needs
+the *application context* — a platform-mandated attribute that must not
+leak into a common API, and which MobiVine therefore routes through
+``set_property("context", ...)``.  This module reproduces that seam.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Set, TYPE_CHECKING
+
+from repro.platforms.android.exceptions import (
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.android.intents import BroadcastRegistry, Intent, IntentFilter, IntentReceiver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.android.platform import AndroidPlatform
+
+
+class Context:
+    """Per-application handle onto the platform.
+
+    Java name mapping: ``getSystemService`` → :meth:`get_system_service`,
+    ``registerReceiver`` → :meth:`register_receiver`,
+    ``sendBroadcast`` → :meth:`send_broadcast`,
+    ``checkPermission`` → :meth:`check_permission`.
+    """
+
+    #: Service name constants (Java: Context.LOCATION_SERVICE etc.)
+    LOCATION_SERVICE = "location"
+    TELEPHONY_SERVICE = "phone"
+    CONNECTIVITY_SERVICE = "connectivity"
+
+    def __init__(
+        self,
+        platform: "AndroidPlatform",
+        package_name: str,
+        granted_permissions: Optional[Set[str]] = None,
+    ) -> None:
+        self._platform = platform
+        self._package_name = package_name
+        self._granted: Set[str] = set(granted_permissions or set())
+        self._registry: BroadcastRegistry = platform.broadcast_registry
+
+    @property
+    def package_name(self) -> str:
+        return self._package_name
+
+    @property
+    def platform(self) -> "AndroidPlatform":
+        return self._platform
+
+    def get_system_service(self, name: str) -> Any:
+        """Look up a platform service by its well-known name.
+
+        Unknown names raise ``IllegalArgumentException`` (real Android
+        returns null; the substrate is stricter so misuse fails loudly).
+        """
+        service = self._platform.system_service(name, self)
+        if service is None:
+            raise IllegalArgumentException(f"unknown system service {name!r}")
+        return service
+
+    def get_content_resolver(self):
+        """The content-provider front door (Java: ``getContentResolver``)."""
+        from repro.platforms.android.contacts import ContentResolver
+
+        return ContentResolver(self._platform, self)
+
+    # -- permissions -------------------------------------------------------
+
+    def check_permission(self, permission: str) -> bool:
+        """Whether this application holds ``permission``."""
+        return permission in self._granted
+
+    def enforce_permission(self, permission: str, what: str) -> None:
+        """Raise ``SecurityException`` unless ``permission`` is held."""
+        if permission not in self._granted:
+            raise SecurityException(
+                f"{self._package_name} lacks {permission} required by {what}"
+            )
+
+    def grant_permission(self, permission: str) -> None:
+        """Test/installer hook: add a manifest permission."""
+        self._granted.add(permission)
+
+    # -- broadcasts ----------------------------------------------------------
+
+    def register_receiver(
+        self, receiver: IntentReceiver, intent_filter: IntentFilter
+    ) -> None:
+        """Subscribe ``receiver`` to broadcasts matching ``intent_filter``."""
+        self._registry.register(receiver, intent_filter)
+
+    def unregister_receiver(self, receiver: IntentReceiver) -> None:
+        """Remove all registrations of ``receiver``."""
+        self._registry.unregister(receiver)
+
+    def send_broadcast(self, intent: Intent) -> int:
+        """Broadcast ``intent`` to matching receivers (returns delivery count)."""
+        return self._registry.broadcast(self, intent)

@@ -1,0 +1,27 @@
+"""Android's platform-specific exception set.
+
+These intentionally do **not** derive from ``repro.errors.ProxyError`` —
+they are raw platform exceptions.  The binding plane of each M-Proxy lists
+which of these a given interface can throw, and the proxy runtime maps them
+onto the uniform hierarchy.
+"""
+
+
+class AndroidRuntimeException(Exception):
+    """Root of the Android substrate's unchecked exceptions."""
+
+
+class SecurityException(AndroidRuntimeException):
+    """A manifest permission required by the API is missing."""
+
+
+class IllegalArgumentException(AndroidRuntimeException):
+    """An argument is invalid for this SDK version or API."""
+
+
+class IllegalStateException(AndroidRuntimeException):
+    """The component is not in a state that allows the call."""
+
+
+class ActivityNotFoundException(AndroidRuntimeException):
+    """No component can handle the launched intent."""

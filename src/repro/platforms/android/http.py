@@ -1,0 +1,143 @@
+"""Apache-HttpClient-style HTTP stack (Java: ``org.apache.http``).
+
+Android's bundled HTTP API is the Apache client: request objects
+(``HttpGet`` / ``HttpPost``) executed by an ``HttpClient`` returning a
+response whose status and entity are dug out through ``getStatusLine()``
+and ``getEntity()`` — very different from S60's ``Connector.open`` URLs
+and from the WebView's XHR-ish style.  The HTTP M-Proxy flattens all
+three.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TYPE_CHECKING
+from urllib.parse import urlparse
+
+from repro.device.network import HttpRequest, HttpResponse, NetworkError
+from repro.platforms.android.exceptions import IllegalArgumentException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.android.platform import AndroidPlatform
+
+#: Manifest permission for network access.
+INTERNET = "android.permission.INTERNET"
+
+
+class IOException(Exception):
+    """Java-style checked I/O failure raised by ``HttpClient.execute``."""
+
+
+class _HttpUriRequest:
+    """Base of the Apache-style request objects."""
+
+    method = "GET"
+
+    def __init__(self, url: str) -> None:
+        parsed = urlparse(url)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise IllegalArgumentException(f"malformed url {url!r}")
+        self.url = url
+        self.host = parsed.netloc
+        self.path = parsed.path or "/"
+        if parsed.query:
+            self.path = f"{self.path}?{parsed.query}"
+        self._headers: List[Tuple[str, str]] = []
+
+    def add_header(self, name: str, value: str) -> None:
+        """Java: ``addHeader``."""
+        self._headers.append((name, value))
+
+    def headers(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(self._headers)
+
+    def body(self) -> str:
+        return ""
+
+
+class HttpGet(_HttpUriRequest):
+    """Java: ``org.apache.http.client.methods.HttpGet``."""
+
+    method = "GET"
+
+
+class HttpPost(_HttpUriRequest):
+    """Java: ``org.apache.http.client.methods.HttpPost``."""
+
+    method = "POST"
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url)
+        self._entity = ""
+
+    def set_entity(self, body: str) -> None:
+        """Java: ``setEntity(new StringEntity(...))``."""
+        self._entity = body
+
+    def body(self) -> str:
+        return self._entity
+
+
+class _StatusLine:
+    """Java: ``response.getStatusLine()``."""
+
+    def __init__(self, status: int) -> None:
+        self._status = status
+
+    def get_status_code(self) -> int:
+        return self._status
+
+
+class _HttpEntity:
+    """Java: ``response.getEntity()``."""
+
+    def __init__(self, body: str) -> None:
+        self._body = body
+
+    def get_content(self) -> str:
+        """Simplified: the entity content as text."""
+        return self._body
+
+
+class HttpResponseAndroid:
+    """Apache-style response wrapper."""
+
+    def __init__(self, raw: HttpResponse) -> None:
+        self._raw = raw
+
+    def get_status_line(self) -> _StatusLine:
+        return _StatusLine(self._raw.status)
+
+    def get_entity(self) -> _HttpEntity:
+        return _HttpEntity(self._raw.body)
+
+    def get_all_headers(self) -> Tuple[Tuple[str, str], ...]:
+        return self._raw.headers
+
+
+class HttpClient:
+    """Java: ``DefaultHttpClient``; blocking execute with checked IOException."""
+
+    def __init__(self, platform: "AndroidPlatform", context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def execute(self, request: _HttpUriRequest) -> HttpResponseAndroid:
+        """Run the request synchronously.
+
+        Network-level failures surface as :class:`IOException` (Java
+        semantics), not as the substrate's :class:`NetworkError`.
+        """
+        self._context.enforce_permission(INTERNET, "HttpClient.execute")
+        self._platform.charge_native("android.http")
+        wire_request = HttpRequest(
+            method=request.method,
+            host=request.host,
+            path=request.path,
+            headers=request.headers(),
+            body=request.body(),
+        )
+        try:
+            raw = self._platform.device.network.request(wire_request)
+        except NetworkError as exc:
+            raise IOException(str(exc)) from exc
+        return HttpResponseAndroid(raw)

@@ -1,0 +1,200 @@
+"""Intent / IntentReceiver broadcast machinery.
+
+This is Android's native callback style: components never hand function
+objects to the platform; they register an :class:`IntentReceiver` against
+an :class:`IntentFilter` and the platform *broadcasts* :class:`Intent`
+objects at them.  The paper's Location proxy exists largely to hide this
+machinery behind a plain listener object (Section 4.1, "Handling callbacks
+on Android").
+
+Java name mapping: ``onReceiveIntent`` → :meth:`IntentReceiver.on_receive_intent`,
+``getBooleanExtra`` → :meth:`Intent.get_boolean_extra`, etc.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.platforms.android.exceptions import IllegalArgumentException
+
+
+class Intent:
+    """A broadcastable message: an action string plus typed extras."""
+
+    def __init__(self, action: str = "") -> None:
+        self._action = action
+        self._extras: Dict[str, Any] = {}
+
+    # -- Java: getAction / setAction -------------------------------------
+    def get_action(self) -> str:
+        return self._action
+
+    def set_action(self, action: str) -> "Intent":
+        self._action = action
+        return self
+
+    # -- Java: put*Extra --------------------------------------------------
+    def put_extra(self, key: str, value: Any) -> "Intent":
+        """Attach an extra (chainable, like the Java API)."""
+        if not key:
+            raise IllegalArgumentException("extra key must be non-empty")
+        self._extras[key] = value
+        return self
+
+    # -- Java: get*Extra --------------------------------------------------
+    def get_boolean_extra(self, key: str, default: bool) -> bool:
+        value = self._extras.get(key, default)
+        return bool(value)
+
+    def get_double_extra(self, key: str, default: float) -> float:
+        value = self._extras.get(key, default)
+        return float(value)
+
+    def get_string_extra(self, key: str) -> Optional[str]:
+        value = self._extras.get(key)
+        return None if value is None else str(value)
+
+    def get_extra(self, key: str, default: Any = None) -> Any:
+        return self._extras.get(key, default)
+
+    def extras(self) -> Dict[str, Any]:
+        """A copy of all extras."""
+        return dict(self._extras)
+
+    def copy(self) -> "Intent":
+        """An independent copy (broadcast delivery hands out copies)."""
+        duplicate = Intent(self._action)
+        duplicate._extras = dict(self._extras)
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Intent(action={self._action!r}, extras={sorted(self._extras)})"
+
+
+class PendingIntent:
+    """A token wrapping an Intent for later dispatch (SDK 1.0 style).
+
+    Real Android mints these through ``PendingIntent.getBroadcast``;
+    the substrate keeps that shape.
+    """
+
+    _BROADCAST = "broadcast"
+
+    def __init__(self, kind: str, intent: Intent) -> None:
+        if not isinstance(intent, Intent):
+            raise IllegalArgumentException(
+                f"PendingIntent wraps an Intent, got {type(intent).__name__}"
+            )
+        self._kind = kind
+        self._intent = intent
+        self._cancelled = False
+
+    # -- Java: PendingIntent.getBroadcast(context, requestCode, intent, flags)
+    @classmethod
+    def get_broadcast(cls, context: Any, request_code: int, intent: Intent, flags: int = 0) -> "PendingIntent":
+        """Mint a broadcast PendingIntent (context/flags kept for shape)."""
+        return cls(cls._BROADCAST, intent)
+
+    @property
+    def intent(self) -> Intent:
+        return self._intent
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Invalidate the token; subsequent sends are dropped."""
+        self._cancelled = True
+
+
+class IntentFilter:
+    """Matches intents by action string (the only axis this substrate needs)."""
+
+    def __init__(self, action: str) -> None:
+        if not action:
+            raise IllegalArgumentException("IntentFilter needs a non-empty action")
+        self._actions: List[str] = [action]
+
+    def add_action(self, action: str) -> None:
+        if action not in self._actions:
+            self._actions.append(action)
+
+    def matches(self, intent: Intent) -> bool:
+        return intent.get_action() in self._actions
+
+    @property
+    def actions(self) -> List[str]:
+        return list(self._actions)
+
+
+class IntentReceiver:
+    """Abstract broadcast receiver (m5-era name for BroadcastReceiver).
+
+    Subclasses override :meth:`on_receive_intent`.
+    """
+
+    def on_receive_intent(self, context: Any, intent: Intent) -> None:
+        """Handle a broadcast delivered to this receiver."""
+        raise NotImplementedError
+
+
+#: SDK 1.0 renamed ``IntentReceiver`` to ``BroadcastReceiver`` (another
+#: piece of the m5 → 1.0 churn the paper's maintenance argument is about);
+#: the substrate accepts both names.
+BroadcastReceiver = IntentReceiver
+
+
+class FunctionIntentReceiver(IntentReceiver):
+    """Adapter wrapping a plain callable as a receiver (test convenience)."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def on_receive_intent(self, context: Any, intent: Intent) -> None:
+        self._fn(context, intent)
+
+
+class BroadcastRegistry:
+    """The platform-wide table of (receiver, filter) registrations.
+
+    Owned by :class:`~repro.platforms.android.platform.AndroidPlatform`;
+    contexts delegate ``register_receiver`` here.  Delivery is synchronous
+    and in registration order (deterministic under the virtual clock).
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[tuple] = []
+        self.broadcast_log: List[Intent] = []
+
+    def register(self, receiver: IntentReceiver, intent_filter: IntentFilter) -> None:
+        if not isinstance(receiver, IntentReceiver):
+            raise IllegalArgumentException(
+                f"receiver must be an IntentReceiver, got {type(receiver).__name__}"
+            )
+        self._entries.append((receiver, intent_filter))
+
+    def unregister(self, receiver: IntentReceiver) -> None:
+        self._entries = [(r, f) for (r, f) in self._entries if r is not receiver]
+
+    def registered_count(self) -> int:
+        return len(self._entries)
+
+    def broadcast(self, context: Any, intent: Intent) -> int:
+        """Deliver ``intent`` to every matching receiver; returns the count."""
+        self.broadcast_log.append(intent)
+        delivered = 0
+        for receiver, intent_filter in list(self._entries):
+            if intent_filter.matches(intent):
+                receiver.on_receive_intent(context, intent.copy())
+                delivered += 1
+        return delivered
+
+    def send_pending(self, context: Any, pending: PendingIntent, extras: Optional[Dict[str, Any]] = None) -> int:
+        """Fire a PendingIntent (no-op if cancelled), merging in extras."""
+        if pending.cancelled:
+            return 0
+        intent = pending.intent.copy()
+        for key, value in (extras or {}).items():
+            intent.put_extra(key, value)
+        return self.broadcast(context, intent)

@@ -1,0 +1,100 @@
+"""The Android platform object: service registry, manifests, SDK version."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Type
+
+from repro.device.device import MobileDevice
+from repro.platforms.android.activity import Activity
+from repro.platforms.android.context import Context
+from repro.platforms.android.http import HttpClient
+from repro.platforms.android.intents import BroadcastRegistry
+from repro.platforms.android.location import LocationManager, LocationServiceState
+from repro.platforms.android.telephony import IPhone, SmsManager
+from repro.platforms.android.versions import SdkVersion
+from repro.platforms.base import PlatformBase
+from repro.util.latency import LatencyModel
+
+#: Default native latencies (ms) roughly matching the paper's handset
+#: measurements; benchmarks swap in the calibrated Figure-10 model.
+DEFAULT_ANDROID_LATENCY = LatencyModel(
+    mean_ms={
+        "android.addProximityAlert": 53.6,
+        "android.getLocation": 15.5,
+        "android.sendSMS": 52.7,
+        "android.call": 40.0,
+        "android.http": 30.0,
+    },
+    default_ms=1.0,
+)
+
+
+class AndroidPlatform(PlatformBase):
+    """An Android middleware stack mounted on one device.
+
+    Applications are installed with :meth:`install` (which records their
+    manifest permissions) and launched with :meth:`launch`, driving the
+    Activity lifecycle the way the real platform does.
+    """
+
+    platform_name = "android"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        *,
+        sdk_version: SdkVersion = SdkVersion.M5_RC15,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        super().__init__(device, latency=latency or DEFAULT_ANDROID_LATENCY)
+        self.sdk_version = sdk_version
+        self.broadcast_registry = BroadcastRegistry()
+        self.location_state = LocationServiceState(self)
+        self._manifests: Dict[str, Set[str]] = {}
+        self._activities: Dict[str, Activity] = {}
+
+    # -- application management ---------------------------------------------
+
+    def install(self, package_name: str, permissions: Set[str]) -> None:
+        """Record an application manifest (package name + permissions)."""
+        if not package_name:
+            raise ValueError("package name must be non-empty")
+        self._manifests[package_name] = set(permissions)
+
+    def manifest_permissions(self, package_name: str) -> Set[str]:
+        """Permissions declared by an installed package (empty if unknown)."""
+        return set(self._manifests.get(package_name, set()))
+
+    def launch(self, activity_class: Type[Activity], package_name: str) -> Activity:
+        """Instantiate and lifecycle-launch an Activity."""
+        activity = activity_class(self, package_name)
+        self._activities[package_name] = activity
+        activity.perform_launch()
+        return activity
+
+    def new_context(self, package_name: str) -> Context:
+        """A bare (non-Activity) application context for tests/tools."""
+        return Context(
+            self, package_name, granted_permissions=self.manifest_permissions(package_name)
+        )
+
+    # -- system services --------------------------------------------------------
+
+    def system_service(self, name: str, context: Optional[Context] = None):
+        """Service factory behind ``Context.get_system_service``."""
+        if context is None:
+            context = self.new_context("android.internal")
+        if name == Context.LOCATION_SERVICE:
+            return LocationManager(self, context)
+        if name == Context.TELEPHONY_SERVICE:
+            return IPhone(self, context)
+        return None
+
+    def sms_manager(self, context: Context) -> SmsManager:
+        """Java: ``SmsManager.getDefault()`` (bound to a context here so
+        permission failures attribute to the caller)."""
+        return SmsManager(self, context)
+
+    def http_client(self, context: Context) -> HttpClient:
+        """Java: ``new DefaultHttpClient()``."""
+        return HttpClient(self, context)

@@ -1,0 +1,121 @@
+"""Android telephony: ``SmsManager`` (android.telephony.gsm) and ``IPhone``.
+
+``SmsManager.send_text_message`` reports progress through *PendingIntent*
+broadcasts (sent + delivered), never through callable callbacks — the
+fragmentation the SMS M-Proxy normalizes.  The phone-call interface mirrors
+the internal ``android.telephony.IPhone`` class the paper used (the
+functionality was not in the public SDK).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.device.messaging import SmsDeliveryReport, DeliveryStatus
+from repro.device.telephony import CallSession
+from repro.platforms.android.context import Context
+from repro.platforms.android.exceptions import IllegalArgumentException
+from repro.platforms.android.intents import PendingIntent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.android.platform import AndroidPlatform
+
+#: Manifest permissions.
+SEND_SMS = "android.permission.SEND_SMS"
+CALL_PHONE = "android.permission.CALL_PHONE"
+
+#: Result codes carried on the sent-intent broadcast (Java: Activity.RESULT_OK
+#: and SmsManager.RESULT_ERROR_*).
+RESULT_OK = -1
+RESULT_ERROR_GENERIC_FAILURE = 1
+
+#: Extra keys on result broadcasts.
+EXTRA_RESULT_CODE = "result_code"
+EXTRA_MESSAGE_ID = "message_id"
+
+
+class SmsManager:
+    """GSM short-message service facade (Java: ``SmsManager.getDefault()``)."""
+
+    def __init__(self, platform: "AndroidPlatform", context: Context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def send_text_message(
+        self,
+        destination_address: str,
+        sc_address: Optional[str],
+        text: str,
+        sent_intent: Optional[PendingIntent] = None,
+        delivery_intent: Optional[PendingIntent] = None,
+    ) -> str:
+        """Send a text (Java: ``sendTextMessage``); returns the message id.
+
+        ``sent_intent`` fires when the SMSC accepts or rejects the message;
+        ``delivery_intent`` fires on end-to-end delivery.  Both carry
+        :data:`EXTRA_RESULT_CODE` / :data:`EXTRA_MESSAGE_ID` extras.
+        """
+        if not destination_address:
+            raise IllegalArgumentException("destinationAddress must be non-empty")
+        if text is None:
+            raise IllegalArgumentException("text must not be null")
+        self._context.enforce_permission(SEND_SMS, "sendTextMessage")
+        self._platform.charge_native("android.sendSMS")
+        registry = self._platform.broadcast_registry
+        context = self._context
+
+        def on_report(report: SmsDeliveryReport) -> None:
+            code = (
+                RESULT_OK
+                if report.status is DeliveryStatus.DELIVERED
+                else RESULT_ERROR_GENERIC_FAILURE
+            )
+            if sent_intent is not None:
+                registry.send_pending(
+                    context,
+                    sent_intent,
+                    {EXTRA_RESULT_CODE: code, EXTRA_MESSAGE_ID: report.message_id},
+                )
+            if delivery_intent is not None and code == RESULT_OK:
+                registry.send_pending(
+                    context,
+                    delivery_intent,
+                    {EXTRA_RESULT_CODE: code, EXTRA_MESSAGE_ID: report.message_id},
+                )
+
+        message = self._platform.device.sms_center.submit(
+            self._platform.device.phone_number,
+            destination_address,
+            text,
+            on_report=on_report,
+        )
+        return message.message_id
+
+
+class IPhone:
+    """The (internal) phone-call interface, Java: ``android.telephony.IPhone``.
+
+    Real m5-era Android did not expose calling publicly; applications used
+    this internal interface, as the paper's Call proxy did.
+    """
+
+    def __init__(self, platform: "AndroidPlatform", context: Context) -> None:
+        self._platform = platform
+        self._context = context
+
+    def call(self, number: str, on_state=None) -> CallSession:
+        """Place a voice call; returns the session handle.
+
+        ``on_state`` (optional) is invoked on every call-state change — the
+        substrate's stand-in for registering a ``PhoneStateListener`` with
+        the telephony service.
+        """
+        if not number:
+            raise IllegalArgumentException("number must be non-empty")
+        self._context.enforce_permission(CALL_PHONE, "call")
+        self._platform.charge_native("android.call")
+        return self._platform.device.telephony.dial(number, on_state)
+
+    def end_call(self, session: CallSession) -> None:
+        """Hang up a ringing or active call."""
+        self._platform.device.telephony.hang_up(session)

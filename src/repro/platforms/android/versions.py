@@ -1,0 +1,24 @@
+"""Android SDK version switch.
+
+The paper's maintenance evaluation hinges on one real API evolution:
+release 1.0 of Android changed ``addProximityAlert`` to take a
+``PendingIntent`` where m5-rc15 took an ``Intent``.  The substrate makes
+the version an explicit platform parameter so both behaviours are testable
+side by side.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SdkVersion(enum.Enum):
+    """Supported Android SDK behaviour levels."""
+
+    M5_RC15 = "m5-rc15"
+    V1_0 = "1.0"
+
+    @property
+    def proximity_alert_takes_pending_intent(self) -> bool:
+        """Whether ``addProximityAlert`` requires a PendingIntent."""
+        return self is SdkVersion.V1_0

@@ -1,0 +1,74 @@
+"""Common plumbing shared by the three platform substrates.
+
+Only simulation plumbing lives here (device mounting, native-latency
+charging).  Nothing API-visible is shared — API divergence between the
+platforms is the point of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.device.device import MobileDevice
+from repro.util.latency import LatencyModel
+
+
+class PlatformBase:
+    """A platform middleware stack mounted on one simulated device.
+
+    Parameters
+    ----------
+    device:
+        The handset this middleware runs on.
+    latency:
+        Virtual-time cost of each *native* platform API call, keyed by
+        operation names like ``"android.addProximityAlert"``.  Calibrated
+        models live in ``repro.bench.calibration``.
+    """
+
+    #: Short identifier, e.g. ``"android"``; set by subclasses.
+    platform_name = "abstract"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        *,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.device = device
+        self.native_latency = latency or LatencyModel(default_ms=1.0)
+        self._charge_log: Dict[str, int] = {}
+
+    @property
+    def scheduler(self):
+        """The device scheduler (shared virtual time)."""
+        return self.device.scheduler
+
+    @property
+    def clock(self):
+        return self.device.clock
+
+    #: Battery drain per millisecond of native-operation time (radio/CPU).
+    DRAIN_MWH_PER_MS = 0.01
+
+    def charge_native(self, operation: str) -> float:
+        """Advance virtual time by the native cost of ``operation``.
+
+        Returns the charged latency in milliseconds.  Every native platform
+        entry point calls this exactly once, which is what makes the
+        Figure-10 "without proxy" bars reproducible.  The device battery is
+        drained in proportion to the time spent (radio/CPU energy).
+        """
+        latency = self.native_latency.draw(operation)
+        self.clock.advance(latency)
+        self.device.battery.drain(operation, latency * self.DRAIN_MWH_PER_MS)
+        self._charge_log[operation] = self._charge_log.get(operation, 0) + 1
+        return latency
+
+    def native_call_counts(self) -> Dict[str, int]:
+        """How many times each native operation was charged (test aid)."""
+        return dict(self._charge_log)
+
+    def run_for(self, delta_ms: float) -> int:
+        """Advance this platform's virtual time."""
+        return self.scheduler.run_for(delta_ms)

@@ -1,0 +1,65 @@
+"""Nokia S60 / J2ME-like platform substrate.
+
+Built to the shape of the Nokia S60 3rd Edition SDK the paper targeted:
+MIDP application model, JSR-179 Location API, Wireless Messaging API and
+the Generic Connection Framework.  Java name mapping is ``snake_case``
+one-for-one (``addProximityListener`` → ``add_proximity_listener``).
+
+The semantic *gaps* versus Android are deliberate and load-bearing:
+
+* proximity listeners are **one-shot** — after the first enter event the
+  platform removes them;
+* there are **no exit events** and **no expiration** parameter;
+* providers are acquired through :class:`Criteria` matching, which may
+  return ``None`` or raise the checked :class:`LocationException`;
+* there is **no public phone-call API** (the paper could not build a Call
+  proxy on S60 for exactly this reason).
+"""
+
+from repro.platforms.s60.exceptions import (
+    ConnectionNotFoundException,
+    IOException,
+    IllegalArgumentException,
+    LocationException,
+    NullPointerException,
+    SecurityException,
+)
+from repro.platforms.s60.midlet import MIDlet, MIDletStateChangeException
+from repro.platforms.s60.location import (
+    Coordinates,
+    Criteria,
+    LocationListener,
+    LocationProviderStatics,
+    ProximityListener,
+    S60Location,
+)
+from repro.platforms.s60.messaging import MessageConnection, TextMessage
+from repro.platforms.s60.connector import Connector, HttpConnection
+from repro.platforms.s60.packaging import JadDescriptor, Jar, JarEntry, MidletSuite
+from repro.platforms.s60.platform import S60Platform
+
+__all__ = [
+    "ConnectionNotFoundException",
+    "Connector",
+    "Coordinates",
+    "Criteria",
+    "HttpConnection",
+    "IOException",
+    "IllegalArgumentException",
+    "JadDescriptor",
+    "Jar",
+    "JarEntry",
+    "LocationException",
+    "LocationListener",
+    "LocationProviderStatics",
+    "MIDlet",
+    "MIDletStateChangeException",
+    "MessageConnection",
+    "MidletSuite",
+    "NullPointerException",
+    "ProximityListener",
+    "S60Location",
+    "S60Platform",
+    "SecurityException",
+    "TextMessage",
+]

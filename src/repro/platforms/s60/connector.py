@@ -1,0 +1,166 @@
+"""Generic Connection Framework: ``Connector.open`` and ``HttpConnection``.
+
+Everything on J2ME is a URL handed to ``Connector.open`` — ``http://`` URLs
+yield an :class:`HttpConnection`, ``sms://`` URLs a
+:class:`~repro.platforms.s60.messaging.MessageConnection`.  The HTTP
+connection is blocking and stream-oriented (``open_input_stream``), unlike
+Android's request/response objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+from urllib.parse import urlparse
+
+from repro.device.network import HttpRequest, NetworkError
+from repro.platforms.s60.exceptions import (
+    ConnectionNotFoundException,
+    IOException,
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.s60.messaging import MessageConnection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.s60.platform import S60Platform
+
+#: MIDP permission for GCF HTTP.
+PERMISSION_HTTP = "javax.microedition.io.Connector.http"
+
+
+class InputStreamS60:
+    """A minimal blocking input stream over response bytes."""
+
+    def __init__(self, content: str) -> None:
+        self._data = content.encode("utf-8")
+        self._pos = 0
+
+    def read(self, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes (all remaining when ``n`` is -1)."""
+        if n == -1:
+            n = len(self._data) - self._pos
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        return chunk
+
+    def read_fully(self) -> str:
+        """Convenience: drain the stream and decode as UTF-8."""
+        return self.read(-1).decode("utf-8")
+
+    def close(self) -> None:
+        self._pos = len(self._data)
+
+
+class HttpConnection:
+    """J2ME blocking HTTP connection.
+
+    Java mapping: ``setRequestMethod`` → :meth:`set_request_method`,
+    ``setRequestProperty`` → :meth:`set_request_property`,
+    ``getResponseCode`` → :meth:`get_response_code`,
+    ``openInputStream`` → :meth:`open_input_stream`.
+
+    The request executes lazily on the first response accessor, matching
+    the GCF contract.
+    """
+
+    GET = "GET"
+    POST = "POST"
+
+    def __init__(self, platform: "S60Platform", suite_name: Optional[str], url: str) -> None:
+        parsed = urlparse(url)
+        if parsed.scheme != "http" or not parsed.netloc:
+            raise IllegalArgumentException(f"malformed http url {url!r}")
+        self._platform = platform
+        self._suite_name = suite_name
+        self._host = parsed.netloc
+        self._path = parsed.path or "/"
+        if parsed.query:
+            self._path = f"{self._path}?{parsed.query}"
+        self._method = self.GET
+        self._headers: list = []
+        self._body = ""
+        self._response = None
+        self._closed = False
+
+    def set_request_method(self, method: str) -> None:
+        if method not in (self.GET, self.POST):
+            raise IllegalArgumentException(f"unsupported method {method!r}")
+        if self._response is not None:
+            raise IOException("request already sent")
+        self._method = method
+
+    def set_request_property(self, name: str, value: str) -> None:
+        if self._response is not None:
+            raise IOException("request already sent")
+        self._headers.append((name, value))
+
+    def write_body(self, body: str) -> None:
+        """Stand-in for ``openOutputStream().write(...)``."""
+        if self._response is not None:
+            raise IOException("request already sent")
+        self._body = body
+
+    def get_response_code(self) -> int:
+        self._execute()
+        return self._response.status
+
+    def open_input_stream(self) -> InputStreamS60:
+        self._execute()
+        return InputStreamS60(self._response.body)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _execute(self) -> None:
+        if self._closed:
+            raise IOException("connection closed")
+        if self._response is not None:
+            return
+        if self._suite_name is not None and not self._platform.suite_has_permission(
+            self._suite_name, PERMISSION_HTTP
+        ):
+            raise SecurityException(
+                f"suite {self._suite_name!r} lacks {PERMISSION_HTTP}"
+            )
+        self._platform.charge_native("s60.http")
+        request = HttpRequest(
+            method=self._method,
+            host=self._host,
+            path=self._path,
+            headers=tuple(self._headers),
+            body=self._body,
+        )
+        try:
+            self._response = self._platform.device.network.request(request)
+        except NetworkError as exc:
+            raise IOException(str(exc)) from exc
+
+
+class Connector:
+    """The GCF factory (Java: ``javax.microedition.io.Connector``).
+
+    Bound to a platform instance as ``platform.connector`` (Python has no
+    per-platform statics).
+    """
+
+    def __init__(self, platform: "S60Platform") -> None:
+        self._platform = platform
+        self._suite_name: Optional[str] = None
+
+    def bind_suite(self, suite_name: str) -> None:
+        """Attribute subsequent permission checks to a MIDlet suite."""
+        self._suite_name = suite_name
+
+    def open(self, url: str):
+        """Open a connection for ``url`` (Java: ``Connector.open``).
+
+        ``http://`` → :class:`HttpConnection`; ``sms://`` →
+        :class:`MessageConnection`.  Anything else raises the checked
+        ``ConnectionNotFoundException``.
+        """
+        if url.startswith("http://"):
+            return HttpConnection(self._platform, self._suite_name, url)
+        if url.startswith("sms://"):
+            address = url[len("sms://"):]
+            return MessageConnection(self._platform, self._suite_name, address)
+        raise ConnectionNotFoundException(f"no protocol handler for {url!r}")

@@ -1,0 +1,41 @@
+"""S60/J2ME platform exception set.
+
+Distinct from Android's by design: this platform throws the *checked*
+``LocationException`` and GCF ``IOException`` where Android throws
+unchecked runtime exceptions — one of the fragmentation axes recorded in
+each proxy's binding plane.  Note ``SecurityException`` here is a
+different class from Android's same-named one; the substrates do not share
+exception types any more than real platforms did.
+"""
+
+
+class J2meException(Exception):
+    """Root of this substrate's exception set."""
+
+
+class LocationException(J2meException):
+    """Checked: the location request cannot be served (JSR-179)."""
+
+
+class SecurityException(J2meException):
+    """The MIDlet suite was not granted the required permission."""
+
+
+class IllegalArgumentException(J2meException):
+    """An argument is out of range for the API."""
+
+
+class NullPointerException(J2meException):
+    """A required object reference was ``None``."""
+
+
+class IOException(J2meException):
+    """Checked: a Generic Connection Framework I/O failure."""
+
+
+class ConnectionNotFoundException(IOException):
+    """``Connector.open`` could not create the requested connection."""
+
+
+class InterruptedException(J2meException):
+    """A blocking call was interrupted (e.g. ``getLocation`` timeout)."""

@@ -1,0 +1,156 @@
+"""Wireless Messaging API (javax.wireless.messaging) style SMS.
+
+S60 sends SMS through the Generic Connection Framework: the application
+opens a ``MessageConnection`` on an ``sms://+number`` URL, builds a
+:class:`TextMessage`, and calls the **blocking** ``send``.  Compare
+Android, where ``sendTextMessage`` is fire-and-forget with PendingIntent
+result broadcasts — one more axis the SMS M-Proxy flattens.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.device.messaging import SmsMessage
+from repro.platforms.s60.exceptions import (
+    IOException,
+    IllegalArgumentException,
+    SecurityException,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.s60.platform import S60Platform
+
+#: MIDP permission strings.
+PERMISSION_SMS_SEND = "javax.wireless.messaging.sms.send"
+PERMISSION_SMS_RECEIVE = "javax.wireless.messaging.sms.receive"
+
+
+class TextMessage:
+    """A WMA text message (Java: ``TextMessage``)."""
+
+    def __init__(self, address: str) -> None:
+        self._address = address
+        self._payload: Optional[str] = None
+
+    def set_payload_text(self, text: str) -> None:
+        """Java: ``setPayloadText``."""
+        self._payload = text
+
+    def get_payload_text(self) -> Optional[str]:
+        return self._payload
+
+    def get_address(self) -> str:
+        return self._address
+
+    def set_address(self, address: str) -> None:
+        self._address = address
+
+
+class MessageListener:
+    """WMA incoming-message callback interface (abstract)."""
+
+    def notify_incoming_message(self, connection: "MessageConnection") -> None:
+        raise NotImplementedError
+
+
+class MessageConnection:
+    """A GCF message connection bound to an ``sms://`` URL.
+
+    Created by :meth:`repro.platforms.s60.connector.Connector.open`, never
+    directly.  Java mapping: ``newMessage`` → :meth:`new_message`,
+    ``send`` → :meth:`send`, ``receive`` → :meth:`receive`.
+    """
+
+    #: Java: MessageConnection.TEXT_MESSAGE
+    TEXT_MESSAGE = "text"
+
+    def __init__(self, platform: "S60Platform", suite_name: Optional[str], address: str) -> None:
+        self._platform = platform
+        self._suite_name = suite_name
+        self._address = address  # '' for server-mode connections
+        self._closed = False
+        self._incoming: List[SmsMessage] = []
+        self._listener: Optional[MessageListener] = None
+        if not address:  # server mode: receive from the device inbox
+            platform.register_sms_sink(self._on_incoming)
+
+    # -- message construction ----------------------------------------------------
+
+    def new_message(self, message_type: str) -> TextMessage:
+        """Create an empty message bound to this connection's address."""
+        if message_type != self.TEXT_MESSAGE:
+            raise IllegalArgumentException(f"unsupported type {message_type!r}")
+        return TextMessage(self._address)
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, message: TextMessage) -> None:
+        """Blocking send (charges the native latency, then waits delivery
+        submission).  Raises checked ``IOException`` on radio failure and
+        ``SecurityException`` without the send permission."""
+        self._ensure_open()
+        self._check_permission(PERMISSION_SMS_SEND, "send")
+        if message.get_payload_text() is None:
+            raise IllegalArgumentException("message has no payload")
+        if not message.get_address():
+            raise IllegalArgumentException("message has no address")
+        self._platform.charge_native("s60.sendSMS")
+        address = message.get_address()
+        number = address[len("sms://"):] if address.startswith("sms://") else address
+        self._platform.device.sms_center.submit(
+            self._platform.device.phone_number,
+            number,
+            message.get_payload_text(),
+        )
+
+    # -- receiving ----------------------------------------------------------------
+
+    def set_message_listener(self, listener: Optional[MessageListener]) -> None:
+        """Register an asynchronous incoming-message listener."""
+        self._ensure_open()
+        self._check_permission(PERMISSION_SMS_RECEIVE, "setMessageListener")
+        self._listener = listener
+
+    def receive(self) -> TextMessage:
+        """Blocking receive; raises ``IOException`` when nothing is queued.
+
+        (A real MIDlet would block the thread; under virtual time the
+        substrate surfaces an error instead of deadlocking the test.)
+        """
+        self._ensure_open()
+        self._check_permission(PERMISSION_SMS_RECEIVE, "receive")
+        if not self._incoming:
+            raise IOException("no message available")
+        sms = self._incoming.pop(0)
+        message = TextMessage(f"sms://{sms.sender}")
+        message.set_payload_text(sms.text)
+        return message
+
+    def pending_count(self) -> int:
+        return len(self._incoming)
+
+    def close(self) -> None:
+        """Close the connection (GCF contract); further use raises."""
+        self._closed = True
+
+    # -- internals ----------------------------------------------------------------
+
+    def _on_incoming(self, sms: SmsMessage) -> None:
+        if self._closed:
+            return
+        self._incoming.append(sms)
+        if self._listener is not None:
+            self._listener.notify_incoming_message(self)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise IOException("connection closed")
+
+    def _check_permission(self, permission: str, what: str) -> None:
+        if self._suite_name is None:
+            return
+        if not self._platform.suite_has_permission(self._suite_name, permission):
+            raise SecurityException(
+                f"suite {self._suite_name!r} lacks {permission} for {what}"
+            )

@@ -1,0 +1,104 @@
+"""MIDP application model.
+
+An S60 application extends :class:`MIDlet` — not ``Activity`` — and its
+lifecycle is the MIDP triple ``startApp`` / ``pauseApp`` / ``destroyApp``.
+This structural coupling (different base class, different hooks, different
+packaging) is the second fragmentation characteristic the paper lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.s60.platform import S60Platform
+
+
+class MIDletStateChangeException(Exception):
+    """A MIDlet refused a lifecycle transition (MIDP semantics)."""
+
+
+class MidletState(enum.Enum):
+    """MIDP lifecycle states."""
+
+    LOADED = "loaded"
+    ACTIVE = "active"
+    PAUSED = "paused"
+    DESTROYED = "destroyed"
+
+
+class MIDlet:
+    """Base class for S60 applications.
+
+    Java mapping: ``startApp`` → :meth:`start_app`, ``pauseApp`` →
+    :meth:`pause_app`, ``destroyApp`` → :meth:`destroy_app`,
+    ``getAppProperty`` → :meth:`get_app_property`.
+    """
+
+    def __init__(self, platform: "S60Platform", suite_name: str) -> None:
+        self.platform = platform
+        self.suite_name = suite_name
+        self._state = MidletState.LOADED
+        self._state_log: List[MidletState] = [MidletState.LOADED]
+
+    # -- override points ------------------------------------------------------
+
+    def start_app(self) -> None:
+        """Application entry point (register listeners here)."""
+
+    def pause_app(self) -> None:
+        """Release shared resources; the app may be resumed later."""
+
+    def destroy_app(self, unconditional: bool) -> None:
+        """Final cleanup.  May raise :class:`MIDletStateChangeException`
+        when ``unconditional`` is ``False`` to refuse destruction."""
+
+    # -- lifecycle driving -------------------------------------------------------
+
+    @property
+    def state(self) -> MidletState:
+        return self._state
+
+    @property
+    def state_log(self) -> List[MidletState]:
+        return list(self._state_log)
+
+    def _enter(self, state: MidletState) -> None:
+        self._state = state
+        self._state_log.append(state)
+
+    def perform_start(self) -> None:
+        if self._state not in (MidletState.LOADED, MidletState.PAUSED):
+            raise MIDletStateChangeException(
+                f"cannot start from {self._state.value}"
+            )
+        self._enter(MidletState.ACTIVE)
+        self.start_app()
+
+    def perform_pause(self) -> None:
+        if self._state is not MidletState.ACTIVE:
+            raise MIDletStateChangeException(f"cannot pause from {self._state.value}")
+        self._enter(MidletState.PAUSED)
+        self.pause_app()
+
+    def perform_destroy(self, unconditional: bool = True) -> None:
+        if self._state is MidletState.DESTROYED:
+            return
+        try:
+            self.destroy_app(unconditional)
+        except MIDletStateChangeException:
+            if unconditional:
+                raise
+            return  # the MIDlet refused; stay alive
+        self._enter(MidletState.DESTROYED)
+
+    # -- suite services --------------------------------------------------------
+
+    def get_app_property(self, key: str) -> str:
+        """Read a JAD descriptor property of the installed suite."""
+        return self.platform.suite_property(self.suite_name, key)
+
+    def check_permission(self, permission: str) -> bool:
+        """Whether the suite holds the MIDP permission string."""
+        return self.platform.suite_has_permission(self.suite_name, permission)

@@ -1,0 +1,141 @@
+"""Over-The-Air deployment for S60 MIDlet suites.
+
+The paper: "during deployment on S60, the entire application is packaged
+as a single jar file, that is qualified further with various permissions,
+Over-The-Air (OTA) deployment properties, profile configuration etc."
+
+This module closes the loop: an :class:`OtaServer` publishes a suite's
+JAD and JAR on the simulated network, and an :class:`OtaInstaller` on the
+handset fetches the descriptor, checks the advertised size against the
+device's binary limit *before* downloading the jar (the point of the
+two-file OTA protocol), then installs the suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.device.network import HttpRequest, HttpResponse, NetworkError, SimulatedNetwork
+from repro.errors import ConfigurationError
+from repro.platforms.s60.exceptions import IOException
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.platform import S60Platform
+
+#: JAD property advertising the jar's size (MIDP OTA requirement).
+JAR_SIZE_PROPERTY = "MIDlet-Jar-Size"
+#: JAD property carrying the jar's download URL (MIDP OTA requirement).
+JAR_URL_PROPERTY = "MIDlet-Jar-URL"
+
+
+class OtaServer:
+    """Publishes a MIDlet suite for OTA download."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        host: str,
+        suite: MidletSuite,
+        *,
+        base_path: str = "/apps",
+    ) -> None:
+        self.host = host
+        slug = suite.name.replace(" ", "-").lower()
+        self.jad_path = f"{base_path}/{slug}.jad"
+        self.jar_path = f"{base_path}/{slug}.jar"
+        # Advertise OTA properties in the served JAD (not mutating the
+        # publisher's in-memory descriptor).
+        served = JadDescriptor(
+            midlet_name=suite.jad.midlet_name,
+            vendor=suite.jad.vendor,
+            version=suite.jad.version,
+            permissions=list(suite.jad.permissions),
+            properties=dict(suite.jad.properties),
+        )
+        served.properties[JAR_SIZE_PROPERTY] = str(suite.jar.size_bytes)
+        served.properties[JAR_URL_PROPERTY] = f"http://{host}{self.jar_path}"
+        jad_text = served.to_text()
+        jar_manifest = json.dumps(
+            {
+                "name": suite.jar.name,
+                "entries": [
+                    {"path": entry.path, "size": entry.size_bytes}
+                    for entry in suite.jar.entries
+                ],
+            }
+        )
+        server = network.add_server(host)
+        server.route("GET", self.jad_path, lambda r: HttpResponse(200, jad_text))
+        server.route("GET", self.jar_path, lambda r: HttpResponse(200, jar_manifest))
+
+    @property
+    def jad_url(self) -> str:
+        return f"http://{self.host}{self.jad_path}"
+
+
+class OtaInstaller:
+    """Device-side OTA install flow for an S60 platform."""
+
+    def __init__(self, platform: S60Platform) -> None:
+        self._platform = platform
+
+    def install_from(self, jad_url: str) -> MidletSuite:
+        """Fetch JAD → size-check → fetch JAR → install.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the
+        advertised jar exceeds the device's binary limit (without
+        downloading the jar) and the checked
+        :class:`~repro.platforms.s60.exceptions.IOException` on transport
+        failures.
+        """
+        jad = JadDescriptor.from_text(self._fetch(jad_url))
+        advertised = jad.properties.get(JAR_SIZE_PROPERTY)
+        if advertised is None:
+            raise ConfigurationError("OTA JAD lacks MIDlet-Jar-Size")
+        limit = self._platform.device.profile.max_app_binary_kb * 1024
+        if int(advertised) > limit:
+            raise ConfigurationError(
+                f"advertised jar size {advertised} exceeds device limit {limit}; "
+                "download refused"
+            )
+        jar_url = jad.properties.get(JAR_URL_PROPERTY)
+        if not jar_url:
+            raise ConfigurationError("OTA JAD lacks MIDlet-Jar-URL")
+        manifest = json.loads(self._fetch(jar_url))
+        jar = Jar(
+            manifest["name"],
+            [JarEntry(e["path"], e["size"]) for e in manifest["entries"]],
+        )
+        # The served JAD carries OTA bookkeeping; strip it for the
+        # installed descriptor (it describes transport, not the app).
+        installed_properties = {
+            key: value
+            for key, value in jad.properties.items()
+            if key not in (JAR_SIZE_PROPERTY, JAR_URL_PROPERTY)
+        }
+        suite = MidletSuite(
+            jad=JadDescriptor(
+                midlet_name=jad.midlet_name,
+                vendor=jad.vendor,
+                version=jad.version,
+                permissions=list(jad.permissions),
+                properties=installed_properties,
+            ),
+            jar=jar,
+        )
+        self._platform.install_suite(suite)
+        return suite
+
+    def _fetch(self, url: str) -> str:
+        from urllib.parse import urlparse
+
+        parsed = urlparse(url)
+        try:
+            response = self._platform.device.network.request(
+                HttpRequest(method="GET", host=parsed.netloc, path=parsed.path or "/")
+            )
+        except NetworkError as exc:
+            raise IOException(f"OTA download failed: {exc}") from exc
+        if not response.ok:
+            raise IOException(f"OTA download failed: HTTP {response.status}")
+        return response.body

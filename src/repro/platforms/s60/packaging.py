@@ -1,0 +1,151 @@
+"""MIDlet-suite packaging model: JAR + JAD descriptor + OTA properties.
+
+S60 deployment requires the entire application — including every library
+it uses — bundled as a **single** J2ME MIDlet-suite jar, qualified by a
+JAD descriptor carrying permissions and Over-The-Air properties.  The
+MobiVine S60 M-Plugin must therefore *merge* the proxy implementation jars
+into the application jar before deployment (paper Section 3.2, feature 4,
+and Section 4.2 "Platform Specific Extensions").  This module gives that
+merge a concrete, testable object model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class JarEntry:
+    """One file inside a jar (classes, resources)."""
+
+    path: str
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.path or self.path.startswith("/"):
+            raise ConfigurationError(f"bad jar entry path {self.path!r}")
+        if self.size_bytes < 0:
+            raise ConfigurationError("entry size cannot be negative")
+
+
+class Jar:
+    """An ordered, duplicate-free set of entries."""
+
+    def __init__(self, name: str, entries: Iterable[JarEntry] = ()) -> None:
+        if not name.endswith(".jar"):
+            raise ConfigurationError(f"jar name must end in .jar: {name!r}")
+        self.name = name
+        self._entries: Dict[str, JarEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: JarEntry) -> None:
+        """Add an entry; duplicate paths are an error (jars cannot shadow)."""
+        if entry.path in self._entries:
+            raise ConfigurationError(f"duplicate jar entry {entry.path!r}")
+        self._entries[entry.path] = entry
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    @property
+    def entries(self) -> List[JarEntry]:
+        return list(self._entries.values())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self._entries.values())
+
+    def merged_with(self, *others: "Jar") -> "Jar":
+        """A new jar containing this jar's entries plus every other's.
+
+        This is the S60 plugin's deployment-time merge.  Colliding paths
+        raise — the plugin must not silently pick one implementation.
+        """
+        merged = Jar(self.name, self.entries)
+        for other in others:
+            for entry in other.entries:
+                merged.add(entry)
+        return merged
+
+
+@dataclass
+class JadDescriptor:
+    """The JAD side of a suite: metadata, permissions, OTA properties."""
+
+    midlet_name: str
+    vendor: str = "unknown"
+    version: str = "1.0"
+    permissions: List[str] = field(default_factory=list)
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    def require_permission(self, permission: str) -> None:
+        if permission not in self.permissions:
+            self.permissions.append(permission)
+
+    def to_text(self) -> str:
+        """Render the descriptor in JAD ``Key: value`` syntax."""
+        lines = [
+            f"MIDlet-Name: {self.midlet_name}",
+            f"MIDlet-Vendor: {self.vendor}",
+            f"MIDlet-Version: {self.version}",
+        ]
+        if self.permissions:
+            lines.append("MIDlet-Permissions: " + ", ".join(self.permissions))
+        for key in sorted(self.properties):
+            lines.append(f"{key}: {self.properties[key]}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "JadDescriptor":
+        """Parse JAD ``Key: value`` syntax (inverse of :meth:`to_text`)."""
+        known = {"MIDlet-Name": "", "MIDlet-Vendor": "unknown", "MIDlet-Version": "1.0"}
+        permissions: List[str] = []
+        properties: Dict[str, str] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if ":" not in line:
+                raise ConfigurationError(f"malformed JAD line {line!r}")
+            key, __, value = line.partition(":")
+            key, value = key.strip(), value.strip()
+            if key in known:
+                known[key] = value
+            elif key == "MIDlet-Permissions":
+                permissions = [p.strip() for p in value.split(",") if p.strip()]
+            else:
+                properties[key] = value
+        if not known["MIDlet-Name"]:
+            raise ConfigurationError("JAD is missing MIDlet-Name")
+        return cls(
+            midlet_name=known["MIDlet-Name"],
+            vendor=known["MIDlet-Vendor"],
+            version=known["MIDlet-Version"],
+            permissions=permissions,
+            properties=properties,
+        )
+
+
+@dataclass
+class MidletSuite:
+    """A deployable unit: one jar + one descriptor."""
+
+    jad: JadDescriptor
+    jar: Jar
+
+    @property
+    def name(self) -> str:
+        return self.jad.midlet_name
+
+    def validate_for_deployment(self, max_jar_bytes: Optional[int] = None) -> None:
+        """Deployment gate: size limit and descriptor consistency."""
+        if max_jar_bytes is not None and self.jar.size_bytes > max_jar_bytes:
+            raise ConfigurationError(
+                f"suite {self.name!r} jar is {self.jar.size_bytes} bytes, "
+                f"device limit is {max_jar_bytes}"
+            )
+        if not self.jar.entries:
+            raise ConfigurationError(f"suite {self.name!r} jar is empty")

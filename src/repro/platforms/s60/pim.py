@@ -1,0 +1,369 @@
+"""JSR-75 style PIM API for S60.
+
+J2ME's address book is typed and list-oriented: open a ``ContactList``
+through the PIM singleton, iterate ``ContactItem`` objects, read fields by
+numeric constants with per-field value counts, and ``commit`` mutations —
+a completely different shape from Android's row cursors.  Checked
+:class:`PIMException` everywhere, per the JSR.
+
+Java mapping: ``PIM.getInstance().openPIMList`` →
+``platform.pim.open_pim_list``, ``contact.getString(Contact.TEL, 0)`` →
+:meth:`ContactItem.get_string`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.device.pim import ContactRecord
+from repro.platforms.s60.exceptions import J2meException, SecurityException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.s60.platform import S60Platform
+
+#: MIDP permission strings for PIM access.
+PERMISSION_PIM_READ = "javax.microedition.pim.ContactList.read"
+PERMISSION_PIM_WRITE = "javax.microedition.pim.ContactList.write"
+PERMISSION_EVENT_READ = "javax.microedition.pim.EventList.read"
+PERMISSION_EVENT_WRITE = "javax.microedition.pim.EventList.write"
+
+
+class PIMException(J2meException):
+    """Checked PIM failure (closed list, missing field, bad mode)."""
+
+
+class Contact:
+    """Field constants (JSR-75 ``Contact``)."""
+
+    FORMATTED_NAME = 105
+    TEL = 115
+    EMAIL = 103
+
+
+class ContactItem:
+    """One typed PIM item, bound to its list until committed/removed."""
+
+    def __init__(self, contact_list: "ContactList", record: Optional[ContactRecord]) -> None:
+        self._list = contact_list
+        self._record = record  # None until first commit for new items
+        self._pending: Dict[int, List[str]] = {}
+
+    @property
+    def record_id(self) -> Optional[str]:
+        return self._record.contact_id if self._record else None
+
+    def count_values(self, field: int) -> int:
+        """How many values the field currently holds (JSR idiom)."""
+        values = self._current_values(field)
+        return len(values)
+
+    def get_string(self, field: int, index: int) -> str:
+        values = self._current_values(field)
+        if not 0 <= index < len(values):
+            raise PIMException(f"field {field} has no value at index {index}")
+        return values[index]
+
+    def add_string(self, field: int, attributes: int, value: str) -> None:
+        """Stage a value for the field (JSR: ``addString``)."""
+        if not value:
+            raise PIMException("empty value")
+        self._pending.setdefault(field, list(self._current_values(field)))
+        self._pending[field].append(value)
+
+    def commit(self) -> None:
+        """Persist staged values through the owning list."""
+        self._list._commit_item(self)
+        self._pending.clear()
+
+    def _current_values(self, field: int) -> List[str]:
+        if field in self._pending:
+            return list(self._pending[field])
+        if self._record is None:
+            return []
+        if field == Contact.FORMATTED_NAME:
+            return [self._record.display_name]
+        if field == Contact.TEL:
+            return list(self._record.phone_numbers)
+        if field == Contact.EMAIL:
+            return [self._record.email] if self._record.email else []
+        raise PIMException(f"unsupported field {field}")
+
+
+class ContactList:
+    """An open PIM list (JSR-75 ``ContactList``)."""
+
+    def __init__(self, platform: "S60Platform", suite_name: Optional[str], mode: int) -> None:
+        self._platform = platform
+        self._suite_name = suite_name
+        self._mode = mode
+        self._closed = False
+
+    # -- iteration --------------------------------------------------------------
+
+    def items(self) -> Iterator[ContactItem]:
+        """All contacts, in the store's deterministic order."""
+        self._ensure_open()
+        self._require(PERMISSION_PIM_READ, "items")
+        self._platform.charge_native("s60.pim.items")
+        for record in self._platform.device.contacts.all():
+            yield ContactItem(self, record)
+
+    def items_matching(self, name_fragment: str) -> Iterator[ContactItem]:
+        """JSR's ``items(String matchingValue)`` overload."""
+        self._ensure_open()
+        self._require(PERMISSION_PIM_READ, "items")
+        self._platform.charge_native("s60.pim.items")
+        for record in self._platform.device.contacts.find_by_name(name_fragment):
+            yield ContactItem(self, record)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def create_contact(self) -> ContactItem:
+        """A blank item; persists on ``commit``."""
+        self._ensure_open()
+        self._require_writable("createContact")
+        return ContactItem(self, None)
+
+    def remove_contact(self, item: ContactItem) -> None:
+        self._ensure_open()
+        self._require_writable("removeContact")
+        if item.record_id is None:
+            raise PIMException("item was never committed")
+        self._platform.charge_native("s60.pim.remove")
+        self._platform.device.contacts.remove(item.record_id)
+        item._record = None
+
+    def _commit_item(self, item: ContactItem) -> None:
+        self._ensure_open()
+        self._require_writable("commit")
+        names = item._pending.get(Contact.FORMATTED_NAME) or (
+            [item._record.display_name] if item._record else []
+        )
+        if not names:
+            raise PIMException("contact needs a FORMATTED_NAME before commit")
+        numbers = tuple(
+            item._pending.get(
+                Contact.TEL,
+                list(item._record.phone_numbers) if item._record else [],
+            )
+        )
+        emails = item._pending.get(
+            Contact.EMAIL, [item._record.email] if item._record and item._record.email else []
+        )
+        self._platform.charge_native("s60.pim.commit")
+        store = self._platform.device.contacts
+        if item._record is None:
+            item._record = store.add(
+                names[0], phone_numbers=numbers, email=emails[0] if emails else ""
+            )
+        else:
+            from dataclasses import replace
+
+            updated = replace(
+                item._record,
+                display_name=names[0],
+                phone_numbers=numbers,
+                email=emails[0] if emails else "",
+            )
+            store.update(updated)
+            item._record = updated
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PIMException("list is closed")
+
+    def _require(self, permission: str, what: str) -> None:
+        if self._suite_name is None:
+            return
+        if not self._platform.suite_has_permission(self._suite_name, permission):
+            raise SecurityException(
+                f"suite {self._suite_name!r} lacks {permission} for {what}"
+            )
+
+    def _require_writable(self, what: str) -> None:
+        if self._mode == PimStatics.READ_ONLY:
+            raise PIMException(f"list opened READ_ONLY; {what} not allowed")
+        self._require(PERMISSION_PIM_WRITE, what)
+
+
+class Event:
+    """Field constants (JSR-75 ``Event``)."""
+
+    SUMMARY = 107
+    START = 106
+    END = 102
+    LOCATION = 104
+
+
+class EventItem:
+    """One typed calendar item, bound to its list until committed."""
+
+    def __init__(self, event_list: "EventList", record) -> None:
+        self._list = event_list
+        self._record = record  # device EventRecord or None until commit
+        self._pending_strings: Dict[int, str] = {}
+        self._pending_dates: Dict[int, float] = {}
+
+    @property
+    def record_id(self) -> Optional[str]:
+        return self._record.event_id if self._record else None
+
+    def get_string(self, field: int, index: int = 0) -> str:
+        if field in self._pending_strings:
+            return self._pending_strings[field]
+        if self._record is None:
+            raise PIMException(f"field {field} has no value")
+        if field == Event.SUMMARY:
+            return self._record.summary
+        if field == Event.LOCATION:
+            return self._record.location
+        raise PIMException(f"unsupported string field {field}")
+
+    def get_date(self, field: int, index: int = 0) -> float:
+        """JSR: dates are epoch values; here, virtual milliseconds."""
+        if field in self._pending_dates:
+            return self._pending_dates[field]
+        if self._record is None:
+            raise PIMException(f"field {field} has no value")
+        if field == Event.START:
+            return self._record.start_ms
+        if field == Event.END:
+            return self._record.end_ms
+        raise PIMException(f"unsupported date field {field}")
+
+    def add_string(self, field: int, attributes: int, value: str) -> None:
+        if field not in (Event.SUMMARY, Event.LOCATION):
+            raise PIMException(f"unsupported string field {field}")
+        if not value:
+            raise PIMException("empty value")
+        self._pending_strings[field] = value
+
+    def add_date(self, field: int, attributes: int, value_ms: float) -> None:
+        if field not in (Event.START, Event.END):
+            raise PIMException(f"unsupported date field {field}")
+        self._pending_dates[field] = float(value_ms)
+
+    def commit(self) -> None:
+        self._list._commit_item(self)
+        self._pending_strings.clear()
+        self._pending_dates.clear()
+
+
+class EventList:
+    """An open PIM event list (JSR-75 ``EventList``)."""
+
+    def __init__(self, platform: "S60Platform", suite_name: Optional[str], mode: int) -> None:
+        self._platform = platform
+        self._suite_name = suite_name
+        self._mode = mode
+        self._closed = False
+
+    def items(self) -> Iterator[EventItem]:
+        self._ensure_open()
+        self._require(PERMISSION_EVENT_READ, "items")
+        self._platform.charge_native("s60.pim.items")
+        for record in self._platform.device.calendar.all():
+            yield EventItem(self, record)
+
+    def create_event(self) -> EventItem:
+        self._ensure_open()
+        self._require_writable("createEvent")
+        return EventItem(self, None)
+
+    def remove_event(self, item: EventItem) -> None:
+        self._ensure_open()
+        self._require_writable("removeEvent")
+        if item.record_id is None:
+            raise PIMException("item was never committed")
+        self._platform.charge_native("s60.pim.remove")
+        self._platform.device.calendar.remove(item.record_id)
+        item._record = None
+
+    def _commit_item(self, item: EventItem) -> None:
+        self._ensure_open()
+        self._require_writable("commit")
+        summary = item._pending_strings.get(
+            Event.SUMMARY, item._record.summary if item._record else ""
+        )
+        if not summary:
+            raise PIMException("event needs a SUMMARY before commit")
+        start = item._pending_dates.get(
+            Event.START, item._record.start_ms if item._record else None
+        )
+        end = item._pending_dates.get(
+            Event.END, item._record.end_ms if item._record else None
+        )
+        if start is None or end is None:
+            raise PIMException("event needs START and END before commit")
+        location = item._pending_strings.get(
+            Event.LOCATION, item._record.location if item._record else ""
+        )
+        self._platform.charge_native("s60.pim.commit")
+        store = self._platform.device.calendar
+        if item._record is None:
+            item._record = store.add(summary, start, end, location=location)
+        else:
+            from dataclasses import replace
+
+            updated = replace(
+                item._record,
+                summary=summary,
+                start_ms=start,
+                end_ms=end,
+                location=location,
+            )
+            store.update(updated)
+            item._record = updated
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PIMException("list is closed")
+
+    def _require(self, permission: str, what: str) -> None:
+        if self._suite_name is None:
+            return
+        if not self._platform.suite_has_permission(self._suite_name, permission):
+            raise SecurityException(
+                f"suite {self._suite_name!r} lacks {permission} for {what}"
+            )
+
+    def _require_writable(self, what: str) -> None:
+        if self._mode == PimStatics.READ_ONLY:
+            raise PIMException(f"list opened READ_ONLY; {what} not allowed")
+        self._require(PERMISSION_EVENT_WRITE, what)
+
+
+class PimStatics:
+    """The JSR-75 ``PIM`` singleton, bound to a platform instance."""
+
+    CONTACT_LIST = 1
+    EVENT_LIST = 2
+    READ_ONLY = 1
+    WRITE_ONLY = 2
+    READ_WRITE = 3
+
+    def __init__(self, platform: "S60Platform") -> None:
+        self._platform = platform
+        self._suite_name: Optional[str] = None
+
+    def bind_suite(self, suite_name: str) -> None:
+        self._suite_name = suite_name
+
+    def open_pim_list(self, list_type: int, mode: int):
+        """JSR: ``PIM.getInstance().openPIMList(type, mode)``."""
+        if mode not in (self.READ_ONLY, self.WRITE_ONLY, self.READ_WRITE):
+            raise PIMException(f"bad mode {mode}")
+        self._platform.charge_native("s60.pim.open")
+        if list_type == self.CONTACT_LIST:
+            return ContactList(self._platform, self._suite_name, mode)
+        if list_type == self.EVENT_LIST:
+            return EventList(self._platform, self._suite_name, mode)
+        raise PIMException(f"unsupported list type {list_type}")

@@ -1,0 +1,104 @@
+"""The S60 platform object: suite installation, service statics, latencies."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.device.device import MobileDevice
+from repro.device.messaging import SmsMessage
+from repro.platforms.base import PlatformBase
+from repro.platforms.s60.connector import Connector
+from repro.platforms.s60.location import LocationProviderStatics
+from repro.platforms.s60.midlet import MIDlet
+from repro.platforms.s60.packaging import MidletSuite
+from repro.platforms.s60.pim import PimStatics
+from repro.util.latency import LatencyModel
+
+#: Default native latencies (ms), shaped to the paper's Figure-10 bars:
+#: the S60 location stack is an order of magnitude slower than Android's,
+#: while its SMS path is the fastest of the three platforms.
+DEFAULT_S60_LATENCY = LatencyModel(
+    mean_ms={
+        "s60.addProximityListener": 141.0,
+        "s60.getLocation": 140.8,
+        "s60.sendSMS": 15.6,
+        "s60.http": 60.0,
+    },
+    default_ms=1.0,
+)
+
+
+class S60Platform(PlatformBase):
+    """A Nokia S60 middleware stack mounted on one device.
+
+    Applications arrive as :class:`MidletSuite` bundles (single jar +
+    descriptor).  The *statics* of J2ME (``LocationProvider``,
+    ``Connector``) hang off the platform instance as
+    :attr:`location_provider` and :attr:`connector`.
+    """
+
+    platform_name = "s60"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        *,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        super().__init__(device, latency=latency or DEFAULT_S60_LATENCY)
+        self.location_provider = LocationProviderStatics(self)
+        self.connector = Connector(self)
+        self.pim = PimStatics(self)
+        self._suites: Dict[str, MidletSuite] = {}
+        self._midlets: Dict[str, MIDlet] = {}
+        self._sms_sinks: List[Callable[[SmsMessage], None]] = []
+        self._sms_routed = False
+
+    # -- suite management ---------------------------------------------------
+
+    def install_suite(self, suite: MidletSuite) -> None:
+        """Install a MIDlet suite, enforcing the device binary-size limit."""
+        limit = self.device.profile.max_app_binary_kb * 1024
+        suite.validate_for_deployment(max_jar_bytes=limit)
+        self._suites[suite.name] = suite
+
+    def suite_property(self, suite_name: str, key: str) -> str:
+        suite = self._suites.get(suite_name)
+        if suite is None:
+            return ""
+        return suite.jad.properties.get(key, "")
+
+    def suite_has_permission(self, suite_name: str, permission: str) -> bool:
+        suite = self._suites.get(suite_name)
+        if suite is None:
+            return False
+        return permission in suite.jad.permissions
+
+    def launch(self, midlet_class: Type[MIDlet], suite_name: str) -> MIDlet:
+        """Instantiate a MIDlet from an installed suite and start it.
+
+        Binds the platform statics' permission checks to the suite, the way
+        the MIDP runtime attributes checks to the running suite.
+        """
+        if suite_name not in self._suites:
+            raise KeyError(f"suite {suite_name!r} is not installed")
+        self.location_provider.bind_suite(suite_name)
+        self.connector.bind_suite(suite_name)
+        self.pim.bind_suite(suite_name)
+        midlet = midlet_class(self, suite_name)
+        self._midlets[suite_name] = midlet
+        midlet.perform_start()
+        return midlet
+
+    # -- SMS receive plumbing ----------------------------------------------------
+
+    def register_sms_sink(self, sink: Callable[[SmsMessage], None]) -> None:
+        """Attach a server-mode MessageConnection to the device inbox."""
+        if not self._sms_routed:
+            self.device.sms_center.attach(self.device.phone_number, self._on_sms)
+            self._sms_routed = True
+        self._sms_sinks.append(sink)
+
+    def _on_sms(self, sms: SmsMessage) -> None:
+        for sink in list(self._sms_sinks):
+            sink(sms)

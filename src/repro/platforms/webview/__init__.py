@@ -1,0 +1,38 @@
+"""Android WebView-like platform substrate.
+
+Models the piece of WebView the paper's JavaScript proxies are built on:
+``add_javascript_interface`` injects a Java object into the page's global
+namespace, and JS code may call its methods — **but only primitive values
+cross the bridge in either direction**.  JS functions can never be handed
+to Java, so asynchronous results must flow through a Java-side
+:class:`NotificationTable` that the JS side polls on a timer.  Java
+exceptions do not propagate as JS exceptions either; they surface as
+:class:`JsBridgeError` carrying the Java class name (MobiVine's wrappers
+turn them into stable error codes instead).
+
+A WebView runs *on top of* an Android platform: the Java side of every
+bridge object ultimately calls the Android substrate.
+"""
+
+from repro.platforms.webview.exceptions import (
+    BridgeMarshalError,
+    JsBridgeError,
+    JsError,
+)
+from repro.platforms.webview.notifications import Notification, NotificationTable
+from repro.platforms.webview.bridge import JavascriptBridge, JsBridgeObject
+from repro.platforms.webview.webview import JsWindow, WebView
+from repro.platforms.webview.platform import WebViewPlatform
+
+__all__ = [
+    "BridgeMarshalError",
+    "JavascriptBridge",
+    "JsBridgeError",
+    "JsBridgeObject",
+    "JsError",
+    "JsWindow",
+    "Notification",
+    "NotificationTable",
+    "WebView",
+    "WebViewPlatform",
+]

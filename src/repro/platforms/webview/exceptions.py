@@ -1,0 +1,29 @@
+"""WebView/JS-domain exception set."""
+
+
+class JsError(Exception):
+    """Root of errors raised in the JavaScript domain."""
+
+
+class BridgeMarshalError(JsError):
+    """A value that cannot cross the JS/Java bridge was passed or returned.
+
+    Raising (rather than silently dropping, as real WebViews sometimes do)
+    makes the constraint explicit — the constraint that motivates the
+    paper's Notification Table + polling design.
+    """
+
+
+class JsBridgeError(JsError):
+    """A Java exception escaped during a bridge call.
+
+    JS code only sees the Java exception's class name and message as
+    strings; it cannot catch a typed Java exception.  The MobiVine wrapper
+    classes convert Java exceptions into stable numeric error codes
+    *before* they reach the bridge, precisely to avoid this.
+    """
+
+    def __init__(self, java_class: str, message: str) -> None:
+        super().__init__(f"{java_class}: {message}")
+        self.java_class = java_class
+        self.java_message = message

@@ -1,0 +1,135 @@
+"""The WebView host and the page's ``window`` object.
+
+A "page" in this substrate is a Python callable that receives a
+:class:`JsWindow` — the analogue of HTML+JavaScript loaded into the view.
+The window gives the page timers (``set_interval`` drives the paper's
+notification polling), a console, and access to the Java objects injected
+via the bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.platforms.webview.bridge import JavascriptBridge, JsBridgeObject
+from repro.platforms.webview.exceptions import JsError
+from repro.util.clock import ScheduledTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.webview.platform import WebViewPlatform
+
+
+class JsWindow:
+    """The page-global object handed to page scripts.
+
+    JS mapping: ``setTimeout`` → :meth:`set_timeout`, ``setInterval`` →
+    :meth:`set_interval`, ``clearInterval``/``clearTimeout`` →
+    :meth:`clear_interval`, ``console.log`` → :meth:`log`.
+    """
+
+    def __init__(self, platform: "WebViewPlatform", bridge: JavascriptBridge) -> None:
+        self._platform = platform
+        self._bridge = bridge
+        self._timers: Dict[int, ScheduledTask] = {}
+        self._next_timer_id = 1
+        self.console: List[str] = []
+        self._globals: Dict[str, Any] = {}
+
+    # -- injected Java objects ------------------------------------------------
+
+    def bridge_object(self, js_name: str) -> JsBridgeObject:
+        """Resolve a Java object injected with ``add_javascript_interface``."""
+        return self._bridge.lookup(js_name)
+
+    # -- page globals (plain JS values, never bridged) ---------------------------
+
+    def set_global(self, name: str, value: Any) -> None:
+        self._globals[name] = value
+
+    def get_global(self, name: str) -> Any:
+        if name in self._globals:
+            return self._globals[name]
+        raise JsError(f"ReferenceError: {name} is not defined")
+
+    # -- timers ----------------------------------------------------------------
+
+    def set_timeout(self, fn: Callable[[], None], delay_ms: float) -> int:
+        """One-shot timer; returns a timer id."""
+        timer_id = self._allocate_timer_id()
+        task = self._platform.scheduler.call_later(
+            delay_ms, fn, name=f"js-timeout-{timer_id}"
+        )
+        self._timers[timer_id] = task
+        return timer_id
+
+    def set_interval(self, fn: Callable[[], None], period_ms: float) -> int:
+        """Repeating timer; returns a timer id usable with clear_interval."""
+        timer_id = self._allocate_timer_id()
+        task = self._platform.scheduler.call_every(
+            period_ms, fn, name=f"js-interval-{timer_id}"
+        )
+        self._timers[timer_id] = task
+        return timer_id
+
+    def clear_interval(self, timer_id: int) -> None:
+        """Cancel a timer (also serves as ``clearTimeout``).  Idempotent."""
+        task = self._timers.pop(timer_id, None)
+        if task is not None:
+            task.cancel()
+
+    def active_timer_count(self) -> int:
+        return sum(1 for t in self._timers.values() if not t.cancelled)
+
+    def _allocate_timer_id(self) -> int:
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+        return timer_id
+
+    # -- console -------------------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        """JS: ``console.log``."""
+        self.console.append(str(message))
+
+
+class WebView:
+    """A browser surface hosting one page at a time.
+
+    The Java side configures it (``add_javascript_interface``) *before*
+    loading the page, exactly as real WebView requires.
+    """
+
+    def __init__(self, platform: "WebViewPlatform") -> None:
+        self._platform = platform
+        self.bridge = JavascriptBridge(platform)
+        self._window: Optional[JsWindow] = None
+        self._page_loaded = False
+
+    # -- Java-side API -----------------------------------------------------------
+
+    def add_javascript_interface(self, java_object: Any, js_name: str) -> None:
+        """Inject ``java_object`` into the (future) page as ``js_name``."""
+        self.bridge.add_javascript_interface(java_object, js_name)
+
+    def load_page(self, page: Callable[[JsWindow], None]) -> JsWindow:
+        """Load a page script: build a fresh window and run the script.
+
+        Returns the window so tests can poke at page state.  Loading a new
+        page tears down the previous window's timers.
+        """
+        if self._window is not None:
+            for timer_id in list(self._window._timers):
+                self._window.clear_interval(timer_id)
+        self._window = JsWindow(self._platform, self.bridge)
+        self._platform.active_window = self._window
+        page(self._window)
+        self._page_loaded = True
+        return self._window
+
+    @property
+    def window(self) -> Optional[JsWindow]:
+        return self._window
+
+    @property
+    def page_loaded(self) -> bool:
+        return self._page_loaded

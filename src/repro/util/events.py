@@ -1,0 +1,119 @@
+"""A small synchronous publish/subscribe bus.
+
+Used by the device hardware (GPS fixes, radio state changes) and by the
+Android substrate's broadcast machinery.  Delivery is synchronous and in
+subscription order, which keeps platform behaviour deterministic under the
+virtual clock.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; detaches the handler."""
+
+    bus: "EventBus"
+    topic_pattern: str
+    handler: Handler = field(repr=False)
+    token: int = 0
+    active: bool = True
+
+    def unsubscribe(self) -> None:
+        """Stop receiving events.  Idempotent."""
+        if self.active:
+            self.active = False
+            self.bus._remove(self)
+
+
+class EventBus:
+    """Topic-based synchronous event bus with glob topic patterns.
+
+    Topics are dotted strings such as ``"gps.fix"`` or ``"radio.sms.sent"``.
+    Patterns use :mod:`fnmatch` globbing, so ``"radio.*"`` receives every
+    radio event.
+    """
+
+    def __init__(self) -> None:
+        self._subs: List[Subscription] = []
+        self._tokens = itertools.count(1)
+        self._delivery_log: List[str] = []
+
+    def subscribe(self, topic_pattern: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for every topic matching ``topic_pattern``."""
+        sub = Subscription(self, topic_pattern, handler, token=next(self._tokens))
+        self._subs.append(sub)
+        return sub
+
+    def _remove(self, sub: Subscription) -> None:
+        self._subs = [s for s in self._subs if s.token != sub.token]
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Deliver ``payload`` to all matching subscribers, in order.
+
+        Returns the number of handlers invoked.  Handlers that subscribe or
+        unsubscribe during delivery affect only subsequent publishes.
+        """
+        delivered = 0
+        for sub in list(self._subs):
+            if sub.active and fnmatch.fnmatchcase(topic, sub.topic_pattern):
+                sub.handler(topic, payload)
+                delivered += 1
+        self._delivery_log.append(topic)
+        return delivered
+
+    def subscriber_count(self, topic: str) -> int:
+        """Number of active subscribers that would receive ``topic``."""
+        return sum(
+            1
+            for sub in self._subs
+            if sub.active and fnmatch.fnmatchcase(topic, sub.topic_pattern)
+        )
+
+    @property
+    def published_topics(self) -> List[str]:
+        """Chronological log of every published topic (test/debug aid)."""
+        return list(self._delivery_log)
+
+    def clear_log(self) -> None:
+        """Forget the publish log (the subscriptions stay)."""
+        self._delivery_log.clear()
+
+
+class TypedSignal:
+    """A single-topic variant of :class:`EventBus` with positional payloads.
+
+    Handy for hardware units that expose exactly one kind of notification
+    (e.g. a battery level signal).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._handlers: List[Callable[..., None]] = []
+
+    def connect(self, handler: Callable[..., None]) -> Callable[[], None]:
+        """Attach ``handler``; returns a zero-arg disconnect function."""
+        self._handlers.append(handler)
+
+        def disconnect() -> None:
+            if handler in self._handlers:
+                self._handlers.remove(handler)
+
+        return disconnect
+
+    def emit(self, *args: Any, **kwargs: Any) -> int:
+        """Call every connected handler; returns how many ran."""
+        handlers = list(self._handlers)
+        for handler in handlers:
+            handler(*args, **kwargs)
+        return len(handlers)
+
+    def __len__(self) -> int:
+        return len(self._handlers)

@@ -1,0 +1,44 @@
+"""Tests for the platform-evolution change-impact analysis."""
+
+import pytest
+
+from repro.analysis.maintenance import change_impact, sdk_migration_report
+
+
+class TestChangeImpact:
+    def test_identical_sources_no_change(self):
+        source = "a\nb\nc\n"
+        impact = change_impact(source, source)
+        assert impact.changed == 0
+        assert impact.fraction == 0.0
+
+    def test_one_line_edit(self):
+        impact = change_impact("a\nb\nc\n", "a\nB\nc\n")
+        assert impact.added == 1
+        assert impact.removed == 1
+
+    def test_addition_only(self):
+        impact = change_impact("a\n", "a\nb\n")
+        assert impact.added == 1
+        assert impact.removed == 0
+
+    def test_blank_lines_ignored(self):
+        impact = change_impact("a\n\n\nb\n", "a\nb\n")
+        assert impact.changed == 0
+
+    def test_fraction(self):
+        impact = change_impact("a\nb\n", "a\nc\n")
+        assert impact.fraction == pytest.approx(1.0)  # 2 changed / 2 old
+
+
+class TestSdkMigration:
+    def test_native_requires_changes_proxied_does_not(self):
+        """The paper's maintenance table, measured from the real sources."""
+        report = sdk_migration_report()
+        assert report.native_impact.changed > 0
+        assert report.proxied_impact.changed == 0
+
+    def test_native_change_is_localized(self):
+        """The m5→1.0 edit is small but unavoidable without proxies."""
+        report = sdk_migration_report()
+        assert 0 < report.native_impact.fraction < 0.5

@@ -1,0 +1,113 @@
+"""Tests for the static code metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    count_loc,
+    cyclomatic_complexity,
+    measure,
+    platform_api_surface,
+    source_of,
+)
+
+
+SAMPLE = '''
+def f(x):
+    """Docstring, not code."""
+    # a comment
+    if x > 0:
+        return x
+    return -x
+'''
+
+
+class TestLoc:
+    def test_excludes_blank_comment_docstring(self):
+        assert count_loc(SAMPLE) == 4  # def, if, return, return
+
+    def test_empty_source(self):
+        assert count_loc("") == 0
+
+    def test_multiline_statement_counts_lines(self):
+        source = "x = (1 +\n     2)\n"
+        assert count_loc(source) == 2
+
+    def test_module_docstring_excluded(self):
+        source = '"""Module doc\nspanning lines."""\nx = 1\n'
+        assert count_loc(source) == 1
+
+
+class TestCyclomatic:
+    def test_straight_line_is_one(self):
+        assert cyclomatic_complexity("x = 1\ny = 2\n") == 1
+
+    def test_each_branch_adds_one(self):
+        source = "if a:\n    pass\nelif b:\n    pass\n"
+        assert cyclomatic_complexity(source) == 3  # 1 + two ifs
+
+    def test_boolean_operators_count(self):
+        assert cyclomatic_complexity("x = a and b and c\n") == 3
+
+    def test_loops_and_handlers(self):
+        source = (
+            "for i in r:\n    pass\n"
+            "while x:\n    pass\n"
+            "try:\n    pass\nexcept E:\n    pass\n"
+        )
+        assert cyclomatic_complexity(source) == 4
+
+
+class TestPlatformSurface:
+    def test_android_markers_found(self):
+        source = "i = Intent('a')\nctx.register_receiver(r, IntentFilter('a'))\n"
+        surface = platform_api_surface(source, "android")
+        assert surface["Intent"] == 1
+        assert surface["IntentFilter"] == 1
+        assert surface["register_receiver"] == 1
+
+    def test_uniform_names_not_counted(self):
+        """add_proximity_alert is the uniform API name too — excluded."""
+        source = "proxy.add_proximity_alert(1, 2, 0, 3, -1, cb)\n"
+        assert platform_api_surface(source, "android") == {}
+
+    def test_s60_markers(self):
+        source = "lp = LocationProvider.get_instance(Criteria())\n"
+        surface = platform_api_surface(source, "s60")
+        assert set(surface) == {"LocationProvider", "get_instance", "Criteria"}
+
+
+class TestMeasureOnRealApps:
+    def test_native_android_heavily_coupled(self):
+        from repro.apps.workforce.native_android import WorkforceNativeAndroid
+
+        metrics = measure(WorkforceNativeAndroid, "android")
+        assert metrics.platform_marker_kinds >= 8
+        assert metrics.callback_entry_points >= 1
+
+    def test_proxied_logic_nearly_uncoupled(self):
+        from repro.apps.workforce.proxied import WorkforceLogic
+
+        for platform in ("android", "s60", "webview"):
+            metrics = measure(WorkforceLogic, platform)
+            assert metrics.platform_marker_kinds <= 1
+
+    def test_complexity_ordering(self):
+        """Paper's complexity claim: proxied < each native variant."""
+        from repro.apps.workforce.native_android import WorkforceNativeAndroid
+        from repro.apps.workforce.native_s60 import WorkforceNativeS60
+        from repro.apps.workforce.proxied import WorkforceLogic
+
+        proxied = measure(WorkforceLogic, "android")
+        native_android = measure(WorkforceNativeAndroid, "android")
+        native_s60 = measure(WorkforceNativeS60, "s60")
+        assert proxied.loc < native_android.loc
+        assert proxied.loc < native_s60.loc
+        assert proxied.cyclomatic < native_android.cyclomatic
+        assert proxied.cyclomatic < native_s60.cyclomatic
+        assert proxied.platform_marker_uses < native_android.platform_marker_uses
+
+    def test_source_of_dedents(self):
+        from repro.apps.workforce.proxied import WorkforceLogic
+
+        source = source_of(WorkforceLogic.proximity_event)
+        assert source.startswith("def proximity_event")

@@ -1,0 +1,84 @@
+"""Tests for cross-platform similarity scoring."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import source_of
+from repro.analysis.portability import (
+    normalize_tokens,
+    pairwise_similarity,
+    portability_score,
+    similarity,
+)
+
+
+class TestNormalization:
+    def test_comments_dropped(self):
+        assert normalize_tokens("x = 1  # comment") == normalize_tokens("x = 1")
+
+    def test_strings_collapsed(self):
+        assert normalize_tokens('f("aaa")') == normalize_tokens('f("bbb")')
+
+    def test_numbers_collapsed(self):
+        assert normalize_tokens("f(1)") == normalize_tokens("f(99)")
+
+    def test_docstrings_dropped(self):
+        a = 'def f():\n    """doc"""\n    return 1\n'
+        b = "def f():\n    return 1\n"
+        assert normalize_tokens(a) == normalize_tokens(b)
+
+    def test_identifiers_preserved(self):
+        assert normalize_tokens("alpha()") != normalize_tokens("beta()")
+
+
+class TestSimilarity:
+    def test_identical_sources_score_one(self):
+        source = "def f(a):\n    return a + 1\n"
+        assert similarity(source, source) == 1.0
+
+    def test_renamed_constants_still_identical(self):
+        assert similarity("x = f(1, 'a')\n", "x = f(2, 'b')\n") == 1.0
+
+    def test_different_structure_scores_low(self):
+        a = "def f():\n    return 1\n"
+        b = "class Unrelated:\n    value = [i for i in range(10) if i % 2]\n"
+        assert similarity(a, b) < 0.5
+
+    @given(st.text(alphabet="abcxyz=+ ()\n", min_size=0, max_size=60))
+    def test_self_similarity_always_one(self, text):
+        try:
+            tokens = normalize_tokens(text)
+        except Exception:
+            return  # not tokenizable: out of scope
+        assert similarity(text, text) == 1.0
+
+
+class TestPortabilityScores:
+    def test_pairwise_keys(self):
+        sources = {"a": "x=1", "b": "x=1", "c": "y=2"}
+        pairs = pairwise_similarity(sources)
+        assert set(pairs) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_single_source_scores_one(self):
+        assert portability_score({"only": "x=1"}) == 1.0
+
+    def test_proxied_app_beats_native_app(self):
+        """The paper's portability table, as an inequality over real code."""
+        from repro.apps.workforce.native_android import WorkforceNativeAndroid
+        from repro.apps.workforce.native_s60 import WorkforceNativeS60
+        from repro.apps.workforce import native_webview
+        from repro.apps.workforce.proxied import WorkforceLogic
+
+        native = portability_score(
+            {
+                "android": source_of(WorkforceNativeAndroid),
+                "s60": source_of(WorkforceNativeS60),
+                "webview": source_of(native_webview.make_native_page),
+            }
+        )
+        proxied_source = source_of(WorkforceLogic)
+        proxied = portability_score(
+            {p: proxied_source for p in ("android", "s60", "webview")}
+        )
+        assert proxied == 1.0
+        assert native < 0.5

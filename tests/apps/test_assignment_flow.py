@@ -1,0 +1,54 @@
+"""The device-side assignment lifecycle over the HTTP proxy."""
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.apps.workforce.proxied import (
+    AssignmentClient,
+    launch_on_android,
+    launch_on_s60,
+)
+
+
+class TestAssignmentFlow:
+    def test_poll_empty_queue(self):
+        sc = scenario.build_android()
+        logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+        assert AssignmentClient(logic).poll() is None
+
+    def test_poll_then_complete(self):
+        sc = scenario.build_android()
+        logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+        dispatched = sc.server.dispatch(
+            sc.config.agent.agent_id, sc.config.site.site_id, "replace fuse"
+        )
+        assignment = AssignmentClient(logic).poll()
+        assert assignment["assignment"] == dispatched.assignment_id
+        assert assignment["description"] == "replace fuse"
+        assert sc.server.assignment(dispatched.assignment_id).status == "assigned"
+        assert AssignmentClient(logic).complete(dispatched.assignment_id)
+        assert sc.server.assignment(dispatched.assignment_id).status == "completed"
+        assert f"completed:{dispatched.assignment_id}" in logic.activity_events
+
+    def test_poll_is_exactly_once(self):
+        sc = scenario.build_android()
+        logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+        sc.server.dispatch(sc.config.agent.agent_id, "site-7", "one job")
+        assert AssignmentClient(logic).poll() is not None
+        assert AssignmentClient(logic).poll() is None
+
+    def test_complete_unknown_rejected(self):
+        sc = scenario.build_android()
+        logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+        assert not AssignmentClient(logic).complete("job-999")
+
+    def test_same_flow_on_s60(self):
+        """The assignment logic lives in the shared class: S60 gets it too."""
+        sc = scenario.build_s60()
+        logic = launch_on_s60(sc.platform, sc.config)
+        dispatched = sc.server.dispatch(
+            sc.config.agent.agent_id, sc.config.site.site_id, "paint fence"
+        )
+        assignment = AssignmentClient(logic).poll()
+        assert assignment["description"] == "paint fence"
+        assert AssignmentClient(logic).complete(dispatched.assignment_id)

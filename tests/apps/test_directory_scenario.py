@@ -1,0 +1,116 @@
+"""Integration: five proxies composed in one directory-services flow."""
+
+import json
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.core.enrichment import CallRetryCoordinator, RetryPolicy
+from repro.core.proxies import create_proxy
+from repro.core.proxy.datatypes import CallOutcome
+from repro.device.network import HttpResponse
+from repro.device.telephony import TelephonyUnit
+from repro.platforms.android.calendar_provider import READ_CALENDAR, WRITE_CALENDAR
+from repro.platforms.android.contacts import READ_CONTACTS, WRITE_CONTACTS
+from repro.util.geo import destination_point, haversine_m
+
+HOST = "directory.example.com"
+
+
+@pytest.fixture
+def world():
+    sc = scenario.build_android()
+    sc.platform.install(
+        "dir",
+        scenario.ANDROID_PERMISSIONS
+        | {READ_CONTACTS, WRITE_CONTACTS, READ_CALENDAR, WRITE_CALENDAR},
+    )
+    near = destination_point(scenario.SITE.latitude, scenario.SITE.longitude, 90.0, 900.0)
+    far = destination_point(scenario.SITE.latitude, scenario.SITE.longitude, 0.0, 4_000.0)
+    sites = [
+        {"site": "near-site", "latitude": near.latitude, "longitude": near.longitude, "oncall": "Near Nia"},
+        {"site": "far-site", "latitude": far.latitude, "longitude": far.longitude, "oncall": "Far Fred"},
+    ]
+
+    def nearby(request):
+        body = json.loads(request.body)
+        ranked = sorted(
+            sites,
+            key=lambda s: haversine_m(
+                body["latitude"], body["longitude"], s["latitude"], s["longitude"]
+            ),
+        )
+        return HttpResponse(200, json.dumps(ranked))
+
+    sc.device.network.add_server(HOST).route("POST", "/nearby", nearby)
+    sc.device.contacts.add("Near Nia", ("+911",))
+    sc.device.contacts.add("Far Fred", ("+912",))
+    return sc
+
+
+@pytest.fixture
+def proxies(world):
+    context = world.platform.new_context("dir")
+    bundle = {}
+    for interface in ("Location", "Http", "Contacts", "Call", "Calendar"):
+        proxy = create_proxy(interface, world.platform)
+        proxy.set_property("context", context)
+        bundle[interface] = proxy
+    return bundle
+
+
+class TestDirectoryFlow:
+    def test_nearest_site_ranked_by_real_position(self, world, proxies):
+        position = proxies["Location"].get_location()
+        result = proxies["Http"].post(
+            f"http://{HOST}/nearby",
+            json.dumps({"latitude": position.latitude, "longitude": position.longitude}),
+        )
+        ranked = json.loads(result.body)
+        assert ranked[0]["site"] == "near-site"
+
+    def test_oncall_lookup_and_retry_call(self, world, proxies):
+        engineer = proxies["Contacts"].find_by_name("Near Nia")[0]
+        world.device.telephony.set_callee_behavior(
+            engineer.primary_number, TelephonyUnit.UNREACHABLE
+        )
+        coordinator = CallRetryCoordinator(
+            proxies["Call"],
+            world.platform.scheduler,
+            RetryPolicy(max_attempts=2, retry_delay_ms=1_000.0),
+        )
+        report = coordinator.make_a_call(engineer.primary_number)
+        world.platform.run_for(500.0)
+        world.device.telephony.set_callee_behavior(
+            engineer.primary_number, TelephonyUnit.ANSWER
+        )
+        world.platform.run_for(20_000.0)
+        assert report.attempts == 2
+        assert report.outcomes[0] is CallOutcome.UNREACHABLE
+
+    def test_visit_booked_in_calendar(self, world, proxies):
+        calendar = proxies["Calendar"]
+        calendar.set_property("eventLocation", "near-site")
+        now = world.platform.clock.now_ms
+        calendar.add_event("Visit near-site", now + 1_000.0, now + 2_000.0)
+        events = calendar.events_between(now, now + 10_000.0)
+        assert [e.location for e in events] == ["near-site"]
+
+    def test_end_to_end_under_one_permission_model(self, world, proxies):
+        """All five proxies attribute permissions to the same package."""
+        world.platform.install("stranger", set())
+        stranger_context = world.platform.new_context("stranger")
+        from repro.errors import ProxyPermissionError
+
+        for interface in ("Location", "Http", "Contacts", "Calendar"):
+            proxy = create_proxy(interface, world.platform)
+            proxy.set_property("context", stranger_context)
+            with pytest.raises(ProxyPermissionError):
+                if interface == "Location":
+                    proxy.get_location()
+                elif interface == "Http":
+                    proxy.get(f"http://{HOST}/nearby")
+                elif interface == "Contacts":
+                    proxy.list_contacts()
+                else:
+                    proxy.list_events()

@@ -1,0 +1,84 @@
+"""Multi-agent fleet integration tests (shared clock, SMSC, network)."""
+
+import pytest
+
+from repro.apps.workforce.fleet import build_fleet, launch_fleet
+
+
+class TestFleetConstruction:
+    def test_minimum_one_agent(self):
+        with pytest.raises(ValueError):
+            build_fleet(0)
+
+    def test_shared_infrastructure(self):
+        fleet = build_fleet(3)
+        schedulers = {id(agent.device.scheduler) for agent in fleet.agents}
+        schedulers.add(id(fleet.supervisor.scheduler))
+        assert len(schedulers) == 1
+        centers = {id(agent.device.sms_center) for agent in fleet.agents}
+        assert len(centers) == 1
+
+    def test_distinct_sites_and_numbers(self):
+        fleet = build_fleet(4)
+        sites = {agent.site.site_id for agent in fleet.agents}
+        numbers = {agent.profile.phone_number for agent in fleet.agents}
+        assert len(sites) == len(numbers) == 4
+
+    def test_agent_lookup(self):
+        fleet = build_fleet(2)
+        assert fleet.agent("agent-2").profile.phone_number.endswith("2")
+        with pytest.raises(KeyError):
+            fleet.agent("agent-99")
+
+
+class TestFleetRun:
+    @pytest.fixture(scope="class")
+    def run_fleet(self):
+        fleet = build_fleet(3)
+        launch_fleet(fleet)
+        for agent in fleet.agents:
+            fleet.server.dispatch(
+                agent.profile.agent_id, agent.site.site_id, "inspect"
+            )
+        fleet.run_for(250_000.0)
+        for agent in fleet.agents:
+            agent.logic.report_location()
+        return fleet
+
+    def test_every_agent_arrived_and_departed(self, run_fleet):
+        for agent in run_fleet.agents:
+            assert agent.logic.activity_events[:2] == ["arrived", "departed"]
+
+    def test_server_log_attributes_per_agent(self, run_fleet):
+        for agent in run_fleet.agents:
+            log = run_fleet.server.activity_log(agent.profile.agent_id)
+            assert [r.event for r in log][:2] == ["arrived", "departed"]
+
+    def test_server_tracks_all_agents(self, run_fleet):
+        for agent in run_fleet.agents:
+            track = run_fleet.server.track_of(agent.profile.agent_id)
+            assert track is not None and track.report_count == 1
+
+    def test_supervisor_receives_one_text_per_arrival(self, run_fleet):
+        arrivals = sum(
+            agent.logic.activity_events.count("arrived")
+            for agent in run_fleet.agents
+        )
+        assert len(run_fleet.supervisor_inbox) == arrivals
+        assert set(run_fleet.supervisor_inbox) == {"Arrived at site"}
+
+    def test_staggered_arrival_order(self, run_fleet):
+        """Agents commute with staggered starts; the server log's arrival
+        order follows the stagger."""
+        arrival_order = [
+            record.agent_id
+            for record in run_fleet.server.activity_log()
+            if record.event == "arrived"
+        ]
+        assert arrival_order[:3] == ["agent-1", "agent-2", "agent-3"]
+
+    def test_agents_do_not_cross_talk(self, run_fleet):
+        """Agent K's proximity alert never fires for agent J's site."""
+        for agent in run_fleet.agents:
+            # exactly one arrival per agent in this trajectory
+            assert agent.logic.activity_events.count("arrived") == 1

@@ -1,0 +1,157 @@
+"""Integration tests: the full workforce app, native and proxied, on
+every platform, against the live server."""
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.apps.workforce.native_android import (
+    WorkforceNativeAndroid,
+    WorkforceNativeAndroidV10,
+)
+from repro.apps.workforce.native_s60 import WorkforceNativeS60
+from repro.apps.workforce.native_webview import install_native_shims, make_native_page
+from repro.apps.workforce.proxied import (
+    WorkforceLogic,
+    launch_on_android,
+    launch_on_s60,
+    launch_on_webview,
+)
+from repro.core.plugin.packaging import WebViewPlatformExtension
+from repro.platforms.android.exceptions import IllegalArgumentException
+from repro.platforms.android.versions import SdkVersion
+
+EXPECTED_EVENTS = ["arrived", "departed", "arrived"]
+
+
+class TestNativeVariants:
+    def test_native_android_full_run(self):
+        sc = scenario.build_android()
+        app = WorkforceNativeAndroid(sc.platform, scenario.PACKAGE)
+        app.config = sc.config
+        app.perform_launch()
+        sc.platform.run_for(200_000.0)
+        app.report_location()
+        assert [e for e in app.activity_events if e in ("arrived", "departed")] == (
+            EXPECTED_EVENTS
+        )
+        assert [r.event for r in sc.server.activity_log()] == EXPECTED_EVENTS
+        assert sc.server.track_of(scenario.AGENT.agent_id).report_count == 1
+
+    def test_native_android_notifies_supervisor(self):
+        sc = scenario.build_android()
+        app = WorkforceNativeAndroid(sc.platform, scenario.PACKAGE)
+        app.config = sc.config
+        app.perform_launch()
+        sc.platform.run_for(200_000.0)
+        inbox = sc.device.sms_center.inbox_of(scenario.AGENT.supervisor_number)
+        assert [m.text for m in inbox] == ["Arrived at site", "Arrived at site"]
+
+    def test_native_m5_code_breaks_on_sdk_10(self):
+        """The maintenance problem: unmodified m5 code fails on 1.0."""
+        sc = scenario.build_android(sdk_version=SdkVersion.V1_0)
+        app = WorkforceNativeAndroid(sc.platform, scenario.PACKAGE)
+        app.config = sc.config
+        with pytest.raises(IllegalArgumentException):
+            app.perform_launch()
+
+    def test_ported_v10_code_works_on_sdk_10(self):
+        sc = scenario.build_android(sdk_version=SdkVersion.V1_0)
+        app = WorkforceNativeAndroidV10(sc.platform, scenario.PACKAGE)
+        app.config = sc.config
+        app.perform_launch()
+        sc.platform.run_for(200_000.0)
+        assert [r.event for r in sc.server.activity_log()] == EXPECTED_EVENTS
+
+    def test_native_s60_full_run(self):
+        sc = scenario.build_s60()
+        app = WorkforceNativeS60(sc.platform, scenario.PACKAGE)
+        app.config = sc.config
+        app.perform_start()
+        sc.platform.run_for(200_000.0)
+        app.report_location()
+        assert [r.event for r in sc.server.activity_log()] == EXPECTED_EVENTS
+
+    def test_native_webview_full_run(self):
+        sc = scenario.build_webview()
+        webview = sc.platform.new_webview()
+        install_native_shims(webview, sc.platform, sc.new_context())
+        window = webview.load_page(make_native_page(sc.config))
+        sc.platform.run_for(200_000.0)
+        window.get_global("report_location")()
+        state = window.get_global("app_state")
+        assert state["activity_events"] == EXPECTED_EVENTS
+        assert [r.event for r in sc.server.activity_log()] == EXPECTED_EVENTS
+
+
+class TestProxiedVariant:
+    @pytest.mark.parametrize("sdk", [SdkVersion.M5_RC15, SdkVersion.V1_0])
+    def test_proxied_android_unchanged_across_sdks(self, sdk):
+        """The maintenance solution: identical code on both SDK versions."""
+        sc = scenario.build_android(sdk_version=sdk)
+        logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
+        sc.platform.run_for(200_000.0)
+        logic.report_location()
+        assert logic.activity_events == EXPECTED_EVENTS
+        assert [r.event for r in sc.server.activity_log()] == EXPECTED_EVENTS
+
+    def test_proxied_s60(self):
+        sc = scenario.build_s60()
+        logic = launch_on_s60(sc.platform, sc.config)
+        sc.platform.run_for(200_000.0)
+        logic.report_location()
+        assert logic.activity_events == EXPECTED_EVENTS
+
+    def test_proxied_webview(self):
+        sc = scenario.build_webview()
+        webview = sc.platform.new_webview()
+        WebViewPlatformExtension().install_wrappers(
+            webview, sc.platform, sc.new_context(), ["Location", "Sms", "Http"]
+        )
+        holder = {}
+        webview.load_page(
+            lambda window: holder.update(logic=launch_on_webview(sc.platform, sc.config))
+        )
+        sc.platform.run_for(200_000.0)
+        holder["logic"].report_location()
+        assert holder["logic"].activity_events == EXPECTED_EVENTS
+
+    def test_business_logic_class_is_shared(self):
+        """The portability claim in its strongest form: the SAME class
+        object runs on every platform (not merely similar code)."""
+        android = scenario.build_android()
+        logic_android = launch_on_android(
+            android.platform, android.new_context(), android.config
+        )
+        s60 = scenario.build_s60()
+        logic_s60 = launch_on_s60(s60.platform, s60.config)
+        assert type(logic_android) is type(logic_s60) is WorkforceLogic
+
+    def test_proxied_supervisor_notification(self):
+        sc = scenario.build_s60()
+        logic = launch_on_s60(sc.platform, sc.config)
+        sc.platform.run_for(200_000.0)
+        inbox = sc.device.sms_center.inbox_of(scenario.AGENT.supervisor_number)
+        assert [m.text for m in inbox] == ["Arrived at site", "Arrived at site"]
+
+    def test_server_sees_identical_logs_from_all_platforms(self):
+        logs = {}
+        sc = scenario.build_android()
+        launch_on_android(sc.platform, sc.new_context(), sc.config)
+        sc.platform.run_for(200_000.0)
+        logs["android"] = [r.event for r in sc.server.activity_log()]
+
+        sc = scenario.build_s60()
+        launch_on_s60(sc.platform, sc.config)
+        sc.platform.run_for(200_000.0)
+        logs["s60"] = [r.event for r in sc.server.activity_log()]
+
+        sc = scenario.build_webview()
+        webview = sc.platform.new_webview()
+        WebViewPlatformExtension().install_wrappers(
+            webview, sc.platform, sc.new_context(), ["Location", "Sms", "Http"]
+        )
+        webview.load_page(lambda w: launch_on_webview(sc.platform, sc.config))
+        sc.platform.run_for(200_000.0)
+        logs["webview"] = [r.event for r in sc.server.activity_log()]
+
+        assert logs["android"] == logs["s60"] == logs["webview"] == EXPECTED_EVENTS

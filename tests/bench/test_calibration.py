@@ -1,0 +1,59 @@
+"""Tests for the Figure-10 latency calibration."""
+
+import pytest
+
+from repro.bench.calibration import (
+    PAPER_FIGURE_10,
+    PAPER_OVERHEADS_MS,
+    figure10_android_latency,
+    figure10_s60_latency,
+    figure10_webview_bridge_latency,
+)
+
+
+class TestPaperData:
+    def test_all_nine_bars_present(self):
+        assert len(PAPER_FIGURE_10) == 9
+
+    def test_with_always_geq_without(self):
+        for (api, platform), (without, with_) in PAPER_FIGURE_10.items():
+            assert with_ >= without, (api, platform)
+
+    def test_overheads_match(self):
+        assert PAPER_OVERHEADS_MS[("getLocation", "s60")] == pytest.approx(7.7)
+        assert PAPER_OVERHEADS_MS[("sendSMS", "webview")] == pytest.approx(0.2)
+
+
+class TestCalibratedModels:
+    def test_android_means_match_paper(self):
+        model = figure10_android_latency()
+        assert model.mean_for("android.addProximityAlert") == 53.6
+        assert model.mean_for("android.getLocation") == 15.5
+        assert model.mean_for("android.sendSMS") == 52.7
+
+    def test_s60_means_match_paper(self):
+        model = figure10_s60_latency()
+        assert model.mean_for("s60.addProximityListener") == 141.0
+        assert model.mean_for("s60.getLocation") == 140.8
+        assert model.mean_for("s60.sendSMS") == 15.6
+
+    def test_webview_bridge_is_the_difference(self):
+        """WebView bar = Android native + bridge crossing."""
+        bridge = figure10_webview_bridge_latency()
+        android = figure10_android_latency()
+        for api, android_op, bridge_op in [
+            ("addProximityAlert", "android.addProximityAlert", "webview.bridge.add_proximity_alert"),
+            ("getLocation", "android.getLocation", "webview.bridge.get_location"),
+            ("sendSMS", "android.sendSMS", "webview.bridge.send_text_message"),
+        ]:
+            total = android.mean_for(android_op) + bridge.mean_for(bridge_op)
+            assert total == pytest.approx(PAPER_FIGURE_10[(api, "webview")][0])
+
+    def test_models_deterministic_by_default(self):
+        model = figure10_android_latency()
+        assert model.draw("android.getLocation") == model.draw("android.getLocation")
+
+    def test_jitter_option(self):
+        model = figure10_android_latency(jitter_fraction=0.05)
+        draws = {model.draw("android.getLocation") for _ in range(50)}
+        assert len(draws) > 10

@@ -1,0 +1,63 @@
+"""Tests for the Figure-10 measurement harness.
+
+These validate the harness logic with small repetition counts; the real
+reproduction runs in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.calibration import PAPER_FIGURE_10
+from repro.bench.harness import APIS, Fig10Runner, format_table
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Fig10Runner()
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("platform", ["android", "s60", "webview"])
+    @pytest.mark.parametrize("api", APIS)
+    def test_without_proxy_matches_calibration(self, runner, platform, api):
+        samples = runner.measure(platform, api, with_proxy=False, repetitions=3)
+        paper_without = PAPER_FIGURE_10[(api, platform)][0]
+        for sample in samples:
+            assert sample.virtual_ms == pytest.approx(paper_without, rel=0.01)
+
+    @pytest.mark.parametrize("platform", ["android", "s60", "webview"])
+    @pytest.mark.parametrize("api", APIS)
+    def test_proxy_virtual_cost_identical(self, runner, platform, api):
+        """The proxy adds NO virtual (native) cost — only real Python time."""
+        without = runner.measure(platform, api, with_proxy=False, repetitions=3)
+        with_proxy = runner.measure(platform, api, with_proxy=True, repetitions=3)
+        assert with_proxy[0].virtual_ms == pytest.approx(
+            without[0].virtual_ms, rel=0.01
+        )
+
+    def test_real_overhead_is_small_fraction(self, runner):
+        """Shape criterion: proxy overhead ≪ native latency."""
+        samples = runner.measure("s60", "getLocation", with_proxy=True, repetitions=5)
+        for sample in samples:
+            assert sample.real_ms < 0.05 * sample.virtual_ms
+
+    def test_sample_fields(self, runner):
+        samples = runner.measure("android", "sendSMS", with_proxy=True, repetitions=2)
+        assert len(samples) == 2
+        for sample in samples:
+            assert sample.api == "sendSMS"
+            assert sample.platform == "android"
+            assert sample.mode == "with"
+            assert sample.total_ms == sample.virtual_ms + sample.real_ms
+
+    def test_unknown_platform_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.measure("palm", "sendSMS", with_proxy=False)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) >= 6 for line in lines)

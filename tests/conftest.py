@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.device.device import MobileDevice
+from repro.device.gps import Trajectory, Waypoint
+from repro.util.clock import Scheduler, SimulatedClock
+from repro.util.events import EventBus
+from repro.util.geo import GeoPoint, destination_point
+
+#: The canonical site/away points used across tests.
+SITE_POINT = GeoPoint(28.6, 77.2)
+AWAY_POINT = destination_point(28.6, 77.2, 90.0, 2_000.0)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def scheduler(clock):
+    return Scheduler(clock)
+
+
+@pytest.fixture
+def bus():
+    return EventBus()
+
+
+@pytest.fixture
+def commute_trajectory():
+    """away → site → away → site over three minutes."""
+    return Trajectory(
+        [
+            Waypoint(0.0, AWAY_POINT),
+            Waypoint(60_000.0, SITE_POINT),
+            Waypoint(120_000.0, AWAY_POINT),
+            Waypoint(180_000.0, SITE_POINT),
+        ]
+    )
+
+
+@pytest.fixture
+def device(commute_trajectory):
+    return MobileDevice("+915550042", trajectory=commute_trajectory)
+
+
+@pytest.fixture
+def android_scenario():
+    return scenario.build_android()
+
+
+@pytest.fixture
+def s60_scenario():
+    return scenario.build_s60()
+
+
+@pytest.fixture
+def webview_scenario():
+    return scenario.build_webview()

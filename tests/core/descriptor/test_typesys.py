@@ -1,0 +1,87 @@
+"""Tests for the dimension system."""
+
+import pytest
+
+from repro.core.descriptor.typesys import (
+    Dimension,
+    DimensionRegistry,
+    STANDARD_DIMENSIONS,
+)
+from repro.errors import DescriptorError
+
+
+class TestDimension:
+    def test_numeric_bounds(self):
+        lat = STANDARD_DIMENSIONS.get("angle.latitude")
+        lat.validate(45.0)
+        with pytest.raises(ValueError):
+            lat.validate(91.0)
+        with pytest.raises(ValueError):
+            lat.validate(-91.0)
+
+    def test_numeric_rejects_bool(self):
+        lat = STANDARD_DIMENSIONS.get("angle.latitude")
+        with pytest.raises(ValueError):
+            lat.validate(True)
+
+    def test_numeric_rejects_string(self):
+        radius = STANDARD_DIMENSIONS.get("length.radius")
+        with pytest.raises(ValueError):
+            radius.validate("500")
+
+    def test_radius_must_be_positive(self):
+        radius = STANDARD_DIMENSIONS.get("length.radius")
+        radius.validate(0.5)
+        with pytest.raises(ValueError):
+            radius.validate(0.0)
+
+    def test_duration_allows_minus_one(self):
+        duration = STANDARD_DIMENSIONS.get("time.duration")
+        duration.validate(-1)
+        with pytest.raises(ValueError):
+            duration.validate(-2)
+
+    def test_string_dimension(self):
+        text = STANDARD_DIMENSIONS.get("text.message")
+        text.validate("hello")
+        with pytest.raises(ValueError):
+            text.validate(5)
+
+    def test_bool_dimension(self):
+        flag = STANDARD_DIMENSIONS.get("flag.boolean")
+        flag.validate(True)
+        with pytest.raises(ValueError):
+            flag.validate(1)
+
+    def test_object_dimension_accepts_anything(self):
+        callback = STANDARD_DIMENSIONS.get("callback.proximity")
+        callback.validate(object())
+        callback.validate(None)
+
+    def test_language_type_lookup(self):
+        lat = STANDARD_DIMENSIONS.get("angle.latitude")
+        assert lat.type_for_language("java") == "double"
+        assert lat.type_for_language("javascript") == "number"
+        with pytest.raises(DescriptorError):
+            lat.type_for_language("cobol")
+
+
+class TestDimensionRegistry:
+    def test_duplicate_rejected(self):
+        registry = DimensionRegistry()
+        registry.register(Dimension("x"))
+        with pytest.raises(DescriptorError):
+            registry.register(Dimension("x"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(DescriptorError):
+            DimensionRegistry().get("ghost")
+
+    def test_contains(self):
+        assert "angle.latitude" in STANDARD_DIMENSIONS
+        assert "made.up" not in STANDARD_DIMENSIONS
+
+    def test_standard_names_sorted(self):
+        names = STANDARD_DIMENSIONS.names()
+        assert names == sorted(names)
+        assert len(names) >= 15

@@ -1,0 +1,101 @@
+"""Tests for the proximity-debounce enrichment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.enrichment.debounce import DebouncedProximityListener
+from repro.core.proxy.callbacks import ProximityListener
+from repro.core.proxy.datatypes import Location
+from repro.errors import ConfigurationError
+
+LOCATION = Location(28.6, 77.2)
+
+
+class Recorder(ProximityListener):
+    def __init__(self):
+        self.events = []
+
+    def proximity_event(self, lat, lon, alt, current, entering):
+        self.events.append(entering)
+
+
+def _feed(listener, sequence):
+    for entering in sequence:
+        listener.proximity_event(28.6, 77.2, 0.0, LOCATION, entering)
+
+
+class TestDebounce:
+    def test_initial_event_always_forwards(self):
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=3)
+        _feed(debounced, [True])
+        assert inner.events == [True]
+        assert debounced.confirmed_state is True
+
+    def test_single_flap_suppressed(self):
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=2)
+        # enter, then one spurious exit, then re-assertion of enter
+        _feed(debounced, [True, False, True])
+        assert inner.events == [True]
+        assert debounced.suppressed_count == 2
+
+    def test_sustained_transition_forwards(self):
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=2)
+        _feed(debounced, [True, False, False])
+        assert inner.events == [True, False]
+        assert debounced.confirmed_state is False
+
+    def test_alternating_flaps_never_forward(self):
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=2)
+        _feed(debounced, [True] + [False, True] * 10)
+        assert inner.events == [True]
+
+    def test_confirmations_one_forwards_everything(self):
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=1)
+        _feed(debounced, [True, False, True, False])
+        assert inner.events == [True, False, True, False]
+
+    def test_invalid_confirmations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DebouncedProximityListener(Recorder(), confirmations=0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=4))
+    def test_invariants(self, sequence, confirmations):
+        """Forwarded stream alternates and never flaps faster than the
+        confirmation threshold allows."""
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=confirmations)
+        _feed(debounced, sequence)
+        # Forwarded stream strictly alternates.
+        for previous, current in zip(inner.events, inner.events[1:]):
+            assert previous != current
+        # First forwarded event matches the first raw event.
+        assert inner.events[0] == sequence[0]
+        # Confirmed state mirrors the last forwarded event.
+        assert debounced.confirmed_state == inner.events[-1]
+
+    def test_works_behind_a_real_proxy(self, android_scenario):
+        """Wrap a live Android proxy registration with the debounce."""
+        from repro.apps.workforce import scenario as sc_mod
+        from repro.core.proxies import create_proxy
+
+        sc = android_scenario
+        proxy = create_proxy("Location", sc.platform)
+        proxy.set_property("context", sc.new_context())
+        inner = Recorder()
+        debounced = DebouncedProximityListener(inner, confirmations=1)
+        proxy.add_proximity_alert(
+            sc_mod.SITE.latitude,
+            sc_mod.SITE.longitude,
+            0.0,
+            sc_mod.SITE.radius_m,
+            -1,
+            debounced,
+        )
+        sc.platform.run_for(200_000.0)
+        assert inner.events == [True, False, True]

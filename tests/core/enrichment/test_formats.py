@@ -1,0 +1,58 @@
+"""Tests for the location-format enrichment."""
+
+import math
+
+import pytest
+
+from repro.core.enrichment.formats import FormattedPosition, LocationFormatEnrichment
+from repro.core.proxies import create_proxy
+from repro.core.proxy.datatypes import AngleFormat
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def inner(android_scenario):
+    proxy = create_proxy("Location", android_scenario.platform)
+    proxy.set_property("context", android_scenario.new_context())
+    return proxy
+
+
+class TestFormats:
+    def test_degrees_passthrough(self, inner):
+        enriched = LocationFormatEnrichment(inner, AngleFormat.DEGREES)
+        position = enriched.get_position()
+        raw = inner.get_location()
+        assert position.latitude == pytest.approx(raw.latitude)
+
+    def test_radians_conversion(self, inner):
+        enriched = LocationFormatEnrichment(inner, AngleFormat.RADIANS)
+        position = enriched.get_position()
+        raw = inner.get_location()
+        assert position.latitude == pytest.approx(math.radians(raw.latitude))
+        assert position.angle_format is AngleFormat.RADIANS
+
+    def test_as_degrees_round_trip(self):
+        position = FormattedPosition(math.pi / 4, math.pi / 2, 0.0, AngleFormat.RADIANS)
+        degrees = position.as_degrees()
+        assert degrees.latitude == pytest.approx(45.0)
+        assert degrees.longitude == pytest.approx(90.0)
+
+    def test_dms(self):
+        position = FormattedPosition(28.5, -77.25, 0.0, AngleFormat.DEGREES)
+        (d1, m1, s1), (d2, m2, s2) = position.dms()
+        assert (d1, m1) == (28, 30)
+        assert s1 == pytest.approx(0.0, abs=1e-6)
+        assert (d2, m2) == (-77, 15)
+
+    def test_invalid_format_rejected(self, inner):
+        with pytest.raises(ConfigurationError):
+            LocationFormatEnrichment(inner, "radians")
+
+    def test_delegation_preserves_inner_api(self, inner, android_scenario):
+        """Enrichment is additive: the uniform API still works through it."""
+        enriched = LocationFormatEnrichment(inner, AngleFormat.RADIANS)
+        location = enriched.get_location()  # raw pass-through
+        assert location.latitude == pytest.approx(
+            math.degrees(enriched.get_position().latitude), abs=1e-6
+        )
+        enriched.set_property("provider", "gps")  # delegated via __getattr__

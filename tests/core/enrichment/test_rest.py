@@ -1,0 +1,94 @@
+"""Tests for the REST enrichment (the paper's converged-network idea)."""
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.core.enrichment.rest import (
+    InMemoryRestService,
+    RestError,
+    RestResource,
+)
+from repro.core.proxies import create_proxy
+
+
+def _resource_for(platform_name):
+    if platform_name == "android":
+        sc = scenario.build_android()
+        http = create_proxy("Http", sc.platform)
+        http.set_property("context", sc.new_context())
+    else:
+        sc = scenario.build_s60()
+        http = create_proxy("Http", sc.platform)
+    server = sc.device.network.add_server("rest.example.com")
+    service = InMemoryRestService(server, "/jobs")
+    resource = RestResource(http, "http://rest.example.com/jobs")
+    return sc, service, resource
+
+
+class TestCrud:
+    @pytest.mark.parametrize("platform_name", ["android", "s60"])
+    def test_full_lifecycle(self, platform_name):
+        """The same REST client code on two different HTTP stacks."""
+        sc, service, resource = _resource_for(platform_name)
+        created = resource.create({"title": "inspect tower"})
+        assert created.status == 201
+        item_id = created.body["id"]
+        assert service.item_count() == 1
+
+        fetched = resource.retrieve(item_id)
+        assert fetched.body["title"] == "inspect tower"
+
+        resource.update(item_id, {"title": "inspect tower", "done": True})
+        assert resource.retrieve(item_id).body["done"] is True
+
+        listing = resource.list()
+        assert len(listing.body) == 1
+
+        resource.delete(item_id)
+        assert service.item_count() == 0
+
+    def test_missing_item_raises_rest_error(self):
+        sc, service, resource = _resource_for("android")
+        with pytest.raises(RestError) as excinfo:
+            resource.retrieve("item-999")
+        assert excinfo.value.status == 404
+
+    def test_delete_missing_raises(self):
+        sc, service, resource = _resource_for("android")
+        with pytest.raises(RestError):
+            resource.delete("item-999")
+
+    def test_update_missing_raises(self):
+        sc, service, resource = _resource_for("android")
+        with pytest.raises(RestError):
+            resource.update("item-999", {"x": 1})
+
+    def test_relative_url_rejected(self):
+        sc = scenario.build_s60()
+        http = create_proxy("Http", sc.platform)
+        with pytest.raises(ValueError):
+            RestResource(http, "/jobs")
+
+    def test_non_json_body_passes_through(self):
+        from repro.device.network import HttpResponse
+
+        sc = scenario.build_s60()
+        http = create_proxy("Http", sc.platform)
+        server = sc.device.network.add_server("rest.example.com")
+        server.route("GET", "/plain", lambda r: HttpResponse(200, "just text"))
+        resource = RestResource(http, "http://rest.example.com/plain")
+        assert resource.list().body == "just text"
+
+    def test_content_type_set_to_json(self):
+        sc, service, resource = _resource_for("android")
+        seen = {}
+
+        def spy(request):
+            from repro.device.network import HttpResponse
+
+            seen["ct"] = request.header("Content-Type")
+            return HttpResponse(201, "{}")
+
+        sc.device.network.server("rest.example.com").route("POST", "/spy", spy)
+        resource._http.post("http://rest.example.com/spy", "{}")
+        assert seen["ct"] == "application/json"

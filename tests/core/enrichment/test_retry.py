@@ -1,0 +1,117 @@
+"""Tests for the call-retry enrichment."""
+
+import pytest
+
+from repro.core.enrichment.retry import CallRetryCoordinator, RetryPolicy
+from repro.core.proxies import create_proxy
+from repro.core.proxy.callbacks import CallStateListener
+from repro.core.proxy.datatypes import CallOutcome
+from repro.device.telephony import TelephonyUnit
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def call_proxy(android_scenario):
+    proxy = create_proxy("Call", android_scenario.platform)
+    proxy.set_property("context", android_scenario.new_context())
+    return proxy
+
+
+class Recorder(CallStateListener):
+    def __init__(self):
+        self.finished = []
+        self.answered = 0
+
+    def on_answered(self, call):
+        self.answered += 1
+
+    def on_finished(self, call):
+        self.finished.append(call.outcome)
+
+
+class TestRetryPolicy:
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retry_delay_ms=-1.0)
+
+
+class TestCoordinator:
+    def test_immediate_success_no_retry(self, android_scenario, call_proxy):
+        coordinator = CallRetryCoordinator(
+            call_proxy, android_scenario.platform.scheduler
+        )
+        recorder = Recorder()
+        report = coordinator.make_a_call("+2", recorder)
+        android_scenario.platform.run_for(10_000.0)
+        assert report.attempts == 1
+        assert recorder.answered == 1
+
+    def test_unreachable_then_reachable(self, android_scenario, call_proxy):
+        telephony = android_scenario.device.telephony
+        telephony.set_callee_behavior("+2", TelephonyUnit.UNREACHABLE)
+        coordinator = CallRetryCoordinator(
+            call_proxy,
+            android_scenario.platform.scheduler,
+            RetryPolicy(max_attempts=3, retry_delay_ms=2_000.0),
+        )
+        recorder = Recorder()
+        report = coordinator.make_a_call("+2", recorder)
+        android_scenario.platform.run_for(1_000.0)
+        # After the first failure, the callee comes back on network.
+        telephony.set_callee_behavior("+2", TelephonyUnit.ANSWER)
+        android_scenario.platform.run_for(30_000.0)
+        assert report.attempts == 2
+        assert report.outcomes[0] is CallOutcome.UNREACHABLE
+        assert recorder.answered == 1
+        # Exactly one on_finished despite two attempts.
+        assert len(recorder.finished) == 0  # still active (never hung up)
+
+    def test_gives_up_after_max_attempts(self, android_scenario, call_proxy):
+        android_scenario.device.telephony.set_callee_behavior(
+            "+2", TelephonyUnit.UNREACHABLE
+        )
+        coordinator = CallRetryCoordinator(
+            call_proxy,
+            android_scenario.platform.scheduler,
+            RetryPolicy(max_attempts=3, retry_delay_ms=1_000.0),
+        )
+        recorder = Recorder()
+        report = coordinator.make_a_call("+2", recorder)
+        android_scenario.platform.run_for(60_000.0)
+        assert report.attempts == 3
+        assert report.outcomes == [CallOutcome.UNREACHABLE] * 3
+        assert recorder.finished == [CallOutcome.UNREACHABLE]
+        assert not report.succeeded
+
+    def test_busy_is_retryable_by_default(self, android_scenario, call_proxy):
+        android_scenario.device.telephony.set_callee_behavior(
+            "+2", TelephonyUnit.BUSY
+        )
+        coordinator = CallRetryCoordinator(
+            call_proxy,
+            android_scenario.platform.scheduler,
+            RetryPolicy(max_attempts=2, retry_delay_ms=1_000.0),
+        )
+        report = coordinator.make_a_call("+2")
+        android_scenario.platform.run_for(30_000.0)
+        assert report.attempts == 2
+
+    def test_non_retryable_outcome_stops(self, android_scenario, call_proxy):
+        android_scenario.device.telephony.set_callee_behavior(
+            "+2", TelephonyUnit.BUSY
+        )
+        coordinator = CallRetryCoordinator(
+            call_proxy,
+            android_scenario.platform.scheduler,
+            RetryPolicy(
+                max_attempts=5,
+                retry_delay_ms=1_000.0,
+                retry_on=frozenset({CallOutcome.UNREACHABLE}),
+            ),
+        )
+        report = coordinator.make_a_call("+2")
+        android_scenario.platform.run_for(60_000.0)
+        assert report.attempts == 1
+        assert report.final.outcome is CallOutcome.BUSY

@@ -1,0 +1,88 @@
+"""Tests for the security/policy enrichment."""
+
+import pytest
+
+from repro.core.enrichment.security import (
+    AccessDecision,
+    AccessRule,
+    Principal,
+    SecurityPolicy,
+    SecuredProxy,
+)
+from repro.core.proxies import create_proxy
+from repro.errors import ConfigurationError, ProxyPermissionError
+
+
+@pytest.fixture
+def sms_proxy(android_scenario):
+    proxy = create_proxy("Sms", android_scenario.platform)
+    proxy.set_property("context", android_scenario.new_context())
+    return proxy
+
+
+AGENT = Principal("agent-42", frozenset({"field-agent"}))
+SUPERVISOR = Principal("boss", frozenset({"supervisor"}))
+
+
+class TestPolicy:
+    def test_default_deny(self):
+        policy = SecurityPolicy()
+        assert policy.evaluate(AGENT, "Sms", "send_text_message") is AccessDecision.DENY
+
+    def test_first_match_wins(self):
+        policy = SecurityPolicy()
+        policy.deny(roles="field-agent", interface="Call")
+        policy.allow(roles="field-agent")
+        assert policy.evaluate(AGENT, "Call", "make_a_call") is AccessDecision.DENY
+        assert policy.evaluate(AGENT, "Sms", "send_text_message") is AccessDecision.ALLOW
+
+    def test_role_glob(self):
+        policy = SecurityPolicy().allow(roles="field-*")
+        assert policy.evaluate(AGENT, "Sms", "x") is AccessDecision.ALLOW
+        assert policy.evaluate(SUPERVISOR, "Sms", "x") is AccessDecision.DENY
+
+    def test_method_glob(self):
+        policy = SecurityPolicy().allow(interface="Location", method="get*")
+        assert policy.evaluate(AGENT, "Location", "get_location") is AccessDecision.ALLOW
+        assert (
+            policy.evaluate(AGENT, "Location", "add_proximity_alert")
+            is AccessDecision.DENY
+        )
+
+    def test_rule_matching(self):
+        rule = AccessRule(AccessDecision.ALLOW, "supervisor", "Sms", "*")
+        assert rule.matches(SUPERVISOR, "Sms", "anything")
+        assert not rule.matches(AGENT, "Sms", "anything")
+
+
+class TestSecuredProxy:
+    def test_allowed_call_passes_through(self, android_scenario, sms_proxy):
+        policy = SecurityPolicy().allow(roles="field-agent", interface="Sms")
+        secured = SecuredProxy(sms_proxy, policy, AGENT)
+        message_id = secured.send_text_message("+2", "hi")
+        assert message_id
+
+    def test_denied_call_raises_uniform_permission_error(self, sms_proxy):
+        secured = SecuredProxy(sms_proxy, SecurityPolicy(), AGENT)
+        with pytest.raises(ProxyPermissionError, match="policy denies"):
+            secured.send_text_message("+2", "hi")
+
+    def test_audit_log_records_both(self, sms_proxy):
+        policy = SecurityPolicy().allow(roles="field-agent", interface="Sms")
+        secured = SecuredProxy(sms_proxy, policy, AGENT)
+        secured.send_text_message("+2", "hi")
+        with pytest.raises(ProxyPermissionError):
+            SecuredProxy(sms_proxy, SecurityPolicy(), AGENT).send_text_message("+2", "x")
+        assert [r.decision for r in secured.audit_log] == [AccessDecision.ALLOW]
+
+    def test_set_property_not_policy_checked(self, sms_proxy):
+        secured = SecuredProxy(sms_proxy, SecurityPolicy(), AGENT)
+        secured.set_property("serviceCenter", "+smsc")  # no raise
+
+    def test_wraps_only_mproxies(self):
+        with pytest.raises(ConfigurationError):
+            SecuredProxy(object(), SecurityPolicy(), AGENT)
+
+    def test_non_callable_attributes_pass_through(self, sms_proxy):
+        secured = SecuredProxy(sms_proxy, SecurityPolicy(), AGENT)
+        assert secured.interface == "Sms"

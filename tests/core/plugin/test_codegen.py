@@ -1,0 +1,108 @@
+"""Tests for the per-language code generators."""
+
+import pytest
+
+from repro.core.plugin.codegen import (
+    JavaGenerator,
+    JavascriptGenerator,
+    PythonGenerator,
+    generator_for,
+)
+from repro.core.proxies import standard_registry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def location():
+    return standard_registry().descriptor("Location")
+
+
+@pytest.fixture
+def sms():
+    return standard_registry().descriptor("Sms")
+
+
+class TestJavaGenerator:
+    def test_figure8_shape(self, location):
+        snippet = JavaGenerator().generate(
+            location,
+            "addProximityAlert",
+            "android",
+            variables={"radius": 500.0, "timer": -1},
+            properties={"context": "__context__", "provider": "gps"},
+            callback_target="this",
+        )
+        assert "LocationProxyImpl proxy = new LocationProxyImpl();" in snippet
+        assert 'proxy.setProperty("context", this);' in snippet
+        assert 'proxy.setProperty("provider", "gps");' in snippet
+        assert (
+            "proxy.addProximityAlert(latitude, longitude, altitude, 500.0, -1, this);"
+            in snippet
+        )
+        assert snippet.startswith("try {")
+        assert "catch (Exception e)" in snippet
+
+    def test_exception_comment_lists_platform_set(self, location):
+        snippet = JavaGenerator().generate(
+            location, "addProximityAlert", "s60", {}, {}
+        )
+        assert "s60 specific exceptions" in snippet
+        assert "LocationException" in snippet
+
+    def test_boolean_rendering(self, sms):
+        snippet = JavaGenerator().generate(
+            sms, "sendTextMessage", "android", {}, {"deliveryReports": True}
+        )
+        assert 'setProperty("deliveryReports", true)' in snippet
+
+    def test_unconfigured_variables_become_identifiers(self, location):
+        snippet = JavaGenerator().generate(location, "getLocation", "android", {}, {})
+        assert "proxy.getLocation();" in snippet
+
+
+class TestJavascriptGenerator:
+    def test_figure9_shape(self, location):
+        snippet = JavascriptGenerator().generate(
+            location,
+            "addProximityAlert",
+            "webview",
+            variables={},
+            properties={"provider": "gps"},
+            callback_target="proximityEvent",
+        )
+        assert "var proxy = new LocationProxyJs();" in snippet
+        assert 'proxy.setProperty("provider", "gps");' in snippet
+        assert "proximityEvent" in snippet
+        assert "catch (ex)" in snippet
+
+    def test_default_callback_name(self, location):
+        snippet = JavascriptGenerator().generate(
+            location, "addProximityAlert", "webview", {}, {}
+        )
+        assert "callbackFunction" in snippet
+
+
+class TestPythonGenerator:
+    def test_snake_case_mapping(self, location):
+        snippet = PythonGenerator().generate(
+            location, "addProximityAlert", "android", {"radius": 500.0}, {}
+        )
+        assert "proxy.add_proximity_alert(" in snippet
+        assert "except ProxyError" in snippet
+
+    def test_runnable_shape(self, sms):
+        snippet = PythonGenerator().generate(
+            sms, "sendTextMessage", "s60", {"destination": "+1", "text": "hi"}, {}
+        )
+        assert "proxy.send_text_message('+1', 'hi'" in snippet
+
+
+class TestGeneratorLookup:
+    def test_known_languages(self):
+        assert generator_for("java").language == "java"
+        assert generator_for("javascript").language == "javascript"
+        assert generator_for("python").language == "python"
+
+    def test_unknown_language(self):
+        with pytest.raises(ConfigurationError):
+            generator_for("brainfuck")

@@ -1,0 +1,57 @@
+"""Tests for the C syntactic plane and generator (paper §3.1's C claim)."""
+
+import pytest
+
+from repro.core.descriptor.schema import validate_descriptor_xml
+from repro.core.descriptor.xml_io import descriptor_to_xml
+from repro.core.plugin.codegen import generator_for
+from repro.core.proxies import standard_registry
+
+
+@pytest.fixture
+def location():
+    return standard_registry().descriptor("Location")
+
+
+class TestCSyntacticPlane:
+    def test_location_ships_a_c_plane(self, location):
+        assert "c" in location.languages()
+        plane = location.syntactic["c"]
+        assert plane.callback_style == "function"
+
+    def test_callback_is_a_function_pointer(self, location):
+        plane = location.syntactic["c"]
+        assert plane.type_of("addProximityAlert", "proximityListener") == (
+            "proximity_event_fn *"
+        )
+
+    def test_c_plane_survives_xml_and_schema(self, location):
+        xml_text = descriptor_to_xml(location)
+        assert 'language="c"' in xml_text
+        assert validate_descriptor_xml(xml_text) == []
+
+    def test_no_platform_binds_c(self, location):
+        for binding in location.bindings.values():
+            assert binding.language != "c"
+
+
+class TestCGenerator:
+    def test_snippet_shape(self, location):
+        snippet = generator_for("c").generate(
+            location,
+            "addProximityAlert",
+            "android",
+            variables={"radius": 500.0},
+            properties={"provider": "gps"},
+        )
+        assert "_new();" in snippet
+        assert 'proxy_set_property(proxy, "provider", "gps");' in snippet
+        assert "proxy_add_proximity_alert(proxy, latitude, longitude" in snippet
+        assert "&callback_function" in snippet
+        assert "proxy_last_error(proxy)" in snippet
+
+    def test_boolean_rendering(self, location):
+        snippet = generator_for("c").generate(
+            location, "getLocation", "android", {}, {"flag": True}
+        )
+        assert '"flag", 1' in snippet

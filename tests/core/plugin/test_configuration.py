@@ -1,0 +1,139 @@
+"""Tests for the configuration dialog (plugin features 2 and 3)."""
+
+import pytest
+
+from repro.core.plugin.configuration import ConfigurationDialog
+from repro.core.proxies import standard_registry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def descriptor():
+    return standard_registry().descriptor("Location")
+
+
+@pytest.fixture
+def dialog(descriptor):
+    return ConfigurationDialog(descriptor, "addProximityAlert", "s60")
+
+
+class TestPresentation:
+    def test_variables_column(self, dialog):
+        fields = dialog.variable_fields()
+        names = [field.name for field in fields]
+        assert names == [
+            "latitude",
+            "longitude",
+            "altitude",
+            "radius",
+            "timer",
+            "proximityListener",
+        ]
+        # types from the java syntactic plane
+        types = {field.name: field.type_name for field in fields}
+        assert types["latitude"] == "double"
+        assert types["radius"] == "float"
+
+    def test_properties_column_shows_defaults_and_alloweds(self, dialog):
+        fields = {field.name: field for field in dialog.property_fields()}
+        assert fields["preferredResponseTime"].default == 1000
+        assert fields["powerConsumption"].allowed_values == (
+            "NO_REQUIREMENT",
+            "LOW",
+            "MEDIUM",
+            "HIGH",
+        )
+
+    def test_android_dialog_shows_context_required(self, descriptor):
+        dialog = ConfigurationDialog(descriptor, "addProximityAlert", "android")
+        fields = {field.name: field for field in dialog.property_fields()}
+        assert fields["context"].required
+
+    def test_webview_dialog_uses_javascript_types(self, descriptor):
+        dialog = ConfigurationDialog(descriptor, "addProximityAlert", "webview")
+        types = {f.name: f.type_name for f in dialog.variable_fields()}
+        assert types["latitude"] == "number"
+        assert types["proximityListener"] == "function"
+
+
+class TestConfiguration:
+    def test_variable_dimension_checked(self, dialog):
+        dialog.set_variable("latitude", 28.6)
+        with pytest.raises(ConfigurationError):
+            dialog.set_variable("latitude", 412.0)
+
+    def test_identifier_reference_allowed(self, dialog):
+        # A string is treated as a reference to a user variable.
+        dialog.set_variable("latitude", "siteLatitude")
+
+    def test_property_allowed_values_checked(self, dialog):
+        dialog.set_property("powerConsumption", "MEDIUM")
+        with pytest.raises(ConfigurationError):
+            dialog.set_property("powerConsumption", "TURBO")
+
+    def test_unknown_property_rejected(self, dialog):
+        with pytest.raises(Exception):
+            dialog.set_property("warpDrive", 9)
+
+    def test_validation_issues_flag_required_property(self, descriptor):
+        dialog = ConfigurationDialog(descriptor, "addProximityAlert", "android")
+        issues = dialog.validation_issues()
+        assert any("context" in issue for issue in issues)
+
+
+class TestSourcePreview:
+    def test_java_snippet_shape(self, dialog):
+        dialog.set_variable("radius", 500.0)
+        dialog.set_property("powerConsumption", "LOW")
+        dialog.set_callback_target("this")
+        snippet = dialog.preview()
+        assert "new LocationProxy()" in snippet
+        assert 'setProperty("powerConsumption", "LOW")' in snippet
+        assert "addProximityAlert(latitude, longitude, altitude, 500.0, timer, this)" in snippet
+        assert "try {" in snippet
+        assert "LocationException" in snippet  # the S60 exception set
+
+    def test_android_snippet_feeds_context(self, descriptor):
+        dialog = ConfigurationDialog(descriptor, "addProximityAlert", "android")
+        snippet = dialog.preview()
+        assert 'setProperty("context", this)' in snippet
+
+    def test_javascript_snippet_shape(self, descriptor):
+        dialog = ConfigurationDialog(descriptor, "addProximityAlert", "webview")
+        dialog.set_callback_target("proximityEvent")
+        snippet = dialog.preview()
+        assert "var proxy = new LocationProxyJs()" in snippet
+        assert "proximityEvent" in snippet
+        assert "catch (ex)" in snippet
+
+    def test_get_location_snippet(self, descriptor):
+        dialog = ConfigurationDialog(descriptor, "getLocation", "s60")
+        snippet = dialog.preview()
+        assert "proxy.getLocation()" in snippet
+
+
+class TestNewInterfaceDialogs:
+    """The dialog machinery is generic: future-work proxies get it free."""
+
+    def test_contacts_dialog(self):
+        descriptor = standard_registry().descriptor("Contacts")
+        dialog = ConfigurationDialog(descriptor, "addContact", "android")
+        names = [field.name for field in dialog.variable_fields()]
+        assert names == ["name", "phoneNumber"]
+        dialog.set_variable("name", "Region Supervisor")
+        dialog.set_variable("phoneNumber", "+915550001")
+        snippet = dialog.preview()
+        assert 'proxy.addContact("Region Supervisor", "+915550001");' in snippet
+
+    def test_calendar_dialog_validates_instants(self):
+        descriptor = standard_registry().descriptor("Calendar")
+        dialog = ConfigurationDialog(descriptor, "addEvent", "s60")
+        dialog.set_variable("startMs", 1_000.0)
+        with pytest.raises(ConfigurationError):
+            dialog.set_variable("startMs", -5.0)
+
+    def test_calendar_webview_dialog_types(self):
+        descriptor = standard_registry().descriptor("Calendar")
+        dialog = ConfigurationDialog(descriptor, "addEvent", "webview")
+        types = {f.name: f.type_name for f in dialog.variable_fields()}
+        assert types == {"summary": "string", "startMs": "number", "endMs": "number"}

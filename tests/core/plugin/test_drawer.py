@@ -1,0 +1,59 @@
+"""Tests for the Proxy Drawer (plugin feature 1: visibility)."""
+
+import pytest
+
+from repro.core.plugin.drawer import ProxyDrawer
+from repro.core.proxies import standard_registry
+from repro.errors import RegistryError
+
+
+@pytest.fixture
+def registry():
+    return standard_registry()
+
+
+class TestCategories:
+    def test_android_drawer_has_all_shipped(self, registry):
+        drawer = ProxyDrawer(registry, "android")
+        assert drawer.categories() == [
+            "Calendar", "Call", "Contacts", "Http", "Location", "Sms",
+        ]
+
+    def test_s60_drawer_lacks_call(self, registry):
+        """Figure 7(a): the S60 drawer shows only the implementable proxies."""
+        drawer = ProxyDrawer(registry, "s60")
+        assert drawer.categories() == [
+            "Calendar", "Contacts", "Http", "Location", "Sms",
+        ]
+
+    def test_webview_drawer(self, registry):
+        drawer = ProxyDrawer(registry, "webview")
+        assert "Call" in drawer.categories()
+
+
+class TestItems:
+    def test_location_items_are_its_apis(self, registry):
+        drawer = ProxyDrawer(registry, "android")
+        names = [item.name for item in drawer.items("Location")]
+        assert names == ["addProximityAlert", "removeProximityAlert", "getLocation"]
+
+    def test_items_carry_descriptions(self, registry):
+        drawer = ProxyDrawer(registry, "android")
+        item = drawer.find("Location", "addProximityAlert")
+        assert "proximity" in item.description.lower()
+
+    def test_unavailable_category_rejected(self, registry):
+        drawer = ProxyDrawer(registry, "s60")
+        with pytest.raises(RegistryError):
+            drawer.items("Call")
+
+    def test_find_unknown_item(self, registry):
+        drawer = ProxyDrawer(registry, "android")
+        with pytest.raises(RegistryError):
+            drawer.find("Location", "teleport")
+
+    def test_all_items_maps_every_category(self, registry):
+        drawer = ProxyDrawer(registry, "android")
+        all_items = drawer.all_items()
+        assert set(all_items) == set(drawer.categories())
+        assert all(items for items in all_items.values())

@@ -1,0 +1,123 @@
+"""Tests for platform-specific plugin extensions (feature 4: embedding)."""
+
+import pytest
+
+from repro.core.plugin.packaging import (
+    AndroidPlatformExtension,
+    S60PlatformExtension,
+    WebViewPlatformExtension,
+    extension_for,
+    proxy_jar,
+)
+from repro.core.plugin.toolkit import Project
+from repro.errors import ConfigurationError
+from repro.platforms.s60.packaging import Jar, JarEntry
+
+
+class TestAndroidExtension:
+    def test_embed_wires_classpath(self):
+        project = Project("app", "android")
+        AndroidPlatformExtension().embed_proxy(project, "Location")
+        assert "mobivine-location-android.jar" in project.classpath
+        assert "libs/mobivine-location-android.jar" in project.resources
+
+    def test_embed_idempotent(self):
+        project = Project("app", "android")
+        extension = AndroidPlatformExtension()
+        extension.embed_proxy(project, "Sms")
+        extension.embed_proxy(project, "Sms")
+        assert project.classpath.count("mobivine-sms-android.jar") == 1
+
+
+class TestS60Extension:
+    def test_single_jar_merge_on_deploy(self):
+        """The platform requires ONE MIDlet-suite jar: proxies merge in."""
+        project = Project("wfm", "s60")
+        extension = S60PlatformExtension()
+        extension.embed_proxy(project, "Location")
+        extension.embed_proxy(project, "Sms")
+        app_jar = Jar("wfm.jar", [JarEntry("WFM.class", 2_048)])
+        suite = extension.build_suite(project, app_jar)
+        paths = [entry.path for entry in suite.jar.entries]
+        assert "WFM.class" in paths
+        assert "com/ibm/S60/location/LocationProxy.class" in paths
+        assert "com/ibm/S60/sms/SmsProxy.class" in paths
+
+    def test_jad_gains_proxy_permissions(self):
+        project = Project("wfm", "s60")
+        extension = S60PlatformExtension()
+        extension.embed_proxy(project, "Location")
+        extension.embed_proxy(project, "Http")
+        suite = extension.build_suite(
+            project, Jar("wfm.jar", [JarEntry("A.class", 1)])
+        )
+        assert "javax.microedition.location.Location" in suite.jad.permissions
+        assert "javax.microedition.io.Connector.http" in suite.jad.permissions
+
+    def test_no_call_jar_exists_for_s60(self):
+        with pytest.raises(ConfigurationError):
+            proxy_jar("s60", "Call")
+
+    def test_unembedded_project_builds_plain_suite(self):
+        project = Project("bare", "s60")
+        extension = S60PlatformExtension()
+        suite = extension.build_suite(
+            project, Jar("bare.jar", [JarEntry("A.class", 1)])
+        )
+        assert len(suite.jar.entries) == 1
+        assert suite.jad.permissions == []
+
+
+class TestWebViewExtension:
+    def test_embed_injects_js_and_wiring(self):
+        project = Project("web", "webview", language="javascript")
+        extension = WebViewPlatformExtension()
+        extension.embed_proxy(project, "Location")
+        assert "proxies/location_proxy.js" in project.files
+        wiring = project.file("WebViewWiring.java").content
+        assert "addJavascriptInterface" in wiring
+        assert "LocationWrapper" in wiring
+
+    def test_embed_idempotent(self):
+        project = Project("web", "webview")
+        extension = WebViewPlatformExtension()
+        extension.embed_proxy(project, "Sms")
+        extension.embed_proxy(project, "Sms")
+        wiring = project.file("WebViewWiring.java").content
+        wiring_lines = [l for l in wiring.splitlines() if "new SmsWrapper" in l]
+        assert len(wiring_lines) == 1
+
+    def test_install_wrappers_runtime_half(self, webview_scenario):
+        webview = webview_scenario.platform.new_webview()
+        extension = WebViewPlatformExtension()
+        installed = extension.install_wrappers(
+            webview,
+            webview_scenario.platform,
+            webview_scenario.new_context(),
+            ["Location", "Sms", "Http", "Call"],
+        )
+        assert set(installed) == {"Location", "Sms", "Http", "Call"}
+        assert set(webview.bridge.names()) >= {
+            "LocationWrapper",
+            "SmsWrapper",
+            "HttpWrapper",
+            "CallWrapper",
+        }
+
+    def test_unknown_interface_rejected(self, webview_scenario):
+        webview = webview_scenario.platform.new_webview()
+        with pytest.raises(ConfigurationError):
+            WebViewPlatformExtension().install_wrappers(
+                webview, webview_scenario.platform, webview_scenario.new_context(), ["Camera"]
+            )
+
+
+class TestExtensionFactory:
+    def test_known_platforms(self):
+        assert isinstance(extension_for("android"), AndroidPlatformExtension)
+        assert isinstance(extension_for("s60"), S60PlatformExtension)
+        assert isinstance(extension_for("webview"), WebViewPlatformExtension)
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigurationError):
+            extension_for("palm")

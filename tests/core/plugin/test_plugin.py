@@ -1,0 +1,82 @@
+"""Tests for the end-to-end plugin flow (drawer → dialog → embed)."""
+
+import pytest
+
+from repro.core.plugin import CodeFile, MobiVinePlugin, Toolkit
+from repro.core.proxies import standard_registry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def toolkit():
+    return Toolkit("eclipse")
+
+
+@pytest.fixture
+def plugin(toolkit):
+    return MobiVinePlugin(toolkit, standard_registry(), "s60")
+
+
+class TestToolkitModel:
+    def test_project_files(self, toolkit):
+        project = toolkit.create_project("p", "android")
+        project.add_file(CodeFile("Main.java", "class Main { /*HERE*/ }"))
+        project.file("Main.java").insert_at_marker("/*HERE*/", "int x;")
+        assert "int x;" in project.file("Main.java").content
+
+    def test_duplicate_project_rejected(self, toolkit):
+        toolkit.create_project("p", "android")
+        with pytest.raises(ConfigurationError):
+            toolkit.create_project("p", "s60")
+
+    def test_duplicate_file_rejected(self, toolkit):
+        project = toolkit.create_project("p", "android")
+        project.add_file(CodeFile("A.java"))
+        with pytest.raises(ConfigurationError):
+            project.add_file(CodeFile("A.java"))
+
+    def test_missing_marker_rejected(self, toolkit):
+        project = toolkit.create_project("p", "android")
+        project.add_file(CodeFile("A.java", "no marker here"))
+        with pytest.raises(ConfigurationError):
+            project.file("A.java").insert_at_marker("/*X*/", "y")
+
+    def test_plugin_registration(self, toolkit, plugin):
+        assert plugin in toolkit.plugins
+
+
+class TestPluginFlow:
+    def test_drawer_to_embed(self, toolkit, plugin):
+        item = plugin.drawer.find("Location", "addProximityAlert")
+        dialog = plugin.open_configuration(item)
+        dialog.set_variable("radius", 500.0)
+        dialog.set_callback_target("this")
+        project = toolkit.create_project("wfm", "s60")
+        project.add_file(
+            CodeFile(
+                "WorkForceManagement.java",
+                "public void startApp() {\n    /*PROXY*/\n}\n",
+            )
+        )
+        snippet = plugin.embed(
+            project, dialog, file_name="WorkForceManagement.java", marker="/*PROXY*/"
+        )
+        content = project.file("WorkForceManagement.java").content
+        assert snippet in content
+        assert "mobivine-location-s60.jar" in project.classpath
+
+    def test_platform_mismatch_rejected(self, toolkit, plugin):
+        item = plugin.drawer.find("Location", "getLocation")
+        dialog = plugin.open_configuration(item)
+        project = toolkit.create_project("mismatch", "android")
+        project.add_file(CodeFile("A.java", "/*M*/"))
+        with pytest.raises(ConfigurationError, match="android"):
+            plugin.embed(project, dialog, file_name="A.java", marker="/*M*/")
+
+    def test_generated_code_is_previewable_before_embed(self, plugin):
+        item = plugin.drawer.find("Sms", "sendTextMessage")
+        dialog = plugin.open_configuration(item)
+        dialog.set_variable("destination", "+915550001")
+        dialog.set_variable("text", "Arrived at site")
+        preview = dialog.preview()
+        assert 'sendTextMessage("+915550001", "Arrived at site"' in preview

@@ -1,0 +1,139 @@
+"""Tests for the Calendar proxy on all three platforms."""
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.core.plugin.packaging import WebViewPlatformExtension
+from repro.core.proxies import create_proxy
+from repro.core.proxy.datatypes import CalendarEvent
+from repro.errors import (
+    ProxyInvalidArgumentError,
+    ProxyPermissionError,
+)
+from repro.platforms.android.calendar_provider import READ_CALENDAR, WRITE_CALENDAR
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.pim import PERMISSION_EVENT_READ, PERMISSION_EVENT_WRITE
+
+
+def _android_proxy(sc, permissions=None):
+    sc.platform.install(
+        "cal",
+        permissions if permissions is not None else {READ_CALENDAR, WRITE_CALENDAR},
+    )
+    proxy = create_proxy("Calendar", sc.platform)
+    proxy.set_property("context", sc.platform.new_context("cal"))
+    return proxy
+
+
+def _s60_proxy(sc, permissions=None):
+    perms = (
+        permissions
+        if permissions is not None
+        else [PERMISSION_EVENT_READ, PERMISSION_EVENT_WRITE]
+    )
+    sc.platform.install_suite(
+        MidletSuite(
+            JadDescriptor("cal", permissions=perms),
+            Jar("c.jar", [JarEntry("A.class", 1)]),
+        )
+    )
+    sc.platform.pim.bind_suite("cal")
+    return create_proxy("Calendar", sc.platform)
+
+
+def _webview_proxy(sc):
+    sc.platform.android.install("cal", {READ_CALENDAR, WRITE_CALENDAR})
+    context = sc.platform.android.new_context("cal")
+    webview = sc.platform.new_webview()
+    WebViewPlatformExtension().install_wrappers(
+        webview, sc.platform, context, ["Calendar"]
+    )
+    webview.load_page(lambda w: None)
+    return create_proxy("Calendar", sc.platform)
+
+
+def _proxy_for(platform_name):
+    if platform_name == "android":
+        return _android_proxy(scenario.build_android())
+    if platform_name == "s60":
+        return _s60_proxy(scenario.build_s60())
+    return _webview_proxy(scenario.build_webview())
+
+
+PLATFORMS = ["android", "s60", "webview"]
+
+
+class TestUniformBehaviour:
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_crud_round_trip(self, platform_name):
+        proxy = _proxy_for(platform_name)
+        event_id = proxy.add_event("Maintenance", 1_000.0, 5_000.0)
+        proxy.add_event("Stand-up", 8_000.0, 9_000.0)
+        events = proxy.list_events()
+        assert [e.summary for e in events] == ["Maintenance", "Stand-up"]
+        assert all(isinstance(e, CalendarEvent) for e in events)
+        proxy.remove_event(event_id)
+        assert [e.summary for e in proxy.list_events()] == ["Stand-up"]
+
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_events_between_window(self, platform_name):
+        proxy = _proxy_for(platform_name)
+        proxy.add_event("Inside", 1_000.0, 2_000.0)
+        proxy.add_event("Outside", 10_000.0, 11_000.0)
+        hits = proxy.events_between(500.0, 3_000.0)
+        assert [e.summary for e in hits] == ["Inside"]
+
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_event_location_property(self, platform_name):
+        proxy = _proxy_for(platform_name)
+        proxy.set_property("eventLocation", "site-7")
+        proxy.add_event("Visit", 0.0, 100.0)
+        assert proxy.list_events()[0].location == "site-7"
+
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_inverted_window_rejected_uniformly(self, platform_name):
+        proxy = _proxy_for(platform_name)
+        with pytest.raises(ProxyInvalidArgumentError):
+            proxy.add_event("Backwards", 100.0, 50.0)
+
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_negative_instant_rejected(self, platform_name):
+        proxy = _proxy_for(platform_name)
+        with pytest.raises(ProxyInvalidArgumentError):
+            proxy.add_event("Prehistoric", -5.0, 100.0)
+
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_remove_unknown_is_noop(self, platform_name):
+        proxy = _proxy_for(platform_name)
+        proxy.remove_event("event-999")
+
+
+class TestPermissionMapping:
+    def test_android_read_permission(self):
+        proxy = _android_proxy(scenario.build_android(), permissions=set())
+        with pytest.raises(ProxyPermissionError):
+            proxy.list_events()
+
+    def test_android_write_permission(self):
+        proxy = _android_proxy(scenario.build_android(), permissions={READ_CALENDAR})
+        proxy.list_events()
+        with pytest.raises(ProxyPermissionError):
+            proxy.add_event("X", 0.0, 1.0)
+
+    def test_s60_permissions(self):
+        proxy = _s60_proxy(scenario.build_s60(), permissions=[PERMISSION_EVENT_READ])
+        proxy.list_events()
+        with pytest.raises(ProxyPermissionError):
+            proxy.add_event("X", 0.0, 1.0)
+
+    def test_webview_error_as_code(self):
+        sc = scenario.build_webview()
+        sc.platform.android.install("noperm", set())
+        webview = sc.platform.new_webview()
+        WebViewPlatformExtension().install_wrappers(
+            webview, sc.platform, sc.platform.android.new_context("noperm"), ["Calendar"]
+        )
+        webview.load_page(lambda w: None)
+        proxy = create_proxy("Calendar", sc.platform)
+        with pytest.raises(ProxyPermissionError):
+            proxy.list_events()

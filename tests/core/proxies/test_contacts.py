@@ -1,0 +1,143 @@
+"""Tests for the Contacts proxy (the paper's future-work interface)."""
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.core.plugin.packaging import WebViewPlatformExtension
+from repro.core.proxies import create_proxy
+from repro.core.proxy.datatypes import Contact
+from repro.errors import ProxyPermissionError
+from repro.platforms.android.contacts import READ_CONTACTS, WRITE_CONTACTS
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.pim import PERMISSION_PIM_READ, PERMISSION_PIM_WRITE
+
+
+def _android_proxy(sc, permissions=None):
+    sc.platform.install(
+        "pim", permissions if permissions is not None else {READ_CONTACTS, WRITE_CONTACTS}
+    )
+    proxy = create_proxy("Contacts", sc.platform)
+    proxy.set_property("context", sc.platform.new_context("pim"))
+    return proxy
+
+
+def _s60_proxy(sc, permissions=None):
+    perms = (
+        permissions
+        if permissions is not None
+        else [PERMISSION_PIM_READ, PERMISSION_PIM_WRITE]
+    )
+    sc.platform.install_suite(
+        MidletSuite(
+            JadDescriptor("pim", permissions=perms),
+            Jar("p.jar", [JarEntry("A.class", 1)]),
+        )
+    )
+    sc.platform.pim.bind_suite("pim")
+    return create_proxy("Contacts", sc.platform)
+
+
+def _webview_proxy(sc):
+    sc.platform.android.install("pim", {READ_CONTACTS, WRITE_CONTACTS})
+    context = sc.platform.android.new_context("pim")
+    webview = sc.platform.new_webview()
+    WebViewPlatformExtension().install_wrappers(
+        webview, sc.platform, context, ["Contacts"]
+    )
+    webview.load_page(lambda w: None)
+    return create_proxy("Contacts", sc.platform)
+
+
+class TestUniformBehaviour:
+    @pytest.mark.parametrize("platform_name", ["android", "s60", "webview"])
+    def test_crud_round_trip(self, platform_name):
+        if platform_name == "android":
+            sc = scenario.build_android()
+            proxy = _android_proxy(sc)
+        elif platform_name == "s60":
+            sc = scenario.build_s60()
+            proxy = _s60_proxy(sc)
+        else:
+            sc = scenario.build_webview()
+            proxy = _webview_proxy(sc)
+
+        contact_id = proxy.add_contact("Region Supervisor", "+915550001")
+        proxy.add_contact("Alice Agent", "+915550042")
+        contacts = proxy.list_contacts()
+        assert [(c.name, c.primary_number) for c in contacts] == [
+            ("Alice Agent", "+915550042"),
+            ("Region Supervisor", "+915550001"),
+        ]
+        assert all(isinstance(c, Contact) for c in contacts)
+        found = proxy.find_by_name("super")
+        assert [c.name for c in found] == ["Region Supervisor"]
+        proxy.remove_contact(contact_id)
+        assert [c.name for c in proxy.list_contacts()] == ["Alice Agent"]
+
+    @pytest.mark.parametrize("platform_name", ["android", "s60", "webview"])
+    def test_remove_unknown_is_noop(self, platform_name):
+        if platform_name == "android":
+            proxy = _android_proxy(scenario.build_android())
+        elif platform_name == "s60":
+            proxy = _s60_proxy(scenario.build_s60())
+        else:
+            proxy = _webview_proxy(scenario.build_webview())
+        proxy.remove_contact("contact-999")  # uniform: silently no-op
+
+
+class TestPermissionMapping:
+    def test_android_read_permission(self):
+        sc = scenario.build_android()
+        proxy = _android_proxy(sc, permissions=set())
+        with pytest.raises(ProxyPermissionError):
+            proxy.list_contacts()
+
+    def test_android_write_permission(self):
+        sc = scenario.build_android()
+        proxy = _android_proxy(sc, permissions={READ_CONTACTS})
+        proxy.list_contacts()  # read ok
+        with pytest.raises(ProxyPermissionError):
+            proxy.add_contact("X", "+1")
+
+    def test_s60_read_permission(self):
+        sc = scenario.build_s60()
+        proxy = _s60_proxy(sc, permissions=[])
+        with pytest.raises(ProxyPermissionError):
+            proxy.list_contacts()
+
+    def test_s60_write_permission(self):
+        sc = scenario.build_s60()
+        proxy = _s60_proxy(sc, permissions=[PERMISSION_PIM_READ])
+        proxy.list_contacts()
+        with pytest.raises(ProxyPermissionError):
+            proxy.add_contact("X", "+1")
+
+    def test_webview_error_as_code(self):
+        sc = scenario.build_webview()
+        sc.platform.android.install("noperm", set())
+        context = sc.platform.android.new_context("noperm")
+        webview = sc.platform.new_webview()
+        WebViewPlatformExtension().install_wrappers(
+            webview, sc.platform, context, ["Contacts"]
+        )
+        webview.load_page(lambda w: None)
+        proxy = create_proxy("Contacts", sc.platform)
+        with pytest.raises(ProxyPermissionError):
+            proxy.list_contacts()
+
+
+class TestDrawerIntegration:
+    def test_contacts_in_every_drawer(self):
+        from repro.core.plugin.drawer import ProxyDrawer
+        from repro.core.proxies import standard_registry
+
+        for platform in ("android", "s60", "webview"):
+            drawer = ProxyDrawer(standard_registry(), platform)
+            assert "Contacts" in drawer.categories()
+            item_names = [i.name for i in drawer.items("Contacts")]
+            assert item_names == [
+                "listContacts",
+                "findByName",
+                "addContact",
+                "removeContact",
+            ]

@@ -1,0 +1,59 @@
+"""The packaged descriptor XML documents are the artifacts of record."""
+
+import pytest
+
+from repro.core.descriptor.schema import validate_descriptor_xml
+from repro.core.descriptor.xml_io import descriptor_from_xml, descriptor_to_xml
+from repro.core.proxies.factory import (
+    SHIPPED_DESCRIPTOR_FILES,
+    descriptors_dir,
+    standard_registry,
+)
+
+BUILDERS = {
+    "location.xml": "repro.core.proxies.location.descriptor.build_location_descriptor",
+    "sms.xml": "repro.core.proxies.sms.descriptor.build_sms_descriptor",
+    "call.xml": "repro.core.proxies.call.descriptor.build_call_descriptor",
+    "http.xml": "repro.core.proxies.http.descriptor.build_http_descriptor",
+    "contacts.xml": "repro.core.proxies.contacts.descriptor.build_contacts_descriptor",
+    "calendar.xml": "repro.core.proxies.calendar.descriptor.build_calendar_descriptor",
+}
+
+
+def _builder(path):
+    module_path, __, name = BUILDERS[path].rpartition(".")
+    module = __import__(module_path, fromlist=[name])
+    return getattr(module, name)
+
+
+class TestShippedFiles:
+    def test_every_listed_file_exists(self):
+        for file_name in SHIPPED_DESCRIPTOR_FILES:
+            assert (descriptors_dir() / file_name).exists(), file_name
+
+    @pytest.mark.parametrize("file_name", SHIPPED_DESCRIPTOR_FILES)
+    def test_file_is_schema_valid(self, file_name):
+        text = (descriptors_dir() / file_name).read_text()
+        assert validate_descriptor_xml(text) == []
+
+    @pytest.mark.parametrize("file_name", SHIPPED_DESCRIPTOR_FILES)
+    def test_file_matches_builder(self, file_name):
+        """The XML on disk is exactly what the builder generates.
+
+        Regenerate after editing a builder:
+        ``descriptor_to_xml(build_*())`` → the file.
+        """
+        on_disk = (descriptors_dir() / file_name).read_text()
+        assert on_disk == descriptor_to_xml(_builder(file_name)())
+
+    @pytest.mark.parametrize("file_name", SHIPPED_DESCRIPTOR_FILES)
+    def test_file_parses_to_builder_equivalent(self, file_name):
+        parsed = descriptor_from_xml((descriptors_dir() / file_name).read_text())
+        built = _builder(file_name)()
+        assert parsed.semantic == built.semantic
+        assert parsed.syntactic == built.syntactic
+        assert parsed.bindings == built.bindings
+
+    def test_registry_loads_from_files(self):
+        registry = standard_registry()
+        assert len(registry) == len(SHIPPED_DESCRIPTOR_FILES)

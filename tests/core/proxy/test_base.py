@@ -1,0 +1,89 @@
+"""Tests for the MProxy base class."""
+
+import pytest
+
+from repro.core.proxies import standard_registry
+from repro.core.proxy.base import MProxy
+from repro.errors import (
+    ProxyError,
+    ProxyInvalidArgumentError,
+    ProxyPlatformError,
+    ProxyPropertyError,
+)
+
+
+class LocationShapedProxy(MProxy):
+    interface = "Location"
+
+
+class TestConstruction:
+    def test_interface_mismatch_rejected(self):
+        class WrongProxy(MProxy):
+            interface = "Sms"
+
+        descriptor = standard_registry().descriptor("Location")
+        with pytest.raises(ProxyError, match="Sms"):
+            WrongProxy(descriptor, "android")
+
+    def test_missing_binding_rejected(self):
+        class CallShaped(MProxy):
+            interface = "Call"
+
+        descriptor = standard_registry().descriptor("Call")
+        with pytest.raises(Exception):
+            CallShaped(descriptor, "s60")
+
+    def test_property_set_from_binding_plane(self):
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "s60")
+        assert "preferredResponseTime" in proxy.properties.known_keys()
+        assert "context" not in proxy.properties.known_keys()  # android-only
+
+
+class TestPropertyApi:
+    def test_set_get_property(self):
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "s60")
+        proxy.set_property("preferredResponseTime", 500)
+        assert proxy.get_property("preferredResponseTime") == 500
+
+    def test_invalid_property_value(self):
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "s60")
+        with pytest.raises(ProxyPropertyError):
+            proxy.set_property("powerConsumption", "TURBO")
+
+
+class TestValidationAndGuard:
+    def test_argument_validation_uses_semantic_plane(self):
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "android")
+        with pytest.raises(ProxyInvalidArgumentError):
+            proxy._validate_arguments("addProximityAlert", latitude=200.0)
+        proxy._validate_arguments("addProximityAlert", latitude=20.0)
+
+    def test_guard_maps_platform_exceptions(self):
+        from repro.platforms.s60.exceptions import LocationException
+
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "s60")
+        with pytest.raises(ProxyPlatformError):
+            with proxy._guard("getLocation"):
+                raise LocationException("down")
+
+    def test_guard_passes_uniform_errors_through(self):
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "s60")
+        with pytest.raises(ProxyInvalidArgumentError):
+            with proxy._guard("x"):
+                raise ProxyInvalidArgumentError("already uniform")
+
+    def test_invocation_log(self):
+        descriptor = standard_registry().descriptor("Location")
+        proxy = LocationShapedProxy(descriptor, "android")
+        proxy._record("getLocation")
+        proxy._record("addProximityAlert", radius=5.0)
+        assert proxy.invocation_log == [
+            ("getLocation", {}),
+            ("addProximityAlert", {"radius": 5.0}),
+        ]

@@ -1,0 +1,68 @@
+"""Tests for uniform datatypes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.proxy.datatypes import (
+    AngleFormat,
+    CallHandle,
+    CallOutcome,
+    HttpResult,
+    Location,
+)
+
+
+class TestLocation:
+    def test_degrees_default(self):
+        location = Location(45.0, 90.0)
+        assert location.latitude_in(AngleFormat.DEGREES) == 45.0
+
+    def test_radians_conversion(self):
+        location = Location(45.0, 90.0)
+        assert location.latitude_in(AngleFormat.RADIANS) == pytest.approx(math.pi / 4)
+        assert location.longitude_in(AngleFormat.RADIANS) == pytest.approx(math.pi / 2)
+
+    @given(
+        st.floats(min_value=-90, max_value=90),
+        st.floats(min_value=-180, max_value=180),
+    )
+    def test_radians_degrees_consistent(self, latitude, longitude):
+        location = Location(latitude, longitude)
+        assert math.degrees(
+            location.latitude_in(AngleFormat.RADIANS)
+        ) == pytest.approx(latitude, abs=1e-9)
+
+    def test_distance(self):
+        assert Location(0.0, 0.0).distance_to_m(Location(1.0, 0.0)) == pytest.approx(
+            111_195, rel=0.01
+        )
+
+    def test_as_tuple(self):
+        assert Location(1.0, 2.0, 3.0).as_tuple() == (1.0, 2.0, 3.0)
+
+    def test_frozen(self):
+        location = Location(1.0, 2.0)
+        with pytest.raises(Exception):
+            location.latitude = 5.0
+
+
+class TestCallHandle:
+    def test_not_finished_initially(self):
+        handle = CallHandle("c1", "+1")
+        assert not handle.finished
+        assert not handle.answered
+
+    def test_finished_when_outcome_set(self):
+        handle = CallHandle("c1", "+1")
+        handle.outcome = CallOutcome.BUSY
+        assert handle.finished
+
+
+class TestHttpResult:
+    def test_ok_range(self):
+        assert HttpResult(200, "").ok
+        assert HttpResult(204, "").ok
+        assert not HttpResult(404, "").ok
+        assert not HttpResult(500, "").ok

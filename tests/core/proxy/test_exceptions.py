@@ -1,0 +1,95 @@
+"""Tests for uniform exception mapping and error codes."""
+
+import pytest
+
+from repro.core.descriptor.model import BindingPlane, ExceptionSpec
+from repro.core.proxy.exceptions import (
+    UNIFORM_ERRORS,
+    code_to_error_class,
+    error_code_for,
+    map_platform_exception,
+    uniform_error_class,
+)
+from repro.errors import (
+    ProxyError,
+    ProxyInvalidArgumentError,
+    ProxyPermissionError,
+    ProxyPlatformError,
+)
+from repro.platforms.android.exceptions import SecurityException as AndroidSecurity
+from repro.platforms.s60.exceptions import (
+    LocationException,
+    SecurityException as S60Security,
+)
+
+
+def _binding():
+    return BindingPlane(
+        platform="s60",
+        language="java",
+        implementation_class="c.X",
+        exceptions=(
+            ExceptionSpec(
+                "javax.microedition.location.LocationException",
+                "ProxyPlatformError",
+                1005,
+            ),
+            ExceptionSpec("java.lang.SecurityException", "ProxyPermissionError", 1001),
+            ExceptionSpec(
+                "java.lang.IllegalArgumentException", "ProxyInvalidArgumentError", 1003
+            ),
+        ),
+    )
+
+
+class TestMapping:
+    def test_listed_exception_maps_to_declared_class(self):
+        error = map_platform_exception(
+            _binding(), LocationException("out of service"), "getLocation"
+        )
+        assert isinstance(error, ProxyPlatformError)
+        assert "getLocation" in str(error)
+        assert "LocationException" in str(error)
+
+    def test_security_maps_to_permission_error(self):
+        error = map_platform_exception(_binding(), S60Security("no perm"), "x")
+        assert isinstance(error, ProxyPermissionError)
+
+    def test_android_and_s60_security_map_identically(self):
+        """Different platform classes, same simple name, same uniform error
+        — the de-fragmentation property."""
+        s60 = map_platform_exception(_binding(), S60Security("a"), "x")
+        android = map_platform_exception(_binding(), AndroidSecurity("b"), "x")
+        assert type(s60) is type(android) is ProxyPermissionError
+
+    def test_unlisted_exception_degrades_to_platform_error(self):
+        error = map_platform_exception(_binding(), ZeroDivisionError("surprise"), "x")
+        assert isinstance(error, ProxyPlatformError)
+
+    def test_original_chained_as_cause(self):
+        original = LocationException("cause me")
+        error = map_platform_exception(_binding(), original, "x")
+        assert error.__cause__ is original
+
+
+class TestErrorCodes:
+    def test_codes_are_unique(self):
+        codes = [cls.error_code for cls in UNIFORM_ERRORS.values()]
+        assert len(codes) == len(set(codes))
+
+    def test_round_trip_name_code_class(self):
+        for name, cls in UNIFORM_ERRORS.items():
+            assert error_code_for(name) == cls.error_code
+            assert code_to_error_class(cls.error_code) is cls
+
+    def test_unknown_name_degrades(self):
+        assert uniform_error_class("MadeUpError") is ProxyPlatformError
+
+    def test_unknown_code_degrades(self):
+        assert code_to_error_class(9999) is ProxyError
+
+    def test_specific_codes_stable(self):
+        """The WebView bridge wire format depends on these values."""
+        assert ProxyPermissionError.error_code == 1001
+        assert ProxyInvalidArgumentError.error_code == 1003
+        assert ProxyPlatformError.error_code == 1005

@@ -1,0 +1,73 @@
+"""Tests for the generic property mechanism."""
+
+import pytest
+
+from repro.core.descriptor.model import PropertySpec
+from repro.core.proxy.properties import PropertySet
+from repro.errors import ProxyPropertyError
+
+
+@pytest.fixture
+def props():
+    return PropertySet(
+        [
+            PropertySpec("context", required=True, type_name="object"),
+            PropertySpec("provider", default="gps", allowed_values=("gps",)),
+            PropertySpec(
+                "power",
+                default="NO_REQUIREMENT",
+                allowed_values=("NO_REQUIREMENT", "LOW", "HIGH"),
+            ),
+            PropertySpec("free"),
+        ]
+    )
+
+
+class TestPropertySet:
+    def test_unknown_key_rejected(self, props):
+        with pytest.raises(ProxyPropertyError, match="unknown property"):
+            props.set("wormhole", 1)
+
+    def test_unknown_key_lists_known(self, props):
+        with pytest.raises(ProxyPropertyError, match="provider"):
+            props.set("wormhole", 1)
+
+    def test_allowed_values_enforced(self, props):
+        props.set("power", "LOW")
+        with pytest.raises(ProxyPropertyError):
+            props.set("power", "TURBO")
+
+    def test_get_falls_back_to_default(self, props):
+        assert props.get("provider") == "gps"
+        props.set("provider", "gps")
+        assert props.get("provider") == "gps"
+
+    def test_get_unset_without_default_is_none(self, props):
+        assert props.get("free") is None
+
+    def test_is_set_ignores_defaults(self, props):
+        assert not props.is_set("provider")
+        props.set("provider", "gps")
+        assert props.is_set("provider")
+
+    def test_require_raises_with_operation_name(self, props):
+        with pytest.raises(ProxyPropertyError, match="addProximityAlert"):
+            props.require("context", "addProximityAlert")
+
+    def test_require_returns_explicit_value(self, props):
+        sentinel = object()
+        props.set("context", sentinel)
+        assert props.require("context", "x") is sentinel
+
+    def test_require_accepts_default(self, props):
+        assert props.require("power", "x") == "NO_REQUIREMENT"
+
+    def test_known_keys(self, props):
+        assert props.known_keys() == ["context", "free", "power", "provider"]
+
+    def test_as_dict_overlays(self, props):
+        props.set("power", "HIGH")
+        effective = props.as_dict()
+        assert effective["power"] == "HIGH"
+        assert effective["provider"] == "gps"
+        assert "context" not in effective  # no default, never set

@@ -1,0 +1,96 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import json
+
+from hypothesis import given, strategies as st
+
+from repro.core.descriptor.model import PropertySpec
+from repro.core.proxies.webview_common import decode_or_raise, encode_error, encode_ok
+from repro.core.proxy.exceptions import UNIFORM_ERRORS
+from repro.core.proxy.properties import PropertySet
+from repro.errors import ProxyError, ProxyPropertyError
+from repro.platforms.webview.notifications import NotificationTable
+
+import pytest
+
+
+# -- PropertySet ------------------------------------------------------------
+
+keys = st.sampled_from(["alpha", "beta", "gamma"])
+values = st.one_of(st.integers(), st.text(max_size=10), st.booleans())
+
+
+@given(st.lists(st.tuples(keys, values), max_size=20))
+def test_property_set_last_write_wins(writes):
+    props = PropertySet([PropertySpec(k) for k in ("alpha", "beta", "gamma")])
+    expected = {}
+    for key, value in writes:
+        props.set(key, value)
+        expected[key] = value
+    for key, value in expected.items():
+        assert props.get(key) == value
+
+
+@given(st.text(min_size=1, max_size=12).filter(lambda k: k not in ("alpha",)))
+def test_property_set_unknown_keys_always_rejected(key):
+    props = PropertySet([PropertySpec("alpha")])
+    with pytest.raises(ProxyPropertyError):
+        props.set(key, 1)
+
+
+# -- NotificationTable --------------------------------------------------------
+
+payloads = st.dictionaries(
+    st.text(min_size=1, max_size=5),
+    st.one_of(st.integers(), st.text(max_size=8), st.booleans(), st.none()),
+    max_size=4,
+)
+
+
+@given(st.lists(payloads, max_size=25))
+def test_notification_table_preserves_order_and_content(batch):
+    table = NotificationTable()
+    notif_id = table.new_id()
+    for index, payload in enumerate(batch):
+        table.post(notif_id, f"k{index}", payload, now_ms=float(index))
+    drained = table.drain(notif_id)
+    assert [n.payload for n in drained] == batch
+    assert [n.kind for n in drained] == [f"k{i}" for i in range(len(batch))]
+    assert table.drain(notif_id) == []  # drain is destructive, once
+
+
+@given(st.lists(payloads, max_size=10), st.integers(min_value=1, max_value=5))
+def test_notification_table_interleaved_drains(batch, split_at):
+    table = NotificationTable()
+    notif_id = table.new_id()
+    seen = []
+    for index, payload in enumerate(batch):
+        table.post(notif_id, "k", payload, now_ms=float(index))
+        if index % split_at == 0:
+            seen.extend(n.payload for n in table.drain(notif_id))
+    seen.extend(n.payload for n in table.drain(notif_id))
+    assert seen == batch  # no loss, no duplication, order kept
+
+
+@given(payloads)
+def test_drain_json_round_trips_payloads(payload):
+    table = NotificationTable()
+    notif_id = table.new_id()
+    table.post(notif_id, "kind", payload, now_ms=1.5)
+    decoded = json.loads(table.drain_json(notif_id))
+    assert decoded[0]["payload"] == payload
+
+
+# -- bridge envelopes ------------------------------------------------------------
+
+@given(payloads)
+def test_ok_envelope_round_trips(payload):
+    assert decode_or_raise(encode_ok(payload)) == payload
+
+
+@given(st.sampled_from(sorted(UNIFORM_ERRORS)), st.text(max_size=40))
+def test_error_envelope_reraises_exact_class(error_name, message):
+    error_class = UNIFORM_ERRORS[error_name]
+    envelope = encode_error(error_class(message))
+    with pytest.raises(error_class):
+        decode_or_raise(envelope)

@@ -1,0 +1,85 @@
+"""Tests for the device calendar store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.calendar import CalendarStore, EventRecord
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def store():
+    return CalendarStore()
+
+
+class TestCalendarStore:
+    def test_add_and_get(self, store):
+        record = store.add("Shift", 100.0, 200.0, location="plant")
+        fetched = store.get(record.event_id)
+        assert fetched.summary == "Shift"
+        assert fetched.duration_ms == 100.0
+
+    def test_empty_summary_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add("", 0.0, 1.0)
+
+    def test_inverted_window_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add("X", 10.0, 5.0)
+
+    def test_ordering_by_start_time(self, store):
+        store.add("Late", 100.0, 200.0)
+        store.add("Early", 0.0, 50.0)
+        assert [r.summary for r in store.all()] == ["Early", "Late"]
+
+    def test_between_half_open(self, store):
+        store.add("A", 0.0, 100.0)
+        store.add("B", 100.0, 200.0)
+        # [100, 150) should touch B only: A ends exactly at 100.
+        assert [r.summary for r in store.between(100.0, 150.0)] == ["B"]
+
+    def test_between_overlap_rules(self, store):
+        store.add("Spanning", 0.0, 1000.0)
+        assert store.between(400.0, 500.0)  # window inside event
+        assert store.between(900.0, 1100.0)  # partial overlap
+        assert not store.between(1000.0, 1100.0)  # starts exactly at end
+
+    def test_update_and_remove(self, store):
+        from dataclasses import replace
+
+        record = store.add("X", 0.0, 1.0)
+        store.update(replace(record, summary="Y"))
+        assert store.get(record.event_id).summary == "Y"
+        store.remove(record.event_id)
+        with pytest.raises(SimulationError):
+            store.get(record.event_id)
+
+    def test_unknown_ids_raise(self, store):
+        with pytest.raises(SimulationError):
+            store.remove("event-99")
+        with pytest.raises(SimulationError):
+            store.update(EventRecord("event-99", "X", 0.0, 1.0))
+
+    def test_revision_tracking(self, store):
+        record = store.add("X", 0.0, 1.0)
+        store.remove(record.event_id)
+        assert store.revision == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(min_value=0, max_value=1e6),
+            ).map(lambda p: (min(p), max(p))),
+            max_size=20,
+        )
+    )
+    def test_between_agrees_with_overlap_predicate(self, windows):
+        store = CalendarStore()
+        for index, (start, end) in enumerate(windows):
+            store.add(f"e{index}", start, end)
+        probe_start, probe_end = 250_000.0, 750_000.0
+        expected = [
+            r for r in store.all() if r.overlaps(probe_start, probe_end)
+        ]
+        assert store.between(probe_start, probe_end) == expected

@@ -1,0 +1,72 @@
+"""Tests for the composed device and profiles."""
+
+import pytest
+
+from repro.device.device import MobileDevice
+from repro.device.messaging import SmsCenter
+from repro.device.network import SimulatedNetwork
+from repro.device.profiles import (
+    ANDROID_DEV_PHONE,
+    DeviceProfile,
+    InputMode,
+    NOKIA_S60_HANDSET,
+)
+from repro.util.clock import Scheduler
+
+
+class TestDeviceProfile:
+    def test_defaults(self):
+        profile = DeviceProfile(name="test")
+        assert profile.has_gps
+        assert profile.input_mode is InputMode.TOUCH
+
+    def test_aspect_ratio(self):
+        profile = DeviceProfile(name="t", screen_width_px=320, screen_height_px=480)
+        assert profile.aspect_ratio == pytest.approx(320 / 480)
+
+    def test_supports_bearer(self):
+        assert ANDROID_DEV_PHONE.supports("wifi")
+        assert not DeviceProfile(name="t").supports("wifi")
+
+    def test_invalid_screen_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="t", screen_width_px=0)
+
+    def test_s60_has_smaller_binary_limit(self):
+        assert NOKIA_S60_HANDSET.max_app_binary_kb < ANDROID_DEV_PHONE.max_app_binary_kb
+
+
+class TestMobileDevice:
+    def test_requires_phone_number(self):
+        with pytest.raises(ValueError):
+            MobileDevice("")
+
+    def test_shared_clock(self, device):
+        assert device.clock is device.scheduler.clock
+
+    def test_inbox_receives_delivered_sms(self, device):
+        device.sms_center.submit("+1", device.phone_number, "hi")
+        device.run_for(2_000.0)
+        assert [m.text for m in device.inbox] == ["hi"]
+
+    def test_two_devices_share_sms_center(self):
+        scheduler = Scheduler()
+        from repro.util.events import EventBus
+
+        center = SmsCenter(scheduler, EventBus())
+        network = SimulatedNetwork(scheduler)
+        alice = MobileDevice("+1", sms_center=center, network=network, scheduler=scheduler)
+        bob = MobileDevice("+2", sms_center=center, network=network, scheduler=scheduler)
+        alice.sms_center.submit(alice.phone_number, "+2", "hello bob")
+        scheduler.run_for(2_000.0)
+        assert [m.text for m in bob.inbox] == ["hello bob"]
+        assert alice.inbox == []
+
+    def test_run_for_advances_clock(self, device):
+        device.run_for(1_234.0)
+        assert device.clock.now_ms == 1_234.0
+
+    def test_gps_uses_device_trajectory(self, device):
+        device.gps.power_on()
+        device.run_for(5_000.0)
+        assert device.gps.last_fix is not None

@@ -1,0 +1,59 @@
+"""Energy-accounting integration: substrates drain the battery."""
+
+import pytest
+
+from repro.apps.workforce import scenario
+from repro.apps.workforce.proxied import launch_on_android
+
+
+class TestEnergyAccounting:
+    def test_native_operations_drain_battery(self, android_scenario):
+        sc = android_scenario
+        start = sc.device.battery.level_mwh
+        context = sc.new_context()
+        manager = sc.platform.sms_manager(context)
+        manager.send_text_message("+2", None, "hi")
+        assert sc.device.battery.level_mwh < start
+        report = sc.device.battery.drain_report()
+        assert "android.sendSMS" in report
+
+    def test_gps_fixes_drain_battery(self, android_scenario):
+        sc = android_scenario
+        sc.device.gps.power_on()
+        sc.platform.run_for(60_000.0)
+        report = sc.device.battery.drain_report()
+        assert report.get("gps.fix", 0.0) > 0.0
+
+    def test_full_app_run_attributes_energy(self):
+        sc = scenario.build_android()
+        launch_on_android(sc.platform, sc.new_context(), sc.config)
+        sc.platform.run_for(200_000.0)
+        report = sc.device.battery.drain_report()
+        # GPS dominates a 200-second tracking run.
+        assert report["gps.fix"] > report.get("android.sendSMS", 0.0)
+        assert sc.device.battery.fraction < 1.0
+
+    def test_drain_proportional_to_latency(self, android_scenario):
+        """Slower native ops cost more energy than faster ones."""
+        sc = android_scenario
+        context = sc.new_context()
+        manager = context.get_system_service(
+            __import__("repro.platforms.android.context", fromlist=["Context"]).Context.LOCATION_SERVICE
+        )
+        manager.get_current_location("gps")  # 15.5 ms op
+        report = sc.device.battery.drain_report()
+        expected = 15.5 * sc.platform.DRAIN_MWH_PER_MS
+        assert report["android.getLocation"] == pytest.approx(expected, rel=0.01)
+
+    def test_heavy_use_triggers_low_battery_signal(self):
+        from repro.device.battery import Battery
+
+        sc = scenario.build_android()
+        sc.device.battery.capacity_mwh = 10.0
+        sc.device.battery.level_mwh = 10.0
+        fired = []
+        sc.device.battery.on_low.connect(fired.append)
+        sc.device.gps.power_on()
+        sc.platform.run_for(60_000.0)  # 60 fixes * 0.25 mWh = 15 mWh > 10
+        assert fired
+        assert sc.device.battery.is_empty

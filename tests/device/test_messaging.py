@@ -1,0 +1,136 @@
+"""Tests (incl. property-based segmentation) for the SMS center."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.messaging import (
+    CONCAT_SEGMENT_CHARS,
+    DeliveryStatus,
+    SINGLE_SEGMENT_CHARS,
+    SmsCenter,
+    TOPIC_SMS_DELIVERED,
+    TOPIC_SMS_REPORT,
+    segment_count,
+    split_segments,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def center(scheduler, bus):
+    return SmsCenter(scheduler, bus, per_segment_latency_ms=800.0)
+
+
+class TestSegmentation:
+    def test_short_message_single_segment(self):
+        assert segment_count("hello") == 1
+
+    def test_boundary_160_is_one_segment(self):
+        assert segment_count("x" * SINGLE_SEGMENT_CHARS) == 1
+
+    def test_161_needs_two_segments(self):
+        assert segment_count("x" * (SINGLE_SEGMENT_CHARS + 1)) == 2
+
+    def test_long_message_segments(self):
+        assert segment_count("x" * (CONCAT_SEGMENT_CHARS * 3)) == 3
+
+    @given(st.text(min_size=0, max_size=2_000))
+    def test_segments_reassemble(self, text):
+        assert "".join(split_segments(text)) == text
+
+    @given(st.text(min_size=161, max_size=2_000))
+    def test_concat_segments_bounded(self, text):
+        segments = split_segments(text)
+        assert all(len(s) <= CONCAT_SEGMENT_CHARS for s in segments)
+        assert len(segments) == segment_count(text)
+
+    @given(st.text(min_size=0, max_size=160))
+    def test_short_never_splits(self, text):
+        assert split_segments(text) == [text]
+
+
+class TestDelivery:
+    def test_delivery_to_attached_inbox(self, center, scheduler):
+        received = []
+        center.attach("+2", received.append)
+        message = center.submit("+1", "+2", "hi")
+        assert message.status is DeliveryStatus.PENDING
+        scheduler.run_for(1_000.0)
+        assert message.status is DeliveryStatus.DELIVERED
+        assert [m.text for m in received] == ["hi"]
+
+    def test_latency_scales_with_segments(self, center, scheduler):
+        long_text = "x" * 400  # 3 segments
+        message = center.submit("+1", "+2", long_text)
+        scheduler.run_for(2_399.0)
+        assert message.status is DeliveryStatus.PENDING
+        scheduler.run_for(1.0)
+        assert message.status is DeliveryStatus.DELIVERED
+
+    def test_multiple_inboxes_per_number(self, center, scheduler):
+        first, second = [], []
+        center.attach("+2", first.append)
+        center.attach("+2", second.append)
+        center.submit("+1", "+2", "hi")
+        scheduler.run_for(1_000.0)
+        assert len(first) == 1 and len(second) == 1
+
+    def test_unreachable_recipient_fails(self, center, scheduler):
+        center.set_unreachable("+2")
+        reports = []
+        message = center.submit("+1", "+2", "hi", on_report=reports.append)
+        scheduler.run_for(1_000.0)
+        assert message.status is DeliveryStatus.FAILED
+        assert reports[0].status is DeliveryStatus.FAILED
+        assert reports[0].failure_reason
+
+    def test_reachability_can_be_restored(self, center, scheduler):
+        center.set_unreachable("+2")
+        center.set_unreachable("+2", False)
+        message = center.submit("+1", "+2", "hi")
+        scheduler.run_for(1_000.0)
+        assert message.status is DeliveryStatus.DELIVERED
+
+    def test_delivery_report_callback(self, center, scheduler):
+        reports = []
+        center.submit("+1", "+2", "hi", on_report=reports.append)
+        scheduler.run_for(1_000.0)
+        assert len(reports) == 1
+        assert reports[0].status is DeliveryStatus.DELIVERED
+
+    def test_bus_topics(self, center, scheduler, bus):
+        seen = []
+        bus.subscribe("sms.*", lambda t, p: seen.append(t))
+        center.attach("+2", lambda m: None)
+        center.submit("+1", "+2", "hi")
+        scheduler.run_for(1_000.0)
+        assert TOPIC_SMS_DELIVERED in seen
+        assert TOPIC_SMS_REPORT in seen
+
+    def test_inbox_log(self, center, scheduler):
+        center.submit("+1", "+2", "first")
+        center.submit("+1", "+2", "second")
+        scheduler.run_for(2_000.0)
+        assert [m.text for m in center.inbox_of("+2")] == ["first", "second"]
+
+    def test_message_lookup(self, center, scheduler):
+        message = center.submit("+1", "+2", "hi")
+        assert center.message(message.message_id) is message
+        with pytest.raises(SimulationError):
+            center.message("nope")
+
+    def test_empty_recipient_rejected(self, center):
+        with pytest.raises(ValueError):
+            center.submit("+1", "", "hi")
+
+    def test_none_text_rejected(self, center):
+        with pytest.raises(ValueError):
+            center.submit("+1", "+2", None)
+
+    def test_detach_stops_callbacks(self, center, scheduler):
+        received = []
+        center.attach("+2", received.append)
+        center.detach("+2")
+        center.submit("+1", "+2", "hi")
+        scheduler.run_for(1_000.0)
+        assert received == []

@@ -1,0 +1,122 @@
+"""Tests for the simulated network and virtual HTTP servers."""
+
+import pytest
+
+from repro.device.network import (
+    HttpRequest,
+    HttpResponse,
+    NetworkError,
+    SimulatedNetwork,
+)
+from repro.util.latency import LatencyModel
+
+
+@pytest.fixture
+def network(scheduler):
+    return SimulatedNetwork(
+        scheduler, latency=LatencyModel(mean_ms={"http.roundtrip": 100.0})
+    )
+
+
+def _ping(request):
+    return HttpResponse(200, "pong")
+
+
+class TestRouting:
+    def test_exact_route_match(self, network):
+        server = network.add_server("api.test")
+        server.route("GET", "/ping", _ping)
+        response = network.request(HttpRequest("GET", "api.test", "/ping"))
+        assert response.status == 200
+        assert response.body == "pong"
+
+    def test_unrouted_path_404(self, network):
+        network.add_server("api.test")
+        response = network.request(HttpRequest("GET", "api.test", "/missing"))
+        assert response.status == 404
+
+    def test_method_mismatch_404(self, network):
+        server = network.add_server("api.test")
+        server.route("POST", "/thing", _ping)
+        response = network.request(HttpRequest("GET", "api.test", "/thing"))
+        assert response.status == 404
+
+    def test_unknown_host_raises(self, network):
+        with pytest.raises(NetworkError):
+            network.request(HttpRequest("GET", "nowhere", "/"))
+
+    def test_add_server_idempotent(self, network):
+        first = network.add_server("api.test")
+        second = network.add_server("api.test")
+        assert first is second
+
+    def test_request_log(self, network):
+        server = network.add_server("api.test")
+        server.route("GET", "/ping", _ping)
+        network.request(HttpRequest("GET", "api.test", "/ping"))
+        assert len(server.request_log) == 1
+
+
+class TestLatencyAndLoss:
+    def test_sync_request_advances_clock(self, network, scheduler):
+        server = network.add_server("api.test")
+        server.route("GET", "/ping", _ping)
+        before = scheduler.clock.now_ms
+        network.request(HttpRequest("GET", "api.test", "/ping"))
+        assert scheduler.clock.now_ms - before == 100.0
+
+    def test_injected_loss(self, network):
+        server = network.add_server("api.test")
+        server.route("GET", "/ping", _ping)
+        network.fail_next("cable cut")
+        with pytest.raises(NetworkError, match="cable cut"):
+            network.request(HttpRequest("GET", "api.test", "/ping"))
+        # next request succeeds
+        assert network.request(HttpRequest("GET", "api.test", "/ping")).ok
+
+    def test_loss_queue_fifo(self, network):
+        server = network.add_server("api.test")
+        server.route("GET", "/ping", _ping)
+        network.fail_next("first")
+        network.fail_next("second")
+        with pytest.raises(NetworkError, match="first"):
+            network.request(HttpRequest("GET", "api.test", "/ping"))
+        with pytest.raises(NetworkError, match="second"):
+            network.request(HttpRequest("GET", "api.test", "/ping"))
+
+
+class TestAsync:
+    def test_async_response_delivered_later(self, network, scheduler):
+        server = network.add_server("api.test")
+        server.route("GET", "/ping", _ping)
+        responses = []
+        network.request_async(
+            HttpRequest("GET", "api.test", "/ping"), responses.append
+        )
+        assert responses == []
+        scheduler.run_for(100.0)
+        assert responses[0].body == "pong"
+
+    def test_async_error_callback(self, network, scheduler):
+        errors = []
+        network.request_async(
+            HttpRequest("GET", "nowhere", "/"),
+            lambda r: pytest.fail("should not succeed"),
+            on_error=errors.append,
+        )
+        scheduler.run_for(1_000.0)
+        assert len(errors) == 1
+
+
+class TestMessages:
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest(
+            "GET", "h", "/", headers=(("Content-Type", "text/plain"),)
+        )
+        assert request.header("content-type") == "text/plain"
+        assert request.header("missing", "d") == "d"
+
+    def test_response_ok_range(self):
+        assert HttpResponse(204).ok
+        assert not HttpResponse(301).ok
+        assert not HttpResponse(500).ok

@@ -1,0 +1,73 @@
+"""Tests for the device contact store."""
+
+import pytest
+
+from repro.device.pim import ContactStore
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def store():
+    return ContactStore()
+
+
+class TestContactStore:
+    def test_add_and_get(self, store):
+        record = store.add("Alice", ("+1",), email="a@x")
+        assert store.get(record.contact_id).display_name == "Alice"
+        assert len(store) == 1
+
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add("")
+
+    def test_ids_unique_and_sequential(self, store):
+        first = store.add("A")
+        second = store.add("B")
+        assert first.contact_id != second.contact_id
+
+    def test_deterministic_ordering(self, store):
+        store.add("Zed")
+        store.add("Alice")
+        store.add("Mallory")
+        assert [r.display_name for r in store.all()] == ["Alice", "Mallory", "Zed"]
+
+    def test_find_by_name_case_insensitive(self, store):
+        store.add("Region Supervisor")
+        assert len(store.find_by_name("super")) == 1
+        assert store.find_by_name("SUPER")[0].display_name == "Region Supervisor"
+        assert store.find_by_name("ghost") == []
+
+    def test_find_by_number(self, store):
+        store.add("Alice", ("+1", "+2"))
+        assert store.find_by_number("+2").display_name == "Alice"
+        assert store.find_by_number("+99") is None
+
+    def test_update_replaces(self, store):
+        record = store.add("Alice")
+        store.update(record.with_number("+5"))
+        assert store.get(record.contact_id).phone_numbers == ("+5",)
+
+    def test_update_unknown_rejected(self, store):
+        from repro.device.pim import ContactRecord
+
+        with pytest.raises(SimulationError):
+            store.update(ContactRecord("ghost", "X"))
+
+    def test_remove(self, store):
+        record = store.add("Alice")
+        store.remove(record.contact_id)
+        assert len(store) == 0
+        with pytest.raises(SimulationError):
+            store.remove(record.contact_id)
+
+    def test_revision_bumps_on_mutation(self, store):
+        assert store.revision == 0
+        record = store.add("A")
+        store.update(record.with_number("+1"))
+        store.remove(record.contact_id)
+        assert store.revision == 3
+
+    def test_with_number_idempotent(self, store):
+        record = store.add("A", ("+1",))
+        assert record.with_number("+1") is record

@@ -1,0 +1,125 @@
+"""Tests for the voice-call state machine."""
+
+import pytest
+
+from repro.device.telephony import CallState, TelephonyUnit, TOPIC_CALL_STATE
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def unit(scheduler, bus):
+    return TelephonyUnit(scheduler, bus)
+
+
+class TestDialing:
+    def test_answered_call_lifecycle(self, unit, scheduler):
+        states = []
+        session = unit.dial("+1", on_state=lambda s: states.append(s.state))
+        assert session.state is CallState.DIALING
+        scheduler.run_for(10_000.0)
+        assert states == [CallState.RINGING, CallState.ACTIVE]
+        assert session.answered_at_ms is not None
+
+    def test_busy_callee(self, unit, scheduler):
+        unit.set_callee_behavior("+1", TelephonyUnit.BUSY)
+        session = unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        assert session.state is CallState.BUSY
+        assert session.is_terminal
+
+    def test_unreachable_callee(self, unit, scheduler):
+        unit.set_callee_behavior("+1", TelephonyUnit.UNREACHABLE)
+        session = unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        assert session.state is CallState.UNREACHABLE
+
+    def test_no_answer_times_out(self, unit, scheduler):
+        unit.set_callee_behavior("+1", TelephonyUnit.NO_ANSWER)
+        session = unit.dial("+1")
+        scheduler.run_for(60_000.0)
+        assert session.state is CallState.ENDED
+        assert session.answered_at_ms is None
+
+    def test_unknown_behavior_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.set_callee_behavior("+1", "explode")
+
+    def test_empty_number_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.dial("")
+
+
+class TestVoiceChannel:
+    def test_single_channel(self, unit, scheduler):
+        unit.dial("+1")
+        with pytest.raises(SimulationError):
+            unit.dial("+2")
+
+    def test_channel_frees_after_terminal(self, unit, scheduler):
+        unit.set_callee_behavior("+1", TelephonyUnit.BUSY)
+        unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        assert unit.active_call is None
+        unit.dial("+2")  # no error
+
+    def test_hang_up_active_call(self, unit, scheduler):
+        session = unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        assert session.state is CallState.ACTIVE
+        unit.hang_up(session)
+        assert session.state is CallState.ENDED
+        assert session.duration_ms is not None
+
+    def test_hang_up_while_dialing(self, unit, scheduler):
+        session = unit.dial("+1")
+        unit.hang_up(session)
+        scheduler.run_for(10_000.0)
+        assert session.state is CallState.ENDED
+        assert session.answered_at_ms is None
+
+    def test_hang_up_terminal_is_noop(self, unit, scheduler):
+        session = unit.dial("+1")
+        unit.hang_up(session)
+        unit.hang_up(session)
+        assert session.state is CallState.ENDED
+
+
+class TestSessions:
+    def test_duration_only_for_answered(self, unit, scheduler):
+        unit.set_callee_behavior("+1", TelephonyUnit.BUSY)
+        session = unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        assert session.duration_ms is None
+
+    def test_duration_measures_talk_time(self, unit, scheduler):
+        session = unit.dial("+1")
+        scheduler.run_for(10_000.0)  # answered at dial+ring
+        scheduler.run_for(30_000.0)
+        unit.hang_up(session)
+        expected = scheduler.clock.now_ms - session.answered_at_ms
+        assert session.duration_ms == pytest.approx(expected, abs=1.0)
+        assert session.duration_ms >= 30_000.0
+
+    def test_state_history_recorded(self, unit, scheduler):
+        session = unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        unit.hang_up(session)
+        assert session.state_history == [
+            CallState.DIALING,
+            CallState.RINGING,
+            CallState.ACTIVE,
+            CallState.ENDED,
+        ]
+
+    def test_session_lookup(self, unit, scheduler):
+        session = unit.dial("+1")
+        assert unit.session(session.call_id) is session
+        with pytest.raises(SimulationError):
+            unit.session("nope")
+
+    def test_bus_publishes_state_changes(self, unit, scheduler, bus):
+        events = []
+        bus.subscribe(TOPIC_CALL_STATE, lambda t, s: events.append(s.state))
+        unit.dial("+1")
+        scheduler.run_for(10_000.0)
+        assert CallState.RINGING in events and CallState.ACTIVE in events

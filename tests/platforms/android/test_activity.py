@@ -1,0 +1,88 @@
+"""Tests for the Activity lifecycle."""
+
+import pytest
+
+from repro.device.device import MobileDevice
+from repro.platforms.android.activity import Activity, ActivityState
+from repro.platforms.android.exceptions import IllegalStateException
+from repro.platforms.android.platform import AndroidPlatform
+
+
+class HookRecorder(Activity):
+    def __init__(self, platform, package):
+        super().__init__(platform, package)
+        self.hooks = []
+
+    def on_create(self):
+        self.hooks.append("create")
+
+    def on_start(self):
+        self.hooks.append("start")
+
+    def on_resume(self):
+        self.hooks.append("resume")
+
+    def on_pause(self):
+        self.hooks.append("pause")
+
+    def on_stop(self):
+        self.hooks.append("stop")
+
+    def on_destroy(self):
+        self.hooks.append("destroy")
+
+
+@pytest.fixture
+def platform(device):
+    platform = AndroidPlatform(device)
+    platform.install("app", set())
+    return platform
+
+
+class TestLifecycle:
+    def test_launch_sequence(self, platform):
+        activity = platform.launch(HookRecorder, "app")
+        assert activity.hooks == ["create", "start", "resume"]
+        assert activity.state is ActivityState.RESUMED
+
+    def test_pause_resume(self, platform):
+        activity = platform.launch(HookRecorder, "app")
+        activity.perform_pause()
+        assert activity.state is ActivityState.PAUSED
+        activity.perform_resume()
+        assert activity.state is ActivityState.RESUMED
+        assert activity.hooks[-2:] == ["pause", "resume"]
+
+    def test_destroy_from_resumed_runs_full_teardown(self, platform):
+        activity = platform.launch(HookRecorder, "app")
+        activity.perform_destroy()
+        assert activity.hooks == ["create", "start", "resume", "pause", "stop", "destroy"]
+        assert activity.state is ActivityState.DESTROYED
+
+    def test_double_launch_rejected(self, platform):
+        activity = platform.launch(HookRecorder, "app")
+        with pytest.raises(IllegalStateException):
+            activity.perform_launch()
+
+    def test_pause_before_launch_rejected(self, platform):
+        activity = HookRecorder(platform, "app")
+        with pytest.raises(IllegalStateException):
+            activity.perform_pause()
+
+    def test_destroy_before_launch_rejected(self, platform):
+        activity = HookRecorder(platform, "app")
+        with pytest.raises(IllegalStateException):
+            activity.perform_destroy()
+
+    def test_lifecycle_log(self, platform):
+        activity = platform.launch(HookRecorder, "app")
+        assert activity.lifecycle_log == [
+            ActivityState.CREATED,
+            ActivityState.STARTED,
+            ActivityState.RESUMED,
+        ]
+
+    def test_activity_is_a_context(self, platform):
+        platform.install("app2", {"android.permission.SEND_SMS"})
+        activity = platform.launch(HookRecorder, "app2")
+        assert activity.check_permission("android.permission.SEND_SMS")

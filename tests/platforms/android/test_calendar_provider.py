@@ -1,0 +1,96 @@
+"""Tests for the Android calendar content provider."""
+
+import pytest
+
+from repro.platforms.android.calendar_provider import (
+    CALENDAR_URI,
+    COLUMN_DTEND,
+    COLUMN_DTSTART,
+    COLUMN_TITLE,
+    READ_CALENDAR,
+    WRITE_CALENDAR,
+)
+from repro.platforms.android.contacts import ContentValues
+from repro.platforms.android.exceptions import (
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.android.platform import AndroidPlatform
+
+
+@pytest.fixture
+def platform(device):
+    platform = AndroidPlatform(device)
+    platform.install("app", {READ_CALENDAR, WRITE_CALENDAR})
+    device.calendar.add("Standup", 100.0, 200.0, location="hq")
+    return platform
+
+
+@pytest.fixture
+def resolver(platform):
+    return platform.new_context("app").get_content_resolver()
+
+
+class TestQuery:
+    def test_query_all(self, resolver):
+        cursor = resolver.query(CALENDAR_URI)
+        assert cursor.get_count() == 1
+        cursor.move_to_next()
+        assert cursor.get_string(COLUMN_TITLE) == "Standup"
+        assert cursor.get_string(COLUMN_DTSTART) == "100.0"
+
+    def test_title_selection(self, resolver, device):
+        device.calendar.add("Review", 300.0, 400.0)
+        cursor = resolver.query(CALENDAR_URI, selection="rev")
+        assert cursor.get_count() == 1
+
+    def test_requires_read_permission(self, platform):
+        platform.install("noperm", set())
+        resolver = platform.new_context("noperm").get_content_resolver()
+        with pytest.raises(SecurityException):
+            resolver.query(CALENDAR_URI)
+
+
+class TestInsertDelete:
+    def test_insert_returns_row_uri(self, resolver, device):
+        values = ContentValues()
+        values.put(COLUMN_TITLE, "Inspection")
+        values.put(COLUMN_DTSTART, 500.0)
+        values.put(COLUMN_DTEND, 600.0)
+        row_uri = resolver.insert(CALENDAR_URI, values)
+        assert row_uri.startswith(f"{CALENDAR_URI}/")
+        assert len(device.calendar) == 2
+
+    def test_insert_requires_fields(self, resolver):
+        values = ContentValues()
+        values.put(COLUMN_TITLE, "No times")
+        with pytest.raises(IllegalArgumentException):
+            resolver.insert(CALENDAR_URI, values)
+
+    def test_insert_requires_write_permission(self, platform):
+        platform.install("reader", {READ_CALENDAR})
+        resolver = platform.new_context("reader").get_content_resolver()
+        values = ContentValues()
+        values.put(COLUMN_TITLE, "X")
+        values.put(COLUMN_DTSTART, 0.0)
+        values.put(COLUMN_DTEND, 1.0)
+        with pytest.raises(SecurityException):
+            resolver.insert(CALENDAR_URI, values)
+
+    def test_delete_by_row_uri(self, resolver, device):
+        event = device.calendar.all()[0]
+        assert resolver.delete(f"{CALENDAR_URI}/{event.event_id}") == 1
+        assert len(device.calendar) == 0
+
+    def test_delete_unknown_returns_zero(self, resolver):
+        assert resolver.delete(f"{CALENDAR_URI}/event-999") == 0
+
+    def test_contacts_and_calendar_share_the_resolver(self, platform, device):
+        """One ContentResolver front door, URI-dispatched providers."""
+        from repro.platforms.android.contacts import CONTACTS_URI, READ_CONTACTS
+
+        platform.install("both", {READ_CALENDAR, READ_CONTACTS})
+        resolver = platform.new_context("both").get_content_resolver()
+        device.contacts.add("Alice")
+        assert resolver.query(CONTACTS_URI).get_count() == 1
+        assert resolver.query(CALENDAR_URI).get_count() == 1

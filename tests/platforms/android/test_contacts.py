@@ -1,0 +1,115 @@
+"""Tests for the Android ContentResolver-style contacts API."""
+
+import pytest
+
+from repro.platforms.android.contacts import (
+    COLUMN_DISPLAY_NAME,
+    COLUMN_ID,
+    COLUMN_NUMBER,
+    CONTACTS_URI,
+    ContentValues,
+    Cursor,
+    READ_CONTACTS,
+    WRITE_CONTACTS,
+)
+from repro.platforms.android.exceptions import (
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.android.platform import AndroidPlatform
+
+
+@pytest.fixture
+def platform(device):
+    platform = AndroidPlatform(device)
+    platform.install("app", {READ_CONTACTS, WRITE_CONTACTS})
+    device.contacts.add("Alice", ("+1",))
+    device.contacts.add("Bob", ("+2",), email="bob@x")
+    return platform
+
+
+@pytest.fixture
+def resolver(platform):
+    return platform.new_context("app").get_content_resolver()
+
+
+class TestQuery:
+    def test_query_all(self, resolver):
+        cursor = resolver.query(CONTACTS_URI)
+        names = []
+        while cursor.move_to_next():
+            names.append(cursor.get_string(COLUMN_DISPLAY_NAME))
+        assert names == ["Alice", "Bob"]
+
+    def test_query_with_selection(self, resolver):
+        cursor = resolver.query(CONTACTS_URI, selection="ali")
+        assert cursor.get_count() == 1
+
+    def test_unknown_uri_rejected(self, resolver):
+        with pytest.raises(IllegalArgumentException):
+            resolver.query("content://nope")
+
+    def test_requires_read_permission(self, platform):
+        platform.install("noperm", set())
+        resolver = platform.new_context("noperm").get_content_resolver()
+        with pytest.raises(SecurityException):
+            resolver.query(CONTACTS_URI)
+
+
+class TestCursorSemantics:
+    def test_forward_only(self):
+        cursor = Cursor([{"a": "1"}, {"a": "2"}])
+        assert cursor.move_to_next()
+        assert cursor.get_string("a") == "1"
+        assert cursor.move_to_next()
+        assert not cursor.move_to_next()
+
+    def test_read_before_move_rejected(self):
+        cursor = Cursor([{"a": "1"}])
+        with pytest.raises(IllegalArgumentException):
+            cursor.get_string("a")
+
+    def test_closed_cursor_rejected(self):
+        cursor = Cursor([{"a": "1"}])
+        cursor.close()
+        with pytest.raises(IllegalArgumentException):
+            cursor.move_to_next()
+
+    def test_missing_column_is_none(self):
+        cursor = Cursor([{"a": "1"}])
+        cursor.move_to_next()
+        assert cursor.get_string("other") is None
+
+
+class TestInsertDelete:
+    def test_insert_returns_row_uri(self, resolver, device):
+        values = ContentValues()
+        values.put(COLUMN_DISPLAY_NAME, "Carol")
+        values.put(COLUMN_NUMBER, "+3")
+        row_uri = resolver.insert(CONTACTS_URI, values)
+        assert row_uri.startswith(f"{CONTACTS_URI}/")
+        assert device.contacts.find_by_name("Carol")
+
+    def test_insert_requires_name(self, resolver):
+        with pytest.raises(IllegalArgumentException):
+            resolver.insert(CONTACTS_URI, ContentValues())
+
+    def test_insert_requires_write_permission(self, platform):
+        platform.install("reader", {READ_CONTACTS})
+        resolver = platform.new_context("reader").get_content_resolver()
+        values = ContentValues()
+        values.put(COLUMN_DISPLAY_NAME, "X")
+        with pytest.raises(SecurityException):
+            resolver.insert(CONTACTS_URI, values)
+
+    def test_delete_by_row_uri(self, resolver, device):
+        alice = device.contacts.find_by_name("Alice")[0]
+        assert resolver.delete(f"{CONTACTS_URI}/{alice.contact_id}") == 1
+        assert not device.contacts.find_by_name("Alice")
+
+    def test_delete_unknown_returns_zero(self, resolver):
+        assert resolver.delete(f"{CONTACTS_URI}/contact-999") == 0
+
+    def test_delete_bad_uri_rejected(self, resolver):
+        with pytest.raises(IllegalArgumentException):
+            resolver.delete("content://other/5")

@@ -1,0 +1,92 @@
+"""Tests for Context, system services and permissions."""
+
+import pytest
+
+from repro.device.device import MobileDevice
+from repro.platforms.android.context import Context
+from repro.platforms.android.exceptions import (
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.android.location import LocationManager
+from repro.platforms.android.platform import AndroidPlatform
+from repro.platforms.android.telephony import IPhone
+
+
+@pytest.fixture
+def platform(device):
+    platform = AndroidPlatform(device)
+    platform.install("com.test.app", {"android.permission.ACCESS_FINE_LOCATION"})
+    return platform
+
+
+class TestSystemServices:
+    def test_location_service(self, platform):
+        context = platform.new_context("com.test.app")
+        service = context.get_system_service(Context.LOCATION_SERVICE)
+        assert isinstance(service, LocationManager)
+
+    def test_telephony_service(self, platform):
+        context = platform.new_context("com.test.app")
+        service = context.get_system_service(Context.TELEPHONY_SERVICE)
+        assert isinstance(service, IPhone)
+
+    def test_unknown_service_raises(self, platform):
+        context = platform.new_context("com.test.app")
+        with pytest.raises(IllegalArgumentException):
+            context.get_system_service("teleporter")
+
+
+class TestPermissions:
+    def test_manifest_permissions_flow_to_context(self, platform):
+        context = platform.new_context("com.test.app")
+        assert context.check_permission("android.permission.ACCESS_FINE_LOCATION")
+        assert not context.check_permission("android.permission.SEND_SMS")
+
+    def test_enforce_raises_security_exception(self, platform):
+        context = platform.new_context("com.test.app")
+        with pytest.raises(SecurityException, match="SEND_SMS"):
+            context.enforce_permission("android.permission.SEND_SMS", "sendTextMessage")
+
+    def test_grant_permission(self, platform):
+        context = platform.new_context("com.test.app")
+        context.grant_permission("android.permission.SEND_SMS")
+        context.enforce_permission("android.permission.SEND_SMS", "x")  # no raise
+
+    def test_unknown_package_has_no_permissions(self, platform):
+        context = platform.new_context("com.other")
+        assert not context.check_permission("android.permission.ACCESS_FINE_LOCATION")
+
+
+class TestBroadcastsThroughContext:
+    def test_send_and_receive(self, platform):
+        from repro.platforms.android.intents import (
+            FunctionIntentReceiver,
+            Intent,
+            IntentFilter,
+        )
+
+        context = platform.new_context("com.test.app")
+        log = []
+        context.register_receiver(
+            FunctionIntentReceiver(lambda c, i: log.append(i.get_action())),
+            IntentFilter("ping"),
+        )
+        assert context.send_broadcast(Intent("ping")) == 1
+        assert log == ["ping"]
+
+    def test_registry_shared_across_contexts(self, platform):
+        from repro.platforms.android.intents import (
+            FunctionIntentReceiver,
+            Intent,
+            IntentFilter,
+        )
+
+        first = platform.new_context("com.test.app")
+        second = platform.new_context("com.other")
+        log = []
+        first.register_receiver(
+            FunctionIntentReceiver(lambda c, i: log.append(1)), IntentFilter("x")
+        )
+        second.send_broadcast(Intent("x"))
+        assert log == [1]

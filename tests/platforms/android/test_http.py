@@ -1,0 +1,83 @@
+"""Tests for the Apache-style Android HTTP stack."""
+
+import pytest
+
+from repro.device.network import HttpResponse
+from repro.platforms.android.exceptions import (
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.android.http import INTERNET, HttpGet, HttpPost, IOException
+from repro.platforms.android.platform import AndroidPlatform
+
+
+@pytest.fixture
+def platform(device):
+    platform = AndroidPlatform(device)
+    platform.install("app", {INTERNET})
+    server = device.network.add_server("api.test")
+    server.route("GET", "/ping", lambda r: HttpResponse(200, "pong"))
+    server.route("POST", "/echo", lambda r: HttpResponse(200, r.body))
+    return platform
+
+
+@pytest.fixture
+def client(platform):
+    return platform.http_client(platform.new_context("app"))
+
+
+class TestRequests:
+    def test_get(self, client):
+        response = client.execute(HttpGet("http://api.test/ping"))
+        assert response.get_status_line().get_status_code() == 200
+        assert response.get_entity().get_content() == "pong"
+
+    def test_post_echoes_entity(self, client):
+        request = HttpPost("http://api.test/echo")
+        request.set_entity("payload")
+        response = client.execute(request)
+        assert response.get_entity().get_content() == "payload"
+
+    def test_headers_reach_server(self, platform, client, device):
+        seen = {}
+
+        def handler(request):
+            seen["agent"] = request.header("User-Agent")
+            return HttpResponse(200)
+
+        device.network.server("api.test").route("GET", "/headers", handler)
+        request = HttpGet("http://api.test/headers")
+        request.add_header("User-Agent", "test-agent")
+        client.execute(request)
+        assert seen["agent"] == "test-agent"
+
+    def test_query_string_preserved(self, client, device):
+        device.network.server("api.test").route(
+            "GET", "/q?a=1", lambda r: HttpResponse(200, "query")
+        )
+        response = client.execute(HttpGet("http://api.test/q?a=1"))
+        assert response.get_entity().get_content() == "query"
+
+    def test_malformed_url_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            HttpGet("not a url")
+        with pytest.raises(IllegalArgumentException):
+            HttpGet("ftp://api.test/x")
+
+    def test_network_failure_raises_io_exception(self, client, device):
+        device.network.fail_next("radio off")
+        with pytest.raises(IOException, match="radio off"):
+            client.execute(HttpGet("http://api.test/ping"))
+
+    def test_requires_internet_permission(self, platform):
+        platform.install("noperm", set())
+        client = platform.http_client(platform.new_context("noperm"))
+        with pytest.raises(SecurityException):
+            client.execute(HttpGet("http://api.test/ping"))
+
+    def test_charges_native_latency(self, platform, client):
+        before = platform.clock.now_ms
+        client.execute(HttpGet("http://api.test/ping"))
+        charged = platform.clock.now_ms - before
+        # android.http charge + network round trip
+        assert charged >= platform.native_latency.mean_for("android.http")

@@ -1,0 +1,146 @@
+"""Tests for Intent / IntentReceiver broadcast machinery."""
+
+import pytest
+
+from repro.platforms.android.exceptions import IllegalArgumentException
+from repro.platforms.android.intents import (
+    BroadcastRegistry,
+    FunctionIntentReceiver,
+    Intent,
+    IntentFilter,
+    IntentReceiver,
+    PendingIntent,
+)
+
+
+class TestIntent:
+    def test_action_round_trip(self):
+        intent = Intent("my.ACTION")
+        assert intent.get_action() == "my.ACTION"
+        intent.set_action("other")
+        assert intent.get_action() == "other"
+
+    def test_extras_typed_accessors(self):
+        intent = Intent("a").put_extra("flag", True).put_extra("value", 2.5)
+        assert intent.get_boolean_extra("flag", False) is True
+        assert intent.get_double_extra("value", 0.0) == 2.5
+        assert intent.get_boolean_extra("missing", True) is True
+
+    def test_string_extra(self):
+        intent = Intent("a").put_extra("name", "x")
+        assert intent.get_string_extra("name") == "x"
+        assert intent.get_string_extra("missing") is None
+
+    def test_empty_extra_key_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            Intent("a").put_extra("", 1)
+
+    def test_copy_is_independent(self):
+        intent = Intent("a").put_extra("k", 1)
+        duplicate = intent.copy()
+        duplicate.put_extra("k", 2)
+        assert intent.get_extra("k") == 1
+
+    def test_extras_returns_copy(self):
+        intent = Intent("a").put_extra("k", 1)
+        intent.extras()["k"] = 99
+        assert intent.get_extra("k") == 1
+
+
+class TestPendingIntent:
+    def test_wraps_intent(self):
+        inner = Intent("a")
+        pending = PendingIntent.get_broadcast(None, 0, inner)
+        assert pending.intent is inner
+
+    def test_requires_intent(self):
+        with pytest.raises(IllegalArgumentException):
+            PendingIntent("broadcast", "not an intent")
+
+    def test_cancel(self):
+        pending = PendingIntent.get_broadcast(None, 0, Intent("a"))
+        assert not pending.cancelled
+        pending.cancel()
+        assert pending.cancelled
+
+
+class TestIntentFilter:
+    def test_matches_action(self):
+        intent_filter = IntentFilter("a")
+        assert intent_filter.matches(Intent("a"))
+        assert not intent_filter.matches(Intent("b"))
+
+    def test_multiple_actions(self):
+        intent_filter = IntentFilter("a")
+        intent_filter.add_action("b")
+        assert intent_filter.matches(Intent("b"))
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(IllegalArgumentException):
+            IntentFilter("")
+
+
+class TestBroadcastRegistry:
+    def _recorder(self, log):
+        return FunctionIntentReceiver(lambda ctx, i: log.append(i))
+
+    def test_broadcast_to_matching_receivers(self):
+        registry = BroadcastRegistry()
+        log = []
+        registry.register(self._recorder(log), IntentFilter("a"))
+        registry.register(self._recorder(log), IntentFilter("b"))
+        delivered = registry.broadcast(None, Intent("a"))
+        assert delivered == 1
+        assert len(log) == 1
+
+    def test_receiver_gets_a_copy(self):
+        registry = BroadcastRegistry()
+        log = []
+        registry.register(self._recorder(log), IntentFilter("a"))
+        original = Intent("a").put_extra("k", 1)
+        registry.broadcast(None, original)
+        log[0].put_extra("k", 2)
+        assert original.get_extra("k") == 1
+
+    def test_unregister(self):
+        registry = BroadcastRegistry()
+        log = []
+        receiver = self._recorder(log)
+        registry.register(receiver, IntentFilter("a"))
+        registry.unregister(receiver)
+        registry.broadcast(None, Intent("a"))
+        assert log == []
+        assert registry.registered_count() == 0
+
+    def test_non_receiver_rejected(self):
+        registry = BroadcastRegistry()
+        with pytest.raises(IllegalArgumentException):
+            registry.register(lambda ctx, i: None, IntentFilter("a"))
+
+    def test_send_pending_merges_extras(self):
+        registry = BroadcastRegistry()
+        log = []
+        registry.register(self._recorder(log), IntentFilter("a"))
+        pending = PendingIntent.get_broadcast(None, 0, Intent("a"))
+        registry.send_pending(None, pending, {"entering": True})
+        assert log[0].get_boolean_extra("entering", False) is True
+
+    def test_cancelled_pending_not_delivered(self):
+        registry = BroadcastRegistry()
+        log = []
+        registry.register(self._recorder(log), IntentFilter("a"))
+        pending = PendingIntent.get_broadcast(None, 0, Intent("a"))
+        pending.cancel()
+        assert registry.send_pending(None, pending) == 0
+        assert log == []
+
+    def test_broadcast_log(self):
+        registry = BroadcastRegistry()
+        registry.broadcast(None, Intent("a"))
+        registry.broadcast(None, Intent("b"))
+        assert [i.get_action() for i in registry.broadcast_log] == ["a", "b"]
+
+    def test_abstract_receiver_must_override(self):
+        receiver = IntentReceiver()
+        with pytest.raises(NotImplementedError):
+            receiver.on_receive_intent(None, Intent("a"))

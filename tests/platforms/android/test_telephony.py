@@ -1,0 +1,143 @@
+"""Tests for Android SmsManager and IPhone."""
+
+import pytest
+
+from repro.device.telephony import CallState
+from repro.platforms.android.context import Context
+from repro.platforms.android.exceptions import (
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.android.intents import (
+    FunctionIntentReceiver,
+    Intent,
+    IntentFilter,
+    PendingIntent,
+)
+from repro.platforms.android.platform import AndroidPlatform
+from repro.platforms.android.telephony import (
+    CALL_PHONE,
+    EXTRA_RESULT_CODE,
+    RESULT_ERROR_GENERIC_FAILURE,
+    RESULT_OK,
+    SEND_SMS,
+)
+
+
+@pytest.fixture
+def platform(device):
+    platform = AndroidPlatform(device)
+    platform.install("app", {SEND_SMS, CALL_PHONE})
+    return platform
+
+
+@pytest.fixture
+def context(platform):
+    return platform.new_context("app")
+
+
+class TestSmsManager:
+    def test_send_returns_message_id(self, platform, context):
+        manager = platform.sms_manager(context)
+        message_id = manager.send_text_message("+2", None, "hi")
+        assert message_id.startswith("sms-")
+
+    def test_sent_intent_fires_with_result_ok(self, platform, context):
+        manager = platform.sms_manager(context)
+        codes = []
+        context.register_receiver(
+            FunctionIntentReceiver(
+                lambda c, i: codes.append(i.get_extra(EXTRA_RESULT_CODE))
+            ),
+            IntentFilter("SENT"),
+        )
+        sent = PendingIntent.get_broadcast(context, 0, Intent("SENT"))
+        manager.send_text_message("+2", None, "hi", sent_intent=sent)
+        platform.run_for(2_000.0)
+        assert codes == [RESULT_OK]
+
+    def test_delivery_intent_fires(self, platform, context):
+        manager = platform.sms_manager(context)
+        delivered = []
+        context.register_receiver(
+            FunctionIntentReceiver(lambda c, i: delivered.append(True)),
+            IntentFilter("DELIVERED"),
+        )
+        delivery = PendingIntent.get_broadcast(context, 0, Intent("DELIVERED"))
+        manager.send_text_message("+2", None, "hi", delivery_intent=delivery)
+        platform.run_for(2_000.0)
+        assert delivered == [True]
+
+    def test_failure_reports_error_code(self, platform, context):
+        platform.device.sms_center.set_unreachable("+2")
+        manager = platform.sms_manager(context)
+        codes = []
+        context.register_receiver(
+            FunctionIntentReceiver(
+                lambda c, i: codes.append(i.get_extra(EXTRA_RESULT_CODE))
+            ),
+            IntentFilter("SENT"),
+        )
+        sent = PendingIntent.get_broadcast(context, 0, Intent("SENT"))
+        manager.send_text_message("+2", None, "hi", sent_intent=sent)
+        platform.run_for(2_000.0)
+        assert codes == [RESULT_ERROR_GENERIC_FAILURE]
+
+    def test_requires_permission(self, platform):
+        platform.install("noperm", set())
+        context = platform.new_context("noperm")
+        manager = platform.sms_manager(context)
+        with pytest.raises(SecurityException):
+            manager.send_text_message("+2", None, "hi")
+
+    def test_empty_destination_rejected(self, platform, context):
+        manager = platform.sms_manager(context)
+        with pytest.raises(IllegalArgumentException):
+            manager.send_text_message("", None, "hi")
+
+    def test_none_text_rejected(self, platform, context):
+        manager = platform.sms_manager(context)
+        with pytest.raises(IllegalArgumentException):
+            manager.send_text_message("+2", None, None)
+
+    def test_charges_native_latency(self, platform, context):
+        manager = platform.sms_manager(context)
+        before = platform.clock.now_ms
+        manager.send_text_message("+2", None, "hi")
+        assert platform.clock.now_ms - before == pytest.approx(
+            platform.native_latency.mean_for("android.sendSMS")
+        )
+
+
+class TestIPhone:
+    def test_call_progresses_to_active(self, platform, context):
+        phone = context.get_system_service(Context.TELEPHONY_SERVICE)
+        session = phone.call("+2")
+        platform.run_for(10_000.0)
+        assert session.state is CallState.ACTIVE
+
+    def test_call_with_state_callback(self, platform, context):
+        phone = context.get_system_service(Context.TELEPHONY_SERVICE)
+        states = []
+        phone.call("+2", on_state=lambda s: states.append(s.state))
+        platform.run_for(10_000.0)
+        assert states == [CallState.RINGING, CallState.ACTIVE]
+
+    def test_end_call(self, platform, context):
+        phone = context.get_system_service(Context.TELEPHONY_SERVICE)
+        session = phone.call("+2")
+        platform.run_for(10_000.0)
+        phone.end_call(session)
+        assert session.state is CallState.ENDED
+
+    def test_requires_permission(self, platform):
+        platform.install("noperm", set())
+        context = platform.new_context("noperm")
+        phone = context.get_system_service(Context.TELEPHONY_SERVICE)
+        with pytest.raises(SecurityException):
+            phone.call("+2")
+
+    def test_empty_number_rejected(self, platform, context):
+        phone = context.get_system_service(Context.TELEPHONY_SERVICE)
+        with pytest.raises(IllegalArgumentException):
+            phone.call("")

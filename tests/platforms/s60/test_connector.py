@@ -1,0 +1,100 @@
+"""Tests for the GCF HttpConnection."""
+
+import pytest
+
+from repro.device.network import HttpResponse
+from repro.platforms.s60.connector import HttpConnection, PERMISSION_HTTP
+from repro.platforms.s60.exceptions import (
+    IOException,
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.platform import S60Platform
+
+
+@pytest.fixture
+def platform(device):
+    platform = S60Platform(device)
+    suite = MidletSuite(
+        JadDescriptor("app", permissions=[PERMISSION_HTTP]),
+        Jar("app.jar", [JarEntry("A.class", 1)]),
+    )
+    platform.install_suite(suite)
+    platform.connector.bind_suite("app")
+    server = device.network.add_server("api.test")
+    server.route("GET", "/ping", lambda r: HttpResponse(200, "pong"))
+    server.route("POST", "/echo", lambda r: HttpResponse(200, r.body))
+    return platform
+
+
+class TestHttpConnection:
+    def test_get(self, platform):
+        connection = platform.connector.open("http://api.test/ping")
+        assert connection.get_response_code() == 200
+        assert connection.open_input_stream().read_fully() == "pong"
+
+    def test_post_with_body(self, platform):
+        connection = platform.connector.open("http://api.test/echo")
+        connection.set_request_method(HttpConnection.POST)
+        connection.write_body("data")
+        assert connection.open_input_stream().read_fully() == "data"
+
+    def test_lazy_execution_once(self, platform, device):
+        connection = platform.connector.open("http://api.test/ping")
+        connection.get_response_code()
+        connection.get_response_code()
+        connection.open_input_stream()
+        assert len(device.network.server("api.test").request_log) == 1
+
+    def test_cannot_mutate_after_send(self, platform):
+        connection = platform.connector.open("http://api.test/ping")
+        connection.get_response_code()
+        with pytest.raises(IOException):
+            connection.set_request_method(HttpConnection.POST)
+        with pytest.raises(IOException):
+            connection.set_request_property("X", "y")
+        with pytest.raises(IOException):
+            connection.write_body("late")
+
+    def test_unsupported_method_rejected(self, platform):
+        connection = platform.connector.open("http://api.test/ping")
+        with pytest.raises(IllegalArgumentException):
+            connection.set_request_method("DELETE")
+
+    def test_malformed_url_rejected(self, platform):
+        with pytest.raises(IllegalArgumentException):
+            platform.connector.open("http://")
+
+    def test_network_failure_is_checked_io_exception(self, platform, device):
+        device.network.fail_next("no bearer")
+        connection = platform.connector.open("http://api.test/ping")
+        with pytest.raises(IOException, match="no bearer"):
+            connection.get_response_code()
+
+    def test_closed_connection_rejected(self, platform):
+        connection = platform.connector.open("http://api.test/ping")
+        connection.close()
+        with pytest.raises(IOException):
+            connection.get_response_code()
+
+    def test_requires_permission(self, device):
+        platform = S60Platform(device)
+        suite = MidletSuite(
+            JadDescriptor("noperm"), Jar("n.jar", [JarEntry("A.class", 1)])
+        )
+        platform.install_suite(suite)
+        platform.connector.bind_suite("noperm")
+        device.network.add_server("api.test").route(
+            "GET", "/ping", lambda r: HttpResponse(200)
+        )
+        connection = platform.connector.open("http://api.test/ping")
+        with pytest.raises(SecurityException):
+            connection.get_response_code()
+
+    def test_stream_partial_reads(self, platform):
+        connection = platform.connector.open("http://api.test/ping")
+        stream = connection.open_input_stream()
+        assert stream.read(2) == b"po"
+        assert stream.read(-1) == b"ng"
+        assert stream.read(10) == b""

@@ -1,0 +1,133 @@
+"""Tests for WMA-style S60 messaging."""
+
+import pytest
+
+from repro.platforms.s60.exceptions import (
+    ConnectionNotFoundException,
+    IOException,
+    IllegalArgumentException,
+    SecurityException,
+)
+from repro.platforms.s60.messaging import (
+    MessageConnection,
+    MessageListener,
+    PERMISSION_SMS_RECEIVE,
+    PERMISSION_SMS_SEND,
+)
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.platform import S60Platform
+
+
+@pytest.fixture
+def platform(device):
+    platform = S60Platform(device)
+    suite = MidletSuite(
+        JadDescriptor(
+            "app", permissions=[PERMISSION_SMS_SEND, PERMISSION_SMS_RECEIVE]
+        ),
+        Jar("app.jar", [JarEntry("A.class", 1)]),
+    )
+    platform.install_suite(suite)
+    platform.connector.bind_suite("app")
+    return platform
+
+
+class TestSending:
+    def test_send_text_message(self, platform, device):
+        connection = platform.connector.open("sms://+2")
+        message = connection.new_message(MessageConnection.TEXT_MESSAGE)
+        message.set_payload_text("hello")
+        connection.send(message)
+        platform.run_for(2_000.0)
+        assert [m.text for m in device.sms_center.inbox_of("+2")] == ["hello"]
+
+    def test_send_without_payload_rejected(self, platform):
+        connection = platform.connector.open("sms://+2")
+        message = connection.new_message(MessageConnection.TEXT_MESSAGE)
+        with pytest.raises(IllegalArgumentException):
+            connection.send(message)
+
+    def test_unknown_message_type_rejected(self, platform):
+        connection = platform.connector.open("sms://+2")
+        with pytest.raises(IllegalArgumentException):
+            connection.new_message("mms")
+
+    def test_closed_connection_rejects_send(self, platform):
+        connection = platform.connector.open("sms://+2")
+        message = connection.new_message(MessageConnection.TEXT_MESSAGE)
+        message.set_payload_text("x")
+        connection.close()
+        with pytest.raises(IOException):
+            connection.send(message)
+
+    def test_requires_send_permission(self, device):
+        platform = S60Platform(device)
+        suite = MidletSuite(
+            JadDescriptor("noperm"), Jar("n.jar", [JarEntry("A.class", 1)])
+        )
+        platform.install_suite(suite)
+        platform.connector.bind_suite("noperm")
+        connection = platform.connector.open("sms://+2")
+        message = connection.new_message(MessageConnection.TEXT_MESSAGE)
+        message.set_payload_text("x")
+        with pytest.raises(SecurityException):
+            connection.send(message)
+
+    def test_charges_native_latency(self, platform):
+        connection = platform.connector.open("sms://+2")
+        message = connection.new_message(MessageConnection.TEXT_MESSAGE)
+        message.set_payload_text("x")
+        before = platform.clock.now_ms
+        connection.send(message)
+        assert platform.clock.now_ms - before == pytest.approx(
+            platform.native_latency.mean_for("s60.sendSMS")
+        )
+
+
+class TestReceiving:
+    def test_server_mode_receives(self, platform, device):
+        connection = platform.connector.open("sms://")
+        device.sms_center.submit("+9", device.phone_number, "incoming")
+        platform.run_for(2_000.0)
+        assert connection.pending_count() == 1
+        message = connection.receive()
+        assert message.get_payload_text() == "incoming"
+        assert message.get_address() == "sms://+9"
+
+    def test_receive_empty_raises(self, platform):
+        connection = platform.connector.open("sms://")
+        with pytest.raises(IOException):
+            connection.receive()
+
+    def test_message_listener_notified(self, platform, device):
+        connection = platform.connector.open("sms://")
+        notified = []
+
+        class Listener(MessageListener):
+            def notify_incoming_message(self, conn):
+                notified.append(conn)
+
+        connection.set_message_listener(Listener())
+        device.sms_center.submit("+9", device.phone_number, "ping")
+        platform.run_for(2_000.0)
+        assert notified == [connection]
+
+    def test_closed_connection_drops_incoming(self, platform, device):
+        connection = platform.connector.open("sms://")
+        connection.close()
+        device.sms_center.submit("+9", device.phone_number, "late")
+        platform.run_for(2_000.0)
+        assert connection.pending_count() == 0
+
+    def test_device_inbox_still_updates(self, platform, device):
+        """The platform's sink must not steal the device's own inbox."""
+        platform.connector.open("sms://")
+        device.sms_center.submit("+9", device.phone_number, "both")
+        platform.run_for(2_000.0)
+        assert len(device.inbox) == 1
+
+
+class TestConnectorDispatch:
+    def test_unknown_scheme_raises(self, platform):
+        with pytest.raises(ConnectionNotFoundException):
+            platform.connector.open("gopher://x")

@@ -1,0 +1,109 @@
+"""Tests for the MIDP application model."""
+
+import pytest
+
+from repro.platforms.s60.midlet import MIDlet, MidletState, MIDletStateChangeException
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.platform import S60Platform
+
+
+class HookMidlet(MIDlet):
+    def __init__(self, platform, suite_name):
+        super().__init__(platform, suite_name)
+        self.hooks = []
+
+    def start_app(self):
+        self.hooks.append("start")
+
+    def pause_app(self):
+        self.hooks.append("pause")
+
+    def destroy_app(self, unconditional):
+        self.hooks.append(f"destroy:{unconditional}")
+
+
+class StubbornMidlet(MIDlet):
+    def destroy_app(self, unconditional):
+        if not unconditional:
+            raise MIDletStateChangeException("not now")
+
+
+@pytest.fixture
+def platform(device):
+    platform = S60Platform(device)
+    suite = MidletSuite(
+        JadDescriptor("app", properties={"Server-URL": "http://x"}),
+        Jar("app.jar", [JarEntry("A.class", 1)]),
+    )
+    platform.install_suite(suite)
+    return platform
+
+
+class TestLifecycle:
+    def test_launch_starts(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        assert midlet.state is MidletState.ACTIVE
+        assert midlet.hooks == ["start"]
+
+    def test_pause_and_resume(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        midlet.perform_pause()
+        assert midlet.state is MidletState.PAUSED
+        midlet.perform_start()
+        assert midlet.state is MidletState.ACTIVE
+        assert midlet.hooks == ["start", "pause", "start"]
+
+    def test_destroy(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        midlet.perform_destroy()
+        assert midlet.state is MidletState.DESTROYED
+        assert midlet.hooks[-1] == "destroy:True"
+
+    def test_destroy_idempotent(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        midlet.perform_destroy()
+        midlet.perform_destroy()
+        assert midlet.state is MidletState.DESTROYED
+
+    def test_conditional_destroy_can_be_refused(self, platform):
+        midlet = platform.launch(StubbornMidlet, "app")
+        midlet.perform_destroy(unconditional=False)
+        assert midlet.state is MidletState.ACTIVE
+        midlet.perform_destroy(unconditional=True)
+        assert midlet.state is MidletState.DESTROYED
+
+    def test_start_from_active_rejected(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        with pytest.raises(MIDletStateChangeException):
+            midlet.perform_start()
+
+    def test_pause_from_loaded_rejected(self, platform):
+        midlet = HookMidlet(platform, "app")
+        with pytest.raises(MIDletStateChangeException):
+            midlet.perform_pause()
+
+    def test_state_log(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        assert midlet.state_log == [MidletState.LOADED, MidletState.ACTIVE]
+
+    def test_launch_unknown_suite_rejected(self, platform):
+        with pytest.raises(KeyError):
+            platform.launch(HookMidlet, "ghost")
+
+
+class TestSuiteServices:
+    def test_app_property_from_jad(self, platform):
+        midlet = platform.launch(HookMidlet, "app")
+        assert midlet.get_app_property("Server-URL") == "http://x"
+        assert midlet.get_app_property("Missing") == ""
+
+    def test_check_permission(self, device):
+        platform = S60Platform(device)
+        suite = MidletSuite(
+            JadDescriptor("app", permissions=["p.q.r"]),
+            Jar("app.jar", [JarEntry("A.class", 1)]),
+        )
+        platform.install_suite(suite)
+        midlet = platform.launch(HookMidlet, "app")
+        assert midlet.check_permission("p.q.r")
+        assert not midlet.check_permission("x.y.z")

@@ -1,0 +1,109 @@
+"""Tests for S60 Over-The-Air deployment."""
+
+import pytest
+
+from repro.core.plugin.packaging import S60PlatformExtension
+from repro.core.plugin.toolkit import Project
+from repro.device.device import MobileDevice
+from repro.device.profiles import DeviceProfile
+from repro.errors import ConfigurationError
+from repro.platforms.s60.exceptions import IOException
+from repro.platforms.s60.ota import JAR_SIZE_PROPERTY, OtaInstaller, OtaServer
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.platform import S60Platform
+
+
+def _suite(size_bytes=2_048, name="workforce"):
+    return MidletSuite(
+        JadDescriptor(
+            name,
+            permissions=["javax.microedition.location.Location"],
+            properties={"Server-URL": "http://workforce.example.com"},
+        ),
+        Jar(f"{name}.jar", [JarEntry("Main.class", size_bytes)]),
+    )
+
+
+@pytest.fixture
+def platform(device):
+    return S60Platform(device)
+
+
+class TestJadRoundTrip:
+    def test_from_text_inverts_to_text(self):
+        jad = JadDescriptor(
+            "app", vendor="ibm", version="2.1",
+            permissions=["a.b", "c.d"], properties={"K": "v"},
+        )
+        parsed = JadDescriptor.from_text(jad.to_text())
+        assert parsed == jad
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JadDescriptor.from_text("MIDlet-Vendor: x\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JadDescriptor.from_text("MIDlet-Name: a\nnot a jad line\n")
+
+
+class TestOtaFlow:
+    def test_publish_and_install(self, device, platform):
+        server = OtaServer(device.network, "ota.example.com", _suite())
+        installed = OtaInstaller(platform).install_from(server.jad_url)
+        assert installed.name == "workforce"
+        # permissions and app properties survived the round trip
+        assert platform.suite_has_permission(
+            "workforce", "javax.microedition.location.Location"
+        )
+        assert platform.suite_property("workforce", "Server-URL") == (
+            "http://workforce.example.com"
+        )
+        # OTA transport bookkeeping stripped from the installed descriptor
+        assert JAR_SIZE_PROPERTY not in installed.jad.properties
+
+    def test_installed_suite_launches(self, device, platform):
+        from repro.platforms.s60.midlet import MIDlet, MidletState
+
+        server = OtaServer(device.network, "ota.example.com", _suite())
+        OtaInstaller(platform).install_from(server.jad_url)
+        midlet = platform.launch(MIDlet, "workforce")
+        assert midlet.state is MidletState.ACTIVE
+
+    def test_size_gate_refuses_before_jar_download(self):
+        tiny = DeviceProfile(name="tiny", max_app_binary_kb=1)
+        device = MobileDevice("+1", profile=tiny)
+        platform = S60Platform(device)
+        server = OtaServer(device.network, "ota.example.com", _suite(size_bytes=4_096))
+        with pytest.raises(ConfigurationError, match="download refused"):
+            OtaInstaller(platform).install_from(server.jad_url)
+        # the jar itself was never fetched: only the JAD request hit the server
+        log = device.network.server("ota.example.com").request_log
+        assert [request.path for request in log] == [server.jad_path]
+
+    def test_transport_failure_is_checked_io_exception(self, device, platform):
+        server = OtaServer(device.network, "ota.example.com", _suite())
+        device.network.fail_next("no coverage")
+        with pytest.raises(IOException, match="no coverage"):
+            OtaInstaller(platform).install_from(server.jad_url)
+
+    def test_missing_jad_404(self, device, platform):
+        device.network.add_server("ota.example.com")
+        with pytest.raises(IOException, match="404"):
+            OtaInstaller(platform).install_from("http://ota.example.com/ghost.jad")
+
+    def test_merged_proxy_suite_deploys_ota(self, device, platform):
+        """The plugin's merged suite (app + proxy jars) ships over OTA."""
+        project = Project("wfm", "s60")
+        extension = S60PlatformExtension()
+        extension.embed_proxy(project, "Location")
+        extension.embed_proxy(project, "Sms")
+        merged = extension.build_suite(
+            project, Jar("wfm.jar", [JarEntry("WFM.class", 2_048)])
+        )
+        server = OtaServer(device.network, "ota.example.com", merged)
+        installed = OtaInstaller(platform).install_from(server.jad_url)
+        assert "com/ibm/S60/location/LocationProxy.class" in installed.jar
+        assert platform.suite_has_permission(
+            "wfm", "javax.wireless.messaging.sms.send"
+        )

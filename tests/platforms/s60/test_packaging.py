@@ -1,0 +1,106 @@
+"""Tests for the MIDlet-suite packaging model (jar merge, JAD, limits)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms.s60.packaging import (
+    Jar,
+    JarEntry,
+    JadDescriptor,
+    MidletSuite,
+)
+from repro.platforms.s60.platform import S60Platform
+from repro.device.device import MobileDevice
+from repro.device.profiles import DeviceProfile
+
+
+class TestJarEntry:
+    def test_valid(self):
+        entry = JarEntry("com/x/A.class", 100)
+        assert entry.size_bytes == 100
+
+    def test_bad_paths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JarEntry("")
+        with pytest.raises(ConfigurationError):
+            JarEntry("/absolute.class")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JarEntry("a.class", -1)
+
+
+class TestJar:
+    def test_name_must_be_jar(self):
+        with pytest.raises(ConfigurationError):
+            Jar("app.zip")
+
+    def test_duplicate_entries_rejected(self):
+        jar = Jar("a.jar", [JarEntry("x.class", 1)])
+        with pytest.raises(ConfigurationError):
+            jar.add(JarEntry("x.class", 2))
+
+    def test_size_sums_entries(self):
+        jar = Jar("a.jar", [JarEntry("x.class", 10), JarEntry("y.class", 20)])
+        assert jar.size_bytes == 30
+
+    def test_contains(self):
+        jar = Jar("a.jar", [JarEntry("x.class", 1)])
+        assert "x.class" in jar
+        assert "y.class" not in jar
+
+    def test_merge_combines_entries(self):
+        app = Jar("app.jar", [JarEntry("App.class", 10)])
+        lib = Jar("lib.jar", [JarEntry("Lib.class", 20)])
+        merged = app.merged_with(lib)
+        assert "App.class" in merged and "Lib.class" in merged
+        assert merged.size_bytes == 30
+        # originals untouched
+        assert "Lib.class" not in app
+
+    def test_merge_collision_rejected(self):
+        app = Jar("app.jar", [JarEntry("Same.class", 10)])
+        lib = Jar("lib.jar", [JarEntry("Same.class", 20)])
+        with pytest.raises(ConfigurationError):
+            app.merged_with(lib)
+
+
+class TestJadDescriptor:
+    def test_require_permission_idempotent(self):
+        jad = JadDescriptor("app")
+        jad.require_permission("a.b")
+        jad.require_permission("a.b")
+        assert jad.permissions == ["a.b"]
+
+    def test_to_text_format(self):
+        jad = JadDescriptor("app", vendor="ibm", permissions=["a.b"], properties={"K": "v"})
+        text = jad.to_text()
+        assert "MIDlet-Name: app" in text
+        assert "MIDlet-Vendor: ibm" in text
+        assert "MIDlet-Permissions: a.b" in text
+        assert "K: v" in text
+
+
+class TestSuiteDeployment:
+    def test_size_gate(self):
+        suite = MidletSuite(
+            JadDescriptor("big"), Jar("b.jar", [JarEntry("A.class", 5_000)])
+        )
+        with pytest.raises(ConfigurationError):
+            suite.validate_for_deployment(max_jar_bytes=4_096)
+        suite.validate_for_deployment(max_jar_bytes=10_000)  # fits
+
+    def test_empty_jar_rejected(self):
+        suite = MidletSuite(JadDescriptor("empty"), Jar("e.jar"))
+        with pytest.raises(ConfigurationError):
+            suite.validate_for_deployment()
+
+    def test_platform_enforces_device_limit(self):
+        tiny = DeviceProfile(name="tiny", max_app_binary_kb=1)
+        device = MobileDevice("+1", profile=tiny)
+        platform = S60Platform(device)
+        suite = MidletSuite(
+            JadDescriptor("app"), Jar("a.jar", [JarEntry("A.class", 2_048)])
+        )
+        with pytest.raises(ConfigurationError):
+            platform.install_suite(suite)

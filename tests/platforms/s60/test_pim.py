@@ -1,0 +1,145 @@
+"""Tests for the JSR-75-style S60 PIM API."""
+
+import pytest
+
+from repro.platforms.s60.exceptions import SecurityException
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.pim import (
+    Contact,
+    PERMISSION_PIM_READ,
+    PERMISSION_PIM_WRITE,
+    PIMException,
+    PimStatics,
+)
+from repro.platforms.s60.platform import S60Platform
+
+
+@pytest.fixture
+def platform(device):
+    platform = S60Platform(device)
+    suite = MidletSuite(
+        JadDescriptor("app", permissions=[PERMISSION_PIM_READ, PERMISSION_PIM_WRITE]),
+        Jar("a.jar", [JarEntry("A.class", 1)]),
+    )
+    platform.install_suite(suite)
+    platform.pim.bind_suite("app")
+    device.contacts.add("Alice", ("+1", "+11"), email="a@x")
+    device.contacts.add("Bob", ("+2",))
+    return platform
+
+
+class TestOpenList:
+    def test_open_contact_list(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_WRITE
+        )
+        assert contact_list is not None
+
+    def test_unsupported_type_rejected(self, platform):
+        with pytest.raises(PIMException):
+            platform.pim.open_pim_list(99, PimStatics.READ_ONLY)
+
+    def test_bad_mode_rejected(self, platform):
+        with pytest.raises(PIMException):
+            platform.pim.open_pim_list(PimStatics.CONTACT_LIST, 7)
+
+
+class TestItems:
+    def test_iterate_items(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        names = [
+            item.get_string(Contact.FORMATTED_NAME, 0)
+            for item in contact_list.items()
+        ]
+        assert names == ["Alice", "Bob"]
+
+    def test_multi_valued_tel_field(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        alice = next(iter(contact_list.items()))
+        assert alice.count_values(Contact.TEL) == 2
+        assert alice.get_string(Contact.TEL, 1) == "+11"
+
+    def test_index_out_of_range(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        alice = next(iter(contact_list.items()))
+        with pytest.raises(PIMException):
+            alice.get_string(Contact.TEL, 5)
+
+    def test_items_matching(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        matched = list(contact_list.items_matching("bo"))
+        assert len(matched) == 1
+
+    def test_closed_list_rejected(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        contact_list.close()
+        with pytest.raises(PIMException):
+            list(contact_list.items())
+
+    def test_read_permission_required(self, device):
+        platform = S60Platform(device)
+        platform.install_suite(
+            MidletSuite(JadDescriptor("noperm"), Jar("n.jar", [JarEntry("A.class", 1)]))
+        )
+        platform.pim.bind_suite("noperm")
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        with pytest.raises(SecurityException):
+            list(contact_list.items())
+
+
+class TestMutation:
+    def test_create_and_commit(self, platform, device):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_WRITE
+        )
+        item = contact_list.create_contact()
+        item.add_string(Contact.FORMATTED_NAME, 0, "Carol")
+        item.add_string(Contact.TEL, 0, "+3")
+        item.commit()
+        assert item.record_id is not None
+        assert device.contacts.find_by_name("Carol")
+
+    def test_commit_without_name_rejected(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_WRITE
+        )
+        item = contact_list.create_contact()
+        with pytest.raises(PIMException):
+            item.commit()
+
+    def test_remove_contact(self, platform, device):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_WRITE
+        )
+        alice = next(iter(contact_list.items()))
+        contact_list.remove_contact(alice)
+        assert not device.contacts.find_by_name("Alice")
+
+    def test_read_only_list_rejects_mutation(self, platform):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_ONLY
+        )
+        with pytest.raises(PIMException):
+            contact_list.create_contact()
+
+    def test_update_existing_via_commit(self, platform, device):
+        contact_list = platform.pim.open_pim_list(
+            PimStatics.CONTACT_LIST, PimStatics.READ_WRITE
+        )
+        alice = next(iter(contact_list.items()))
+        alice.add_string(Contact.TEL, 0, "+111")
+        alice.commit()
+        record = device.contacts.find_by_name("Alice")[0]
+        assert "+111" in record.phone_numbers

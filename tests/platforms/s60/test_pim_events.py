@@ -1,0 +1,104 @@
+"""Tests for the JSR-75-style S60 EventList."""
+
+import pytest
+
+from repro.platforms.s60.exceptions import SecurityException
+from repro.platforms.s60.packaging import Jar, JarEntry, JadDescriptor, MidletSuite
+from repro.platforms.s60.pim import (
+    Event,
+    PERMISSION_EVENT_READ,
+    PERMISSION_EVENT_WRITE,
+    PIMException,
+    PimStatics,
+)
+from repro.platforms.s60.platform import S60Platform
+
+
+@pytest.fixture
+def platform(device):
+    platform = S60Platform(device)
+    suite = MidletSuite(
+        JadDescriptor(
+            "app", permissions=[PERMISSION_EVENT_READ, PERMISSION_EVENT_WRITE]
+        ),
+        Jar("a.jar", [JarEntry("A.class", 1)]),
+    )
+    platform.install_suite(suite)
+    platform.pim.bind_suite("app")
+    device.calendar.add("Standup", 100.0, 200.0, location="hq")
+    return platform
+
+
+def _open(platform, mode=PimStatics.READ_WRITE):
+    return platform.pim.open_pim_list(PimStatics.EVENT_LIST, mode)
+
+
+class TestEventItems:
+    def test_iterate_fields(self, platform):
+        event_list = _open(platform, PimStatics.READ_ONLY)
+        item = next(iter(event_list.items()))
+        assert item.get_string(Event.SUMMARY) == "Standup"
+        assert item.get_date(Event.START) == 100.0
+        assert item.get_date(Event.END) == 200.0
+        assert item.get_string(Event.LOCATION) == "hq"
+
+    def test_unsupported_fields_rejected(self, platform):
+        event_list = _open(platform, PimStatics.READ_ONLY)
+        item = next(iter(event_list.items()))
+        with pytest.raises(PIMException):
+            item.get_string(999)
+        with pytest.raises(PIMException):
+            item.get_date(999)
+
+    def test_create_and_commit(self, platform, device):
+        event_list = _open(platform)
+        item = event_list.create_event()
+        item.add_string(Event.SUMMARY, 0, "Visit")
+        item.add_date(Event.START, 0, 300.0)
+        item.add_date(Event.END, 0, 400.0)
+        item.commit()
+        assert item.record_id is not None
+        assert len(device.calendar) == 2
+
+    def test_commit_requires_dates(self, platform):
+        event_list = _open(platform)
+        item = event_list.create_event()
+        item.add_string(Event.SUMMARY, 0, "No times")
+        with pytest.raises(PIMException):
+            item.commit()
+
+    def test_update_via_commit(self, platform, device):
+        event_list = _open(platform)
+        item = next(iter(event_list.items()))
+        item.add_string(Event.SUMMARY, 0, "Renamed")
+        item.commit()
+        assert device.calendar.all()[0].summary == "Renamed"
+
+    def test_remove_event(self, platform, device):
+        event_list = _open(platform)
+        item = next(iter(event_list.items()))
+        event_list.remove_event(item)
+        assert len(device.calendar) == 0
+
+    def test_read_only_rejects_mutation(self, platform):
+        event_list = _open(platform, PimStatics.READ_ONLY)
+        with pytest.raises(PIMException):
+            event_list.create_event()
+
+    def test_read_permission_required(self, device):
+        platform = S60Platform(device)
+        platform.install_suite(
+            MidletSuite(JadDescriptor("noperm"), Jar("n.jar", [JarEntry("A.class", 1)]))
+        )
+        platform.pim.bind_suite("noperm")
+        event_list = platform.pim.open_pim_list(
+            PimStatics.EVENT_LIST, PimStatics.READ_ONLY
+        )
+        with pytest.raises(SecurityException):
+            list(event_list.items())
+
+    def test_closed_list_rejected(self, platform):
+        event_list = _open(platform)
+        event_list.close()
+        with pytest.raises(PIMException):
+            list(event_list.items())

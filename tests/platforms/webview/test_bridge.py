@@ -1,0 +1,117 @@
+"""Tests for the JS/Java bridge and its marshalling rules."""
+
+import pytest
+
+from repro.device.device import MobileDevice
+from repro.platforms.webview.bridge import JsBridgeObject
+from repro.platforms.webview.exceptions import BridgeMarshalError, JsBridgeError
+from repro.platforms.webview.platform import WebViewPlatform
+
+
+class JavaSide:
+    """A Java object with a few bridge-shaped methods."""
+
+    def __init__(self):
+        self.calls = []
+
+    def add(self, a, b):
+        self.calls.append(("add", a, b))
+        return a + b
+
+    def greet(self, name):
+        return f"hello {name}"
+
+    def explode(self):
+        raise RuntimeError("java blew up")
+
+    def return_object(self):
+        return {"not": "primitive"}
+
+    not_a_method = 42
+
+
+@pytest.fixture
+def platform(device):
+    return WebViewPlatform(device)
+
+
+@pytest.fixture
+def webview(platform):
+    return platform.new_webview()
+
+
+class TestInjection:
+    def test_lookup_injected_object(self, webview):
+        webview.add_javascript_interface(JavaSide(), "Java")
+        window = webview.load_page(lambda w: None)
+        assert isinstance(window.bridge_object("Java"), JsBridgeObject)
+
+    def test_unknown_global_raises_reference_error(self, webview):
+        window = webview.load_page(lambda w: None)
+        with pytest.raises(JsBridgeError, match="not defined"):
+            window.bridge_object("Ghost")
+
+    def test_bad_js_name_rejected(self, webview):
+        with pytest.raises(ValueError):
+            webview.add_javascript_interface(JavaSide(), "not a name")
+
+    def test_names_listed(self, webview):
+        webview.add_javascript_interface(JavaSide(), "B")
+        webview.add_javascript_interface(JavaSide(), "A")
+        assert webview.bridge.names() == ["A", "B"]
+
+
+class TestMarshalling:
+    def test_primitives_cross(self, webview):
+        java = JavaSide()
+        webview.add_javascript_interface(java, "Java")
+        window = webview.load_page(lambda w: None)
+        stub = window.bridge_object("Java")
+        assert stub.add(1, 2) == 3
+        assert stub.greet("js") == "hello js"
+
+    def test_callable_argument_blocked(self, webview):
+        webview.add_javascript_interface(JavaSide(), "Java")
+        window = webview.load_page(lambda w: None)
+        with pytest.raises(BridgeMarshalError, match="cannot cross"):
+            window.bridge_object("Java").greet(lambda: None)
+
+    def test_object_argument_blocked(self, webview):
+        webview.add_javascript_interface(JavaSide(), "Java")
+        window = webview.load_page(lambda w: None)
+        with pytest.raises(BridgeMarshalError):
+            window.bridge_object("Java").greet({"dict": 1})
+
+    def test_object_return_blocked(self, webview):
+        webview.add_javascript_interface(JavaSide(), "Java")
+        window = webview.load_page(lambda w: None)
+        with pytest.raises(BridgeMarshalError):
+            window.bridge_object("Java").return_object()
+
+    def test_java_exception_becomes_untyped_error(self, webview):
+        webview.add_javascript_interface(JavaSide(), "Java")
+        window = webview.load_page(lambda w: None)
+        with pytest.raises(JsBridgeError) as excinfo:
+            window.bridge_object("Java").explode()
+        assert excinfo.value.java_class == "RuntimeError"
+        assert "java blew up" in excinfo.value.java_message
+
+    def test_non_method_attribute_blocked(self, webview):
+        webview.add_javascript_interface(JavaSide(), "Java")
+        window = webview.load_page(lambda w: None)
+        with pytest.raises(BridgeMarshalError, match="not a bridged method"):
+            window.bridge_object("Java").not_a_method
+
+    def test_each_crossing_charges_latency(self, platform, webview):
+        java = JavaSide()
+        webview.add_javascript_interface(java, "Java")
+        window = webview.load_page(lambda w: None)
+        stub = window.bridge_object("Java")
+        before = platform.clock.now_ms
+        stub.add(1, 2)
+        stub.add(3, 4)
+        charged = platform.clock.now_ms - before
+        assert charged == pytest.approx(
+            2 * platform.native_latency.mean_for("webview.bridge.add")
+        )
+        assert platform.native_call_counts()["webview.bridge.add"] == 2

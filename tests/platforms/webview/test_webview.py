@@ -1,0 +1,149 @@
+"""Tests for the WebView host, window, timers and notification table."""
+
+import json
+
+import pytest
+
+from repro.platforms.webview.exceptions import JsError
+from repro.platforms.webview.notifications import NotificationTable
+from repro.platforms.webview.platform import WebViewPlatform
+
+
+@pytest.fixture
+def platform(device):
+    return WebViewPlatform(device)
+
+
+@pytest.fixture
+def window(platform):
+    return platform.new_webview().load_page(lambda w: None)
+
+
+class TestTimers:
+    def test_set_timeout_fires_once(self, platform, window):
+        fired = []
+        window.set_timeout(lambda: fired.append(platform.clock.now_ms), 100.0)
+        platform.run_for(500.0)
+        assert fired == [100.0]
+
+    def test_set_interval_repeats(self, platform, window):
+        fired = []
+        window.set_interval(lambda: fired.append(True), 100.0)
+        platform.run_for(550.0)
+        assert len(fired) == 5
+
+    def test_clear_interval(self, platform, window):
+        fired = []
+        timer_id = window.set_interval(lambda: fired.append(True), 100.0)
+        platform.run_for(250.0)
+        window.clear_interval(timer_id)
+        platform.run_for(500.0)
+        assert len(fired) == 2
+
+    def test_clear_unknown_id_is_noop(self, window):
+        window.clear_interval(999)
+
+    def test_active_timer_count(self, window):
+        window.set_interval(lambda: None, 10.0)
+        timer_id = window.set_interval(lambda: None, 10.0)
+        assert window.active_timer_count() == 2
+        window.clear_interval(timer_id)
+        assert window.active_timer_count() == 1
+
+
+class TestWindowGlobals:
+    def test_set_get_global(self, window):
+        window.set_global("x", 42)
+        assert window.get_global("x") == 42
+
+    def test_missing_global_raises(self, window):
+        with pytest.raises(JsError, match="not defined"):
+            window.get_global("missing")
+
+    def test_console_log(self, window):
+        window.log("hello")
+        window.log(123)
+        assert window.console == ["hello", "123"]
+
+
+class TestPageLifecycle:
+    def test_load_page_sets_active_window(self, platform):
+        webview = platform.new_webview()
+        window = webview.load_page(lambda w: None)
+        assert platform.active_window is window
+
+    def test_new_page_cancels_old_timers(self, platform):
+        webview = platform.new_webview()
+        fired = []
+        webview.load_page(lambda w: w.set_interval(lambda: fired.append(1), 100.0))
+        webview.load_page(lambda w: None)
+        platform.run_for(1_000.0)
+        assert fired == []
+
+    def test_page_script_runs_during_load(self, platform):
+        webview = platform.new_webview()
+        ran = []
+        webview.load_page(lambda w: ran.append(True))
+        assert ran == [True]
+        assert webview.page_loaded
+
+
+class TestNotificationTable:
+    def test_post_and_drain_fifo(self):
+        table = NotificationTable()
+        notif_id = table.new_id()
+        table.post(notif_id, "k", {"n": 1}, now_ms=1.0)
+        table.post(notif_id, "k", {"n": 2}, now_ms=2.0)
+        drained = table.drain(notif_id)
+        assert [n.payload["n"] for n in drained] == [1, 2]
+        assert table.drain(notif_id) == []
+
+    def test_pending_count(self):
+        table = NotificationTable()
+        notif_id = table.new_id()
+        assert table.pending(notif_id) == 0
+        table.post(notif_id, "k", {}, now_ms=0.0)
+        assert table.pending(notif_id) == 1
+
+    def test_unknown_id_rejected(self):
+        table = NotificationTable()
+        with pytest.raises(KeyError):
+            table.post("ghost", "k", {}, now_ms=0.0)
+
+    def test_non_json_payload_rejected_at_post(self):
+        table = NotificationTable()
+        notif_id = table.new_id()
+        with pytest.raises(TypeError):
+            table.post(notif_id, "k", {"fn": lambda: None}, now_ms=0.0)
+
+    def test_drain_json_shape(self):
+        table = NotificationTable()
+        notif_id = table.new_id()
+        table.post(notif_id, "proximity", {"entering": True}, now_ms=5.0)
+        batch = json.loads(table.drain_json(notif_id))
+        assert batch == [
+            {"kind": "proximity", "payload": {"entering": True}, "posted_at_ms": 5.0}
+        ]
+
+    def test_close_forgets_queue(self):
+        table = NotificationTable()
+        notif_id = table.new_id()
+        table.close(notif_id)
+        with pytest.raises(KeyError):
+            table.post(notif_id, "k", {}, now_ms=0.0)
+
+    def test_total_posted(self):
+        table = NotificationTable()
+        first, second = table.new_id(), table.new_id()
+        table.post(first, "k", {}, now_ms=0.0)
+        table.post(second, "k", {}, now_ms=0.0)
+        assert table.total_posted == 2
+
+    def test_platform_requires_same_device_android(self, device):
+        from repro.device.device import MobileDevice
+        from repro.platforms.android.platform import AndroidPlatform
+
+        other = MobileDevice("+9")
+        android = AndroidPlatform(other)
+        with pytest.raises(ValueError):
+            WebViewPlatform(device, android=android)

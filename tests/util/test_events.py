@@ -1,0 +1,102 @@
+"""Tests for the event bus and typed signals."""
+
+from repro.util.events import EventBus, TypedSignal
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self, bus):
+        received = []
+        bus.subscribe("gps.fix", lambda topic, payload: received.append(payload))
+        assert bus.publish("gps.fix", 42) == 1
+        assert received == [42]
+
+    def test_non_matching_topic_not_delivered(self, bus):
+        received = []
+        bus.subscribe("gps.fix", lambda t, p: received.append(p))
+        assert bus.publish("radio.sms", 1) == 0
+        assert received == []
+
+    def test_glob_pattern(self, bus):
+        received = []
+        bus.subscribe("radio.*", lambda t, p: received.append(t))
+        bus.publish("radio.sms", None)
+        bus.publish("radio.call", None)
+        bus.publish("gps.fix", None)
+        assert received == ["radio.sms", "radio.call"]
+
+    def test_delivery_in_subscription_order(self, bus):
+        order = []
+        bus.subscribe("t", lambda t, p: order.append("first"))
+        bus.subscribe("t", lambda t, p: order.append("second"))
+        bus.publish("t")
+        assert order == ["first", "second"]
+
+    def test_unsubscribe(self, bus):
+        received = []
+        sub = bus.subscribe("t", lambda t, p: received.append(p))
+        bus.publish("t", 1)
+        sub.unsubscribe()
+        bus.publish("t", 2)
+        assert received == [1]
+
+    def test_unsubscribe_idempotent(self, bus):
+        sub = bus.subscribe("t", lambda t, p: None)
+        sub.unsubscribe()
+        sub.unsubscribe()  # no error
+        assert bus.subscriber_count("t") == 0
+
+    def test_subscriber_count(self, bus):
+        bus.subscribe("a.*", lambda t, p: None)
+        bus.subscribe("a.b", lambda t, p: None)
+        assert bus.subscriber_count("a.b") == 2
+        assert bus.subscriber_count("c") == 0
+
+    def test_subscribe_during_delivery_not_called_this_publish(self, bus):
+        received = []
+
+        def handler(topic, payload):
+            received.append("outer")
+            bus.subscribe("t", lambda t, p: received.append("inner"))
+
+        bus.subscribe("t", handler)
+        bus.publish("t")
+        assert received == ["outer"]
+        bus.publish("t")
+        assert received.count("inner") == 1
+
+    def test_published_topics_log(self, bus):
+        bus.publish("a")
+        bus.publish("b")
+        assert bus.published_topics == ["a", "b"]
+        bus.clear_log()
+        assert bus.published_topics == []
+
+
+class TestTypedSignal:
+    def test_emit_calls_handlers(self):
+        signal = TypedSignal("test")
+        values = []
+        signal.connect(values.append)
+        assert signal.emit(7) == 1
+        assert values == [7]
+
+    def test_disconnect(self):
+        signal = TypedSignal()
+        values = []
+        disconnect = signal.connect(values.append)
+        disconnect()
+        signal.emit(1)
+        assert values == []
+
+    def test_len_counts_handlers(self):
+        signal = TypedSignal()
+        signal.connect(lambda: None)
+        signal.connect(lambda: None)
+        assert len(signal) == 2
+
+    def test_kwargs_pass_through(self):
+        signal = TypedSignal()
+        seen = {}
+        signal.connect(lambda **kw: seen.update(kw))
+        signal.emit(level=0.5)
+        assert seen == {"level": 0.5}

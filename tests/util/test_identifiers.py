@@ -1,0 +1,34 @@
+"""Tests for deterministic identifier generation."""
+
+import pytest
+
+from repro.util.identifiers import IdGenerator
+
+
+class TestIdGenerator:
+    def test_sequential_ids(self):
+        gen = IdGenerator()
+        assert gen.next("sms") == "sms-1"
+        assert gen.next("sms") == "sms-2"
+
+    def test_independent_prefixes(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("a")
+        assert gen.next("b") == "b-1"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator().next("")
+
+    def test_peek_count(self):
+        gen = IdGenerator()
+        assert gen.peek_count("x") == 0
+        gen.next("x")
+        gen.next("x")
+        assert gen.peek_count("x") == 2
+
+    def test_two_generators_are_independent(self):
+        first, second = IdGenerator(), IdGenerator()
+        first.next("t")
+        assert second.next("t") == "t-1"
