@@ -1,9 +1,13 @@
-"""Static code metrics over Python sources.
+"""Static code metrics over Python sources, plus runtime resilience
+aggregation.
 
-Used to quantify the paper's *complexity* argument: the with-proxy
-application is smaller (LoC), touches a narrower platform API surface,
-and concentrates its business logic rather than scattering it across
-callback plumbing.
+The static half quantifies the paper's *complexity* argument: the
+with-proxy application is smaller (LoC), touches a narrower platform API
+surface, and concentrates its business logic rather than scattering it
+across callback plumbing.  The runtime half (:func:`resilience_report`,
+:func:`fault_report`, :func:`chaos_summary`) aggregates the counters the
+fault-injection plane and the per-proxy resilience runtimes accumulate
+during a chaos run.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ import re
 import textwrap
 import tokenize
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Set
+from typing import Any, Dict, FrozenSet, Iterable, Set
 
 #: Identifiers that mark direct coupling to a specific platform's API.
 #: Names shared with the uniform proxy API (``add_proximity_alert``,
@@ -211,3 +215,62 @@ def measure(obj_or_source, platform: str) -> CodeMetrics:
         callback_entry_points=_count_callback_entries(source),
         try_blocks=_count_try_blocks(source),
     )
+
+
+# ---------------------------------------------------------------------------
+# Runtime resilience / fault-plane aggregation
+# ---------------------------------------------------------------------------
+
+def resilience_report(proxies: Iterable) -> Dict[str, Dict[str, int]]:
+    """Per-proxy resilience counters, keyed by runtime label.
+
+    Accepts any iterable of proxies; proxies without an attached runtime
+    are skipped.  An extra ``"total"`` entry sums every counter.
+    """
+    report: Dict[str, Dict[str, int]] = {}
+    totals: Dict[str, int] = {}
+    for proxy in proxies:
+        runtime = getattr(proxy, "resilience", None)
+        if runtime is None:
+            continue
+        stats = runtime.stats.as_dict()
+        report[runtime.label] = stats
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    report["total"] = totals
+    return report
+
+
+def fault_report(injector) -> Dict[str, Any]:
+    """What the fault plane actually injected: counts plus fingerprint."""
+    return {
+        "total": injector.total_injected(),
+        "by_site": injector.counts(),
+        "schedule": injector.schedule(),
+    }
+
+
+def breaker_report(proxies: Iterable) -> Dict[str, list]:
+    """Every circuit-breaker transition, keyed by runtime label."""
+    report: Dict[str, list] = {}
+    for proxy in proxies:
+        runtime = getattr(proxy, "resilience", None)
+        if runtime is None:
+            continue
+        transitions = runtime.breaker_transitions()
+        if transitions:
+            report[runtime.label] = [
+                (operation, t_ms, frm.value, to.value)
+                for operation, t_ms, frm, to in transitions
+            ]
+    return report
+
+
+def chaos_summary(injector, proxies: Iterable) -> Dict[str, Any]:
+    """The one-stop JSON-able summary of a chaos run."""
+    proxies = list(proxies)
+    return {
+        "faults": fault_report(injector),
+        "resilience": resilience_report(proxies),
+        "breakers": breaker_report(proxies),
+    }

@@ -171,37 +171,59 @@ class AssignmentClient:
 # thin per-platform launchers (all the platform-specific code that remains)
 # ---------------------------------------------------------------------------
 
-def launch_on_android(platform, context, config: WorkforceConfig) -> WorkforceLogic:
+def _policy_for(resilience, interface: str):
+    """Resolve the per-interface ``resilience`` argument of a launcher.
+
+    ``resilience`` may be ``None`` (factory default), ``False`` (bare
+    proxies), a single policy applied to every proxy, or a callable
+    ``interface -> policy`` (e.g. ``repro.core.resilience.chaos_policy``).
+    """
+    if callable(resilience):
+        return resilience(interface)
+    return resilience
+
+
+def launch_on_android(
+    platform, context, config: WorkforceConfig, *, resilience=None
+) -> WorkforceLogic:
     """Android launcher: construct proxies, feed the context property."""
-    location = create_proxy("Location", platform)
+    location = create_proxy(
+        "Location", platform, resilience=_policy_for(resilience, "Location")
+    )
     location.set_property("context", context)
     location.set_property("provider", "gps")
-    sms = create_proxy("Sms", platform)
+    sms = create_proxy("Sms", platform, resilience=_policy_for(resilience, "Sms"))
     sms.set_property("context", context)
-    http = create_proxy("Http", platform)
+    http = create_proxy("Http", platform, resilience=_policy_for(resilience, "Http"))
     http.set_property("context", context)
     logic = WorkforceLogic(config, location, sms, http)
     logic.start()
     return logic
 
 
-def launch_on_s60(platform, config: WorkforceConfig) -> WorkforceLogic:
+def launch_on_s60(platform, config: WorkforceConfig, *, resilience=None) -> WorkforceLogic:
     """S60 launcher: criteria knobs instead of a context."""
-    location = create_proxy("Location", platform)
+    location = create_proxy(
+        "Location", platform, resilience=_policy_for(resilience, "Location")
+    )
     location.set_property("preferredResponseTime", 1000)
-    sms = create_proxy("Sms", platform)
-    http = create_proxy("Http", platform)
+    sms = create_proxy("Sms", platform, resilience=_policy_for(resilience, "Sms"))
+    http = create_proxy("Http", platform, resilience=_policy_for(resilience, "Http"))
     logic = WorkforceLogic(config, location, sms, http)
     logic.start()
     return logic
 
 
-def launch_on_webview(platform, config: WorkforceConfig) -> WorkforceLogic:
+def launch_on_webview(
+    platform, config: WorkforceConfig, *, resilience=None
+) -> WorkforceLogic:
     """WebView launcher: JS proxies from the active page."""
-    location = create_proxy("Location", platform)
+    location = create_proxy(
+        "Location", platform, resilience=_policy_for(resilience, "Location")
+    )
     location.set_property("provider", "gps")
-    sms = create_proxy("Sms", platform)
-    http = create_proxy("Http", platform)
+    sms = create_proxy("Sms", platform, resilience=_policy_for(resilience, "Sms"))
+    http = create_proxy("Http", platform, resilience=_policy_for(resilience, "Http"))
     logic = WorkforceLogic(config, location, sms, http)
     logic.start()
     return logic

@@ -14,6 +14,7 @@ from repro.apps.workforce.common import AgentProfile, SiteRegion, WorkforceConfi
 from repro.apps.workforce.server import WorkforceServer
 from repro.device.device import MobileDevice
 from repro.device.gps import Trajectory, Waypoint
+from repro.faults.plan import FaultPlan
 from repro.platforms.android.location import ACCESS_FINE_LOCATION
 from repro.platforms.android.http import INTERNET
 from repro.platforms.android.platform import AndroidPlatform
@@ -88,8 +89,11 @@ def build_android(
     sdk_version: SdkVersion = SdkVersion.M5_RC15,
     latency: Optional[LatencyModel] = None,
     alert_timer_s: float = -1.0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AndroidScenario:
-    device = MobileDevice(AGENT.phone_number, trajectory=commute_trajectory())
+    device = MobileDevice(
+        AGENT.phone_number, trajectory=commute_trajectory(), fault_plan=fault_plan
+    )
     platform = AndroidPlatform(device, sdk_version=sdk_version, latency=latency)
     platform.install(PACKAGE, ANDROID_PERMISSIONS)
     server = WorkforceServer(device.network)
@@ -108,8 +112,11 @@ def build_s60(
     *,
     latency: Optional[LatencyModel] = None,
     alert_timer_s: float = -1.0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> S60Scenario:
-    device = MobileDevice(AGENT.phone_number, trajectory=commute_trajectory())
+    device = MobileDevice(
+        AGENT.phone_number, trajectory=commute_trajectory(), fault_plan=fault_plan
+    )
     platform = S60Platform(device, latency=latency)
     suite = MidletSuite(
         JadDescriptor(PACKAGE, permissions=list(S60_PERMISSIONS)),
@@ -138,8 +145,11 @@ def build_webview(
     latency: Optional[LatencyModel] = None,
     android_latency: Optional[LatencyModel] = None,
     alert_timer_s: float = -1.0,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> WebViewScenario:
-    device = MobileDevice(AGENT.phone_number, trajectory=commute_trajectory())
+    device = MobileDevice(
+        AGENT.phone_number, trajectory=commute_trajectory(), fault_plan=fault_plan
+    )
     android = AndroidPlatform(device, latency=android_latency)
     android.install(PACKAGE, ANDROID_PERMISSIONS)
     platform = WebViewPlatform(device, android=android, latency=latency)

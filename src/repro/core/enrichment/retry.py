@@ -4,6 +4,11 @@ The paper: "proxy for invoking 'Call' can provide the utility for
 coordinating the number of retries in case the callee is unreachable."
 The coordinator wraps a Call proxy and redials on configurable outcomes
 with a backoff delay, surfacing one final result to the caller's listener.
+
+Delays come from the shared :class:`~repro.core.resilience.BackoffSchedule`
+machinery.  The default is a fixed schedule equal to the historical
+``retry_delay_ms`` behaviour; pass ``backoff=`` for exponential redial
+spacing.
 """
 
 from __future__ import annotations
@@ -14,23 +19,34 @@ from typing import List, Optional
 from repro.core.proxies.call.api import CallProxy, UniformCallCallback, as_call_listener
 from repro.core.proxy.callbacks import CallStateListener
 from repro.core.proxy.datatypes import CallHandle, CallOutcome
+from repro.core.resilience.backoff import BackoffSchedule
 from repro.errors import ConfigurationError
 from repro.util.clock import Scheduler
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """When and how often to redial."""
+    """When and how often to redial.
+
+    ``backoff`` (when given) supersedes the flat ``retry_delay_ms``:
+    attempt *n*'s redial waits ``backoff.delay_ms(n - 1)``.
+    """
 
     max_attempts: int = 3
     retry_delay_ms: float = 5_000.0
     retry_on: frozenset = frozenset({CallOutcome.UNREACHABLE, CallOutcome.BUSY})
+    backoff: Optional[BackoffSchedule] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
         if self.retry_delay_ms < 0:
             raise ConfigurationError("retry_delay_ms cannot be negative")
+
+    def delay_ms_for(self, retry_index: int) -> float:
+        """Redial delay before retry number ``retry_index`` (0-based)."""
+        schedule = self.backoff or BackoffSchedule.fixed(self.retry_delay_ms)
+        return schedule.delay_ms(retry_index)
 
 
 @dataclass
@@ -117,7 +133,7 @@ class CallRetryCoordinator:
         )
         if retryable:
             self._scheduler.call_later(
-                self.policy.retry_delay_ms,
+                self.policy.delay_ms_for(report.attempts - 1),
                 lambda: self._attempt(number, listener, report),
                 name=f"call-retry-{number}-{report.attempts}",
             )

@@ -94,4 +94,10 @@ def render_registry_markdown(registry: ProxyRegistry) -> str:
     for name in registry.interfaces():
         platforms = ", ".join(registry.descriptor(name).platforms())
         coverage.append(f"| {name} | {platforms} |")
+    coverage += [
+        "",
+        "Every binding runs under the middleware's resilience layer — "
+        "per-operation retry, timeout, circuit breaking and graceful "
+        "degradation; see [RESILIENCE.md](RESILIENCE.md).",
+    ]
     return "\n".join(coverage) + "\n\n" + "\n".join(sections)

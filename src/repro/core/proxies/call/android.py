@@ -49,7 +49,8 @@ class AndroidCallProxyImpl(CallProxy):
         self._record("makeACall", number=number)
         listener = as_call_listener(call_listener)
         context = self._context("makeACall")
-        with self._guard("makeACall"):
+
+        def attempt() -> CallHandle:
             phone = context.get_system_service(Context.TELEPHONY_SERVICE)
             handle_holder: Dict[str, CallHandle] = {}
 
@@ -78,15 +79,21 @@ class AndroidCallProxyImpl(CallProxy):
             self._sessions[handle.call_id] = session
             return handle
 
+        # No fallback: a phone call cannot be gracefully degraded.
+        return self._invoke("makeACall", attempt)
+
     def end_call(self, call_handle: CallHandle) -> None:
         self._record("endCall", call_id=call_handle.call_id)
         session = self._sessions.get(call_handle.call_id)
         if session is None:
             return
         context = self._context("endCall")
-        with self._guard("endCall"):
+
+        def attempt() -> None:
             phone = context.get_system_service(Context.TELEPHONY_SERVICE)
             phone.end_call(session)
+
+        return self._invoke("endCall", attempt)
 
 
 register_implementation(ANDROID_IMPL, AndroidCallProxyImpl)

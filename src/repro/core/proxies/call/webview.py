@@ -163,7 +163,10 @@ class CallProxyJs(CallProxy):
     ) -> CallHandle:
         self._validate_arguments("makeACall", number=number)
         self._record("makeACall", number=number)
-        payload = decode_or_raise(self._wrapper.make_a_call(self._swi, number))
+        payload = self._invoke(
+            "makeACall",
+            lambda: decode_or_raise(self._wrapper.make_a_call(self._swi, number)),
+        )
         call_id = payload["callId"]
         notification_id = payload["notificationId"]
         # The JS domain keeps its own mirror handle; the Java one stays put.
@@ -199,7 +202,12 @@ class CallProxyJs(CallProxy):
 
     def end_call(self, call_handle: CallHandle) -> None:
         self._record("endCall", call_id=call_handle.call_id)
-        decode_or_raise(self._wrapper.end_call(self._swi, call_handle.call_id))
+        self._invoke(
+            "endCall",
+            lambda: decode_or_raise(
+                self._wrapper.end_call(self._swi, call_handle.call_id)
+            ),
+        )
 
     def _stop_tracking(self, call_id: str) -> None:
         handler = self._handlers.pop(call_id, None)

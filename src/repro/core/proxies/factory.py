@@ -12,6 +12,11 @@ from typing import Dict, Optional, Type
 
 from repro.core.descriptor.registry import ProxyRegistry
 from repro.core.proxy.base import MProxy
+from repro.core.resilience import (
+    ResiliencePolicy,
+    ResilienceRuntime,
+    SmsRedeliveryQueue,
+)
 from repro.errors import ProxyUnavailableError, RegistryError
 
 #: implementation-class string → Python class.
@@ -76,6 +81,8 @@ def create_proxy(
     interface: str,
     platform_object,
     registry: Optional[ProxyRegistry] = None,
+    *,
+    resilience=None,
 ) -> MProxy:
     """Instantiate the proxy binding of ``interface`` for a live platform.
 
@@ -84,6 +91,17 @@ def create_proxy(
     A missing binding raises :class:`~repro.errors.ProxyUnavailableError`
     — e.g. ``create_proxy("Call", s60_platform)``, the capability gap the
     paper reports.
+
+    ``resilience`` selects the guard attached to the new proxy:
+
+    * ``None`` (default) — attach the passthrough-safe baseline
+      :class:`~repro.core.resilience.ResiliencePolicy` (one attempt, no
+      breaker; behaviourally identical to a bare proxy but with
+      counters);
+    * a :class:`~repro.core.resilience.ResiliencePolicy` — attach it
+      (SMS proxies additionally get a ``redelivery_queue`` when the
+      policy configures redelivery);
+    * ``False`` — attach nothing (a completely bare proxy).
     """
     # Ensure binding modules have registered their classes.
     import repro.core.proxies.location.android  # noqa: F401
@@ -111,4 +129,19 @@ def create_proxy(
     except RegistryError as exc:
         raise ProxyUnavailableError(str(exc)) from exc
     cls = implementation_class(binding.implementation_class)
-    return cls(registry.descriptor(interface), platform_object)
+    proxy = cls(registry.descriptor(interface), platform_object)
+    if resilience is not False:
+        policy = resilience if resilience is not None else ResiliencePolicy()
+        runtime = ResilienceRuntime(
+            policy,
+            platform_object.scheduler,
+            label=f"{interface}/{platform_name}",
+        )
+        proxy.attach_resilience(runtime)
+        if interface == "Sms" and policy.redelivery is not None:
+            proxy.redelivery_queue = SmsRedeliveryQueue(
+                platform_object.scheduler,
+                proxy.send_text_message,
+                policy.redelivery,
+            )
+    return proxy

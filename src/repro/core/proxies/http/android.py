@@ -8,6 +8,7 @@ from repro.core.proxies.http.api import (
     HttpProxy,
     UniformHttpCallback,
     as_response_listener,
+    degraded_response,
 )
 from repro.core.proxies.http.descriptor import ANDROID_IMPL
 from repro.core.proxy.datatypes import HttpResult
@@ -38,33 +39,39 @@ class AndroidHttpProxyImpl(HttpProxy):
         self._validate_arguments("get", url=url)
         self._record("get", url=url)
         context = self._context("get")
-        with self._guard("get"):
+
+        def attempt() -> HttpResult:
             client = self._platform.http_client(context)
             request = HttpGet(url)
             request.add_header("User-Agent", self.get_property("userAgent"))
             response = client.execute(request)
-        return HttpResult(
-            status=response.get_status_line().get_status_code(),
-            body=response.get_entity().get_content(),
-            headers=response.get_all_headers(),
-        )
+            return HttpResult(
+                status=response.get_status_line().get_status_code(),
+                body=response.get_entity().get_content(),
+                headers=response.get_all_headers(),
+            )
+
+        return self._invoke("get", attempt, fallback=degraded_response)
 
     def post(self, url: str, body: str) -> HttpResult:
         self._validate_arguments("post", url=url, body=body)
         self._record("post", url=url, length=len(body))
         context = self._context("post")
-        with self._guard("post"):
+
+        def attempt() -> HttpResult:
             client = self._platform.http_client(context)
             request = HttpPost(url)
             request.add_header("User-Agent", self.get_property("userAgent"))
             request.add_header("Content-Type", self.get_property("contentType"))
             request.set_entity(body)
             response = client.execute(request)
-        return HttpResult(
-            status=response.get_status_line().get_status_code(),
-            body=response.get_entity().get_content(),
-            headers=response.get_all_headers(),
-        )
+            return HttpResult(
+                status=response.get_status_line().get_status_code(),
+                body=response.get_entity().get_content(),
+                headers=response.get_all_headers(),
+            )
+
+        return self._invoke("post", attempt, fallback=degraded_response)
 
     def get_async(self, url: str, response_listener: UniformHttpCallback) -> None:
         """Non-blocking fetch: the worker-thread idiom the blocking Apache

@@ -38,6 +38,20 @@ def as_response_listener(callback: UniformHttpCallback) -> HttpResponseListener:
     return FunctionHttpResponseListener(callback)
 
 
+def degraded_response(error: BaseException) -> HttpResult:
+    """The graceful-degradation fallback all HTTP bindings share.
+
+    When retries are exhausted the caller receives a synthetic 503 —
+    application code already handles non-ok statuses, so degradation
+    needs no new code paths above the proxy.
+    """
+    return HttpResult(
+        status=503,
+        body=f"resilience: degraded response ({error})",
+        headers=(("X-Resilience-Degraded", "true"),),
+    )
+
+
 class HttpProxy(MProxy):
     """Abstract uniform API; platform bindings subclass this."""
 

@@ -10,6 +10,7 @@ from repro.core.proxies.http.api import (
     HttpProxy,
     UniformHttpCallback,
     as_response_listener,
+    degraded_response,
 )
 from repro.core.proxies.http.descriptor import S60_IMPL
 from repro.core.proxy.datatypes import HttpResult
@@ -30,7 +31,8 @@ class S60HttpProxyImpl(HttpProxy):
     def get(self, url: str) -> HttpResult:
         self._validate_arguments("get", url=url)
         self._record("get", url=url)
-        with self._guard("get"):
+
+        def attempt() -> HttpResult:
             connection = self._platform.connector.open(url)
             try:
                 connection.set_request_method(HttpConnection.GET)
@@ -41,12 +43,15 @@ class S60HttpProxyImpl(HttpProxy):
                 body = connection.open_input_stream().read_fully()
             finally:
                 connection.close()
-        return HttpResult(status=status, body=body)
+            return HttpResult(status=status, body=body)
+
+        return self._invoke("get", attempt, fallback=degraded_response)
 
     def post(self, url: str, body: str) -> HttpResult:
         self._validate_arguments("post", url=url, body=body)
         self._record("post", url=url, length=len(body))
-        with self._guard("post"):
+
+        def attempt() -> HttpResult:
             connection = self._platform.connector.open(url)
             try:
                 connection.set_request_method(HttpConnection.POST)
@@ -61,7 +66,9 @@ class S60HttpProxyImpl(HttpProxy):
                 response_body = connection.open_input_stream().read_fully()
             finally:
                 connection.close()
-        return HttpResult(status=status, body=response_body)
+            return HttpResult(status=status, body=response_body)
+
+        return self._invoke("post", attempt, fallback=degraded_response)
 
     def get_async(self, url: str, response_listener: UniformHttpCallback) -> None:
         """Non-blocking fetch: models the worker thread a MIDlet spawns

@@ -19,6 +19,7 @@ from repro.core.proxies.http.api import (
     HttpProxy,
     UniformHttpCallback,
     as_response_listener,
+    degraded_response,
 )
 from repro.core.proxies.http.descriptor import WEBVIEW_IMPL
 from repro.core.proxies.webview_common import (
@@ -158,14 +159,22 @@ class HttpProxyJs(HttpProxy):
     def get(self, url: str) -> HttpResult:
         self._validate_arguments("get", url=url)
         self._record("get", url=url)
-        payload = decode_or_raise(self._wrapper.get(self._swi, url))
-        return HttpResult(status=payload["status"], body=payload["body"])
+
+        def attempt() -> HttpResult:
+            payload = decode_or_raise(self._wrapper.get(self._swi, url))
+            return HttpResult(status=payload["status"], body=payload["body"])
+
+        return self._invoke("get", attempt, fallback=degraded_response)
 
     def post(self, url: str, body: str) -> HttpResult:
         self._validate_arguments("post", url=url, body=body)
         self._record("post", url=url, length=len(body))
-        payload = decode_or_raise(self._wrapper.post(self._swi, url, body))
-        return HttpResult(status=payload["status"], body=payload["body"])
+
+        def attempt() -> HttpResult:
+            payload = decode_or_raise(self._wrapper.post(self._swi, url, body))
+            return HttpResult(status=payload["status"], body=payload["body"])
+
+        return self._invoke("post", attempt, fallback=degraded_response)
 
     #: JS polling period for async responses (no binding property; XHR-ish).
     ASYNC_POLL_INTERVAL_MS = 250.0

@@ -20,6 +20,7 @@ from repro.core.proxies.location.api import NO_EXPIRATION, LocationProxy
 from repro.core.proxies.location.descriptor import ANDROID_IMPL
 from repro.core.proxy.callbacks import ProximityListener
 from repro.core.proxy.datatypes import Location
+from repro.core.resilience import LAST_RESULT
 from repro.errors import ProxyError
 from repro.platforms.android.context import Context
 from repro.platforms.android.intents import Intent, IntentFilter, IntentReceiver, PendingIntent
@@ -169,10 +170,14 @@ class AndroidLocationProxyImpl(LocationProxy):
         self._record("getLocation")
         context = self._context("getLocation")
         provider = self.get_property("provider")
-        with self._guard("getLocation"):
+
+        def attempt() -> Location:
             manager = self._location_manager(context)
-            native = manager.get_current_location(provider)
-        return _to_uniform(native)
+            return _to_uniform(manager.get_current_location(provider))
+
+        # Resilience: when the receiver is dark, serve the last-known
+        # location rather than failing the caller (graceful degradation).
+        return self._invoke("getLocation", attempt, fallback=LAST_RESULT)
 
 
 register_implementation(ANDROID_IMPL, AndroidLocationProxyImpl)

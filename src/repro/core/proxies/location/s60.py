@@ -28,6 +28,7 @@ from repro.core.proxies.location.api import NO_EXPIRATION, LocationProxy
 from repro.core.proxies.location.descriptor import S60_IMPL
 from repro.core.proxy.callbacks import ProximityListener
 from repro.core.proxy.datatypes import Location
+from repro.core.resilience import LAST_RESULT
 from repro.errors import ProxyPlatformError
 from repro.platforms.s60.location import (
     Coordinates,
@@ -183,10 +184,12 @@ class S60LocationProxyImpl(LocationProxy):
 
     def get_location(self) -> Location:
         self._record("getLocation")
-        with self._guard("getLocation"):
+
+        def attempt() -> Location:
             provider = self._acquire_provider("getLocation")
-            native = provider.get_location(-1)
-        return _to_uniform(native)
+            return _to_uniform(provider.get_location(-1))
+
+        return self._invoke("getLocation", attempt, fallback=LAST_RESULT)
 
     # -- synthesis machinery ----------------------------------------------------
 

@@ -40,6 +40,7 @@ from repro.core.proxies.webview_common import (
 )
 from repro.core.proxy.callbacks import FunctionProximityListener, ProximityListener
 from repro.core.proxy.datatypes import Location
+from repro.core.resilience import LAST_RESULT
 from repro.errors import ProxyError
 from repro.platforms.android.context import Context
 from repro.platforms.webview.platform import WebViewPlatform
@@ -322,8 +323,12 @@ class LocationProxyJs(LocationProxy):
 
     def get_location(self) -> Location:
         self._record("getLocation")
-        payload = decode_or_raise(self._wrapper.get_location(self._swi))
-        return _location_from_payload(payload)
+
+        def attempt() -> Location:
+            payload = decode_or_raise(self._wrapper.get_location(self._swi))
+            return _location_from_payload(payload)
+
+        return self._invoke("getLocation", attempt, fallback=LAST_RESULT)
 
     @staticmethod
     def _as_listener(callback: UniformCallback) -> ProximityListener:

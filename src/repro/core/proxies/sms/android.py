@@ -108,6 +108,8 @@ class AndroidSmsProxyImpl(SmsProxy):
                     delivery_intent = PendingIntent.get_broadcast(
                         context, 0, Intent(delivered_action)
                     )
+
+        def attempt() -> str:
             return manager.send_text_message(
                 destination,
                 self.get_property("serviceCenter"),
@@ -115,6 +117,13 @@ class AndroidSmsProxyImpl(SmsProxy):
                 sent_intent=sent_intent,
                 delivery_intent=delivery_intent,
             )
+
+        # Resilience: a transiently-refused submission can be parked on
+        # the redelivery queue (attached by the factory when configured);
+        # the degraded return is the queue entry's id.
+        queue = getattr(self, "redelivery_queue", None)
+        fallback = queue.fallback_for(destination, text) if queue else None
+        return self._invoke("sendTextMessage", attempt, fallback=fallback)
 
 
 register_implementation(ANDROID_IMPL, AndroidSmsProxyImpl)

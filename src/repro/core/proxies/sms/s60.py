@@ -38,7 +38,8 @@ class S60SmsProxyImpl(SmsProxy):
         self._record("sendTextMessage", destination=destination, length=len(text))
         listener = as_status_listener(status_listener)
         message_id = self._ids.next("s60sms")
-        with self._guard("sendTextMessage"):
+
+        def attempt() -> str:
             connection = self._platform.connector.open(f"sms://{destination}")
             try:
                 message = connection.new_message(connection.TEXT_MESSAGE)
@@ -46,10 +47,15 @@ class S60SmsProxyImpl(SmsProxy):
                 connection.send(message)
             finally:
                 connection.close()
-        if listener is not None:
+            return message_id
+
+        queue = getattr(self, "redelivery_queue", None)
+        fallback = queue.fallback_for(destination, text) if queue else None
+        result = self._invoke("sendTextMessage", attempt, fallback=fallback)
+        if listener is not None and result == message_id:
             # The blocking send returned: the network accepted the message.
             listener.on_sent(message_id)
-        return message_id
+        return result
 
 
 register_implementation(S60_IMPL, S60SmsProxyImpl)

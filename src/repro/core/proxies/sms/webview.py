@@ -164,9 +164,17 @@ class SmsProxyJs(SmsProxy):
     ) -> str:
         self._validate_arguments("sendTextMessage", destination=destination, text=text)
         self._record("sendTextMessage", destination=destination, length=len(text))
-        payload = decode_or_raise(
-            self._wrapper.send_text_message(self._swi, destination, text)
-        )
+
+        def attempt() -> Dict:
+            return decode_or_raise(
+                self._wrapper.send_text_message(self._swi, destination, text)
+            )
+
+        queue = getattr(self, "redelivery_queue", None)
+        fallback = queue.fallback_for(destination, text) if queue else None
+        payload = self._invoke("sendTextMessage", attempt, fallback=fallback)
+        if not isinstance(payload, dict):
+            return payload  # degraded: the redelivery queue entry's id
         message_id = payload["messageId"]
         notification_id = payload["notificationId"]
         listener = as_status_listener(status_listener)

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.core.proxy.base import MProxy
 from repro.core.proxy.exceptions import code_to_error_class
 from repro.errors import ProxyError
+from repro.platforms.webview.exceptions import JsBridgeError
 from repro.platforms.webview.notifications import NotificationTable
 from repro.platforms.webview.webview import JsWindow
 
@@ -119,6 +120,10 @@ class NotificationHandler:
         self._dispatch = dispatch
         self._poll_interval_ms = poll_interval_ms
         self._timer_id: Optional[int] = None
+        #: Polls whose bridge crossing was lost (fault plane); the next
+        #: interval retries naturally, so a dropped poll only delays
+        #: delivery rather than losing notifications.
+        self.dropped_polls = 0
 
     @property
     def polling(self) -> bool:
@@ -142,6 +147,12 @@ class NotificationHandler:
             self._timer_id = None
 
     def _poll_once(self) -> None:
-        batch_json = self._wrapper.get_notifications(self._notification_id)
+        try:
+            batch_json = self._wrapper.get_notifications(self._notification_id)
+        except JsBridgeError:
+            # The polling crossing itself was lost.  Nothing was drained,
+            # so the queued notifications survive for the next interval.
+            self.dropped_polls += 1
+            return
         for notification in json.loads(batch_json):
             self._dispatch(notification)

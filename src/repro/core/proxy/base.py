@@ -6,18 +6,23 @@ A concrete proxy binding (e.g. the Android Location proxy) subclasses
 * ``set_property`` validated against its binding plane;
 * semantic-plane argument validation (``_validate_arguments``);
 * uniform exception mapping (``_guard`` context manager);
+* resilience-guarded invocation (``_invoke``) when a
+  :class:`~repro.core.resilience.ResilienceRuntime` is attached;
 * an invocation log for the evaluation harness.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.descriptor.model import BindingPlane, ProxyDescriptor
 from repro.core.proxy.exceptions import map_platform_exception
 from repro.core.proxy.properties import PropertySet
 from repro.errors import ProxyError, ProxyInvalidArgumentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.resilience.policy import ResilienceRuntime
 
 
 class MProxy:
@@ -45,6 +50,7 @@ class MProxy:
         self.binding: BindingPlane = descriptor.binding_for(platform)
         self.properties = PropertySet(self.binding.properties)
         self._invocations: List[Tuple[str, Dict[str, Any]]] = []
+        self._resilience: Optional["ResilienceRuntime"] = None
 
     # -- the generic property mechanism (paper: setProperty) -----------------
 
@@ -78,6 +84,46 @@ class MProxy:
             raise  # already uniform
         except Exception as exc:
             raise map_platform_exception(self.binding, exc, operation) from exc
+
+    # -- resilience ------------------------------------------------------------
+
+    def attach_resilience(self, runtime: "ResilienceRuntime") -> None:
+        """Attach the resilience runtime guarding this proxy's calls.
+
+        Done by the factory so every binding on every platform gets the
+        same guard without per-binding wiring.
+        """
+        self._resilience = runtime
+
+    @property
+    def resilience(self) -> Optional["ResilienceRuntime"]:
+        """The attached runtime (``None`` for bare proxies)."""
+        return self._resilience
+
+    def _invoke(
+        self,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        fallback: Any = None,
+    ) -> Any:
+        """Run one platform call under the proxy's resilience policy.
+
+        Without an attached runtime this degrades to exactly the old
+        ``_guard`` semantics: run the thunk, map escaping platform
+        exceptions to the uniform hierarchy.  With a runtime, the call
+        additionally gets timeout accounting, bounded retry with backoff
+        on the virtual clock, circuit breaking, and (when enabled by the
+        policy) the ``fallback`` — either the
+        :data:`~repro.core.resilience.LAST_RESULT` sentinel or a
+        zero-argument callable.
+        """
+        if self._resilience is None:
+            with self._guard(operation):
+                return thunk()
+        return self._resilience.execute(
+            self.binding, operation, thunk, fallback=fallback
+        )
 
     def _record(self, method_name: str, **arguments: Any) -> None:
         self._invocations.append((method_name, arguments))

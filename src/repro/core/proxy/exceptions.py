@@ -6,20 +6,42 @@ and the uniform :class:`~repro.errors.ProxyError` subclass each maps to.
 :func:`error_code_for` gives the stable numeric codes the WebView JS
 bindings use (exceptions cannot cross the JS/Java bridge, so errors travel
 as codes there — paper Section 4.1, step 2).
+
+Transient-vs-permanent classification
+-------------------------------------
+The resilience layer needs to know whether a failure is worth retrying.
+Every uniform error class carries a boolean ``transient`` attribute
+(:func:`is_transient` reads it through inheritance).  When a platform
+exception would map to the generic :class:`ProxyPlatformError`, the
+mapper inspects the exception's cause chain for known *substrate*
+failure shapes and refines the result to a transient subclass —
+:class:`~repro.errors.ProxyNetworkError` for transport loss,
+:class:`~repro.errors.ProxyTimeoutError` for stalled requests,
+:class:`~repro.errors.ProxySensorError` for dark sensors,
+:class:`~repro.errors.ProxyBridgeError` for lost bridge crossings.  The
+refined classes subclass ``ProxyPlatformError`` (timeout excepted, which
+has its own longstanding code), so existing handlers are unaffected; the
+match is by class *name*, keeping this core module free of device- and
+platform-layer imports.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
 from repro.core.descriptor.model import BindingPlane
 from repro.errors import (
+    ProxyBridgeError,
+    ProxyCircuitOpenError,
     ProxyError,
     ProxyInvalidArgumentError,
+    ProxyNetworkError,
     ProxyPermissionError,
     ProxyPlatformError,
     ProxyPropertyError,
+    ProxySensorError,
     ProxyTimeoutError,
+    ProxyTransientError,
     ProxyUnavailableError,
 )
 
@@ -34,8 +56,27 @@ UNIFORM_ERRORS: Dict[str, Type[ProxyError]] = {
         ProxyPropertyError,
         ProxyPlatformError,
         ProxyTimeoutError,
+        ProxyTransientError,
+        ProxyNetworkError,
+        ProxyBridgeError,
+        ProxyCircuitOpenError,
+        ProxySensorError,
     )
 }
+
+#: Substrate exception class name -> refined transient uniform class.
+#: Matched against the platform exception and its ``__cause__`` chain;
+#: only consulted when the binding-plane mapping resolves to the generic
+#: ``ProxyPlatformError``.
+_TRANSIENT_REFINEMENTS: Dict[str, Type[ProxyError]] = {
+    "NetworkTimeout": ProxyTimeoutError,
+    "NetworkError": ProxyNetworkError,
+    "CarrierUnavailableError": ProxyNetworkError,
+    "LocationException": ProxySensorError,
+}
+
+#: ``JsBridgeError.java_class`` value marking an injected bridge fault.
+BRIDGE_FAULT_CLASS = "BridgeFault"
 
 
 def uniform_error_class(name: str) -> Type[ProxyError]:
@@ -56,6 +97,29 @@ def code_to_error_class(code: int) -> Type[ProxyError]:
     return ProxyError
 
 
+def is_transient(error: BaseException) -> bool:
+    """Whether retrying the failed operation may succeed."""
+    return bool(getattr(error, "transient", False))
+
+
+def _refine_platform_error(exc: BaseException) -> Optional[Type[ProxyError]]:
+    """Walk the cause chain looking for a known transient substrate failure."""
+    seen = set()
+    node: Optional[BaseException] = exc
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        name = type(node).__name__
+        if name == "JsBridgeError" and getattr(node, "java_class", None) == (
+            BRIDGE_FAULT_CLASS
+        ):
+            return ProxyBridgeError
+        refined = _TRANSIENT_REFINEMENTS.get(name)
+        if refined is not None:
+            return refined
+        node = node.__cause__
+    return None
+
+
 def map_platform_exception(
     binding: BindingPlane, exc: BaseException, operation: str
 ) -> ProxyError:
@@ -66,8 +130,10 @@ def map_platform_exception(
     use Java-style qualified names whose last segment matches our Python
     class names).  Unlisted exceptions map to
     :class:`~repro.errors.ProxyPlatformError` — the proxy never lets a raw
-    platform type escape.  The original exception is chained as
-    ``__cause__``.
+    platform type escape.  Mappings that land on the generic platform
+    error are refined to a transient subclass when the cause chain shows
+    a recoverable substrate failure.  The original exception is chained
+    as ``__cause__``.
     """
     exc_name = type(exc).__name__
     spec = None
@@ -80,6 +146,10 @@ def map_platform_exception(
         error_class = uniform_error_class(spec.maps_to)
     else:
         error_class = ProxyPlatformError
+    if error_class is ProxyPlatformError:
+        refined = _refine_platform_error(exc)
+        if refined is not None:
+            error_class = refined
     error = error_class(
         f"{operation} failed on {binding.platform}: {exc_name}: {exc}"
     )

@@ -1,0 +1,66 @@
+"""Backoff schedules: how long to wait before retry *n*.
+
+Pure arithmetic over virtual milliseconds — no sleeping, no wall clock.
+Jitter is drawn from an RNG the *caller* provides (the resilience
+runtime seeds one per proxy; the determinism contract lives there).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackoffSchedule:
+    """Exponential backoff with a cap and optional multiplicative jitter.
+
+    ``delay_ms(0)`` is the wait before the first retry (i.e. after the
+    first failed attempt).  With the defaults the sequence is
+    100, 200, 400, ... capped at 10 s.  ``multiplier=1.0`` gives the
+    fixed-delay behaviour of the paper's Call retry coordinator.
+    """
+
+    initial_delay_ms: float = 100.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 10_000.0
+    jitter: float = 0.0  # fraction of the delay added at most
+
+    def __post_init__(self) -> None:
+        if self.initial_delay_ms < 0:
+            raise ConfigurationError("initial_delay_ms cannot be negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay_ms < self.initial_delay_ms:
+            raise ConfigurationError("max_delay_ms must be >= initial_delay_ms")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    @classmethod
+    def fixed(cls, delay_ms: float) -> "BackoffSchedule":
+        """A constant-delay schedule (the legacy Call retry behaviour)."""
+        return cls(
+            initial_delay_ms=delay_ms,
+            multiplier=1.0,
+            max_delay_ms=max(delay_ms, 0.0),
+            jitter=0.0,
+        )
+
+    def delay_ms(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before the ``retry_index``-th retry (0-based)."""
+        if retry_index < 0:
+            raise ConfigurationError("retry_index cannot be negative")
+        base = min(
+            self.initial_delay_ms * (self.multiplier ** retry_index),
+            self.max_delay_ms,
+        )
+        if self.jitter > 0.0 and rng is not None:
+            base *= 1.0 + self.jitter * rng.random()
+        return base
+
+    def schedule(self, retries: int) -> list:
+        """The jitter-free delay sequence for ``retries`` retries."""
+        return [self.delay_ms(i) for i in range(retries)]

@@ -1,0 +1,123 @@
+"""Circuit breaker on the virtual clock.
+
+Standard closed/open/half-open state machine, with two deliberate
+middleware choices:
+
+* only **transient** failures count toward opening (a permission error
+  repeated in a loop must not trip the breaker — it would mask a
+  permanent misconfiguration as an availability problem);
+* all timing (reset timeout, transition stamps) uses the device's
+  virtual clock, so breaker behaviour is reproducible and testable
+  without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.clock import SimulatedClock
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one breaker.
+
+    ``failure_threshold`` consecutive transient failures open the
+    breaker; after ``reset_timeout_ms`` of virtual time it half-opens
+    and admits probes; ``half_open_successes`` consecutive probe
+    successes close it again.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout_ms: float = 30_000.0
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if self.reset_timeout_ms < 0:
+            raise ConfigurationError("reset_timeout_ms cannot be negative")
+        if self.half_open_successes < 1:
+            raise ConfigurationError("half_open_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """One breaker instance (the runtime keeps one per proxy operation)."""
+
+    def __init__(self, config: BreakerConfig, clock: SimulatedClock) -> None:
+        self._config = config
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._half_open_successes = 0
+        self._opened_at_ms: float = 0.0
+        #: (virtual time, from-state, to-state) transition history.
+        self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
+
+    @property
+    def config(self) -> BreakerConfig:
+        return self._config
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    def _transition(self, to: BreakerState) -> None:
+        if to is self._state:
+            return
+        self.transitions.append((self._clock.now_ms, self._state, to))
+        self._state = to
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock.now_ms >= self._opened_at_ms + self._config.reset_timeout_ms
+        ):
+            self._half_open_successes = 0
+            self._transition(BreakerState.HALF_OPEN)
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        self._maybe_half_open()
+        return self._state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        self._consecutive_failures = 0
+        if self._state is BreakerState.HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self._config.half_open_successes:
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self, *, transient: bool) -> None:
+        """Record a failed call.  Permanent failures reset the transient
+        streak (the operation is reaching the platform fine) but never
+        open the breaker."""
+        self._maybe_half_open()
+        if not transient:
+            self._consecutive_failures = 0
+            return
+        if self._state is BreakerState.HALF_OPEN:
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self._config.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at_ms = self._clock.now_ms
+        self._transition(BreakerState.OPEN)

@@ -1,0 +1,247 @@
+"""Resilience policies and their per-proxy execution runtime.
+
+A :class:`ResiliencePolicy` is immutable configuration; a
+:class:`ResilienceRuntime` is the stateful engine one proxy instance
+carries (attached by the factory).  ``MProxy._invoke`` routes every
+guarded operation through :meth:`ResilienceRuntime.execute`, which
+layers — in order — circuit breaking, invocation, uniform exception
+mapping, elapsed-virtual-time timeout, classified retry with backoff,
+and graceful-degradation fallbacks.
+
+Determinism contract: retry jitter comes from one RNG per runtime,
+seeded from ``policy.seed`` and the runtime's label; all delays advance
+the device's virtual clock (never wall time).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.core.descriptor.model import BindingPlane
+from repro.core.proxy.exceptions import map_platform_exception
+from repro.core.resilience.backoff import BackoffSchedule
+from repro.core.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.core.resilience.fallbacks import (
+    LAST_RESULT,
+    UNHANDLED,
+    RedeliveryConfig,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProxyCircuitOpenError,
+    ProxyError,
+    ProxyTimeoutError,
+)
+from repro.util.clock import Scheduler
+
+#: A fallback is either the LAST_RESULT sentinel or ``f(error) -> value``
+#: (returning ``UNHANDLED`` to decline).
+Fallback = Union[str, Callable[[ProxyError], Any]]
+
+_NO_FALLBACK = object()
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Per-binding resilience configuration.
+
+    The default policy is *passthrough-safe*: one attempt, no timeout,
+    no breaker, fallbacks disabled — byte-for-byte the behaviour of a
+    bare ``_guard``, plus counters.  Chaos profiles opt into the heavier
+    machinery via :func:`chaos_policy`.
+    """
+
+    max_attempts: int = 1
+    backoff: BackoffSchedule = field(default_factory=BackoffSchedule)
+    timeout_ms: Optional[float] = None
+    breaker: Optional[BreakerConfig] = None
+    fallbacks_enabled: bool = False
+    redelivery: Optional[RedeliveryConfig] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ConfigurationError("timeout_ms must be positive when given")
+
+
+def chaos_policy(interface: str, *, seed: int = 0) -> ResiliencePolicy:
+    """The standard hardened profile chaos scenarios attach per proxy.
+
+    Bounded retries with exponential backoff + jitter, a per-operation
+    breaker, and interface-appropriate fallbacks (SMS gets a redelivery
+    queue; Location serves last-known via its call sites' LAST_RESULT).
+    """
+    return ResiliencePolicy(
+        max_attempts=4,
+        backoff=BackoffSchedule(
+            initial_delay_ms=200.0, multiplier=2.0, max_delay_ms=5_000.0, jitter=0.25
+        ),
+        timeout_ms=30_000.0,
+        breaker=BreakerConfig(
+            failure_threshold=5, reset_timeout_ms=30_000.0, half_open_successes=1
+        ),
+        fallbacks_enabled=True,
+        redelivery=RedeliveryConfig() if interface == "Sms" else None,
+        seed=seed,
+    )
+
+
+@dataclass
+class ResilienceStats:
+    """Counters one runtime accumulates (exposed via analysis.metrics)."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    circuit_rejections: int = 0
+    fallbacks_served: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "circuit_rejections": self.circuit_rejections,
+            "fallbacks_served": self.fallbacks_served,
+        }
+
+
+class ResilienceRuntime:
+    """The stateful engine attached to one proxy instance."""
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        scheduler: Scheduler,
+        *,
+        label: str = "proxy",
+    ) -> None:
+        self.policy = policy
+        self._scheduler = scheduler
+        self._clock = scheduler.clock
+        self.label = label
+        self.stats = ResilienceStats()
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self._last_results: Dict[str, Any] = {}
+        self._jitter_rng = random.Random(f"{policy.seed}:{label}")
+
+    # -- introspection --------------------------------------------------------
+
+    def breaker_for(self, operation: str) -> Optional[CircuitBreaker]:
+        if self.policy.breaker is None:
+            return None
+        breaker = self.breakers.get(operation)
+        if breaker is None:
+            breaker = CircuitBreaker(self.policy.breaker, self._clock)
+            self.breakers[operation] = breaker
+        return breaker
+
+    def breaker_transitions(self) -> list:
+        """Every breaker transition: (operation, t_ms, from, to)."""
+        out = []
+        for operation, breaker in self.breakers.items():
+            for t_ms, frm, to in breaker.transitions:
+                out.append((operation, t_ms, frm, to))
+        out.sort(key=lambda item: item[1])
+        return out
+
+    def last_result(self, operation: str) -> Any:
+        return self._last_results.get(operation)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        binding: BindingPlane,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        fallback: Optional[Fallback] = None,
+    ) -> Any:
+        """Run ``thunk`` under this runtime's policy.
+
+        Raises only uniform :class:`ProxyError` subclasses; on exhausted
+        transient retries an enabled fallback may absorb the failure.
+        """
+        breaker = self.breaker_for(operation)
+        if breaker is not None and not breaker.allow():
+            self.stats.circuit_rejections += 1
+            rejection = ProxyCircuitOpenError(
+                f"{operation} rejected: circuit open for {self.label}"
+            )
+            served = self._try_fallback(operation, fallback, rejection)
+            if served is not _NO_FALLBACK:
+                return served
+            raise rejection
+
+        policy = self.policy
+        retry_index = 0
+        while True:
+            self.stats.attempts += 1
+            started_ms = self._clock.now_ms
+            error: Optional[ProxyError] = None
+            try:
+                result = thunk()
+            except ProxyError as exc:
+                error = exc
+            except Exception as exc:
+                error = map_platform_exception(binding, exc, operation)
+            else:
+                elapsed = self._clock.now_ms - started_ms
+                if policy.timeout_ms is not None and elapsed > policy.timeout_ms:
+                    self.stats.timeouts += 1
+                    error = ProxyTimeoutError(
+                        f"{operation} took {elapsed:.0f}ms of virtual time "
+                        f"(budget {policy.timeout_ms:.0f}ms)"
+                    )
+                else:
+                    self.stats.successes += 1
+                    if breaker is not None:
+                        breaker.record_success()
+                    self._last_results[operation] = result
+                    return result
+
+            self.stats.failures += 1
+            if breaker is not None:
+                breaker.record_failure(transient=error.transient)
+            attempts_left = policy.max_attempts - (retry_index + 1)
+            may_retry = (
+                error.transient
+                and attempts_left > 0
+                and (breaker is None or breaker.allow())
+            )
+            if may_retry:
+                self.stats.retries += 1
+                delay = policy.backoff.delay_ms(retry_index, self._jitter_rng)
+                if delay > 0:
+                    self._clock.advance(delay)
+                retry_index += 1
+                continue
+            served = self._try_fallback(operation, fallback, error)
+            if served is not _NO_FALLBACK:
+                return served
+            raise error
+
+    def _try_fallback(
+        self, operation: str, fallback: Optional[Fallback], error: ProxyError
+    ) -> Any:
+        if not self.policy.fallbacks_enabled or fallback is None:
+            return _NO_FALLBACK
+        if fallback == LAST_RESULT:
+            if operation not in self._last_results:
+                return _NO_FALLBACK
+            self.stats.fallbacks_served += 1
+            return self._last_results[operation]
+        value = fallback(error)
+        if value is UNHANDLED:
+            return _NO_FALLBACK
+        self.stats.fallbacks_served += 1
+        return value

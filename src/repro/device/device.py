@@ -18,6 +18,8 @@ from repro.device.network import SimulatedNetwork
 from repro.device.pim import ContactStore
 from repro.device.profiles import DeviceProfile, ANDROID_DEV_PHONE
 from repro.device.telephony import TelephonyUnit
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.util.clock import Scheduler, SimulatedClock
 from repro.util.events import EventBus
 from repro.util.latency import LatencyModel
@@ -40,6 +42,14 @@ class MobileDevice:
     latency:
         Platform-native latency model, threaded through to subsystems that
         need it (primarily the network).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` driving the
+        device's fault injector (``device.faults``).  The injector is
+        always present — without a plan it is an inert no-op — and is
+        consulted by the GPS, SMSC, network and WebView bridge.  Shared
+        ``sms_center``/``network`` instances keep whatever injector they
+        were built with; the plan only wires the private subsystems this
+        constructor creates.
     """
 
     def __init__(
@@ -53,6 +63,7 @@ class MobileDevice:
         latency: Optional[LatencyModel] = None,
         trajectory: Optional[Trajectory] = None,
         gps_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not phone_number:
             raise ValueError("phone_number must be non-empty")
@@ -62,17 +73,23 @@ class MobileDevice:
         self.bus = EventBus()
         self.battery = Battery()
         self.latency = latency or LatencyModel()
+        self.faults = FaultInjector(fault_plan, clock=self.scheduler.clock)
         self.gps = GpsReceiver(
             self.scheduler,
             self.bus,
             trajectory,
             seed=gps_seed,
+            injector=self.faults,
         )
         self.telephony = TelephonyUnit(self.scheduler, self.bus)
         self.contacts = ContactStore()
         self.calendar = CalendarStore()
-        self.sms_center = sms_center or SmsCenter(self.scheduler, self.bus)
-        self.network = network or SimulatedNetwork(self.scheduler)
+        self.sms_center = sms_center or SmsCenter(
+            self.scheduler, self.bus, injector=self.faults
+        )
+        self.network = network or SimulatedNetwork(
+            self.scheduler, injector=self.faults
+        )
         self._inbox = []
         self.sms_center.attach(self.phone_number, self._inbox.append)
         # Energy accounting: every GPS fix costs receiver power.

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 from repro.util.clock import ScheduledTask, Scheduler
 from repro.util.events import EventBus
 from repro.util.geo import GeoPoint, interpolate
@@ -132,6 +135,7 @@ class GpsReceiver:
         time_to_first_fix_ms: float = 2_000.0,
         accuracy_m: float = 5.0,
         seed: Optional[int] = 0,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if fix_interval_ms <= 0:
             raise ConfigurationError("fix interval must be positive")
@@ -147,6 +151,10 @@ class GpsReceiver:
         self._powered = False
         self._fix_task: Optional[ScheduledTask] = None
         self._last_fix: Optional[GpsFix] = None
+        self._faults = injector
+        #: Fault-plane observability: fixes dropped / served stale so far.
+        self.lost_fixes = 0
+        self.stale_fixes = 0
 
     @property
     def powered(self) -> bool:
@@ -197,6 +205,17 @@ class GpsReceiver:
         return self._trajectory.position_at(self._scheduler.clock.now_ms)
 
     def _emit_fix(self) -> None:
+        if self._faults is not None:
+            fault = self._faults.decide("gps.fix")
+            if fault is not None:
+                if fault.kind == "stale" and self._last_fix is not None:
+                    # Replay the previous fix unchanged: position and
+                    # timestamp both lag reality, as a stuck receiver's do.
+                    self.stale_fixes += 1
+                    self._bus.publish(TOPIC_FIX, self._last_fix)
+                else:  # "lost" — or stale with nothing to replay
+                    self.lost_fixes += 1
+                return
         truth = self.ground_truth()
         noisy = GeoPoint(
             latitude=truth.latitude

@@ -14,12 +14,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.util.clock import Scheduler
 from repro.util.events import EventBus
 from repro.util.identifiers import IdGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+
+
+class CarrierUnavailableError(SimulationError):
+    """The SMSC refused the submission (transient carrier failure)."""
 
 TOPIC_SMS_DELIVERED = "sms.delivered"
 TOPIC_SMS_REPORT = "sms.report"
@@ -96,12 +103,14 @@ class SmsCenter:
         bus: EventBus,
         *,
         per_segment_latency_ms: float = 800.0,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if per_segment_latency_ms < 0:
             raise ValueError("latency cannot be negative")
         self._scheduler = scheduler
         self._bus = bus
         self._latency_ms = per_segment_latency_ms
+        self._faults = injector
         self._ids = IdGenerator()
         self._inboxes: Dict[str, List[Callable[[SmsMessage], None]]] = {}
         self._unreachable: set = set()
@@ -156,6 +165,8 @@ class SmsCenter:
             raise ValueError("recipient must be non-empty")
         if text is None:
             raise ValueError("text must not be None")
+        if self._faults is not None and self._faults.decide("sms.submit") is not None:
+            raise CarrierUnavailableError("injected fault: SMSC unreachable")
         message = SmsMessage(
             message_id=self._ids.next("sms"),
             sender=sender,

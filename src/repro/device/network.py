@@ -11,16 +11,23 @@ exactly this point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.util.clock import Scheduler
 from repro.util.identifiers import IdGenerator
 from repro.util.latency import LatencyModel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector, InjectedFault
+
 
 class NetworkError(SimulationError):
     """A request could not complete (no route, injected loss, bad host)."""
+
+
+class NetworkTimeout(NetworkError):
+    """A request stalled past its hold time with no response."""
 
 
 @dataclass(frozen=True)
@@ -99,12 +106,14 @@ class SimulatedNetwork:
         scheduler: Scheduler,
         *,
         latency: Optional[LatencyModel] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self._scheduler = scheduler
         self._latency = latency or LatencyModel(mean_ms={"http.roundtrip": 120.0})
         self._servers: Dict[str, VirtualServer] = {}
         self._fail_queue: List[str] = []
         self._ids = IdGenerator()
+        self._faults = injector
 
     def add_server(self, host: str) -> VirtualServer:
         """Create (or return the existing) virtual server for ``host``."""
@@ -132,7 +141,19 @@ class SimulatedNetwork:
         Used by the blocking HTTP stacks (S60's ``HttpConnection``).
         """
         self._precheck(request)
+        fault = self._consult_faults()
+        if fault is not None and fault.kind == "timeout":
+            self._scheduler.clock.advance(fault.rule.hold_ms)
+            raise NetworkTimeout(
+                f"injected fault: no response after {fault.rule.hold_ms:.0f}ms"
+            )
         self._scheduler.clock.advance(self.round_trip_latency_ms())
+        if fault is not None and fault.kind == "drop":
+            raise NetworkError("injected fault: request dropped")
+        if fault is not None and fault.kind == "http_error":
+            return HttpResponse(
+                status=fault.rule.status, body="injected server error"
+            )
         return self._dispatch(request)
 
     def request_async(
@@ -151,10 +172,24 @@ class SimulatedNetwork:
         def deliver() -> None:
             try:
                 self._precheck(request)
+                fault = self._consult_faults()
+                if fault is not None and fault.kind == "timeout":
+                    self._scheduler.clock.advance(fault.rule.hold_ms)
+                    raise NetworkTimeout(
+                        f"injected fault: no response after "
+                        f"{fault.rule.hold_ms:.0f}ms"
+                    )
+                if fault is not None and fault.kind == "drop":
+                    raise NetworkError("injected fault: request dropped")
             except NetworkError as exc:
                 if on_error is None:
                     raise
                 on_error(exc)
+                return
+            if fault is not None and fault.kind == "http_error":
+                on_response(
+                    HttpResponse(status=fault.rule.status, body="injected server error")
+                )
                 return
             on_response(self._dispatch(request))
 
@@ -162,6 +197,11 @@ class SimulatedNetwork:
             self.round_trip_latency_ms(), deliver, name=f"http-{request_id}"
         )
         return request_id
+
+    def _consult_faults(self) -> Optional["InjectedFault"]:
+        if self._faults is None:
+            return None
+        return self._faults.decide("network.request")
 
     def _precheck(self, request: HttpRequest) -> None:
         if self._fail_queue:

@@ -44,6 +44,12 @@ class ProxyError(ReproError):
     #: exceptions cannot cross the bridge and must travel as error codes).
     error_code = 1000
 
+    #: Whether the failure class is transient — i.e. retrying the same
+    #: operation may succeed.  Resilience policies only retry (and circuit
+    #: breakers only count) transient errors; permission and argument
+    #: errors will fail identically on every attempt.
+    transient = False
+
 
 class ProxyPermissionError(ProxyError):
     """The platform denied the operation (Android ``SecurityException``...)."""
@@ -87,3 +93,51 @@ class ProxyTimeoutError(ProxyError):
     """The underlying platform operation did not finish in time."""
 
     error_code = 1006
+    transient = True
+
+
+class ProxyTransientError(ProxyError):
+    """A recoverable failure: retrying the same operation may succeed.
+
+    Concrete transient conditions usually surface as one of the refined
+    subclasses below (network, bridge, sensor); this class is the generic
+    catch-all and the base for resilience-layer errors.
+    """
+
+    error_code = 1007
+    transient = True
+
+
+class ProxyNetworkError(ProxyPlatformError):
+    """A transport-level failure (request dropped, carrier unreachable).
+
+    Subclasses :class:`ProxyPlatformError` so existing handlers of
+    platform failures keep working, but is classified transient so
+    resilience policies may retry it.
+    """
+
+    error_code = 1008
+    transient = True
+
+
+class ProxyBridgeError(ProxyPlatformError):
+    """A WebView JS/Java bridge crossing was lost mid-flight."""
+
+    error_code = 1009
+    transient = True
+
+
+class ProxyCircuitOpenError(ProxyTransientError):
+    """The circuit breaker for this binding is open: the call was rejected
+    without touching the platform.  Retrying after the breaker's reset
+    timeout may succeed."""
+
+    error_code = 1010
+
+
+class ProxySensorError(ProxyPlatformError):
+    """A device sensor is temporarily dark (e.g. GPS provider out of
+    service, no fix available)."""
+
+    error_code = 1011
+    transient = True

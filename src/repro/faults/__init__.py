@@ -1,0 +1,27 @@
+"""Deterministic fault-injection plane for the simulated substrate.
+
+A :class:`~repro.faults.plan.FaultPlan` declares *where* and *how often*
+the world misbehaves; a :class:`~repro.faults.injector.FaultInjector`
+executes the plan with per-site seeded RNG streams so every chaos run is
+bit-for-bit reproducible from its seed.  The device substrate (network,
+GPS, SMSC) and the WebView bridge consult the injector at their fault
+sites; the resilience layer above (``repro.core.resilience``) is what
+absorbs the injected failures.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+)
+from repro.faults.injector import FaultInjector, InjectedFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+]

@@ -51,6 +51,15 @@ class _BridgeMethod:
         for arg in args:
             _check_crossing(arg, "into", self._method_name)
         self._platform.charge_bridge(self._method_name)
+        faults = getattr(self._platform.device, "faults", None)
+        if faults is not None and faults.active:
+            if faults.decide("webview.bridge") is not None:
+                # The crossing itself is lost: JS sees an untyped bridge
+                # error, exactly as a real WebView surfaces a dead bridge.
+                raise JsBridgeError(
+                    "BridgeFault",
+                    f"injected fault: bridge crossing {self._method_name!r} lost",
+                )
         java_method = getattr(self._java_object, self._method_name)
         try:
             result = java_method(*args)

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.util.identifiers import IdGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -37,10 +40,13 @@ class NotificationTable:
     ``drain_json`` is what the JS polling loop calls through the bridge.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, injector: Optional["FaultInjector"] = None) -> None:
         self._ids = IdGenerator()
         self._queues: Dict[str, List[Notification]] = {}
         self._posted_count = 0
+        self._faults = injector
+        #: Fault-plane observability: results silently lost before queueing.
+        self.dropped = 0
 
     def new_id(self) -> str:
         """Mint a fresh notification id and create its (empty) queue."""
@@ -57,6 +63,12 @@ class NotificationTable:
         if notification_id not in self._queues:
             raise KeyError(f"unknown notification id {notification_id!r}")
         json.dumps(payload)  # raises TypeError on non-primitive content
+        if self._faults is not None and self._faults.active:
+            if self._faults.decide("webview.notification") is not None:
+                # The async result evaporates before reaching the table —
+                # the JS poller simply never sees it.
+                self.dropped += 1
+                return
         self._queues[notification_id].append(
             Notification(notification_id, kind, dict(payload), now_ms)
         )

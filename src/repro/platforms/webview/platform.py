@@ -48,7 +48,9 @@ class WebViewPlatform(PlatformBase):
         if android is not None and android.device is not device:
             raise ValueError("android platform must be mounted on the same device")
         self.android = android or AndroidPlatform(device)
-        self.notification_table = NotificationTable()
+        self.notification_table = NotificationTable(
+            injector=getattr(device, "faults", None)
+        )
         #: The window of the most recently loaded page (set by
         #: :meth:`WebView.load_page`); lets factory-constructed JS proxies
         #: find their page context.

@@ -1,0 +1,41 @@
+"""Chaos runs are a pure function of the seed.
+
+Two runs from the same plan + policy seed must agree bit-for-bit on the
+injected fault schedule, the resilience counters, the breaker history,
+and the app-visible event stream; a different seed must shake the world
+differently.
+"""
+
+import pytest
+
+from tests.chaos.drivers import DRIVERS, PLATFORMS, transient_plan
+
+pytestmark = pytest.mark.chaos
+
+
+def _fingerprint(run):
+    return (run.summary(), run.logic.activity_events)
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+class TestSameSeed:
+    def test_identical_runs(self, platform):
+        runs = [
+            DRIVERS[platform](transient_plan(0.3, seed=9), seed=9)
+            for _ in range(2)
+        ]
+        assert _fingerprint(runs[0]) == _fingerprint(runs[1])
+
+    def test_schedule_is_bit_for_bit(self, platform):
+        runs = [
+            DRIVERS[platform](transient_plan(0.3, seed=9), seed=9)
+            for _ in range(2)
+        ]
+        assert runs[0].injector.schedule() == runs[1].injector.schedule()
+
+
+class TestDifferentSeed:
+    def test_plan_seed_changes_the_schedule(self):
+        a = DRIVERS["android"](transient_plan(0.3, seed=9), seed=9)
+        b = DRIVERS["android"](transient_plan(0.3, seed=10), seed=9)
+        assert a.injector.schedule() != b.injector.schedule()

@@ -1,0 +1,67 @@
+"""Bridge error-code round trip: every uniform error survives JS <-> Java.
+
+Exceptions cannot cross the WebView bridge, so errors travel as numeric
+codes in JSON envelopes (paper Section 4.1).  This is the regression net
+for the resilience additions: the new transient subclasses (network,
+bridge, circuit-open, sensor) must round-trip like every older code —
+encode on the Java side, decode on the JS side, and come back as the
+SAME class with its transiency intact.
+"""
+
+import pytest
+
+from repro.core.proxies.webview_common import decode_or_raise, encode_error
+from repro.core.proxy.exceptions import (
+    UNIFORM_ERRORS,
+    code_to_error_class,
+    error_code_for,
+    is_transient,
+    uniform_error_class,
+)
+from repro.errors import ProxyError
+
+
+class TestCodeTable:
+    def test_codes_are_unique(self):
+        codes = [cls.error_code for cls in UNIFORM_ERRORS.values()]
+        assert len(codes) == len(set(codes))
+
+    def test_code_lookup_is_inverse_of_class_lookup(self):
+        for name, cls in UNIFORM_ERRORS.items():
+            assert uniform_error_class(name) is cls
+            assert code_to_error_class(error_code_for(name)) is cls
+
+    def test_unknown_code_degrades_to_base_error(self):
+        assert code_to_error_class(99_999) is ProxyError
+
+    def test_resilience_error_classes_are_registered(self):
+        # the additions that motivated this net
+        for name in (
+            "ProxyTransientError",
+            "ProxyNetworkError",
+            "ProxyBridgeError",
+            "ProxyCircuitOpenError",
+            "ProxySensorError",
+        ):
+            assert name in UNIFORM_ERRORS
+
+
+@pytest.mark.parametrize(
+    "error_class", list(UNIFORM_ERRORS.values()), ids=lambda c: c.__name__
+)
+class TestRoundTrip:
+    def test_class_survives_the_bridge(self, error_class):
+        original = error_class("it broke")
+        with pytest.raises(error_class) as excinfo:
+            decode_or_raise(encode_error(original))
+        assert type(excinfo.value) is error_class
+        assert "it broke" in str(excinfo.value)
+
+    def test_transiency_survives_the_bridge(self, error_class):
+        original = error_class("it broke")
+        try:
+            decode_or_raise(encode_error(original))
+        except ProxyError as decoded:
+            assert is_transient(decoded) == is_transient(original)
+        else:  # pragma: no cover - decode_or_raise must raise
+            pytest.fail("decode_or_raise did not raise")

@@ -1,0 +1,59 @@
+"""BackoffSchedule arithmetic and determinism."""
+
+import random
+
+import pytest
+
+from repro.core.resilience import BackoffSchedule
+from repro.errors import ConfigurationError
+
+
+class TestSchedule:
+    def test_exponential_sequence(self):
+        schedule = BackoffSchedule(
+            initial_delay_ms=100.0, multiplier=2.0, max_delay_ms=10_000.0
+        )
+        assert schedule.schedule(6) == [100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0]
+
+    def test_cap_applies(self):
+        schedule = BackoffSchedule(
+            initial_delay_ms=100.0, multiplier=10.0, max_delay_ms=500.0
+        )
+        assert schedule.schedule(4) == [100.0, 500.0, 500.0, 500.0]
+
+    def test_fixed_is_flat(self):
+        schedule = BackoffSchedule.fixed(5_000.0)
+        assert schedule.schedule(3) == [5_000.0, 5_000.0, 5_000.0]
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffSchedule().delay_ms(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffSchedule(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffSchedule(initial_delay_ms=100.0, max_delay_ms=50.0)
+        with pytest.raises(ConfigurationError):
+            BackoffSchedule(jitter=2.0)
+
+
+class TestJitter:
+    def test_jitter_bounds(self):
+        schedule = BackoffSchedule(
+            initial_delay_ms=100.0, multiplier=1.0, max_delay_ms=100.0, jitter=0.25
+        )
+        rng = random.Random("jitter-test")
+        for _ in range(100):
+            delay = schedule.delay_ms(0, rng)
+            assert 100.0 <= delay <= 125.0
+
+    def test_jitter_deterministic_per_seed(self):
+        schedule = BackoffSchedule(jitter=0.5)
+        a = [schedule.delay_ms(i, random.Random("s")) for i in range(5)]
+        b = [schedule.delay_ms(i, random.Random("s")) for i in range(5)]
+        assert a == b
+
+    def test_no_rng_means_no_jitter(self):
+        schedule = BackoffSchedule(jitter=0.5)
+        assert schedule.delay_ms(0) == schedule.initial_delay_ms

@@ -1,0 +1,126 @@
+"""Circuit-breaker state machine on the virtual clock."""
+
+import pytest
+
+from repro.core.resilience import BreakerConfig, BreakerState, CircuitBreaker
+from repro.errors import ConfigurationError
+from repro.util.clock import SimulatedClock
+
+
+def _breaker(clock=None, **overrides):
+    config = BreakerConfig(
+        failure_threshold=3, reset_timeout_ms=1_000.0, half_open_successes=1
+    )
+    if overrides:
+        config = BreakerConfig(
+            failure_threshold=overrides.get("failure_threshold", 3),
+            reset_timeout_ms=overrides.get("reset_timeout_ms", 1_000.0),
+            half_open_successes=overrides.get("half_open_successes", 1),
+        )
+    return CircuitBreaker(config, clock or SimulatedClock())
+
+
+class TestOpening:
+    def test_threshold_opens(self):
+        breaker = _breaker()
+        for _ in range(2):
+            breaker.record_failure(transient=True)
+            assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(transient=True)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_streak(self):
+        breaker = _breaker()
+        breaker.record_failure(transient=True)
+        breaker.record_failure(transient=True)
+        breaker.record_success()
+        breaker.record_failure(transient=True)
+        breaker.record_failure(transient=True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_permanent_failures_never_open(self):
+        breaker = _breaker()
+        for _ in range(10):
+            breaker.record_failure(transient=False)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_permanent_failure_resets_transient_streak(self):
+        breaker = _breaker()
+        breaker.record_failure(transient=True)
+        breaker.record_failure(transient=True)
+        breaker.record_failure(transient=False)
+        breaker.record_failure(transient=True)
+        breaker.record_failure(transient=True)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestRecovery:
+    def _opened(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure(transient=True)
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def test_half_opens_after_reset_timeout(self):
+        clock = SimulatedClock()
+        breaker = self._opened(clock)
+        clock.advance(999.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        clock = SimulatedClock()
+        breaker = self._opened(clock)
+        clock.advance(1_000.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = SimulatedClock()
+        breaker = self._opened(clock)
+        clock.advance(1_000.0)
+        assert breaker.allow()
+        breaker.record_failure(transient=True)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_requires_n_successes(self):
+        clock = SimulatedClock()
+        breaker = _breaker(clock, half_open_successes=2)
+        for _ in range(3):
+            breaker.record_failure(transient=True)
+        clock.advance(1_000.0)
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_transitions_log_stamped_on_virtual_clock(self):
+        clock = SimulatedClock()
+        breaker = self._opened(clock)
+        clock.advance(1_000.0)
+        breaker.allow()
+        breaker.record_success()
+        states = [(frm, to) for _, frm, to in breaker.transitions]
+        assert states == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+        times = [t for t, _, _ in breaker.transitions]
+        assert times == [0.0, 1_000.0, 1_000.0]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(reset_timeout_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(half_open_successes=0)

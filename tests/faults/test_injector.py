@@ -1,0 +1,120 @@
+"""FaultInjector determinism and decision semantics."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.util.clock import SimulatedClock
+
+
+def _drain(injector, site, consults):
+    return [injector.decide(site) is not None for _ in range(consults)]
+
+
+class TestDecide:
+    def test_no_plan_is_inert(self):
+        injector = FaultInjector()
+        assert not injector.active
+        assert injector.decide("network.request") is None
+        assert injector.total_injected() == 0
+
+    def test_unknown_site_raises(self):
+        injector = FaultInjector()
+        with pytest.raises(KeyError, match="unknown fault site"):
+            injector.decide("battery.explode")
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(rules=(FaultRule("network.request", "drop", 1.0),))
+        injector = FaultInjector(plan, clock=SimulatedClock())
+        assert all(_drain(injector, "network.request", 50))
+        assert injector.total_injected() == 50
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(rules=(FaultRule("network.request", "drop", 0.0),))
+        injector = FaultInjector(plan, clock=SimulatedClock())
+        assert not any(_drain(injector, "network.request", 50))
+
+    def test_window_gates_on_virtual_clock(self):
+        clock = SimulatedClock()
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "network.request", "drop", 1.0, start_ms=100.0, end_ms=200.0
+                ),
+            )
+        )
+        injector = FaultInjector(plan, clock=clock)
+        assert injector.decide("network.request") is None  # t=0, before window
+        clock.advance(150.0)
+        fault = injector.decide("network.request")
+        assert fault is not None and fault.at_ms == 150.0
+        clock.advance(100.0)
+        assert injector.decide("network.request") is None  # past window
+
+    def test_max_faults_cap(self):
+        plan = FaultPlan(
+            rules=(FaultRule("network.request", "drop", 1.0, max_faults=3),)
+        )
+        injector = FaultInjector(plan, clock=SimulatedClock())
+        fired = _drain(injector, "network.request", 10)
+        assert sum(fired) == 3
+        assert fired[:3] == [True, True, True]
+
+    def test_first_active_rule_wins(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("network.request", "timeout", 1.0, max_faults=1),
+                FaultRule("network.request", "drop", 1.0),
+            )
+        )
+        injector = FaultInjector(plan, clock=SimulatedClock())
+        assert injector.decide("network.request").kind == "timeout"
+        # capped-out first rule no longer matches; second takes over
+        assert injector.decide("network.request").kind == "drop"
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        for rate in (0.1, 0.3, 0.7):
+            plan = FaultPlan.transient(rate, seed=42)
+            runs = []
+            for _ in range(2):
+                injector = FaultInjector(plan, clock=SimulatedClock())
+                for site in sorted(plan.sites):
+                    _drain(injector, site, 40)
+                runs.append(injector.schedule())
+            assert runs[0] == runs[1]
+
+    def test_different_seed_different_schedule(self):
+        schedules = []
+        for seed in (0, 1):
+            injector = FaultInjector(
+                FaultPlan.transient(0.5, seed=seed), clock=SimulatedClock()
+            )
+            _drain(injector, "network.request", 60)
+            schedules.append(injector.schedule())
+        assert schedules[0] != schedules[1]
+
+    def test_streams_are_per_site(self):
+        """Consult order across sites must not perturb a site's stream."""
+        plan = FaultPlan.transient(0.5, seed=7)
+        a = FaultInjector(plan, clock=SimulatedClock())
+        for _ in range(30):
+            a.decide("network.request")
+        b = FaultInjector(plan, clock=SimulatedClock())
+        for _ in range(30):  # interleave another site's consults
+            b.decide("gps.fix")
+            b.decide("network.request")
+        site = lambda inj: [
+            f for f in inj.schedule() if f[0] == "network.request"
+        ]
+        assert site(a) == site(b)
+
+    def test_counts_match_log(self):
+        plan = FaultPlan.transient(0.4, seed=3)
+        injector = FaultInjector(plan, clock=SimulatedClock())
+        for site in sorted(plan.sites):
+            _drain(injector, site, 25)
+        counts = injector.counts()
+        assert sum(n for kinds in counts.values() for n in kinds.values()) == (
+            injector.total_injected()
+        )

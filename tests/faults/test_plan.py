@@ -1,0 +1,77 @@
+"""FaultPlan / FaultRule validation and canned plans."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_KINDS, FAULT_SITES, FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_valid_rule(self):
+        rule = FaultRule("network.request", "drop", 0.1)
+        assert rule.active_at(0.0)
+        assert rule.active_at(1e9)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultRule("battery.explode", "drop", 0.1)
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ConfigurationError, match="no fault kind"):
+            FaultRule("gps.fix", "timeout", 0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("network.request", "drop", 1.5)
+        with pytest.raises(ConfigurationError):
+            FaultRule("network.request", "drop", -0.1)
+
+    def test_window(self):
+        rule = FaultRule("network.request", "drop", 1.0, start_ms=100.0, end_ms=200.0)
+        assert not rule.active_at(99.9)
+        assert rule.active_at(100.0)
+        assert rule.active_at(199.9)
+        assert not rule.active_at(200.0)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("network.request", "drop", 1.0, start_ms=200.0, end_ms=100.0)
+
+    def test_every_declared_kind_is_constructible(self):
+        for site, kinds in FAULT_SITES.items():
+            for kind in kinds:
+                FaultRule(site, kind, 0.5)
+
+    def test_fault_kinds_is_union(self):
+        assert set(FAULT_KINDS) == {
+            kind for kinds in FAULT_SITES.values() for kind in kinds
+        }
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.sites == frozenset()
+        assert plan.rules_for("network.request") == ()
+
+    def test_rules_for_filters_by_site(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("network.request", "drop", 0.1),
+                FaultRule("gps.fix", "lost", 0.2),
+                FaultRule("network.request", "timeout", 0.3),
+            )
+        )
+        assert len(plan.rules_for("network.request")) == 2
+        assert len(plan.rules_for("gps.fix")) == 1
+
+    def test_transient_covers_every_site(self):
+        plan = FaultPlan.transient(0.1)
+        assert plan.sites == frozenset(FAULT_SITES)
+
+    def test_network_blackout_is_total(self):
+        plan = FaultPlan.network_blackout(1_000.0)
+        (rule,) = plan.rules
+        assert rule.rate == 1.0
+        assert not rule.active_at(999.0)
+        assert rule.active_at(1_000.0)
