@@ -19,7 +19,7 @@ import re
 import textwrap
 import tokenize
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Set
 
 #: Identifiers that mark direct coupling to a specific platform's API.
 #: Names shared with the uniform proxy API (``add_proximity_alert``,
@@ -220,57 +220,30 @@ def measure(obj_or_source, platform: str) -> CodeMetrics:
 # ---------------------------------------------------------------------------
 # Runtime resilience / fault-plane aggregation
 # ---------------------------------------------------------------------------
+# Since the observability plane landed, the runtime aggregation helpers
+# are rebuilt on top of the per-device MetricsRegistry and live in
+# repro.obs.report; they are re-exported here with unchanged public
+# signatures so existing chaos tests and drivers keep importing from
+# analysis.metrics.
 
-def resilience_report(proxies: Iterable) -> Dict[str, Dict[str, int]]:
-    """Per-proxy resilience counters, keyed by runtime label.
+from repro.obs.report import (  # noqa: E402  (re-export, signature-stable)
+    breaker_report,
+    chaos_summary,
+    fault_report,
+    resilience_report,
+)
 
-    Accepts any iterable of proxies; proxies without an attached runtime
-    are skipped.  An extra ``"total"`` entry sums every counter.
-    """
-    report: Dict[str, Dict[str, int]] = {}
-    totals: Dict[str, int] = {}
-    for proxy in proxies:
-        runtime = getattr(proxy, "resilience", None)
-        if runtime is None:
-            continue
-        stats = runtime.stats.as_dict()
-        report[runtime.label] = stats
-        for key, value in stats.items():
-            totals[key] = totals.get(key, 0) + value
-    report["total"] = totals
-    return report
-
-
-def fault_report(injector) -> Dict[str, Any]:
-    """What the fault plane actually injected: counts plus fingerprint."""
-    return {
-        "total": injector.total_injected(),
-        "by_site": injector.counts(),
-        "schedule": injector.schedule(),
-    }
-
-
-def breaker_report(proxies: Iterable) -> Dict[str, list]:
-    """Every circuit-breaker transition, keyed by runtime label."""
-    report: Dict[str, list] = {}
-    for proxy in proxies:
-        runtime = getattr(proxy, "resilience", None)
-        if runtime is None:
-            continue
-        transitions = runtime.breaker_transitions()
-        if transitions:
-            report[runtime.label] = [
-                (operation, t_ms, frm.value, to.value)
-                for operation, t_ms, frm, to in transitions
-            ]
-    return report
-
-
-def chaos_summary(injector, proxies: Iterable) -> Dict[str, Any]:
-    """The one-stop JSON-able summary of a chaos run."""
-    proxies = list(proxies)
-    return {
-        "faults": fault_report(injector),
-        "resilience": resilience_report(proxies),
-        "breakers": breaker_report(proxies),
-    }
+__all__ = [
+    "CodeMetrics",
+    "PLATFORM_MARKERS",
+    "CALLBACK_ENTRY_POINTS",
+    "breaker_report",
+    "chaos_summary",
+    "count_loc",
+    "cyclomatic_complexity",
+    "fault_report",
+    "measure",
+    "platform_api_surface",
+    "resilience_report",
+    "source_of",
+]

@@ -15,6 +15,7 @@ from repro.apps.workforce.server import WorkforceServer
 from repro.device.device import MobileDevice
 from repro.device.gps import Trajectory, Waypoint
 from repro.faults.plan import FaultPlan
+from repro.obs import Observability
 from repro.platforms.android.location import ACCESS_FINE_LOCATION
 from repro.platforms.android.http import INTERNET
 from repro.platforms.android.platform import AndroidPlatform
@@ -90,9 +91,13 @@ def build_android(
     latency: Optional[LatencyModel] = None,
     alert_timer_s: float = -1.0,
     fault_plan: Optional[FaultPlan] = None,
+    observability: Optional[Observability] = None,
 ) -> AndroidScenario:
     device = MobileDevice(
-        AGENT.phone_number, trajectory=commute_trajectory(), fault_plan=fault_plan
+        AGENT.phone_number,
+        trajectory=commute_trajectory(),
+        fault_plan=fault_plan,
+        observability=observability,
     )
     platform = AndroidPlatform(device, sdk_version=sdk_version, latency=latency)
     platform.install(PACKAGE, ANDROID_PERMISSIONS)
@@ -113,9 +118,13 @@ def build_s60(
     latency: Optional[LatencyModel] = None,
     alert_timer_s: float = -1.0,
     fault_plan: Optional[FaultPlan] = None,
+    observability: Optional[Observability] = None,
 ) -> S60Scenario:
     device = MobileDevice(
-        AGENT.phone_number, trajectory=commute_trajectory(), fault_plan=fault_plan
+        AGENT.phone_number,
+        trajectory=commute_trajectory(),
+        fault_plan=fault_plan,
+        observability=observability,
     )
     platform = S60Platform(device, latency=latency)
     suite = MidletSuite(
@@ -146,9 +155,13 @@ def build_webview(
     android_latency: Optional[LatencyModel] = None,
     alert_timer_s: float = -1.0,
     fault_plan: Optional[FaultPlan] = None,
+    observability: Optional[Observability] = None,
 ) -> WebViewScenario:
     device = MobileDevice(
-        AGENT.phone_number, trajectory=commute_trajectory(), fault_plan=fault_plan
+        AGENT.phone_number,
+        trajectory=commute_trajectory(),
+        fault_plan=fault_plan,
+        observability=observability,
     )
     android = AndroidPlatform(device, latency=android_latency)
     android.install(PACKAGE, ANDROID_PERMISSIONS)

@@ -304,9 +304,9 @@ class Fig10Runner:
             cleanup()
         for _ in range(repetitions):
             virtual_before = bench.clock_now()
-            real_before = time.perf_counter()
+            real_before = time.perf_counter()  # wall-clock: measurement
             invoke()
-            real_ms = (time.perf_counter() - real_before) * 1_000.0
+            real_ms = (time.perf_counter() - real_before) * 1_000.0  # wall-clock: measurement
             virtual_ms = bench.clock_now() - virtual_before
             samples.append(
                 InvocationSample(

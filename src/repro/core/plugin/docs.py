@@ -12,6 +12,7 @@ from typing import List
 
 from repro.core.descriptor.model import ProxyDescriptor
 from repro.core.descriptor.registry import ProxyRegistry
+from repro.obs.report import instrumentation_points
 
 
 def render_proxy_markdown(descriptor: ProxyDescriptor) -> str:
@@ -84,6 +85,18 @@ def render_proxy_markdown(descriptor: ProxyDescriptor) -> str:
                 )
         if binding.notes:
             lines += ["", f"> {binding.notes}"]
+
+    lines += [
+        "",
+        "## Observability (instrumentation points)",
+        "",
+        "With tracing enabled every invocation produces this span tree "
+        "(virtual-clock timed; see [OBSERVABILITY.md](OBSERVABILITY.md)):",
+    ]
+    for point in instrumentation_points(descriptor):
+        lines += ["", f"### `{point['method']}`"]
+        lines += [f"- span: `{span}`" for span in point["spans"]]
+        lines += [f"- metric: `{metric}`" for metric in point["metrics"]]
     return "\n".join(lines) + "\n"
 
 

@@ -74,6 +74,7 @@ class AndroidCallProxyImpl(CallProxy):
                         listener.on_finished(handle)
 
             session = phone.call(number, on_state if listener is not None else None)
+            self._trace_event("binding.call_session", call_id=session.call_id)
             handle = CallHandle(call_id=session.call_id, number=number)
             handle_holder["handle"] = handle
             self._sessions[handle.call_id] = session

@@ -163,10 +163,11 @@ class CallProxyJs(CallProxy):
     ) -> CallHandle:
         self._validate_arguments("makeACall", number=number)
         self._record("makeACall", number=number)
-        payload = self._invoke(
-            "makeACall",
-            lambda: decode_or_raise(self._wrapper.make_a_call(self._swi, number)),
-        )
+        def attempt() -> Dict:
+            self._trace_event("binding.bridge_call", method="makeACall")
+            return decode_or_raise(self._wrapper.make_a_call(self._swi, number))
+
+        payload = self._invoke("makeACall", attempt)
         call_id = payload["callId"]
         notification_id = payload["notificationId"]
         # The JS domain keeps its own mirror handle; the Java one stays put.

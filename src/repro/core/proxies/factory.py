@@ -102,6 +102,10 @@ def create_proxy(
       (SMS proxies additionally get a ``redelivery_queue`` when the
       policy configures redelivery);
     * ``False`` — attach nothing (a completely bare proxy).
+
+    The device's observability hub (``device.obs``) is attached to the
+    proxy and its resilience runtime, so enabling tracing on the device
+    instruments every proxied invocation with no per-binding wiring.
     """
     # Ensure binding modules have registered their classes.
     import repro.core.proxies.location.android  # noqa: F401
@@ -130,12 +134,16 @@ def create_proxy(
         raise ProxyUnavailableError(str(exc)) from exc
     cls = implementation_class(binding.implementation_class)
     proxy = cls(registry.descriptor(interface), platform_object)
+    observability = getattr(platform_object.device, "obs", None)
+    if observability is not None:
+        proxy.attach_observability(observability)
     if resilience is not False:
         policy = resilience if resilience is not None else ResiliencePolicy()
         runtime = ResilienceRuntime(
             policy,
             platform_object.scheduler,
             label=f"{interface}/{platform_name}",
+            observability=observability,
         )
         proxy.attach_resilience(runtime)
         if interface == "Sms" and policy.redelivery is not None:

@@ -44,6 +44,7 @@ class AndroidHttpProxyImpl(HttpProxy):
             client = self._platform.http_client(context)
             request = HttpGet(url)
             request.add_header("User-Agent", self.get_property("userAgent"))
+            self._trace_event("binding.http_request", method="GET", url=url)
             response = client.execute(request)
             return HttpResult(
                 status=response.get_status_line().get_status_code(),
@@ -64,6 +65,7 @@ class AndroidHttpProxyImpl(HttpProxy):
             request.add_header("User-Agent", self.get_property("userAgent"))
             request.add_header("Content-Type", self.get_property("contentType"))
             request.set_entity(body)
+            self._trace_event("binding.http_request", method="POST", url=url)
             response = client.execute(request)
             return HttpResult(
                 status=response.get_status_line().get_status_code(),

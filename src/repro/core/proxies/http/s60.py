@@ -39,6 +39,7 @@ class S60HttpProxyImpl(HttpProxy):
                 connection.set_request_property(
                     "User-Agent", self.get_property("userAgent")
                 )
+                self._trace_event("binding.http_request", method="GET", url=url)
                 status = connection.get_response_code()
                 body = connection.open_input_stream().read_fully()
             finally:
@@ -62,6 +63,7 @@ class S60HttpProxyImpl(HttpProxy):
                     "Content-Type", self.get_property("contentType")
                 )
                 connection.write_body(body)
+                self._trace_event("binding.http_request", method="POST", url=url)
                 status = connection.get_response_code()
                 response_body = connection.open_input_stream().read_fully()
             finally:

@@ -161,6 +161,7 @@ class HttpProxyJs(HttpProxy):
         self._record("get", url=url)
 
         def attempt() -> HttpResult:
+            self._trace_event("binding.bridge_call", method="get", url=url)
             payload = decode_or_raise(self._wrapper.get(self._swi, url))
             return HttpResult(status=payload["status"], body=payload["body"])
 
@@ -171,6 +172,7 @@ class HttpProxyJs(HttpProxy):
         self._record("post", url=url, length=len(body))
 
         def attempt() -> HttpResult:
+            self._trace_event("binding.bridge_call", method="post", url=url)
             payload = decode_or_raise(self._wrapper.post(self._swi, url, body))
             return HttpResult(status=payload["status"], body=payload["body"])
 

@@ -147,6 +147,11 @@ class AndroidLocationProxyImpl(LocationProxy):
                 target = PendingIntent.get_broadcast(context, 0, intent)
             else:
                 target = intent
+            self._trace_event(
+                "binding.sdk_absorption",
+                action=action,
+                target=type(target).__name__,
+            )
             manager.add_proximity_alert(
                 latitude, longitude, radius, expiration_ms, target
             )

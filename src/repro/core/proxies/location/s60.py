@@ -175,6 +175,11 @@ class S60LocationProxyImpl(LocationProxy):
             )
             self._machines[id(proximity_listener)] = machine
             self._arm_entry(machine)
+            self._trace_event(
+                "binding.alert_machine_armed",
+                radius_m=radius,
+                deadline_ms=deadline,
+            )
 
     def remove_proximity_alert(self, proximity_listener: ProximityListener) -> None:
         self._record("removeProximityAlert")
@@ -187,6 +192,7 @@ class S60LocationProxyImpl(LocationProxy):
 
         def attempt() -> Location:
             provider = self._acquire_provider("getLocation")
+            self._trace_event("binding.provider_acquired")
             return _to_uniform(provider.get_location(-1))
 
         return self._invoke("getLocation", attempt, fallback=LAST_RESULT)

@@ -108,6 +108,10 @@ class AndroidSmsProxyImpl(SmsProxy):
                     delivery_intent = PendingIntent.get_broadcast(
                         context, 0, Intent(delivered_action)
                     )
+                self._trace_event(
+                    "binding.status_receivers_registered",
+                    delivery_reports=delivery_intent is not None,
+                )
 
         def attempt() -> str:
             return manager.send_text_message(

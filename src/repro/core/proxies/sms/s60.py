@@ -41,6 +41,7 @@ class S60SmsProxyImpl(SmsProxy):
 
         def attempt() -> str:
             connection = self._platform.connector.open(f"sms://{destination}")
+            self._trace_event("binding.connector_opened", scheme="sms")
             try:
                 message = connection.new_message(connection.TEXT_MESSAGE)
                 message.set_payload_text(text)

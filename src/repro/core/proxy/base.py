@@ -23,6 +23,7 @@ from repro.errors import ProxyError, ProxyInvalidArgumentError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.resilience.policy import ResilienceRuntime
+    from repro.obs import Observability
 
 
 class MProxy:
@@ -51,6 +52,7 @@ class MProxy:
         self.properties = PropertySet(self.binding.properties)
         self._invocations: List[Tuple[str, Dict[str, Any]]] = []
         self._resilience: Optional["ResilienceRuntime"] = None
+        self._obs: Optional["Observability"] = None
 
     # -- the generic property mechanism (paper: setProperty) -----------------
 
@@ -77,9 +79,22 @@ class MProxy:
 
     @contextlib.contextmanager
     def _guard(self, operation: str) -> Iterator[None]:
-        """Map any escaping platform exception to the uniform hierarchy."""
+        """Map any escaping platform exception to the uniform hierarchy.
+
+        With tracing enabled the guarded block is recorded as a
+        ``binding:<operation>`` span — the binding-plane layer of the
+        invocation's span tree.
+        """
+        obs = self._obs
+        if obs is not None and obs.tracer.enabled:
+            span_cm = obs.tracer.span(
+                f"binding:{operation}", platform=self.binding.platform
+            )
+        else:
+            span_cm = contextlib.nullcontext()
         try:
-            yield
+            with span_cm:
+                yield
         except ProxyError:
             raise  # already uniform
         except Exception as exc:
@@ -100,6 +115,26 @@ class MProxy:
         """The attached runtime (``None`` for bare proxies)."""
         return self._resilience
 
+    # -- observability ---------------------------------------------------------
+
+    def attach_observability(self, observability: "Observability") -> None:
+        """Attach the device's observability hub (done by the factory,
+        like :meth:`attach_resilience`)."""
+        self._obs = observability
+
+    @property
+    def observability(self) -> Optional["Observability"]:
+        """The attached hub (``None`` for hand-built proxies)."""
+        return self._obs
+
+    def _trace_event(self, name: str, **attributes: Any) -> None:
+        """Binding-plane hook: annotate the in-flight span with a
+        platform-specific moment (receiver registered, handle created,
+        …).  Free when tracing is off."""
+        obs = self._obs
+        if obs is not None and obs.tracer.enabled:
+            obs.tracer.event(name, **attributes)
+
     def _invoke(
         self,
         operation: str,
@@ -118,6 +153,19 @@ class MProxy:
         :data:`~repro.core.resilience.LAST_RESULT` sentinel or a
         zero-argument callable.
         """
+        obs = self._obs
+        if obs is not None and obs.tracer.enabled:
+            with obs.tracer.span(
+                f"dispatch:{operation}",
+                interface=self.descriptor.interface,
+                platform=self.binding.platform,
+            ):
+                return self._invoke_guarded(operation, thunk, fallback)
+        return self._invoke_guarded(operation, thunk, fallback)
+
+    def _invoke_guarded(
+        self, operation: str, thunk: Callable[[], Any], fallback: Any
+    ) -> Any:
         if self._resilience is None:
             with self._guard(operation):
                 return thunk()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.util.clock import SimulatedClock
@@ -51,15 +51,30 @@ class BreakerConfig:
 
 
 class CircuitBreaker:
-    """One breaker instance (the runtime keeps one per proxy operation)."""
+    """One breaker instance (the runtime keeps one per proxy operation).
 
-    def __init__(self, config: BreakerConfig, clock: SimulatedClock) -> None:
+    ``on_transition`` is an optional ``(t_ms, from, to)`` callback the
+    observability plane uses to mirror every state change as a span
+    event and a metric — the transition list itself remains the source
+    of truth for the chaos suite.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        clock: SimulatedClock,
+        *,
+        on_transition: Optional[
+            Callable[[float, BreakerState, BreakerState], None]
+        ] = None,
+    ) -> None:
         self._config = config
         self._clock = clock
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._half_open_successes = 0
         self._opened_at_ms: float = 0.0
+        self._on_transition = on_transition
         #: (virtual time, from-state, to-state) transition history.
         self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
 
@@ -75,8 +90,11 @@ class CircuitBreaker:
     def _transition(self, to: BreakerState) -> None:
         if to is self._state:
             return
-        self.transitions.append((self._clock.now_ms, self._state, to))
+        frm = self._state
+        self.transitions.append((self._clock.now_ms, frm, to))
         self._state = to
+        if self._on_transition is not None:
+            self._on_transition(self._clock.now_ms, frm, to)
 
     def _maybe_half_open(self) -> None:
         if (

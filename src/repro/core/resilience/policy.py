@@ -34,6 +34,7 @@ from repro.errors import (
     ProxyError,
     ProxyTimeoutError,
 )
+from repro.obs import MetricsRegistry, NOOP_TRACER, Observability
 from repro.util.clock import Scheduler
 
 #: A fallback is either the LAST_RESULT sentinel or ``f(error) -> value``
@@ -90,28 +91,51 @@ def chaos_policy(interface: str, *, seed: int = 0) -> ResiliencePolicy:
     )
 
 
-@dataclass
-class ResilienceStats:
-    """Counters one runtime accumulates (exposed via analysis.metrics)."""
+#: The counter fields every runtime tracks, in report order.
+STAT_FIELDS = (
+    "attempts",
+    "successes",
+    "failures",
+    "retries",
+    "timeouts",
+    "circuit_rejections",
+    "fallbacks_served",
+)
 
-    attempts: int = 0
-    successes: int = 0
-    failures: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    circuit_rejections: int = 0
-    fallbacks_served: int = 0
+
+class ResilienceStats:
+    """Counters one runtime accumulates (exposed via analysis.metrics).
+
+    Since the observability plane landed these are a *view* over
+    ``resilience.<field>{runtime=<label>}`` series in a
+    :class:`~repro.obs.MetricsRegistry` — the same numbers appear in
+    registry snapshots, in :func:`~repro.obs.report.resilience_report`
+    and on this object's attributes.  A stats object created without a
+    registry (unit tests, hand-built runtimes) gets a private one.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, label: str = "runtime"
+    ) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            field: registry.counter(f"resilience.{field}", runtime=label)
+            for field in STAT_FIELDS
+        }
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        self._counters[field].inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "attempts": self.attempts,
-            "successes": self.successes,
-            "failures": self.failures,
-            "retries": self.retries,
-            "timeouts": self.timeouts,
-            "circuit_rejections": self.circuit_rejections,
-            "fallbacks_served": self.fallbacks_served,
-        }
+        return {field: self._counters[field].value for field in STAT_FIELDS}
 
 
 class ResilienceRuntime:
@@ -123,12 +147,19 @@ class ResilienceRuntime:
         scheduler: Scheduler,
         *,
         label: str = "proxy",
+        observability: Optional[Observability] = None,
     ) -> None:
         self.policy = policy
         self._scheduler = scheduler
         self._clock = scheduler.clock
         self.label = label
-        self.stats = ResilienceStats()
+        if observability is not None:
+            self._metrics = observability.metrics
+            self._tracer = observability.tracer
+        else:
+            self._metrics = MetricsRegistry()
+            self._tracer = NOOP_TRACER
+        self.stats = ResilienceStats(self._metrics, label)
         self.breakers: Dict[str, CircuitBreaker] = {}
         self._last_results: Dict[str, Any] = {}
         self._jitter_rng = random.Random(f"{policy.seed}:{label}")
@@ -140,9 +171,32 @@ class ResilienceRuntime:
             return None
         breaker = self.breakers.get(operation)
         if breaker is None:
-            breaker = CircuitBreaker(self.policy.breaker, self._clock)
+            breaker = CircuitBreaker(
+                self.policy.breaker,
+                self._clock,
+                on_transition=self._breaker_observer(operation),
+            )
             self.breakers[operation] = breaker
         return breaker
+
+    def _breaker_observer(self, operation: str):
+        """Mirror breaker transitions as span events and metrics."""
+
+        def observe(t_ms: float, frm, to) -> None:
+            self._metrics.counter(
+                "resilience.breaker_transitions",
+                runtime=self.label,
+                operation=operation,
+                to=to.value,
+            ).inc()
+            self._tracer.event(
+                "breaker.transition",
+                operation=operation,
+                from_state=frm.value,
+                to_state=to.value,
+            )
+
+        return observe
 
     def breaker_transitions(self) -> list:
         """Every breaker transition: (operation, t_ms, from, to)."""
@@ -170,10 +224,41 @@ class ResilienceRuntime:
 
         Raises only uniform :class:`ProxyError` subclasses; on exhausted
         transient retries an enabled fallback may absorb the failure.
+        With tracing enabled the whole execution is one
+        ``resilience:<operation>`` span, each attempt a child
+        ``binding:<operation>`` span, and every policy decision (retry,
+        timeout, rejection, fallback, breaker transition) a span event.
         """
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._execute(binding, operation, thunk, fallback)
+        with tracer.span(
+            f"resilience:{operation}",
+            runtime=self.label,
+            max_attempts=self.policy.max_attempts,
+        ):
+            return self._execute(binding, operation, thunk, fallback)
+
+    def _run_attempt(
+        self, operation: str, thunk: Callable[[], Any], attempt: int
+    ) -> Any:
+        tracer = self._tracer
+        if not tracer.enabled:
+            return thunk()
+        with tracer.span(f"binding:{operation}", attempt=attempt):
+            return thunk()
+
+    def _execute(
+        self,
+        binding: BindingPlane,
+        operation: str,
+        thunk: Callable[[], Any],
+        fallback: Optional[Fallback],
+    ) -> Any:
         breaker = self.breaker_for(operation)
         if breaker is not None and not breaker.allow():
-            self.stats.circuit_rejections += 1
+            self.stats.inc("circuit_rejections")
+            self._tracer.event("circuit.rejected", operation=operation)
             rejection = ProxyCircuitOpenError(
                 f"{operation} rejected: circuit open for {self.label}"
             )
@@ -185,11 +270,11 @@ class ResilienceRuntime:
         policy = self.policy
         retry_index = 0
         while True:
-            self.stats.attempts += 1
+            self.stats.inc("attempts")
             started_ms = self._clock.now_ms
             error: Optional[ProxyError] = None
             try:
-                result = thunk()
+                result = self._run_attempt(operation, thunk, retry_index + 1)
             except ProxyError as exc:
                 error = exc
             except Exception as exc:
@@ -197,19 +282,22 @@ class ResilienceRuntime:
             else:
                 elapsed = self._clock.now_ms - started_ms
                 if policy.timeout_ms is not None and elapsed > policy.timeout_ms:
-                    self.stats.timeouts += 1
+                    self.stats.inc("timeouts")
+                    self._tracer.event(
+                        "timeout", operation=operation, elapsed_ms=elapsed
+                    )
                     error = ProxyTimeoutError(
                         f"{operation} took {elapsed:.0f}ms of virtual time "
                         f"(budget {policy.timeout_ms:.0f}ms)"
                     )
                 else:
-                    self.stats.successes += 1
+                    self.stats.inc("successes")
                     if breaker is not None:
                         breaker.record_success()
                     self._last_results[operation] = result
                     return result
 
-            self.stats.failures += 1
+            self.stats.inc("failures")
             if breaker is not None:
                 breaker.record_failure(transient=error.transient)
             attempts_left = policy.max_attempts - (retry_index + 1)
@@ -219,8 +307,14 @@ class ResilienceRuntime:
                 and (breaker is None or breaker.allow())
             )
             if may_retry:
-                self.stats.retries += 1
+                self.stats.inc("retries")
                 delay = policy.backoff.delay_ms(retry_index, self._jitter_rng)
+                self._tracer.event(
+                    "retry",
+                    operation=operation,
+                    attempt=retry_index + 2,
+                    delay_ms=delay,
+                )
                 if delay > 0:
                     self._clock.advance(delay)
                 retry_index += 1
@@ -238,10 +332,14 @@ class ResilienceRuntime:
         if fallback == LAST_RESULT:
             if operation not in self._last_results:
                 return _NO_FALLBACK
-            self.stats.fallbacks_served += 1
+            self.stats.inc("fallbacks_served")
+            self._tracer.event(
+                "fallback.served", operation=operation, kind="last_result"
+            )
             return self._last_results[operation]
         value = fallback(error)
         if value is UNHANDLED:
             return _NO_FALLBACK
-        self.stats.fallbacks_served += 1
+        self.stats.inc("fallbacks_served")
+        self._tracer.event("fallback.served", operation=operation, kind="callable")
         return value

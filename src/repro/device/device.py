@@ -20,6 +20,7 @@ from repro.device.profiles import DeviceProfile, ANDROID_DEV_PHONE
 from repro.device.telephony import TelephonyUnit
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.obs import Observability
 from repro.util.clock import Scheduler, SimulatedClock
 from repro.util.events import EventBus
 from repro.util.latency import LatencyModel
@@ -50,6 +51,12 @@ class MobileDevice:
         ``sms_center``/``network`` instances keep whatever injector they
         were built with; the plan only wires the private subsystems this
         constructor creates.
+    observability:
+        Optional :class:`~repro.obs.Observability` hub.  Like the fault
+        injector, a hub is always present (``device.obs``) — the default
+        one has a no-op tracer, so instrumented paths stay at their
+        uninstrumented cost.  The device binds its virtual clock to the
+        hub so span stamps are in device time.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class MobileDevice:
         trajectory: Optional[Trajectory] = None,
         gps_seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if not phone_number:
             raise ValueError("phone_number must be non-empty")
@@ -73,7 +81,11 @@ class MobileDevice:
         self.bus = EventBus()
         self.battery = Battery()
         self.latency = latency or LatencyModel()
-        self.faults = FaultInjector(fault_plan, clock=self.scheduler.clock)
+        self.obs = observability or Observability.disabled()
+        self.obs.bind_clock(self.scheduler.clock)
+        self.faults = FaultInjector(
+            fault_plan, clock=self.scheduler.clock, observability=self.obs
+        )
         self.gps = GpsReceiver(
             self.scheduler,
             self.bus,

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.faults.plan import FAULT_SITES, FaultPlan, FaultRule
 from repro.util.clock import SimulatedClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -40,7 +43,11 @@ class FaultInjector:
     """
 
     def __init__(
-        self, plan: Optional[FaultPlan] = None, clock: Optional[SimulatedClock] = None
+        self,
+        plan: Optional[FaultPlan] = None,
+        clock: Optional[SimulatedClock] = None,
+        *,
+        observability: Optional["Observability"] = None,
     ) -> None:
         self._plan = plan or FaultPlan()
         self._clock = clock
@@ -53,6 +60,14 @@ class FaultInjector:
         }
         self._fired: Dict[int, int] = {}  # id(rule) -> times fired
         self._log: List[InjectedFault] = []
+        if observability is None:
+            from repro.obs import MetricsRegistry
+
+            self._obs = None
+            self._metrics = MetricsRegistry()
+        else:
+            self._obs = observability
+            self._metrics = observability.metrics
 
     @property
     def plan(self) -> FaultPlan:
@@ -66,6 +81,15 @@ class FaultInjector:
     def bind_clock(self, clock: SimulatedClock) -> None:
         """Late-bind the virtual clock (device wiring convenience)."""
         self._clock = clock
+
+    def bind_observability(self, observability: "Observability") -> None:
+        """Late-bind the observability hub (device wiring convenience).
+
+        Faults already counted stay in the injector's previous registry;
+        bind before running the scenario.
+        """
+        self._obs = observability
+        self._metrics = observability.metrics
 
     def decide(self, site: str) -> Optional[InjectedFault]:
         """One consult of ``site``; returns the fault to inject, if any.
@@ -92,6 +116,13 @@ class FaultInjector:
                 self._fired[id(rule)] = fired + 1
                 fault = InjectedFault(site=site, kind=rule.kind, at_ms=now, rule=rule)
                 self._log.append(fault)
+                self._metrics.counter(
+                    "faults.injected", site=site, kind=rule.kind
+                ).inc()
+                if self._obs is not None and self._obs.tracer.enabled:
+                    self._obs.tracer.event(
+                        "fault.injected", site=site, kind=rule.kind
+                    )
                 return fault
             return None  # first active rule decides, fault or not
         return None
@@ -104,11 +135,11 @@ class FaultInjector:
         return list(self._log)
 
     def counts(self) -> Dict[str, Dict[str, int]]:
-        """site -> kind -> number of faults injected."""
+        """site -> kind -> number of faults injected (registry-backed)."""
         out: Dict[str, Dict[str, int]] = {}
-        for fault in self._log:
-            out.setdefault(fault.site, {})
-            out[fault.site][fault.kind] = out[fault.site].get(fault.kind, 0) + 1
+        for counter in self._metrics.collect("faults.injected"):
+            site = counter.labels["site"]
+            out.setdefault(site, {})[counter.labels["kind"]] = counter.value
         return out
 
     def total_injected(self) -> int:

@@ -1,0 +1,144 @@
+"""The observability plane: tracing, metrics and run reports.
+
+One :class:`Observability` hub per device bundles:
+
+* a tracer — :class:`~repro.obs.tracer.Tracer` when enabled, the shared
+  :data:`~repro.obs.tracer.NOOP_TRACER` otherwise;
+* a :class:`~repro.obs.metrics.MetricsRegistry` — always live, because
+  the resilience counters and fault counts must work even when tracing
+  is off (they have been part of the chaos contract since PR 1).
+
+The hub is attached at device construction
+(``MobileDevice(..., observability=Observability())``) and flows to
+every mounted platform, the fault injector, and — via the proxy
+factory — every proxy and its resilience runtime.  The default hub is
+disabled: instrumentation sites check ``tracer.enabled`` first, so the
+Figure-10 invocation path pays one attribute read and a branch.
+
+Span vocabulary (see ``docs/OBSERVABILITY.md``):
+
+``dispatch:<op>`` → ``resilience:<op>`` → ``binding:<op>`` →
+``substrate:<native-op>`` / ``bridge:<method>``, with resilience events
+(``retry``, ``timeout``, ``circuit.rejected``, ``fallback.served``,
+``breaker.transition``) and fault events (``fault.injected``) attached
+to whichever span is in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.exporters import (
+    InMemoryExporter,
+    JsonlFileExporter,
+    export_jsonl,
+    render_metrics_text,
+    render_span_tree,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    breaker_report,
+    chaos_summary,
+    fault_report,
+    instrumentation_points,
+    registry_report,
+    resilience_report,
+)
+from repro.obs.span import Span, SpanEvent
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, Tracer
+from repro.util.clock import SimulatedClock
+
+
+class Observability:
+    """One device's tracing + metrics hub.
+
+    Parameters
+    ----------
+    enabled:
+        ``True`` builds a recording tracer; ``False`` (the deviceless
+        default) attaches the shared no-op tracer.  The metrics
+        registry is live either way.
+    clock:
+        Virtual clock for span stamps; usually left ``None`` and bound
+        by the adopting device.
+    capture_real_time:
+        Passed through to the tracer; disable for fully constant span
+        objects in tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Optional[SimulatedClock] = None,
+        capture_real_time: bool = True,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = (
+            Tracer(clock, capture_real_time=capture_real_time)
+            if enabled
+            else NOOP_TRACER
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The default hub: live metrics, no-op tracer."""
+        return cls(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether tracing is recording (metrics always are)."""
+        return self.tracer.enabled
+
+    def bind_clock(self, clock: SimulatedClock) -> None:
+        self.tracer.bind_clock(clock)
+
+    # -- convenience export surface -----------------------------------------
+
+    def export_jsonl(self, *, include_real_time: bool = False) -> str:
+        """Finished spans as deterministic JSON Lines."""
+        return export_jsonl(
+            self.tracer.finished_spans(), include_real_time=include_real_time
+        )
+
+    def render_trace(self) -> str:
+        """Human-readable span forest."""
+        return render_span_tree(self.tracer.spans)
+
+    def render_metrics(self) -> str:
+        """Human-readable metric dump."""
+        return render_metrics_text(self.metrics)
+
+    def report(self) -> dict:
+        """Registry-derived summary (see :func:`~repro.obs.report.registry_report`)."""
+        return registry_report(self.metrics)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonlFileExporter",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Observability",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "breaker_report",
+    "chaos_summary",
+    "export_jsonl",
+    "fault_report",
+    "instrumentation_points",
+    "registry_report",
+    "render_metrics_text",
+    "render_span_tree",
+    "resilience_report",
+]

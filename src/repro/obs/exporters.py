@@ -1,0 +1,125 @@
+"""Trace and metric exporters.
+
+Three export surfaces, matched to three consumers:
+
+* :class:`InMemoryExporter` — tests assert on structured span dicts;
+* :func:`export_jsonl` / :class:`JsonlFileExporter` — one JSON object
+  per span, sorted keys, virtual-time stamps only — byte-identical for
+  identical seeded runs;
+* :func:`render_span_tree` / :func:`render_metrics_text` — the
+  human-readable operator view.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.span import Span
+
+
+class InMemoryExporter:
+    """Collects span dicts for programmatic inspection."""
+
+    def __init__(self, *, include_real_time: bool = False) -> None:
+        self._include_real_time = include_real_time
+        self.exported: List[Dict[str, Any]] = []
+
+    def export(self, spans: Iterable[Span]) -> List[Dict[str, Any]]:
+        batch = [
+            span.to_dict(include_real_time=self._include_real_time) for span in spans
+        ]
+        self.exported.extend(batch)
+        return batch
+
+
+def export_jsonl(spans: Iterable[Span], *, include_real_time: bool = False) -> str:
+    """Spans as JSON Lines (deterministic: sorted keys, virtual time only
+    unless ``include_real_time``)."""
+    lines = [
+        json.dumps(
+            span.to_dict(include_real_time=include_real_time),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for span in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class JsonlFileExporter:
+    """Writes span batches to a JSONL file."""
+
+    def __init__(self, path, *, include_real_time: bool = False) -> None:
+        self.path = path
+        self._include_real_time = include_real_time
+
+    def export(self, spans: Iterable[Span]) -> int:
+        """Append ``spans``; returns the number written."""
+        payload = export_jsonl(spans, include_real_time=self._include_real_time)
+        count = payload.count("\n")
+        with open(self.path, "a") as handle:
+            handle.write(payload)
+        return count
+
+
+def render_span_tree(spans: Iterable[Span], *, include_events: bool = True) -> str:
+    """ASCII rendering of the span forest, in start order."""
+    spans = list(spans)
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: List[str] = []
+
+    def _walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        status = "" if span.status == "ok" else f" [{span.status}: {span.error}]"
+        attrs = ""
+        if span.attributes:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.attributes.items())
+            )
+            attrs = f" ({rendered})"
+        lines.append(
+            f"{indent}{span.name}{attrs} "
+            f"@{span.start_virtual_ms:.1f}ms +{span.duration_virtual_ms:.1f}ms"
+            f"{status}"
+        )
+        if include_events:
+            for event in span.events:
+                event_attrs = ""
+                if event.attributes:
+                    rendered = ", ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(event.attributes.items())
+                    )
+                    event_attrs = f" ({rendered})"
+                lines.append(
+                    f"{indent}  * {event.name}{event_attrs} @{event.t_virtual_ms:.1f}ms"
+                )
+        for child in children.get(span.span_id, []):
+            _walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics_text(registry: MetricsRegistry) -> str:
+    """Flat, sorted, human-readable metric dump."""
+    lines: List[str] = []
+    for instrument in registry.collect():
+        labels = ",".join(
+            f"{key}={value}" for key, value in sorted(instrument.labels.items())
+        )
+        series = f"{instrument.name}{{{labels}}}" if labels else instrument.name
+        if isinstance(instrument, Histogram):
+            lines.append(
+                f"{series} count={instrument.count} sum={instrument.sum:.3f} "
+                f"mean={instrument.mean:.3f}"
+            )
+        else:
+            lines.append(f"{series} {instrument.value}")
+    return "\n".join(lines)

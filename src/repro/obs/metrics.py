@@ -1,0 +1,199 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` lives on each device's observability hub
+and is shared by the fault injector, every proxy's resilience runtime,
+and the substrate instrumentation.  Instruments are identified by
+``(name, labels)`` — asking twice for the same pair returns the same
+instrument, so call sites never need to cache handles (though hot paths
+may, cheaply).
+
+Everything is deterministic: no timestamps, no randomness; a snapshot
+is a pure function of the increments that produced it, serialized in
+sorted order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds (milliseconds-flavoured).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0,
+)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer-or-float count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (e.g. open breakers, queue depth)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, like Prometheus).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; a final
+    implicit +Inf bucket (``overflow``) catches the rest.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "overflow", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigurationError("histogram bounds must be sorted and non-empty")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.bucket_counts[index] += 1
+        else:
+            self.overflow += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.overflow))
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """The per-device instrument store."""
+
+    def __init__(self) -> None:
+        #: (name, labels_key) -> instrument
+        self._instruments: Dict[Tuple[str, LabelsKey], Any] = {}
+        #: name -> kind string, to reject kind clashes early.
+        self._kinds: Dict[str, str] = {}
+
+    # -- instrument access ---------------------------------------------------
+
+    def _get(self, kind: str, name: str, labels: Dict[str, Any], **extra: Any):
+        declared = self._kinds.setdefault(name, kind)
+        if declared != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {declared}, "
+                f"requested as a {kind}"
+            )
+        key = (name, _labels_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            label_strs = {k: str(v) for k, v in labels.items()}
+            instrument = _KINDS[kind](name, label_strs, **extra)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        if buckets is None:
+            return self._get("histogram", name, labels)
+        return self._get("histogram", name, labels, bounds=tuple(buckets))
+
+    # -- reading -------------------------------------------------------------
+
+    def collect(self, name: Optional[str] = None) -> Iterator[Any]:
+        """Iterate instruments (optionally one metric name) in sorted order."""
+        for (metric_name, _), instrument in sorted(self._instruments.items()):
+            if name is None or metric_name == name:
+                yield instrument
+
+    def kind_of(self, name: str) -> Optional[str]:
+        return self._kinds.get(name)
+
+    def counter_values(self, name: str) -> Dict[LabelsKey, int]:
+        """``labels_key -> value`` for every series of one counter."""
+        return {
+            _labels_key(instrument.labels): instrument.value
+            for instrument in self.collect(name)
+        }
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across all label sets (0 when unregistered)."""
+        return sum(instrument.value for instrument in self.collect(name))
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Deterministic JSON-able dump of every instrument."""
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for instrument in self.collect():
+            entry: Dict[str, Any] = {"labels": dict(sorted(instrument.labels.items()))}
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = round(instrument.sum, 6)
+                entry["buckets"] = [
+                    [bound if bound != float("inf") else "+Inf", count]
+                    for bound, count in instrument.cumulative()
+                ]
+            else:
+                entry["value"] = instrument.value
+            out.setdefault(instrument.name, []).append(entry)
+        return out

@@ -1,0 +1,199 @@
+"""Tracers: the span factory threaded through the M-Proxy stack.
+
+Two implementations share one duck type:
+
+* :class:`Tracer` — records hierarchical spans stamped with virtual and
+  real time.  Single-threaded by design (the whole simulation is), so
+  the "current span" is a plain stack, not a context variable.
+* :class:`NoopTracer` — the default attached to every device.  Its
+  ``enabled`` flag is ``False`` and every instrumentation site checks
+  that flag *before* doing any span work, which is what keeps the
+  Figure-10 invocation path at its pre-observability cost.
+
+Determinism: span and trace ids are sequential integers; virtual
+timestamps come from the bound :class:`~repro.util.clock.SimulatedClock`.
+The only wall-clock read in the subsystem is the per-span real-time
+stamp below, which never feeds back into simulation behaviour and is
+excluded from deterministic exports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import time
+from typing import Any, Iterator, List, Optional
+
+from repro.obs.span import Span
+from repro.util.clock import SimulatedClock
+
+
+def _real_now_ms() -> float:
+    """Real-time stamp for span profiling (never drives simulation)."""
+    return time.perf_counter() * 1_000.0  # wall-clock: measurement
+
+
+class NoopTracer:
+    """The zero-cost tracer: every operation is a no-op.
+
+    Instrumentation sites should guard on :attr:`enabled` and skip span
+    construction entirely; the methods below exist so that code holding
+    a tracer reference never needs an ``is None`` dance.
+    """
+
+    enabled = False
+
+    @property
+    def current_span(self) -> None:
+        return None
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[None]:
+        yield None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def bind_clock(self, clock: SimulatedClock) -> None:
+        pass
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared no-op instance (stateless, safe to share across devices).
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """Records hierarchical spans against a virtual clock.
+
+    Parameters
+    ----------
+    clock:
+        The virtual clock stamping span boundaries.  May be bound later
+        (``bind_clock``) — a device adopts the tracer during
+        construction; until then virtual stamps read 0.0.
+    capture_real_time:
+        When ``False``, real-time stamps are recorded as 0.0 — useful
+        for tests that want fully constant span objects.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[SimulatedClock] = None,
+        *,
+        capture_real_time: bool = True,
+    ) -> None:
+        self._clock = clock
+        self._capture_real_time = capture_real_time
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    def bind_clock(self, clock: SimulatedClock) -> None:
+        """Adopt the device's virtual clock (done by ``MobileDevice``)."""
+        self._clock = clock
+
+    # -- clock reads ---------------------------------------------------------
+
+    def _virtual_now(self) -> float:
+        return self._clock.now_ms if self._clock is not None else 0.0
+
+    def _real_now(self) -> float:
+        return _real_now_ms() if self._capture_real_time else 0.0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, **attributes: Any) -> Span:
+        """Open a span as a child of the current span (manual lifecycle;
+        prefer the :meth:`span` context manager)."""
+        parent = self.current_span
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else next(self._trace_ids),
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start_virtual_ms=self._virtual_now(),
+            start_real_ms=self._real_now(),
+        )
+        for key, value in attributes.items():
+            span.set_attribute(key, value)
+        self._spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span`` (and anything left open beneath it)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end_virtual_ms = self._virtual_now()
+            top.end_real_ms = self._real_now()
+            if top is span:
+                return
+        raise ValueError(f"span {span.name!r} is not open on this tracer")
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` block.
+
+        An escaping exception marks the span's status as ``error`` (with
+        the exception text) and is re-raised untouched.
+        """
+        span = self.start_span(name, **attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            span.mark_error(exc)
+            raise
+        finally:
+            self.end_span(span)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach a virtual-time-stamped event to the current span.
+
+        Outside any span the event is dropped — instrumentation sites
+        fire unconditionally and rely on this to stay quiet when no
+        invocation is in flight.
+        """
+        span = self.current_span
+        if span is not None:
+            span.add_event(name, self._virtual_now(), **attributes)
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Every span started so far, in start order."""
+        return list(self._spans)
+
+    def finished_spans(self) -> List[Span]:
+        return [span for span in self._spans if span.finished]
+
+    def roots(self) -> List[Span]:
+        return [span for span in self._spans if span.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def reset(self) -> None:
+        """Drop recorded spans (id counters keep running — determinism
+        depends on the construction point, not on resets)."""
+        if self._stack:
+            raise ValueError("cannot reset while spans are open")
+        self._spans.clear()

@@ -58,9 +58,25 @@ class PlatformBase:
         entry point calls this exactly once, which is what makes the
         Figure-10 "without proxy" bars reproducible.  The device battery is
         drained in proportion to the time spent (radio/CPU energy).
+
+        With tracing enabled the charge appears as a ``substrate:<op>``
+        span whose virtual duration is exactly the charged latency, plus
+        a latency histogram sample; the latency *draw* happens before the
+        span so observability can never perturb the latency RNG stream.
         """
         latency = self.native_latency.draw(operation)
-        self.clock.advance(latency)
+        obs = self.device.obs
+        if obs.tracer.enabled:
+            with obs.tracer.span(
+                f"substrate:{operation}", platform=self.platform_name
+            ) as span:
+                span.set_attribute("latency_ms", round(latency, 6))
+                self.clock.advance(latency)
+            obs.metrics.histogram(
+                "substrate.latency_ms", operation=operation
+            ).observe(latency)
+        else:
+            self.clock.advance(latency)
         self.device.battery.drain(operation, latency * self.DRAIN_MWH_PER_MS)
         self._charge_log[operation] = self._charge_log.get(operation, 0) + 1
         return latency

@@ -48,6 +48,15 @@ class _BridgeMethod:
         self._method_name = method_name
 
     def __call__(self, *args: Any) -> Any:
+        tracer = self._platform.device.obs.tracer
+        if not tracer.enabled:
+            return self._cross(args)
+        with tracer.span(
+            f"bridge:{self._method_name}", direction="js->java"
+        ):
+            return self._cross(args)
+
+    def _cross(self, args: tuple) -> Any:
         for arg in args:
             _check_crossing(arg, "into", self._method_name)
         self._platform.charge_bridge(self._method_name)

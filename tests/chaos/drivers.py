@@ -71,8 +71,8 @@ def _finish(platform_name, sc, logic, platform) -> ChaosRun:
     return run
 
 
-def run_android(plan, *, seed: int = 0) -> ChaosRun:
-    sc = scenario.build_android(fault_plan=plan)
+def run_android(plan, *, seed: int = 0, observability=None) -> ChaosRun:
+    sc = scenario.build_android(fault_plan=plan, observability=observability)
     logic = launch_on_android(
         sc.platform,
         sc.new_context(),
@@ -82,8 +82,8 @@ def run_android(plan, *, seed: int = 0) -> ChaosRun:
     return _finish("android", sc, logic, sc.platform)
 
 
-def run_s60(plan, *, seed: int = 0) -> ChaosRun:
-    sc = scenario.build_s60(fault_plan=plan)
+def run_s60(plan, *, seed: int = 0, observability=None) -> ChaosRun:
+    sc = scenario.build_s60(fault_plan=plan, observability=observability)
     logic = launch_on_s60(
         sc.platform,
         sc.config,
@@ -92,8 +92,8 @@ def run_s60(plan, *, seed: int = 0) -> ChaosRun:
     return _finish("s60", sc, logic, sc.platform)
 
 
-def run_webview(plan, *, seed: int = 0) -> ChaosRun:
-    sc = scenario.build_webview(fault_plan=plan)
+def run_webview(plan, *, seed: int = 0, observability=None) -> ChaosRun:
+    sc = scenario.build_webview(fault_plan=plan, observability=observability)
     webview = sc.platform.new_webview()
     WebViewPlatformExtension().install_wrappers(
         webview, sc.platform, sc.new_context(), ["Location", "Sms", "Http"]

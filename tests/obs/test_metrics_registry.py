@@ -1,0 +1,112 @@
+"""MetricsRegistry unit behaviour: instruments, dedupe, snapshots."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests", site="a")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.counter("requests").inc(-1)
+
+    def test_same_name_and_labels_share_one_instrument(self, registry):
+        a = registry.counter("requests", site="x", kind="drop")
+        b = registry.counter("requests", kind="drop", site="x")  # order-insensitive
+        assert a is b
+
+    def test_distinct_labels_are_distinct_series(self, registry):
+        registry.counter("requests", site="x").inc()
+        registry.counter("requests", site="y").inc(2)
+        assert registry.total("requests") == 3
+        values = registry.counter_values("requests")
+        assert values[(("site", "x"),)] == 1
+        assert values[(("site", "y"),)] == 2
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self, registry):
+        histogram = registry.histogram("latency", buckets=(10.0, 100.0))
+        for value in (5.0, 10.0, 50.0, 1_000.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 1]  # <=10 twice, <=100 once
+        assert histogram.overflow == 1
+        assert histogram.count == 4
+        assert histogram.sum == 1_065.0
+        assert histogram.mean == pytest.approx(266.25)
+
+    def test_cumulative_ends_with_inf(self, registry):
+        histogram = registry.histogram("latency", buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        histogram.observe(99.0)
+        assert histogram.cumulative() == [(1.0, 0), (2.0, 1), (float("inf"), 2)]
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_unsorted_bounds_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", buckets=(5.0, 1.0))
+
+    def test_empty_histogram_mean_is_zero(self, registry):
+        assert registry.histogram("latency").mean == 0.0
+
+
+class TestRegistry:
+    def test_kind_clash_rejected(self, registry):
+        registry.counter("metric")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("metric")
+
+    def test_kind_of(self, registry):
+        registry.counter("c")
+        assert registry.kind_of("c") == "counter"
+        assert registry.kind_of("missing") is None
+
+    def test_total_of_unregistered_metric_is_zero(self, registry):
+        assert registry.total("nothing") == 0
+
+    def test_collect_is_sorted_and_filterable(self, registry):
+        registry.counter("b", z="1")
+        registry.counter("a")
+        registry.counter("b", a="1")
+        names = [instrument.name for instrument in registry.collect()]
+        assert names == ["a", "b", "b"]
+        assert len(list(registry.collect("b"))) == 2
+
+    def test_snapshot_is_deterministic_and_jsonable(self, registry):
+        import json
+
+        registry.counter("requests", site="x").inc(3)
+        histogram = registry.histogram("latency", buckets=(10.0,))
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        snapshot = registry.snapshot()
+        assert snapshot["requests"] == [{"labels": {"site": "x"}, "value": 3}]
+        assert snapshot["latency"][0]["buckets"] == [[10.0, 1], ["+Inf", 2]]
+        # +Inf is encoded as a string precisely so this round-trips.
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert registry.snapshot() == snapshot
