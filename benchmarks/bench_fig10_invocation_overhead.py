@@ -10,12 +10,22 @@ the full table and checks the shape criteria from DESIGN.md:
 (b) the proxy delta is a small fraction of the native latency,
 (c) per-platform native ordering matches the paper's bars exactly
     (they are calibrated, so this also guards the calibration plumbing).
+
+The summary case also writes ``BENCH_fig10.json`` (schema in
+docs/PERFORMANCE.md): deterministic virtual-time bars plus the traced
+per-layer overhead profile under ``metrics``, wall-clock medians under
+``measured``.  Set ``REPRO_BENCH_DETERMINISTIC=1`` to drop the
+``measured`` half so identically-seeded runs emit byte-identical files.
 """
+
+import os
 
 import pytest
 
 from repro.bench.calibration import PAPER_FIGURE_10
 from repro.bench.harness import APIS, Fig10Runner, PLATFORMS, format_table
+from repro.bench.results import BenchResult, write_bench_result
+from repro.obs import OverheadProfile
 
 
 @pytest.fixture(scope="module")
@@ -41,9 +51,10 @@ def test_fig10_with_proxy_invocation(benchmark, runner, platform, api):
 
 def test_fig10_full_reproduction(benchmark, runner, fig10_reps):
     """Regenerate the whole figure and verify the shape criteria."""
-    results = benchmark.pedantic(
-        lambda: runner.run(repetitions=fig10_reps), rounds=1, iterations=1
+    detailed = benchmark.pedantic(
+        lambda: runner.run_detailed(repetitions=fig10_reps), rounds=1, iterations=1
     )
+    results = {key: value["total_ms"] for key, value in detailed.items()}
 
     headers = [
         "API", "Platform",
@@ -102,3 +113,32 @@ def test_fig10_full_reproduction(benchmark, runner, fig10_reps):
         < results[("sendSMS", "android", "without")]
         < results[("sendSMS", "webview", "without")]
     )
+
+    # -- the machine-readable trajectory artifact ---------------------------
+    profile = OverheadProfile.from_jsonl(runner.trace(repetitions=fig10_reps))
+    result = BenchResult(
+        name="fig10",
+        params={"repetitions": fig10_reps},
+        metrics={
+            "invocation_virtual_ms": {
+                f"{api}/{platform}/{mode}": value["virtual_ms"]
+                for (api, platform, mode), value in sorted(detailed.items())
+            },
+            "profile": profile.to_dict(),
+        },
+        measured={
+            "invocation_real_ms": {
+                f"{api}/{platform}/{mode}": value["real_ms"]
+                for (api, platform, mode), value in sorted(detailed.items())
+            },
+            "invocation_total_ms": {
+                f"{api}/{platform}/{mode}": value["total_ms"]
+                for (api, platform, mode), value in sorted(detailed.items())
+            },
+        },
+    )
+    path = write_bench_result(
+        result,
+        include_measured=not os.environ.get("REPRO_BENCH_DETERMINISTIC"),
+    )
+    print(f"\nwrote {path}")

@@ -13,14 +13,22 @@ branch.  Three tiers are measured on the same Android Location binding:
 Micro tiers isolate the tracer itself: a no-op span vs. a recorded
 span vs. a counter increment.
 
+The last case writes ``BENCH_obs.json`` (see docs/PERFORMANCE.md):
+deterministic traced span accounting under ``metrics``, wall-clock
+micro timings under ``measured``.
+
 Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_observability.py
 """
+
+import os
+import time
 
 import pytest
 
 from repro.apps.workforce import scenario
+from repro.bench.results import BenchResult, write_bench_result
 from repro.core.proxies import create_proxy
-from repro.obs import MetricsRegistry, NOOP_TRACER, Observability, Tracer
+from repro.obs import MetricsRegistry, NOOP_TRACER, Observability, OverheadProfile, Tracer
 from repro.util.clock import SimulatedClock
 
 pytestmark = pytest.mark.obs
@@ -95,3 +103,56 @@ def test_counter_inc_micro(benchmark):
 
     benchmark(inc)
     assert registry.total("resilience.attempts") > 0
+
+
+def _micro_ms(fn, rounds: int = 2_000) -> float:
+    """Mean wall-clock cost of ``fn`` in ms (bench-only; never in src)."""
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) * 1_000.0 / rounds
+
+
+def test_bench_obs_result():
+    """Write BENCH_obs.json: traced span accounting + micro timings."""
+    repetitions = 5
+    hub = Observability(capture_real_time=False)
+    proxy = _location_proxy(hub)
+    hub.tracer.reset()
+    for _ in range(repetitions):
+        proxy.get_location()
+    profile = OverheadProfile.from_spans(hub.tracer.finished_spans())
+    entry = profile.operations[("getLocation", "android")]
+    assert entry.invocations == repetitions
+
+    tracer = Tracer(SimulatedClock(), capture_real_time=False)
+
+    def recorded_span():
+        with tracer.span("op"):
+            pass
+        tracer.reset()
+
+    registry = MetricsRegistry()
+    result = BenchResult(
+        name="obs",
+        params={"repetitions": repetitions},
+        metrics={
+            "getLocation_android": entry.to_dict(),
+            "spans_per_invocation": sum(entry.layer_spans.values()) / repetitions,
+            "profile": profile.to_dict(),
+        },
+        measured={
+            "noop_span_ms": _micro_ms(
+                lambda: NOOP_TRACER.span("op") if NOOP_TRACER.enabled else None
+            ),
+            "recorded_span_ms": _micro_ms(recorded_span),
+            "counter_inc_ms": _micro_ms(
+                lambda: registry.counter("resilience.attempts", runtime="bench").inc()
+            ),
+        },
+    )
+    path = write_bench_result(
+        result,
+        include_measured=not os.environ.get("REPRO_BENCH_DETERMINISTIC"),
+    )
+    print(f"\nwrote {path}")

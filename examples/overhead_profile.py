@@ -1,0 +1,105 @@
+"""Trace analytics: the Figure-10 overhead profile, SLOs, and the gate.
+
+Walks through (1) folding a traced Figure-10 run into the per-layer
+middleware-vs-native decomposition, (2) flamegraph collapsed stacks and
+the top-N self-time table, (3) declarative SLOs over a workforce fleet,
+and (4) the perf-regression gate comparing two profiles.
+
+Run with:  python examples/overhead_profile.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.workforce.fleet import build_fleet, launch_fleet
+from repro.bench.harness import Fig10Runner
+from repro.obs import (
+    OverheadProfile,
+    SloSpec,
+    collapsed_stacks,
+    diff_profiles,
+    parse_jsonl,
+    render_profile_text,
+    top_spans_text,
+)
+
+
+def figure_10_from_traces():
+    """Fold a traced benchmark run into the per-layer decomposition."""
+    print("=" * 72)
+    print("1. The Figure-10 decomposition, derived from traces")
+    print("=" * 72)
+
+    trace = Fig10Runner().trace(repetitions=3)
+    records = parse_jsonl(trace)
+    profile = OverheadProfile.from_records(records)
+    print()
+    print(render_profile_text(profile))
+    print()
+    print("Same trace as flamegraph collapsed stacks (first five):")
+    for line in collapsed_stacks(records).splitlines()[:5]:
+        print(f"  {line}")
+    print()
+    print(top_spans_text(records, 5))
+    return records, profile
+
+
+def fleet_slos():
+    """Declare SLOs over a three-agent fleet and evaluate them."""
+    print()
+    print("=" * 72)
+    print("2. SLOs over the workforce fleet")
+    print("=" * 72)
+
+    fleet = build_fleet(3, observability=True)
+    launch_fleet(fleet)
+    fleet.install_slos(
+        [
+            SloSpec("sendTextMessage", 200.0, target_ratio=0.9, window_ms=300_000.0),
+            SloSpec("post", 500.0, window_ms=300_000.0),
+        ]
+    )
+    fleet.run_for(180_000.0)
+    statuses = fleet.evaluate_slos()
+    print()
+    for agent_id, agent_statuses in statuses.items():
+        for status in agent_statuses:
+            verdict = "BREACHED" if status.breached else "ok"
+            print(
+                f"  {agent_id} {status.spec.name}: {verdict} "
+                f"attainment={status.attainment:.3f} n={status.window_count}"
+            )
+    print(f"\n  agents in breach: {fleet.breached_slos() or 'none'}")
+
+
+def regression_gate(records, baseline):
+    """Compare a slowed-down run against the baseline profile."""
+    print()
+    print("=" * 72)
+    print("3. The perf-regression gate")
+    print("=" * 72)
+
+    # Simulate a regression: inflate every substrate span by 20%.
+    slowed = []
+    for record in records:
+        record = dict(record)
+        if record["name"].startswith("substrate:") and record["end_virtual_ms"]:
+            span_ms = record["end_virtual_ms"] - record["start_virtual_ms"]
+            record["end_virtual_ms"] = record["start_virtual_ms"] + span_ms * 1.2
+        slowed.append(record)
+    diff = diff_profiles(baseline, OverheadProfile.from_records(slowed))
+    print()
+    print(diff.render_text())
+    print(f"\n  gate verdict: {'pass' if diff.passed else 'FAIL'}")
+
+
+def main():
+    records, profile = figure_10_from_traces()
+    fleet_slos()
+    regression_gate(records, profile)
+
+
+if __name__ == "__main__":
+    main()

@@ -233,17 +233,42 @@ from repro.obs.report import (  # noqa: E402  (re-export, signature-stable)
     resilience_report,
 )
 
+# The trace-analytics surface (per-layer overhead profiles, the SLO
+# engine and the perf-regression gate) lives in repro.obs.analyze; the
+# analysis package re-exports it so notebooks and drivers can keep a
+# single import root for every measurement tool.
+from repro.obs.analyze import (  # noqa: E402  (re-export)
+    OverheadProfile,
+    ProfileDiff,
+    SloEngine,
+    SloSpec,
+    collapsed_stacks,
+    diff_profiles,
+    load_profile,
+    render_profile_text,
+    top_spans_text,
+)
+
 __all__ = [
     "CodeMetrics",
     "PLATFORM_MARKERS",
     "CALLBACK_ENTRY_POINTS",
+    "OverheadProfile",
+    "ProfileDiff",
+    "SloEngine",
+    "SloSpec",
     "breaker_report",
     "chaos_summary",
+    "collapsed_stacks",
     "count_loc",
     "cyclomatic_complexity",
+    "diff_profiles",
     "fault_report",
+    "load_profile",
     "measure",
     "platform_api_surface",
+    "render_profile_text",
     "resilience_report",
     "source_of",
+    "top_spans_text",
 ]

@@ -10,7 +10,7 @@ whole deployment advances under a single ``run_for``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 from repro.apps.workforce.common import AgentProfile, SiteRegion, WorkforceConfig
 from repro.apps.workforce.proxied import WorkforceLogic, launch_on_android
@@ -20,6 +20,8 @@ from repro.device.device import MobileDevice
 from repro.device.gps import Trajectory, Waypoint
 from repro.device.messaging import SmsCenter
 from repro.device.network import SimulatedNetwork
+from repro.obs import Observability
+from repro.obs.analyze.slo import SloEngine, SloSpec, SloStatus
 from repro.platforms.android.platform import AndroidPlatform
 from repro.util.clock import Scheduler, SimulatedClock
 from repro.util.events import EventBus
@@ -37,6 +39,9 @@ class FleetAgent:
     device: MobileDevice
     platform: AndroidPlatform
     logic: WorkforceLogic = None
+    slo_engine: Optional[SloEngine] = None
+    #: finished-span cursor so repeated SLO evaluations never double-ingest.
+    slo_cursor: int = 0
 
 
 @dataclass
@@ -63,6 +68,51 @@ class Fleet:
         """Texts the supervisor handset has received, in order."""
         return [message.text for message in self.supervisor.inbox]
 
+    # -- service-level objectives -------------------------------------------
+
+    def install_slos(self, specs: Sequence[SloSpec]) -> None:
+        """Give every agent its own :class:`SloEngine` over the shared
+        specs, wired to that agent's metrics registry and tracer (so
+        ``slo.*`` series and ``slo.breach`` events land per handset).
+
+        The fleet must have been built with ``observability=True`` —
+        dispatch spans are what the engines ingest.
+        """
+        for agent in self.agents:
+            agent.slo_engine = SloEngine(
+                specs,
+                metrics=agent.device.obs.metrics,
+                tracer=agent.device.obs.tracer,
+            )
+            agent.slo_cursor = 0
+
+    def evaluate_slos(self) -> Dict[str, List[SloStatus]]:
+        """Ingest each agent's newly-finished dispatch spans and judge
+        every installed SLO at the current virtual time."""
+        now_ms = self.scheduler.clock.now_ms
+        statuses: Dict[str, List[SloStatus]] = {}
+        for agent in self.agents:
+            engine = agent.slo_engine
+            if engine is None:
+                continue
+            finished = agent.device.obs.tracer.finished_spans()
+            engine.ingest_spans(finished[agent.slo_cursor:])
+            agent.slo_cursor = len(finished)
+            statuses[agent.profile.agent_id] = engine.evaluate(now_ms)
+        return statuses
+
+    def breached_slos(self) -> Dict[str, List[str]]:
+        """Agents currently in breach (as of the last evaluation),
+        mapped to the breached SLO names; clean agents are omitted."""
+        out: Dict[str, List[str]] = {}
+        for agent in self.agents:
+            if agent.slo_engine is None:
+                continue
+            names = agent.slo_engine.breached()
+            if names:
+                out[agent.profile.agent_id] = names
+        return out
+
 
 def build_fleet(
     agent_count: int = 3,
@@ -70,12 +120,17 @@ def build_fleet(
     base_latitude: float = 28.6,
     base_longitude: float = 77.2,
     leg_ms: float = 60_000.0,
+    observability: bool = False,
 ) -> Fleet:
     """Deploy ``agent_count`` Android agents on shared infrastructure.
 
     Agent *k* gets its own work site 5 km apart from the others and a
     staggered commute (each starts ``k × leg/4`` later), so proximity
     events interleave realistically on the shared clock.
+
+    ``observability=True`` gives every agent handset a recording tracer
+    (virtual-time stamps only), which :meth:`Fleet.install_slos` /
+    :meth:`Fleet.evaluate_slos` build on.
     """
     if agent_count < 1:
         raise ValueError("a fleet needs at least one agent")
@@ -117,6 +172,9 @@ def build_fleet(
             sms_center=sms_center,
             network=network,
             scheduler=scheduler,
+            observability=(
+                Observability(capture_real_time=False) if observability else None
+            ),
             trajectory=Trajectory(
                 [
                     Waypoint(0.0, away),

@@ -13,7 +13,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.workforce import scenario
 from repro.bench.calibration import (
@@ -24,6 +24,7 @@ from repro.bench.calibration import (
 )
 from repro.core.proxies import create_proxy
 from repro.core.proxy.callbacks import ProximityListener
+from repro.obs import Observability, OverheadProfile
 from repro.platforms.android.context import Context
 from repro.platforms.android.intents import Intent
 from repro.platforms.android.location import NO_EXPIRATION as ANDROID_NO_EXPIRATION
@@ -81,9 +82,12 @@ class Fig10Runner:
 
     # -- per-platform bench builders -----------------------------------------
 
-    def _android_bench(self, with_proxy: bool) -> _Bench:
+    def _android_bench(
+        self, with_proxy: bool, hub: Optional[Observability] = None
+    ) -> _Bench:
         sc = scenario.build_android(
-            latency=figure10_android_latency(jitter_fraction=self._jitter)
+            latency=figure10_android_latency(jitter_fraction=self._jitter),
+            observability=hub,
         )
         sc.device.gps.power_on()
         sc.platform.run_for(5_000)
@@ -136,9 +140,12 @@ class Fig10Runner:
             cleanup={"addProximityAlert": remove_alert},
         )
 
-    def _s60_bench(self, with_proxy: bool) -> _Bench:
+    def _s60_bench(
+        self, with_proxy: bool, hub: Optional[Observability] = None
+    ) -> _Bench:
         sc = scenario.build_s60(
-            latency=figure10_s60_latency(jitter_fraction=self._jitter)
+            latency=figure10_s60_latency(jitter_fraction=self._jitter),
+            observability=hub,
         )
         sc.device.gps.power_on()
         sc.platform.run_for(5_000)
@@ -190,10 +197,13 @@ class Fig10Runner:
             },
         )
 
-    def _webview_bench(self, with_proxy: bool) -> _Bench:
+    def _webview_bench(
+        self, with_proxy: bool, hub: Optional[Observability] = None
+    ) -> _Bench:
         sc = scenario.build_webview(
             latency=figure10_webview_bridge_latency(jitter_fraction=self._jitter),
             android_latency=figure10_android_latency(jitter_fraction=self._jitter),
+            observability=hub,
         )
         sc.device.gps.power_on()
         sc.platform.run_for(5_000)
@@ -278,13 +288,15 @@ class Fig10Runner:
             cleanup={"addProximityAlert": clear_alerts},
         )
 
-    def _bench_for(self, platform: str, with_proxy: bool) -> _Bench:
+    def _bench_for(
+        self, platform: str, with_proxy: bool, hub: Optional[Observability] = None
+    ) -> _Bench:
         if platform == "android":
-            return self._android_bench(with_proxy)
+            return self._android_bench(with_proxy, hub)
         if platform == "s60":
-            return self._s60_bench(with_proxy)
+            return self._s60_bench(with_proxy, hub)
         if platform == "webview":
-            return self._webview_bench(with_proxy)
+            return self._webview_bench(with_proxy, hub)
         raise ValueError(f"unknown platform {platform!r}")
 
     # -- measurement -------------------------------------------------------------
@@ -321,6 +333,29 @@ class Fig10Runner:
                 cleanup()
         return samples
 
+    def run_detailed(
+        self, repetitions: int = 30
+    ) -> Dict[Tuple[str, str, str], Dict[str, float]]:
+        """Every bar, split into its two cost components:
+        ``(api, platform, mode) → {virtual_ms, real_ms, total_ms}``
+        (medians).  The virtual component is deterministic when the
+        latency models carry no jitter; the real component is the
+        wall-clock Python execution cost."""
+        results: Dict[Tuple[str, str, str], Dict[str, float]] = {}
+        for platform in PLATFORMS:
+            for with_proxy in (False, True):
+                mode = "with" if with_proxy else "without"
+                for api in APIS:
+                    samples = self.measure(
+                        platform, api, with_proxy=with_proxy, repetitions=repetitions
+                    )
+                    results[(api, platform, mode)] = {
+                        "virtual_ms": statistics.median(s.virtual_ms for s in samples),
+                        "real_ms": statistics.median(s.real_ms for s in samples),
+                        "total_ms": statistics.median(s.total_ms for s in samples),
+                    }
+        return results
+
     def run(self, repetitions: int = 30) -> Dict[Tuple[str, str, str], float]:
         """The whole figure: (api, platform, mode) → median total ms.
 
@@ -329,18 +364,53 @@ class Fig10Runner:
         median over more repetitions keeps scheduler noise below the
         signal.
         """
-        results: Dict[Tuple[str, str, str], float] = {}
-        for platform in PLATFORMS:
-            for with_proxy in (False, True):
-                mode = "with" if with_proxy else "without"
-                for api in APIS:
-                    samples = self.measure(
-                        platform, api, with_proxy=with_proxy, repetitions=repetitions
-                    )
-                    results[(api, platform, mode)] = statistics.median(
-                        s.total_ms for s in samples
-                    )
-        return results
+        return {
+            key: detail["total_ms"]
+            for key, detail in self.run_detailed(repetitions).items()
+        }
+
+    # -- traced runs (the analytics layer's input) ----------------------------
+
+    def trace(
+        self,
+        repetitions: int = 3,
+        *,
+        apis: Tuple[str, ...] = APIS,
+        platforms: Tuple[str, ...] = PLATFORMS,
+        real_time: bool = False,
+    ) -> str:
+        """Run every with-proxy bar under a recording tracer and return
+        the concatenated JSONL export (one tracer per platform; the
+        profile fold re-segments on span-id restart).
+
+        Virtual-time stamps only by default, so with jitter-free latency
+        models the output is byte-identical across identically-seeded
+        runs — this is the input ``python -m repro.obs profile``
+        decomposes into the Figure-10 per-layer overhead view.  Pass
+        ``real_time=True`` for a profiling export that additionally
+        carries wall-clock stamps (fold it with ``time="real"``); that
+        output is *not* deterministic.
+        """
+        chunks: List[str] = []
+        for platform in platforms:
+            hub = Observability(capture_real_time=real_time)
+            bench = self._bench_for(platform, True, hub)
+            hub.tracer.reset()  # drop setup-era spans; keep invocations only
+            for api in apis:
+                invoke = bench.invoke[api]
+                cleanup = bench.cleanup.get(api)
+                for _ in range(repetitions):
+                    invoke()
+                    if cleanup is not None:
+                        cleanup()
+            chunks.append(hub.export_jsonl(include_real_time=real_time))
+        return "".join(chunks)
+
+
+def fig10_overhead_profile(repetitions: int = 3) -> OverheadProfile:
+    """The traced Figure-10 run folded into per-layer overhead."""
+    runner = Fig10Runner()
+    return OverheadProfile.from_jsonl(runner.trace(repetitions))
 
 
 def format_table(headers: List[str], rows: List[List[str]]) -> str:

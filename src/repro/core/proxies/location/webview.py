@@ -237,6 +237,13 @@ class LocationProxyJs(LocationProxy):
 
     def _init_in_window(self, window: JsWindow) -> None:
         self._window = window
+        # In-page construction bypasses the proxy factory, so pick up the
+        # device hub here — otherwise WebView invocations leave no
+        # dispatch spans and vanish from the overhead profile.
+        if self.observability is None:
+            obs = getattr(window.platform.device, "obs", None)
+            if obs is not None:
+                self.attach_observability(obs)
         factory = window.bridge_object(FACTORY_JS_NAME)
         self._wrapper = window.bridge_object(WRAPPER_JS_NAME)
         self._swi = factory.create_location_wrapper_instance()
@@ -278,16 +285,17 @@ class LocationProxyJs(LocationProxy):
             timer=timer,
         )
         listener = self._as_listener(proximity_listener)
-        payload = decode_or_raise(
-            self._wrapper.add_proximity_alert(
-                self._swi,
-                float(latitude),
-                float(longitude),
-                float(altitude),
-                float(radius),
-                float(timer),
+        with self._guard("addProximityAlert"):
+            payload = decode_or_raise(
+                self._wrapper.add_proximity_alert(
+                    self._swi,
+                    float(latitude),
+                    float(longitude),
+                    float(altitude),
+                    float(radius),
+                    float(timer),
+                )
             )
-        )
         notification_id = payload["notificationId"]
 
         def dispatch(notification: Dict) -> None:
@@ -317,9 +325,10 @@ class LocationProxyJs(LocationProxy):
             return
         notification_id, handler = entry
         handler.stop_polling()
-        decode_or_raise(
-            self._wrapper.remove_proximity_alert(self._swi, notification_id)
-        )
+        with self._guard("removeProximityAlert"):
+            decode_or_raise(
+                self._wrapper.remove_proximity_alert(self._swi, notification_id)
+            )
 
     def get_location(self) -> Location:
         self._record("getLocation")

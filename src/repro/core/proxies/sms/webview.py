@@ -144,6 +144,12 @@ class SmsProxyJs(SmsProxy):
 
     def _init_in_window(self, window: JsWindow) -> None:
         self._window = window
+        # In-page construction bypasses the proxy factory; attach the
+        # device hub so bridge-crossing invocations still trace.
+        if self.observability is None:
+            obs = getattr(window.platform.device, "obs", None)
+            if obs is not None:
+                self.attach_observability(obs)
         factory = window.bridge_object(FACTORY_JS_NAME)
         self._wrapper = window.bridge_object(WRAPPER_JS_NAME)
         self._swi = factory.create_sms_wrapper_instance()

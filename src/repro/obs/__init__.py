@@ -51,6 +51,23 @@ from repro.obs.report import (
 )
 from repro.obs.span import Span, SpanEvent
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, Tracer
+from repro.obs.quantiles import P2Quantile, StreamingPercentiles, quantile_label
+from repro.obs.analyze import (
+    LayerDelta,
+    OperationProfile,
+    OverheadProfile,
+    ProfileDiff,
+    SloEngine,
+    SloSpec,
+    SloStatus,
+    collapsed_stacks,
+    diff_profiles,
+    load_profile,
+    parse_jsonl,
+    records_to_jsonl,
+    render_profile_text,
+    top_spans_text,
+)
 from repro.util.clock import SimulatedClock
 
 
@@ -125,20 +142,37 @@ __all__ = [
     "Histogram",
     "InMemoryExporter",
     "JsonlFileExporter",
+    "LayerDelta",
     "MetricsRegistry",
     "NOOP_TRACER",
     "NoopTracer",
     "Observability",
+    "OperationProfile",
+    "OverheadProfile",
+    "P2Quantile",
+    "ProfileDiff",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "SpanEvent",
+    "StreamingPercentiles",
     "Tracer",
     "breaker_report",
     "chaos_summary",
+    "collapsed_stacks",
+    "diff_profiles",
     "export_jsonl",
     "fault_report",
     "instrumentation_points",
+    "load_profile",
+    "parse_jsonl",
+    "quantile_label",
+    "records_to_jsonl",
     "registry_report",
     "render_metrics_text",
+    "render_profile_text",
     "render_span_tree",
     "resilience_report",
+    "top_spans_text",
 ]

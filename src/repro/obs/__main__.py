@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.obs {profile,slo,diff}``."""
+
+import sys
+
+from repro.obs.analyze.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

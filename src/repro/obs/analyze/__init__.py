@@ -1,0 +1,73 @@
+"""Trace analytics over the observability plane.
+
+Everything here is *post-hoc*: it consumes the span trees and metric
+series the PR-2 plane records and answers the paper's evaluation
+question — how much time does the middleware layer add on top of the
+native call (Figure 10) — directly from traces:
+
+* :mod:`repro.obs.analyze.overhead` — folds each ``dispatch:*`` span
+  tree into exclusive self-time per layer (dispatch / resilience /
+  binding / bridge / substrate) and aggregates per
+  operation × platform, with collapsed-stack (flamegraph) and top-N
+  text views;
+* :mod:`repro.obs.quantiles` (re-exported) — the P² streaming
+  percentile engine behind every latency figure;
+* :mod:`repro.obs.analyze.slo` — declarative latency/error-budget SLOs
+  evaluated over sliding virtual-time windows;
+* :mod:`repro.obs.analyze.diff` — profile diff and the perf-regression
+  gate the CI bench smoke runs in report-only mode.
+
+The determinism contract extends here: no wall-clock reads, no
+unseeded RNGs (policed by ``tests/chaos/test_determinism_lint.py``,
+whose scope includes all of ``obs/``) — two identically-seeded runs
+produce byte-identical profiles.
+
+CLI: ``python -m repro.obs {profile,slo,diff}`` operates on exported
+JSONL trace files (see ``docs/PERFORMANCE.md``).
+"""
+
+from repro.obs.analyze.diff import (
+    LayerDelta,
+    ProfileDiff,
+    diff_profiles,
+    load_profile,
+)
+from repro.obs.analyze.overhead import (
+    LAYERS,
+    OperationProfile,
+    OverheadProfile,
+    collapsed_stacks,
+    parse_jsonl,
+    records_to_jsonl,
+    render_profile_text,
+    top_spans_text,
+)
+from repro.obs.analyze.slo import SloEngine, SloSpec, SloStatus
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingPercentiles,
+    quantile_label,
+)
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "LAYERS",
+    "LayerDelta",
+    "OperationProfile",
+    "OverheadProfile",
+    "P2Quantile",
+    "ProfileDiff",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
+    "StreamingPercentiles",
+    "collapsed_stacks",
+    "diff_profiles",
+    "load_profile",
+    "parse_jsonl",
+    "quantile_label",
+    "records_to_jsonl",
+    "render_profile_text",
+    "top_spans_text",
+]

@@ -1,0 +1,155 @@
+"""``python -m repro.obs`` — trace analytics from the command line.
+
+Three subcommands, all operating on exported JSONL trace files (or, for
+``diff``, saved profile / BENCH documents):
+
+* ``profile`` — the Figure-10 per-layer overhead decomposition, with
+  optional flamegraph collapsed stacks, a top-N self-time table, and a
+  saveable deterministic JSON profile;
+* ``slo`` — replay dispatch spans through an SLO engine and report
+  attainment / breaches;
+* ``diff`` — compare two profiles and run the perf-regression gate
+  (report-only by default; ``--gate`` makes regressions exit non-zero).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional, Sequence
+
+from repro.obs.analyze.diff import (
+    DEFAULT_NOISE_FRAC,
+    DEFAULT_NOISE_MS,
+    diff_profiles,
+    load_profile,
+)
+from repro.obs.analyze.overhead import (
+    OverheadProfile,
+    collapsed_stacks,
+    parse_jsonl,
+    render_profile_text,
+    top_spans_text,
+)
+from repro.obs.analyze.slo import SloEngine, SloSpec
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace analytics over exported JSONL span files.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    profile = commands.add_parser(
+        "profile", help="per-layer overhead decomposition of a trace"
+    )
+    profile.add_argument("trace", help="JSONL trace export")
+    profile.add_argument(
+        "--time", choices=("virtual", "real"), default="virtual",
+        help="time domain to fold in (real needs an include_real_time export)",
+    )
+    profile.add_argument("--top", type=int, default=0, metavar="N",
+                         help="also print the top-N spans by self-time")
+    profile.add_argument("--flame", action="store_true",
+                         help="print flamegraph collapsed stacks instead of the table")
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the deterministic JSON profile")
+    profile.add_argument("--out", metavar="PATH",
+                         help="also save the JSON profile to PATH")
+
+    slo = commands.add_parser("slo", help="evaluate SLOs over a trace")
+    slo.add_argument("trace", help="JSONL trace export")
+    slo.add_argument(
+        "--slo", action="append", required=True, metavar="SPEC", dest="specs",
+        help="op:threshold_ms[:target[:window_ms[:platform]]] (repeatable)",
+    )
+    slo.add_argument("--json", action="store_true", dest="as_json")
+
+    diff = commands.add_parser(
+        "diff", help="compare two profiles / traces; optional regression gate"
+    )
+    diff.add_argument("base", help="baseline trace JSONL, profile JSON, or BENCH json")
+    diff.add_argument("new", help="candidate trace JSONL, profile JSON, or BENCH json")
+    diff.add_argument("--noise-ms", type=float, default=DEFAULT_NOISE_MS)
+    diff.add_argument("--noise-frac", type=float, default=DEFAULT_NOISE_FRAC)
+    diff.add_argument("--gate", action="store_true",
+                      help="exit 1 on regressions (default: report only)")
+    diff.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    records = parse_jsonl(_read(args.trace))
+    profile = OverheadProfile.from_records(records, time=args.time)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(profile.to_json())
+    if args.flame:
+        print(collapsed_stacks(records, time=args.time))
+    elif args.as_json:
+        print(profile.to_json(), end="")
+    else:
+        print(render_profile_text(profile))
+    if args.top:
+        print()
+        print(top_spans_text(records, args.top, time=args.time))
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    specs = [SloSpec.parse(text) for text in args.specs]
+    records = parse_jsonl(_read(args.trace))
+    engine = SloEngine(specs)
+    ingested = engine.ingest_records(records)
+    last_t = max(
+        (record["end_virtual_ms"] for record in records
+         if record.get("end_virtual_ms") is not None),
+        default=0.0,
+    )
+    statuses = engine.evaluate(last_t)
+    if args.as_json:
+        print(json.dumps(
+            {"ingested": ingested, "statuses": [s.to_dict() for s in statuses]},
+            sort_keys=True, indent=2,
+        ))
+    else:
+        print(f"{ingested} invocations ingested; evaluated at t={last_t:.1f}ms")
+        for status in statuses:
+            verdict = "BREACHED" if status.breached else "ok"
+            print(
+                f"  {status.spec.name}: {verdict} "
+                f"attainment={status.attainment:.4f} (target {status.spec.target_ratio}) "
+                f"errors={status.error_rate:.4f} (budget {status.spec.error_budget}) "
+                f"n={status.window_count}"
+            )
+            for reason in status.reasons:
+                print(f"    - {reason}")
+    return 1 if any(status.breached for status in statuses) else 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_profiles(
+        load_profile(args.base),
+        load_profile(args.new),
+        noise_ms=args.noise_ms,
+        noise_frac=args.noise_frac,
+    )
+    if args.as_json:
+        print(json.dumps(diff.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(diff.render_text())
+    if args.gate and not diff.passed:
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    handlers = {"profile": _cmd_profile, "slo": _cmd_slo, "diff": _cmd_diff}
+    return handlers[args.command](args)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.span import Span
 
 
@@ -49,27 +49,56 @@ def export_jsonl(spans: Iterable[Span], *, include_real_time: bool = False) -> s
 
 
 class JsonlFileExporter:
-    """Writes span batches to a JSONL file."""
+    """Writes span batches to a JSONL file.
+
+    The file is opened lazily in append mode with an explicit UTF-8
+    encoding (exports must be byte-identical across locales), flushed
+    after every batch, and closed via :meth:`close` or by using the
+    exporter as a context manager.
+    """
 
     def __init__(self, path, *, include_real_time: bool = False) -> None:
         self.path = path
         self._include_real_time = include_real_time
+        self._handle = None
 
     def export(self, spans: Iterable[Span]) -> int:
         """Append ``spans``; returns the number written."""
         payload = export_jsonl(spans, include_real_time=self._include_real_time)
-        count = payload.count("\n")
-        with open(self.path, "a") as handle:
-            handle.write(payload)
-        return count
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(payload)
+        self._handle.flush()
+        return payload.count("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlFileExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def render_span_tree(spans: Iterable[Span], *, include_events: bool = True) -> str:
-    """ASCII rendering of the span forest, in start order."""
+    """ASCII rendering of the span forest, in start order.
+
+    A span whose ``parent_id`` is not present in the rendered batch
+    (partial or filtered exports) is treated as a root rather than
+    silently dropped.
+    """
     spans = list(spans)
-    children: Dict[Optional[int], List[Span]] = {}
+    known_ids = {span.span_id for span in spans}
+    children: Dict[int, List[Span]] = {}
+    roots: List[Span] = []
     for span in spans:
-        children.setdefault(span.parent_id, []).append(span)
+        if span.parent_id is not None and span.parent_id in known_ids:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
 
     lines: List[str] = []
 
@@ -102,24 +131,49 @@ def render_span_tree(spans: Iterable[Span], *, include_events: bool = True) -> s
         for child in children.get(span.span_id, []):
             _walk(child, depth + 1)
 
-    for root in children.get(None, []):
+    for root in roots:
         _walk(root, 0)
     return "\n".join(lines)
 
 
+def _instrument_kind(instrument) -> str:
+    if isinstance(instrument, Histogram):
+        return "histogram"
+    if isinstance(instrument, Gauge):
+        return "gauge"
+    if isinstance(instrument, Counter):
+        return "counter"
+    return type(instrument).__name__.lower()
+
+
 def render_metrics_text(registry: MetricsRegistry) -> str:
-    """Flat, sorted, human-readable metric dump."""
+    """Flat, sorted, human-readable metric dump.
+
+    Every series states its kind; histograms additionally render their
+    streaming percentiles and the cumulative bucket line.
+    """
     lines: List[str] = []
     for instrument in registry.collect():
         labels = ",".join(
             f"{key}={value}" for key, value in sorted(instrument.labels.items())
         )
         series = f"{instrument.name}{{{labels}}}" if labels else instrument.name
+        kind = _instrument_kind(instrument)
         if isinstance(instrument, Histogram):
-            lines.append(
-                f"{series} count={instrument.count} sum={instrument.sum:.3f} "
-                f"mean={instrument.mean:.3f}"
+            percentiles = " ".join(
+                f"{label}={value:.3f}"
+                for label, value in instrument.percentiles().items()
             )
+            lines.append(
+                f"{series} {kind} count={instrument.count} "
+                f"sum={instrument.sum:.3f} mean={instrument.mean:.3f} {percentiles}"
+            )
+            buckets = " ".join(
+                f"le{'+Inf' if bound == float('inf') else format(bound, 'g')}"
+                f"={count}"
+                for bound, count in instrument.cumulative()
+            )
+            lines.append(f"  buckets: {buckets}")
         else:
-            lines.append(f"{series} {instrument.value}")
+            lines.append(f"{series} {kind} {instrument.value}")
     return "\n".join(lines)

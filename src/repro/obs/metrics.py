@@ -18,6 +18,7 @@ import bisect
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.quantiles import DEFAULT_QUANTILES, StreamingPercentiles
 
 #: Default histogram bucket upper bounds (milliseconds-flavoured).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -69,10 +70,16 @@ class Histogram:
     """Fixed-bucket histogram (cumulative counts, like Prometheus).
 
     ``bucket_counts[i]`` counts observations ``<= bounds[i]``; a final
-    implicit +Inf bucket (``overflow``) catches the rest.
+    implicit +Inf bucket (``overflow``) catches the rest.  Alongside the
+    buckets, a P² marker set per default quantile
+    (:mod:`repro.obs.quantiles`) streams p50/p95/p99 estimates without
+    storing samples.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "overflow", "count", "sum")
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts", "overflow", "count", "sum",
+        "_percentiles",
+    )
 
     def __init__(
         self,
@@ -89,6 +96,7 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.sum = 0.0
+        self._percentiles = StreamingPercentiles(DEFAULT_QUANTILES)
 
     def observe(self, value: float) -> None:
         index = bisect.bisect_left(self.bounds, value)
@@ -98,10 +106,19 @@ class Histogram:
             self.overflow += 1
         self.count += 1
         self.sum += value
+        self._percentiles.observe(value)
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        """Streaming P² estimates, e.g. ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return self._percentiles.as_dict()
+
+    def quantile(self, q: float) -> float:
+        """One tracked quantile's current estimate."""
+        return self._percentiles.value(q)
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
@@ -193,6 +210,10 @@ class MetricsRegistry:
                     [bound if bound != float("inf") else "+Inf", count]
                     for bound, count in instrument.cumulative()
                 ]
+                entry["percentiles"] = {
+                    label: round(value, 6)
+                    for label, value in instrument.percentiles().items()
+                }
             else:
                 entry["value"] = instrument.value
             out.setdefault(instrument.name, []).append(entry)

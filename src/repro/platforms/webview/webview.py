@@ -41,6 +41,12 @@ class JsWindow:
         """Resolve a Java object injected with ``add_javascript_interface``."""
         return self._bridge.lookup(js_name)
 
+    @property
+    def platform(self) -> "WebViewPlatform":
+        """The owning WebView platform, for device-level wiring (in-page
+        proxies reach the device observability hub through it)."""
+        return self._platform
+
     # -- page globals (plain JS values, never bridged) ---------------------------
 
     def set_global(self, name: str, value: Any) -> None:

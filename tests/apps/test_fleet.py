@@ -82,3 +82,58 @@ class TestFleetRun:
         for agent in run_fleet.agents:
             # exactly one arrival per agent in this trajectory
             assert agent.logic.activity_events.count("arrived") == 1
+
+
+class TestFleetSlos:
+    @pytest.fixture(scope="class")
+    def observed_fleet(self):
+        from repro.obs.analyze.slo import SloSpec
+
+        fleet = build_fleet(2, observability=True)
+        launch_fleet(fleet)
+        fleet.install_slos(
+            [
+                SloSpec("sendTextMessage", 200.0, window_ms=300_000.0),
+                SloSpec("post", 0.001, target_ratio=0.5, window_ms=300_000.0),
+            ]
+        )
+        fleet.run_for(180_000.0)
+        return fleet
+
+    def test_observability_flag_enables_tracing(self):
+        assert not build_fleet(1).agents[0].device.obs.enabled
+        assert build_fleet(1, observability=True).agents[0].device.obs.enabled
+
+    def test_install_requires_engines_per_agent(self, observed_fleet):
+        engines = {id(agent.slo_engine) for agent in observed_fleet.agents}
+        assert len(engines) == len(observed_fleet.agents)
+
+    def test_evaluate_ingests_dispatch_spans(self, observed_fleet):
+        statuses = observed_fleet.evaluate_slos()
+        assert set(statuses) == {"agent-1", "agent-2"}
+        for agent_statuses in statuses.values():
+            sms = next(
+                s for s in agent_statuses if s.spec.operation == "sendTextMessage"
+            )
+            assert sms.window_count >= 1
+            assert not sms.breached
+
+    def test_impossible_slo_breaches_and_emits(self, observed_fleet):
+        observed_fleet.evaluate_slos()
+        breached = observed_fleet.breached_slos()
+        # The 1µs post threshold is unmeetable: every agent breaches it.
+        assert set(breached) == {"agent-1", "agent-2"}
+        assert all("post@*" in names for names in breached.values())
+        metrics = observed_fleet.agents[0].device.obs.metrics
+        assert metrics.total("slo.breaches") >= 1
+
+    def test_repeated_evaluation_does_not_double_ingest(self, observed_fleet):
+        first = observed_fleet.evaluate_slos()
+        second = observed_fleet.evaluate_slos()
+        for agent_id in first:
+            counts = [
+                (a.spec.name, a.window_count) for a in first[agent_id]
+            ]
+            assert counts == [
+                (b.spec.name, b.window_count) for b in second[agent_id]
+            ]

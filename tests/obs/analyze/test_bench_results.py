@@ -1,0 +1,75 @@
+"""The repro.bench result writer: deterministic BENCH_*.json documents."""
+
+import json
+
+import pytest
+
+from repro.bench.results import (
+    BENCH_DIR_ENV,
+    BENCH_SCHEMA,
+    BenchResult,
+    bench_output_dir,
+    read_bench_result,
+    write_bench_result,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def result():
+    return BenchResult(
+        name="fig10",
+        params={"repetitions": 3},
+        metrics={"bar_ms": {"getLocation/android/with": 15.5000001}},
+        measured={"real_ms": 0.123456789},
+    )
+
+
+class TestBenchResult:
+    def test_schema_and_rounding(self, result):
+        payload = result.to_dict()
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["metrics"]["bar_ms"]["getLocation/android/with"] == 15.5
+        assert payload["measured"]["real_ms"] == 0.123457
+
+    def test_measured_excluded_on_request(self, result):
+        payload = result.to_dict(include_measured=False)
+        assert "measured" not in payload
+
+    def test_to_json_deterministic(self, result):
+        first = result.to_json(include_measured=False)
+        second = BenchResult(
+            name="fig10",
+            params={"repetitions": 3},
+            metrics={"bar_ms": {"getLocation/android/with": 15.5000001}},
+            measured={"real_ms": 999.0},  # measured must not leak in
+        ).to_json(include_measured=False)
+        assert first == second
+        assert first.endswith("\n")
+        assert json.loads(first)["name"] == "fig10"
+
+    def test_default_filename(self, result):
+        assert result.default_filename == "BENCH_fig10.json"
+
+
+class TestFileRoundTrip:
+    def test_write_and_read(self, result, tmp_path):
+        path = write_bench_result(result, tmp_path / "BENCH_fig10.json")
+        loaded = read_bench_result(path)
+        assert loaded.name == "fig10"
+        assert loaded.params == {"repetitions": 3}
+        assert loaded.measured["real_ms"] == pytest.approx(0.123457)
+
+    def test_output_dir_env_override(self, result, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+        assert bench_output_dir() == tmp_path
+        path = write_bench_result(result)
+        assert path == tmp_path / "BENCH_fig10.json"
+        assert path.exists()
+
+    def test_non_bench_document_rejected(self, tmp_path):
+        bogus = tmp_path / "BENCH_x.json"
+        bogus.write_text(json.dumps({"schema": "other"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_bench_result(bogus)

@@ -1,0 +1,104 @@
+"""The ``python -m repro.obs`` command line."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, export_jsonl
+from repro.obs.analyze.cli import main
+from repro.util.clock import SimulatedClock
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    clock = SimulatedClock()
+    tracer = Tracer(clock, capture_real_time=False)
+    for latency in (5.0, 50.0):
+        with tracer.span("dispatch:getLocation", platform="android"):
+            clock.advance(1.0)
+            with tracer.span("substrate:android.getLocation"):
+                clock.advance(latency)
+    path = tmp_path / "trace.jsonl"
+    path.write_text(export_jsonl(tracer.finished_spans()), encoding="utf-8")
+    return path
+
+
+class TestProfileCommand:
+    def test_table_output(self, trace_path, capsys):
+        assert main(["profile", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "getLocation" in out
+        assert "android" in out
+
+    def test_json_and_out_file(self, trace_path, tmp_path, capsys):
+        saved = tmp_path / "profile.json"
+        assert main(
+            ["profile", str(trace_path), "--json", "--out", str(saved)]
+        ) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(saved.read_text())
+        assert printed["schema"] == "repro.obs.profile/v1"
+
+    def test_flame_and_top(self, trace_path, capsys):
+        assert main(["profile", str(trace_path), "--flame", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch:getLocation;substrate:android.getLocation" in out
+        assert "self%" in out  # the top-N table rode along
+
+    def test_time_domain_flag(self, trace_path, capsys):
+        assert main(["profile", str(trace_path), "--time", "real", "--json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["time"] == "real"
+
+
+class TestSloCommand:
+    def test_met_slo_exits_zero(self, trace_path, capsys):
+        code = main(
+            ["slo", str(trace_path), "--slo", "getLocation:100:0.9"]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_breached_slo_exits_one(self, trace_path, capsys):
+        code = main(["slo", str(trace_path), "--slo", "getLocation:10"])
+        assert code == 1
+        assert "BREACHED" in capsys.readouterr().out
+
+    def test_json_output(self, trace_path, capsys):
+        main(["slo", str(trace_path), "--slo", "getLocation:100:0.9", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ingested"] == 2
+        assert payload["statuses"][0]["slo"] == "getLocation@*"
+
+
+class TestDiffCommand:
+    def test_identical_passes(self, trace_path, capsys):
+        assert main(["diff", str(trace_path), str(trace_path)]) == 0
+        assert "no per-layer regressions" in capsys.readouterr().out
+
+    def test_report_only_by_default(self, trace_path, tmp_path, capsys):
+        slower = tmp_path / "slower.jsonl"
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        for record in records:
+            record["end_virtual_ms"] = record["end_virtual_ms"] * 2.0
+        slower.write_text(
+            "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n",
+            encoding="utf-8",
+        )
+        # Without --gate regressions are reported but exit 0.
+        assert main(["diff", str(trace_path), str(slower)]) == 0
+        assert "REGRESSIONS" in capsys.readouterr().out
+        # With --gate the same comparison fails the run.
+        assert main(["diff", str(trace_path), str(slower), "--gate"]) == 1
+
+    def test_gate_json_output(self, trace_path, capsys):
+        assert main(
+            ["diff", str(trace_path), str(trace_path), "--gate", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True

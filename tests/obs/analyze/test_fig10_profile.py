@@ -1,0 +1,55 @@
+"""Acceptance: the traced Figure-10 run decomposes per layer and is
+byte-identical across identically-seeded runs."""
+
+import pytest
+
+from repro.bench.harness import APIS, Fig10Runner, PLATFORMS, fig10_overhead_profile
+from repro.obs.analyze.overhead import OverheadProfile, render_profile_text
+
+pytestmark = pytest.mark.obs
+
+#: harness API name → dispatched operation name in the span vocabulary.
+OPERATION_OF = {
+    "addProximityAlert": "addProximityAlert",
+    "getLocation": "getLocation",
+    "sendSMS": "sendTextMessage",
+}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Fig10Runner().trace(repetitions=2)
+
+
+def test_profile_covers_every_api_on_every_platform(trace):
+    profile = OverheadProfile.from_jsonl(trace)
+    for api in APIS:
+        for platform in PLATFORMS:
+            key = (OPERATION_OF[api], platform)
+            assert key in profile.operations, f"missing {key}"
+            entry = profile.operations[key]
+            assert entry.invocations >= 2
+            assert entry.errors == 0
+            assert entry.native_ms > 0.0
+
+
+def test_webview_invocations_cross_the_bridge(trace):
+    profile = OverheadProfile.from_jsonl(trace)
+    entry = profile.operations[("getLocation", "webview")]
+    assert entry.layer_spans["bridge"] > 0
+
+
+def test_trace_and_profile_byte_identical_across_runs(trace):
+    again = Fig10Runner().trace(repetitions=2)
+    assert again == trace
+    assert (
+        OverheadProfile.from_jsonl(again).to_json()
+        == OverheadProfile.from_jsonl(trace).to_json()
+    )
+
+
+def test_fig10_overhead_profile_helper(trace):
+    profile = fig10_overhead_profile(repetitions=2)
+    rendered = render_profile_text(profile)
+    for platform in PLATFORMS:
+        assert platform in rendered

@@ -1,0 +1,96 @@
+"""P² streaming percentiles: determinism, accuracy, small-sample exactness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingPercentiles,
+    quantile_label,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def lcg_stream(n, seed=42):
+    """A seeded pseudo-random stream with no stdlib RNG involved."""
+    state = seed
+    for _ in range(n):
+        state = (state * 1_103_515_245 + 12_345) % (2**31)
+        yield state / (2**31)
+
+
+class TestP2Quantile:
+    def test_rejects_invalid_quantile(self):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            P2Quantile(1.5)
+
+    def test_empty_is_zero(self):
+        assert P2Quantile(0.5).value == 0.0
+
+    def test_small_samples_are_exact_nearest_rank(self):
+        estimator = P2Quantile(0.5)
+        for value in (30.0, 10.0, 20.0):
+            estimator.observe(value)
+        assert estimator.value == 20.0  # exact median of three
+
+    def test_median_accuracy_on_seeded_stream(self):
+        estimator = P2Quantile(0.5)
+        values = list(lcg_stream(5_000))
+        for value in values:
+            estimator.observe(value)
+        exact = sorted(values)[len(values) // 2]
+        assert estimator.value == pytest.approx(exact, abs=0.02)
+
+    def test_p99_accuracy_on_seeded_stream(self):
+        estimator = P2Quantile(0.99)
+        values = list(lcg_stream(5_000, seed=7))
+        for value in values:
+            estimator.observe(value)
+        exact = sorted(values)[int(0.99 * len(values))]
+        assert estimator.value == pytest.approx(exact, abs=0.02)
+
+    def test_deterministic_for_same_stream(self):
+        a, b = P2Quantile(0.95), P2Quantile(0.95)
+        for value in lcg_stream(1_000, seed=3):
+            a.observe(value)
+        for value in lcg_stream(1_000, seed=3):
+            b.observe(value)
+        assert a.value == b.value
+        assert a.count == b.count == 1_000
+
+    def test_monotone_stream(self):
+        estimator = P2Quantile(0.5)
+        for value in range(1, 101):
+            estimator.observe(float(value))
+        assert estimator.value == pytest.approx(50.0, abs=2.0)
+
+
+class TestStreamingPercentiles:
+    def test_default_quantiles_and_labels(self):
+        stream = StreamingPercentiles()
+        assert stream.quantiles == DEFAULT_QUANTILES
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.99) == "p99"
+        assert quantile_label(0.999) == "p99.9"
+
+    def test_tracks_count_sum_max_mean(self):
+        stream = StreamingPercentiles()
+        for value in (2.0, 4.0, 6.0):
+            stream.observe(value)
+        assert stream.count == 3
+        assert stream.sum == 12.0
+        assert stream.max == 6.0
+        assert stream.mean == 4.0
+
+    def test_as_dict_keys(self):
+        stream = StreamingPercentiles()
+        stream.observe(1.0)
+        assert set(stream.as_dict()) == {"p50", "p95", "p99"}
+
+    def test_untracked_quantile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPercentiles().value(0.42)

@@ -84,9 +84,40 @@ class TestJsonlFileExporter:
         spans = trace.finished_spans()
         assert exporter.export(spans[:1]) == 1
         assert exporter.export(spans[1:]) == 2
+        exporter.close()
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 3
         assert json.loads(lines[0])["name"] == "dispatch:get"  # start order
+
+    def test_flushes_after_each_batch(self, trace, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        exporter = JsonlFileExporter(path)
+        exporter.export(trace.finished_spans())
+        # Readable before close: the handle flushes per batch.
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 3
+        exporter.close()
+        exporter.close()  # idempotent
+
+    def test_context_manager_closes(self, trace, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlFileExporter(path) as exporter:
+            exporter.export(trace.finished_spans())
+        assert len(path.read_text().splitlines()) == 3
+        # Reopening after close appends rather than truncating.
+        with JsonlFileExporter(path) as exporter:
+            exporter.export(trace.finished_spans()[:1])
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_utf8_attributes_survive(self, tmp_path):
+        clock = SimulatedClock()
+        tracer = Tracer(clock, capture_real_time=False)
+        with tracer.span("dispatch:send", text="नमस्ते"):
+            clock.advance(1.0)
+        path = tmp_path / "spans.jsonl"
+        with JsonlFileExporter(path) as exporter:
+            exporter.export(tracer.finished_spans())
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["attributes"]["text"] == "नमस्ते"
 
 
 class TestTextRendering:
@@ -102,6 +133,26 @@ class TestTextRendering:
         registry = MetricsRegistry()
         registry.counter("requests", site="x").inc(3)
         registry.histogram("latency", buckets=(10.0,)).observe(4.0)
+        registry.gauge("depth").set(2.5)
         rendered = render_metrics_text(registry)
-        assert "latency count=1 sum=4.000 mean=4.000" in rendered
-        assert "requests{site=x} 3" in rendered
+        assert "requests{site=x} counter 3" in rendered
+        assert "depth gauge 2.5" in rendered
+        assert (
+            "latency histogram count=1 sum=4.000 mean=4.000 "
+            "p50=4.000 p95=4.000 p99=4.000"
+        ) in rendered
+        assert "buckets: le10=1 le+Inf=1" in rendered
+
+    def test_orphan_spans_render_as_roots(self, trace):
+        # A filtered export can drop a parent; its children must still
+        # render (as roots) instead of vanishing.
+        spans = [s for s in trace.spans if s.name != "dispatch:get"]
+        rendered = render_span_tree(spans)
+        assert rendered.startswith("binding:get")
+        assert "dispatch:post" in rendered
+
+    def test_jsonl_parse_reserialize_byte_identical(self, trace):
+        from repro.obs import parse_jsonl, records_to_jsonl
+
+        payload = export_jsonl(trace.finished_spans())
+        assert records_to_jsonl(parse_jsonl(payload)) == payload

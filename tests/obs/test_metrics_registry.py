@@ -74,6 +74,48 @@ class TestHistogram:
     def test_empty_histogram_mean_is_zero(self, registry):
         assert registry.histogram("latency").mean == 0.0
 
+    def test_value_on_bucket_bound_counts_into_that_bucket(self, registry):
+        # Buckets are cumulative-<=, so an observation exactly on a
+        # bound belongs to that bound's bucket, not the next one.
+        histogram = registry.histogram("latency", buckets=(10.0, 100.0))
+        histogram.observe(10.0)
+        histogram.observe(100.0)
+        assert histogram.bucket_counts == [1, 1]
+        assert histogram.overflow == 0
+
+    def test_negative_and_zero_observations(self, registry):
+        histogram = registry.histogram("delta", buckets=(0.0, 10.0))
+        histogram.observe(-5.0)
+        histogram.observe(0.0)
+        histogram.observe(5.0)
+        assert histogram.bucket_counts == [2, 1]  # <=0 twice
+        assert histogram.count == 3
+        assert histogram.sum == 0.0
+        assert histogram.mean == 0.0
+
+    def test_empty_bounds_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", buckets=())
+
+    def test_streaming_percentiles(self, registry):
+        histogram = registry.histogram("latency", buckets=(100.0,))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        # Under five samples the P² markers hold exact order statistics
+        # (nearest-rank, so the median of {1,2,3,4} is 2).
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        percentiles = histogram.percentiles()
+        assert set(percentiles) == {"p50", "p95", "p99"}
+        assert percentiles["p99"] == pytest.approx(4.0)
+
+    def test_percentiles_in_snapshot(self, registry):
+        histogram = registry.histogram("latency", buckets=(10.0,))
+        histogram.observe(4.0)
+        snapshot = registry.snapshot()
+        assert snapshot["latency"][0]["percentiles"] == {
+            "p50": 4.0, "p95": 4.0, "p99": 4.0,
+        }
+
 
 class TestRegistry:
     def test_kind_clash_rejected(self, registry):
