@@ -1,0 +1,169 @@
+"""Concurrency runtime benchmark: throughput and queue latency vs shards.
+
+A fixed batch of identical requests (constant virtual service cost) is
+submitted to one platform dispatcher and drained; the whole experiment
+runs in virtual time, so every number here is deterministic.  The sweep
+doubles the shard count and checks the scaling claim the runtime makes:
+shard lanes overlap in virtual time, so makespan ≈ total work / shards —
+8 shards must clear the batch at least 3× faster than 1 (it is 8× for
+this uniform load; the floor leaves room for less convenient workloads).
+
+Queue latency percentiles come from the dispatcher's own
+``runtime.queue_wait_ms`` histogram (streaming P² estimates), i.e. the
+same series operators would watch in production — the benchmark doubles
+as a check that the instrumentation tells the truth about queueing.
+
+Writes ``BENCH_concurrency.json`` (schema in docs/PERFORMANCE.md):
+virtual throughput/latency under ``metrics``; wall-clock harness cost
+under ``measured``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.results import BenchResult, write_bench_result
+from repro.obs import Observability
+from repro.runtime import ConcurrencyRuntime
+
+SHARD_COUNTS = (1, 2, 4, 8)
+REQUESTS = 64
+SERVICE_MS = 10.0
+
+
+def run_load(
+    shards: int,
+    *,
+    requests: int = REQUESTS,
+    service_ms: float = SERVICE_MS,
+    seed: int = 0,
+):
+    """Submit ``requests`` uniform jobs to a ``shards``-lane dispatcher
+    and drain; returns the virtual makespan and queue-wait percentiles."""
+    from repro.util.clock import Scheduler, SimulatedClock
+
+    scheduler = Scheduler(SimulatedClock())
+    hub = Observability(capture_real_time=False)
+    runtime = ConcurrencyRuntime(
+        scheduler,
+        shards=shards,
+        queue_depth=requests,  # admission control is not under test here
+        seed=seed,
+        observability=hub,
+    )
+    clock = scheduler.clock
+    dispatcher = runtime.dispatcher("bench")
+    start_ms = clock.now_ms
+    futures = [
+        dispatcher.submit("work", lambda: clock.advance(service_ms))
+        for _ in range(requests)
+    ]
+    runtime.drain()
+    makespan_ms = clock.now_ms - start_ms
+    assert all(future.done() and future.error is None for future in futures)
+    wait = hub.metrics.histogram("runtime.queue_wait_ms", platform="bench")
+    return {
+        "makespan_ms": makespan_ms,
+        "throughput_per_s": requests / makespan_ms * 1_000.0,
+        "queue_wait": wait.percentiles(),
+        "shed": dispatcher.shed_count,
+        "per_shard": dispatcher.executed_per_shard(),
+    }
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_concurrency_throughput(benchmark, shards):
+    """Wall-clock cost of simulating the batch (the model itself is free
+    of real sleeps; this times the dispatcher machinery)."""
+    result = benchmark(run_load, shards)
+    assert result["shed"] == 0
+    assert sum(result["per_shard"]) == REQUESTS
+
+
+def test_concurrency_scaling_summary():
+    """The headline claim: ≥3× throughput at 8 shards vs 1."""
+    wall: dict = {}
+    results = {}
+    for shards in SHARD_COUNTS:
+        before = time.perf_counter()  # wall-clock: measurement
+        results[shards] = run_load(shards)
+        wall[shards] = (time.perf_counter() - before) * 1_000.0  # wall-clock: measurement
+
+    headers = ["shards", "makespan ms", "req/s", "wait p50", "wait p95", "wait p99"]
+    rows = [
+        [
+            str(shards),
+            f"{r['makespan_ms']:.1f}",
+            f"{r['throughput_per_s']:.1f}",
+            f"{r['queue_wait']['p50']:.1f}",
+            f"{r['queue_wait']['p95']:.1f}",
+            f"{r['queue_wait']['p99']:.1f}",
+        ]
+        for shards, r in results.items()
+    ]
+    print("\n\n=== Concurrency: uniform batch vs shard count ===")
+    print(format_table(headers, rows))
+
+    # Uniform load on K lanes: makespan is exactly work/K.
+    for shards, r in results.items():
+        assert r["makespan_ms"] == pytest.approx(REQUESTS * SERVICE_MS / shards)
+    # The acceptance floor: ≥3× throughput at 8 shards vs 1.
+    speedup = results[1]["makespan_ms"] / results[8]["makespan_ms"]
+    assert speedup >= 3.0, f"8-shard speedup only {speedup:.2f}x"
+    # More lanes never queue longer.
+    for lo, hi in zip(SHARD_COUNTS, SHARD_COUNTS[1:]):
+        assert (
+            results[hi]["queue_wait"]["p95"] <= results[lo]["queue_wait"]["p95"]
+        )
+
+    result = BenchResult(
+        name="concurrency",
+        params={
+            "requests": REQUESTS,
+            "service_ms": SERVICE_MS,
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        metrics={
+            "makespan_ms": {
+                str(shards): r["makespan_ms"] for shards, r in results.items()
+            },
+            "throughput_per_s": {
+                str(shards): r["throughput_per_s"] for shards, r in results.items()
+            },
+            "queue_wait_ms": {
+                str(shards): r["queue_wait"] for shards, r in results.items()
+            },
+            "speedup_8_vs_1": speedup,
+        },
+        measured={"harness_wall_ms": {str(k): v for k, v in wall.items()}},
+    )
+    path = write_bench_result(
+        result,
+        include_measured=not os.environ.get("REPRO_BENCH_DETERMINISTIC"),
+    )
+    print(f"\nwrote {path}")
+
+
+def test_concurrency_coalescing_savings():
+    """Coalesced idempotent reads cost one execution for N submissions."""
+    from repro.util.clock import Scheduler, SimulatedClock
+
+    scheduler = Scheduler(SimulatedClock())
+    runtime = ConcurrencyRuntime(scheduler, shards=2, queue_depth=REQUESTS)
+    clock = scheduler.clock
+    executions = []
+    dispatcher = runtime.dispatcher("bench")
+    futures = [
+        dispatcher.submit(
+            "get",
+            lambda: (executions.append(clock.now_ms), clock.advance(SERVICE_MS))[0],
+            coalesce_key="GET:/status",
+        )
+        for _ in range(16)
+    ]
+    runtime.drain()
+    assert len(executions) == 1
+    assert dispatcher.coalesced_count == 15
+    assert all(future.done() and future.error is None for future in futures)

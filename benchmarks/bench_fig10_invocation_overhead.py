@@ -49,6 +49,17 @@ def test_fig10_with_proxy_invocation(benchmark, runner, platform, api):
     benchmark(one_invocation)
 
 
+@pytest.mark.parametrize("platform", PLATFORMS)
+def test_fig10_runtime_parity(runner, platform):
+    """The concurrency runtime adds no modelled latency of its own: a
+    single-shard dispatcher replays each invocation's captured virtual
+    charge verbatim, so the per-call cost equals the direct proxy call."""
+    out = runner.run_via_runtime(platform, "getLocation", repetitions=5)
+    assert out["runtime_ms"] == pytest.approx(out["direct_ms"]), (
+        f"{platform}: dispatch through the runtime changed the virtual charge"
+    )
+
+
 def test_fig10_full_reproduction(benchmark, runner, fig10_reps):
     """Regenerate the whole figure and verify the shape criteria."""
     detailed = benchmark.pedantic(

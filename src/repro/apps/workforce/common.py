@@ -13,12 +13,17 @@ from typing import Dict
 #: Well-known server host on the simulated network.
 SERVER_HOST = "workforce.example.com"
 
-#: Wire paths (all POST with JSON bodies; the GCF stack has no query API).
+#: Wire paths (POST with JSON bodies; the GCF stack has no query API).
 PATH_REPORT_LOCATION = "/api/location"
 PATH_LOG_EVENT = "/api/event"
 PATH_POLL_ASSIGNMENT = "/api/assignment/poll"
 PATH_CREATE_ASSIGNMENT = "/api/assignment/create"
 PATH_COMPLETE_ASSIGNMENT = "/api/assignment/complete"
+
+#: The one idempotent GET: a stable service descriptor every agent polls.
+#: Safe to coalesce — the body is a pure function of deployment config,
+#: which is what makes it the runtime's canonical coalescing target.
+PATH_STATUS = "/api/status"
 
 
 @dataclass(frozen=True)

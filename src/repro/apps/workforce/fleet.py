@@ -10,9 +10,17 @@ whole deployment advances under a single ``run_for``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.apps.workforce.common import AgentProfile, SiteRegion, WorkforceConfig
+from repro.apps.workforce.common import (
+    PATH_REPORT_LOCATION,
+    PATH_STATUS,
+    SERVER_HOST,
+    AgentProfile,
+    SiteRegion,
+    WorkforceConfig,
+    encode,
+)
 from repro.apps.workforce.proxied import WorkforceLogic, launch_on_android
 from repro.apps.workforce.scenario import ANDROID_PERMISSIONS, PACKAGE
 from repro.apps.workforce.server import WorkforceServer
@@ -23,11 +31,17 @@ from repro.device.network import SimulatedNetwork
 from repro.obs import Observability
 from repro.obs.analyze.slo import SloEngine, SloSpec, SloStatus
 from repro.platforms.android.platform import AndroidPlatform
+from repro.runtime import AgentTask, ConcurrencyRuntime
 from repro.util.clock import Scheduler, SimulatedClock
 from repro.util.events import EventBus
 from repro.util.geo import GeoPoint, destination_point
 
 SUPERVISOR_NUMBER = "+915550001"
+
+#: Per-agent failure events that must escalate to the supervisor.
+FAILURE_EVENTS = frozenset(
+    {"sms-failed", "report-failed", "log-failed", "status-failed"}
+)
 
 
 @dataclass
@@ -42,6 +56,10 @@ class FleetAgent:
     slo_engine: Optional[SloEngine] = None
     #: finished-span cursor so repeated SLO evaluations never double-ingest.
     slo_cursor: int = 0
+    #: activity-event cursor for Fleet error surfacing (same pattern).
+    error_cursor: int = 0
+    #: the agent's cooperative workload, when driven through the runtime.
+    task: Optional[AgentTask] = None
 
 
 @dataclass
@@ -52,10 +70,25 @@ class Fleet:
     server: WorkforceServer
     supervisor: MobileDevice
     agents: List[FleetAgent] = field(default_factory=list)
+    #: The concurrency plane (``build_fleet(runtime=True)``); ``None``
+    #: keeps the pre-runtime direct-call fleet behaviour.
+    runtime: Optional[ConcurrencyRuntime] = None
+    #: Operational alerts surfaced to the supervisor (see ``run_for``).
+    alerts: List[str] = field(default_factory=list)
+    _alerted_tasks: int = field(default=0, repr=False)
 
     def run_for(self, delta_ms: float) -> int:
-        """Advance the whole fleet's shared virtual time."""
-        return self.scheduler.run_for(delta_ms)
+        """Advance the whole fleet's shared virtual time.
+
+        Besides returning the executed-callback count, this *surfaces
+        per-agent errors*: failure events the agents' business logic
+        swallowed locally (``sms-failed`` …) and cooperative tasks that
+        died, both of which previously vanished, become supervisor
+        alerts readable from :attr:`supervisor_inbox`.
+        """
+        executed = self.scheduler.run_for(delta_ms)
+        self._surface_agent_errors()
+        return executed
 
     def agent(self, agent_id: str) -> FleetAgent:
         for entry in self.agents:
@@ -65,8 +98,29 @@ class Fleet:
 
     @property
     def supervisor_inbox(self) -> List[str]:
-        """Texts the supervisor handset has received, in order."""
-        return [message.text for message in self.supervisor.inbox]
+        """Texts the supervisor handset has received, in order, followed
+        by any fleet alerts surfaced by :meth:`run_for`."""
+        return [message.text for message in self.supervisor.inbox] + list(self.alerts)
+
+    def _surface_agent_errors(self) -> None:
+        for agent in self.agents:
+            if agent.logic is None:
+                continue
+            events = agent.logic.activity_events
+            for event in events[agent.error_cursor:]:
+                if event in FAILURE_EVENTS:
+                    self.alerts.append(
+                        f"[fleet-alert] {agent.profile.agent_id}: {event}"
+                    )
+            agent.error_cursor = len(events)
+        if self.runtime is not None:
+            failed = self.runtime.tasks.failed_tasks()
+            for task in failed[self._alerted_tasks:]:
+                self.alerts.append(
+                    f"[fleet-alert] task {task.name} failed: "
+                    f"{type(task.error).__name__}: {task.error}"
+                )
+            self._alerted_tasks = len(failed)
 
     # -- service-level objectives -------------------------------------------
 
@@ -121,6 +175,10 @@ def build_fleet(
     base_longitude: float = 77.2,
     leg_ms: float = 60_000.0,
     observability: bool = False,
+    runtime: bool = False,
+    shards: int = 2,
+    queue_depth: int = 32,
+    runtime_seed: int = 0,
 ) -> Fleet:
     """Deploy ``agent_count`` Android agents on shared infrastructure.
 
@@ -131,6 +189,10 @@ def build_fleet(
     ``observability=True`` gives every agent handset a recording tracer
     (virtual-time stamps only), which :meth:`Fleet.install_slos` /
     :meth:`Fleet.evaluate_slos` build on.
+
+    ``runtime=True`` attaches a :class:`ConcurrencyRuntime` on the
+    fleet's scheduler (sharded dispatch, coalescing, cooperative agent
+    tasks); drive it with :func:`launch_fleet_on_runtime`.
     """
     if agent_count < 1:
         raise ValueError("a fleet needs at least one agent")
@@ -146,6 +208,16 @@ def build_fleet(
         scheduler=scheduler,
     )
     fleet = Fleet(scheduler=scheduler, server=server, supervisor=supervisor)
+    if runtime:
+        fleet.runtime = ConcurrencyRuntime(
+            scheduler,
+            shards=shards,
+            queue_depth=queue_depth,
+            seed=runtime_seed,
+            observability=(
+                Observability(capture_real_time=False) if observability else None
+            ),
+        )
     for index in range(agent_count):
         site_centre = destination_point(
             base_latitude, base_longitude, bearing=360.0 * index / agent_count,
@@ -198,3 +270,75 @@ def launch_fleet(fleet: Fleet) -> None:
         config = WorkforceConfig(agent=agent.profile, site=agent.site)
         context = agent.platform.new_context(PACKAGE)
         agent.logic = launch_on_android(agent.platform, context, config)
+
+
+def _agent_workload(
+    fleet: Fleet,
+    agent: FleetAgent,
+    *,
+    reports: int,
+    period_ms: float,
+) -> Iterator[object]:
+    """One agent's cooperative reporting loop.
+
+    Each cycle: sleep a period, take a (staleness-cached) location fix,
+    POST it to the server through the agent's shard lane, then poll the
+    shared status endpoint with a coalescable GET.  Failed HTTP calls
+    are recorded as activity failure events — which ``Fleet.run_for``
+    then escalates to the supervisor.
+    """
+    runtime = fleet.runtime
+    logic = agent.logic
+    agent_id = agent.profile.agent_id
+    report_url = f"http://{SERVER_HOST}{PATH_REPORT_LOCATION}"
+    status_url = f"http://{SERVER_HOST}{PATH_STATUS}"
+    for _ in range(reports):
+        yield period_ms
+        fix = yield runtime.get_location(logic.location)
+        body = encode(
+            {
+                "agent": agent_id,
+                "latitude": fix.latitude,
+                "longitude": fix.longitude,
+                "timestamp_ms": fix.timestamp_ms,
+            }
+        )
+        report_future = runtime.submit_invocation(
+            logic.http,
+            "post",
+            lambda body=body: logic.http.post(report_url, body),
+            key=agent_id,
+        )
+        # Issued concurrently with the report: since every agent polls at
+        # the same instant, the fleet's status GETs coalesce in flight.
+        status_future = runtime.http_get(logic.http, status_url)
+        result = yield report_future
+        if not result.ok:
+            logic.activity_events.append("report-failed")
+        status = yield status_future
+        if not status.ok:
+            logic.activity_events.append("status-failed")
+
+
+def launch_fleet_on_runtime(
+    fleet: Fleet,
+    *,
+    reports: int = 3,
+    period_ms: float = 20_000.0,
+) -> None:
+    """Drive every agent's reporting loop through the concurrency runtime.
+
+    Requires ``build_fleet(runtime=True)``.  Launches the proxied app
+    first if needed, then spawns one cooperative task per agent (FIFO
+    tie-broken in agent order).  Advance with ``fleet.run_for`` or
+    ``fleet.runtime.drain()``.
+    """
+    if fleet.runtime is None:
+        raise ValueError("build the fleet with runtime=True first")
+    if any(agent.logic is None for agent in fleet.agents):
+        launch_fleet(fleet)
+    for agent in fleet.agents:
+        agent.task = fleet.runtime.spawn(
+            f"workload:{agent.profile.agent_id}",
+            _agent_workload(fleet, agent, reports=reports, period_ms=period_ms),
+        )

@@ -17,6 +17,7 @@ from repro.apps.workforce.common import (
     PATH_LOG_EVENT,
     PATH_POLL_ASSIGNMENT,
     PATH_REPORT_LOCATION,
+    PATH_STATUS,
     SERVER_HOST,
     decode,
     encode,
@@ -61,6 +62,10 @@ class WorkforceServer:
         server.route("POST", PATH_POLL_ASSIGNMENT, self._on_poll_assignment)
         server.route("POST", PATH_CREATE_ASSIGNMENT, self._on_create_assignment)
         server.route("POST", PATH_COMPLETE_ASSIGNMENT, self._on_complete_assignment)
+        server.route("GET", PATH_STATUS, self._on_status)
+        #: GET requests served (the coalescing benchmarks diff this
+        #: against submissions to show the saved round trips).
+        self.status_requests = 0
 
     # -- read model (enterprise dashboard) -----------------------------------
 
@@ -148,6 +153,14 @@ class WorkforceServer:
             return HttpResponse(400, encode({"error": "agent, site, description required"}))
         assignment = self.dispatch(body["agent"], body["site"], body["description"])
         return HttpResponse(200, encode({"assignment": assignment.assignment_id}))
+
+    def _on_status(self, request: HttpRequest) -> HttpResponse:
+        """Stable service descriptor — deliberately a pure function of
+        deployment config so concurrent GETs may coalesce safely."""
+        self.status_requests += 1
+        return HttpResponse(
+            200, encode({"ok": True, "service": "workforce", "host": self.host})
+        )
 
     def _on_complete_assignment(self, request: HttpRequest) -> HttpResponse:
         body = decode(request.body)

@@ -30,6 +30,8 @@ from repro.platforms.android.intents import Intent
 from repro.platforms.android.location import NO_EXPIRATION as ANDROID_NO_EXPIRATION
 from repro.platforms.s60.location import Coordinates
 from repro.platforms.s60.location import ProximityListener as S60NativeListener
+from repro.runtime import ConcurrencyRuntime
+from repro.util.clock import Scheduler
 
 #: The three APIs Figure 10 charts.
 APIS = ("addProximityAlert", "getLocation", "sendSMS")
@@ -72,6 +74,8 @@ class _Bench:
     clock_now: Callable[[], float]
     invoke: Dict[str, Callable[[], None]]
     cleanup: Dict[str, Callable[[], None]]
+    #: the scenario's event scheduler; the runtime parity path rides it.
+    scheduler: Optional[Scheduler] = None
 
 
 class Fig10Runner:
@@ -101,6 +105,7 @@ class Fig10Runner:
             listener = _NullUniformListener()
             return _Bench(
                 clock_now=lambda: sc.platform.clock.now_ms,
+                scheduler=sc.device.scheduler,
                 invoke={
                     "addProximityAlert": lambda: location.add_proximity_alert(
                         site.latitude, site.longitude, 0.0, site.radius_m, -1, listener
@@ -132,6 +137,7 @@ class Fig10Runner:
 
         return _Bench(
             clock_now=lambda: sc.platform.clock.now_ms,
+            scheduler=sc.device.scheduler,
             invoke={
                 "addProximityAlert": add_alert,
                 "getLocation": lambda: manager.get_current_location("gps"),
@@ -156,6 +162,7 @@ class Fig10Runner:
             listener = _NullUniformListener()
             return _Bench(
                 clock_now=lambda: sc.platform.clock.now_ms,
+                scheduler=sc.device.scheduler,
                 invoke={
                     "addProximityAlert": lambda: location.add_proximity_alert(
                         site.latitude, site.longitude, 0.0, site.radius_m, -1, listener
@@ -183,6 +190,7 @@ class Fig10Runner:
 
         return _Bench(
             clock_now=lambda: sc.platform.clock.now_ms,
+            scheduler=sc.device.scheduler,
             invoke={
                 "addProximityAlert": lambda: statics.add_proximity_listener(
                     native_listener, coordinates, site.radius_m
@@ -230,6 +238,7 @@ class Fig10Runner:
             listener = _NullUniformListener()
             return _Bench(
                 clock_now=lambda: sc.platform.clock.now_ms,
+                scheduler=sc.device.scheduler,
                 invoke={
                     "addProximityAlert": lambda: location.add_proximity_alert(
                         site.latitude, site.longitude, 0.0, site.radius_m, -1, listener
@@ -278,6 +287,7 @@ class Fig10Runner:
 
         return _Bench(
             clock_now=lambda: sc.platform.clock.now_ms,
+            scheduler=sc.device.scheduler,
             invoke={
                 "addProximityAlert": lambda: shims.add_proximity_alert(
                     site.latitude, site.longitude, site.radius_m
@@ -367,6 +377,55 @@ class Fig10Runner:
         return {
             key: detail["total_ms"]
             for key, detail in self.run_detailed(repetitions).items()
+        }
+
+    # -- runtime parity ------------------------------------------------------
+
+    def run_via_runtime(
+        self,
+        platform: str,
+        api: str,
+        *,
+        repetitions: int = 10,
+        shards: int = 1,
+        queue_depth: int = 64,
+        seed: int = 0,
+    ) -> Dict[str, float]:
+        """Drive one with-proxy bar through the concurrency runtime.
+
+        Measures the *virtual* charge per invocation twice — calling the
+        proxy directly, then submitting the same thunk through a
+        dispatcher — and returns the medians.  With one shard and an
+        empty queue the dispatcher replays the captured charge on its
+        lane verbatim, so ``runtime_ms == direct_ms``: queueing adds no
+        modelled latency of its own.  (Real-time proxy overhead is the
+        measured path's business; this one guards the virtual model.)
+        """
+        bench = self._bench_for(platform, True)
+        invoke = bench.invoke[api]
+        cleanup = bench.cleanup.get(api)
+        runtime = ConcurrencyRuntime(
+            bench.scheduler, shards=shards, queue_depth=queue_depth, seed=seed
+        )
+        direct: List[float] = []
+        for _ in range(repetitions):
+            before = bench.clock_now()
+            invoke()
+            direct.append(bench.clock_now() - before)
+            if cleanup is not None:
+                cleanup()
+        via: List[float] = []
+        for _ in range(repetitions):
+            before = bench.clock_now()
+            future = runtime.submit(platform, api, invoke)
+            runtime.drain()
+            via.append(bench.clock_now() - before)
+            future.result()  # surface any ProxyError
+            if cleanup is not None:
+                cleanup()
+        return {
+            "direct_ms": statistics.median(direct),
+            "runtime_ms": statistics.median(via),
         }
 
     # -- traced runs (the analytics layer's input) ----------------------------

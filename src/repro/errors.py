@@ -141,3 +141,14 @@ class ProxySensorError(ProxyPlatformError):
 
     error_code = 1011
     transient = True
+
+
+class ProxyOverloadError(ProxyTransientError):
+    """The concurrency runtime shed this request at admission.
+
+    Raised (or delivered through a rejected future) when a dispatcher
+    shard's bounded queue is full.  Transient by definition: the same
+    request may be admitted once the queue drains — but the runtime
+    itself never retries shed work, that choice belongs to the caller."""
+
+    error_code = 1012

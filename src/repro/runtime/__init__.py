@@ -1,0 +1,266 @@
+"""The deterministic concurrency runtime.
+
+The paper evaluates one app invoking one proxy at a time; this package is
+what lets *many* agents drive *many* proxies concurrently on the shared
+virtual-time substrate without giving up reproducibility:
+
+* :class:`~repro.runtime.scheduler.CooperativeScheduler` — N agent
+  workloads as cooperative tasks, priority + FIFO tie-breaking, seeded;
+* :class:`~repro.runtime.dispatcher.Dispatcher` — per-platform worker
+  shards with bounded queues, load-shedding admission control and
+  in-flight request coalescing, in front of ``MProxy``;
+* :mod:`~repro.runtime.coalesce` — staleness-window location fix reuse
+  and a ``setProperty``-invalidated property-read cache;
+* :class:`ConcurrencyRuntime` — the bundle the workforce fleet and the
+  benchmarks actually use.
+
+Determinism contract (see ``docs/CONCURRENCY.md``): given the same seed
+and workload, two runs produce byte-identical trace exports.  Everything
+is single-threaded; concurrency is *modelled* — shard lanes overlap in
+virtual time via :meth:`SimulatedClock.capture_charge` — never raced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs import Observability
+from repro.runtime.coalesce import LocationFixCache, PropertyReadCache
+from repro.runtime.dispatcher import Dispatcher
+from repro.runtime.futures import Future, FutureStateError
+from repro.runtime import scheduler as task_states
+from repro.runtime.scheduler import AgentTask, CooperativeScheduler
+from repro.util.clock import Scheduler
+
+__all__ = [
+    "AgentTask",
+    "ConcurrencyRuntime",
+    "CooperativeScheduler",
+    "Dispatcher",
+    "Future",
+    "FutureStateError",
+    "LocationFixCache",
+    "PropertyReadCache",
+]
+
+
+class ConcurrencyRuntime:
+    """One deployment's concurrency plane.
+
+    Bundles the cooperative task scheduler, lazily-created per-platform
+    dispatchers and the read caches over one shared
+    :class:`~repro.util.clock.Scheduler`.
+
+    Parameters
+    ----------
+    scheduler:
+        The world's event scheduler (a fleet's, a scenario's).
+    shards / queue_depth:
+        Defaults for every platform dispatcher; override per platform
+        with ``shards_per_platform``.
+    seed:
+        Seeds the cooperative scheduler's RNG (the only randomness
+        workloads may use).
+    observability:
+        Hub receiving the runtime's own ``runtime.*`` metrics; defaults
+        to a disabled hub (live metrics, no-op tracer).  Per-request
+        spans always go to the *submitting proxy's* tracer so queue
+        spans join that proxy's span tree.
+    location_staleness_ms:
+        Window for :meth:`get_location` fix reuse.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        shards: int = 2,
+        queue_depth: int = 32,
+        seed: int = 0,
+        observability: Optional[Observability] = None,
+        shards_per_platform: Optional[Dict[str, int]] = None,
+        location_staleness_ms: float = 5_000.0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.observability = (
+            observability if observability is not None else Observability.disabled()
+        )
+        # Queue spans must stamp the shared virtual clock, not a hub default.
+        self.observability.bind_clock(scheduler.clock)
+        self.default_shards = shards
+        self.queue_depth = queue_depth
+        self.seed = seed
+        self.shards_per_platform = dict(shards_per_platform or {})
+        self.location_staleness_ms = location_staleness_ms
+        self.tasks = CooperativeScheduler(
+            scheduler, seed=seed, observability=self.observability
+        )
+        self._dispatchers: Dict[str, Dispatcher] = {}
+        self._location_caches: Dict[int, LocationFixCache] = {}
+        self.properties = PropertyReadCache(self.observability.metrics)
+
+    # -- dispatchers ---------------------------------------------------------
+
+    def dispatcher(self, platform: str) -> Dispatcher:
+        """The (lazily created) dispatcher serving one platform."""
+        dispatcher = self._dispatchers.get(platform)
+        if dispatcher is None:
+            dispatcher = Dispatcher(
+                self.scheduler,
+                platform=platform,
+                shards=self.shards_per_platform.get(platform, self.default_shards),
+                queue_depth=self.queue_depth,
+                observability=self.observability,
+            )
+            self._dispatchers[platform] = dispatcher
+        return dispatcher
+
+    def dispatchers(self) -> Dict[str, Dispatcher]:
+        return dict(self._dispatchers)
+
+    def submit(
+        self,
+        platform: str,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        key: Optional[str] = None,
+        coalesce_key: Optional[str] = None,
+        tracer=None,
+    ) -> Future:
+        """Queue one invocation on ``platform``'s dispatcher."""
+        return self.dispatcher(platform).submit(
+            operation, thunk, key=key, coalesce_key=coalesce_key, tracer=tracer
+        )
+
+    # -- proxy-aware conveniences -------------------------------------------
+
+    @staticmethod
+    def _tracer_of(proxy):
+        observability = proxy.observability
+        return None if observability is None else observability.tracer
+
+    def submit_invocation(
+        self,
+        proxy,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        key: Optional[str] = None,
+        coalesce_key: Optional[str] = None,
+    ) -> Future:
+        """Queue a call on ``proxy``; platform and tracer are derived
+        from its binding plane and attached observability hub."""
+        return self.submit(
+            proxy.binding.platform,
+            operation,
+            thunk,
+            key=key,
+            coalesce_key=coalesce_key,
+            tracer=self._tracer_of(proxy),
+        )
+
+    def http_get(self, http_proxy, url: str, *, coalesce: bool = True) -> Future:
+        """Idempotent GET through the dispatcher.
+
+        With ``coalesce`` on, concurrent GETs to the same URL on the
+        same platform share one network round trip — the in-flight
+        window is the primary request's queue + service interval.
+        """
+        platform = http_proxy.binding.platform
+        coalesce_key = f"{platform}:GET:{url}" if coalesce else None
+        return self.submit_invocation(
+            http_proxy,
+            "get",
+            lambda: http_proxy.get(url),
+            coalesce_key=coalesce_key,
+        )
+
+    def get_location(self, location_proxy, *, fresh: bool = False) -> Future:
+        """A location fix, reusing one younger than the staleness window.
+
+        ``fresh=True`` bypasses (but still refreshes) the cache.  Fix
+        requests for the same proxy also coalesce in flight — ten agents
+        asking at once cost one GPS read.
+        """
+        cache = self._location_caches.get(id(location_proxy))
+        if cache is None:
+            cache = LocationFixCache(
+                self.scheduler.clock,
+                staleness_ms=self.location_staleness_ms,
+                metrics=self.observability.metrics,
+                label=location_proxy.binding.platform,
+            )
+            self._location_caches[id(location_proxy)] = cache
+        if not fresh:
+            cached = cache.get()
+            if cached is not None:
+                return Future.resolved(cached)
+        future = self.submit_invocation(
+            location_proxy,
+            "getLocation",
+            location_proxy.get_location,
+            coalesce_key=f"fix:{id(location_proxy)}",
+        )
+
+        def remember(done: Future) -> None:
+            if done.error is None:
+                cache.put(done.value)
+
+        future.add_done_callback(remember)
+        return future
+
+    def get_property(self, proxy, key: str) -> Any:
+        """Cached descriptor/property lookup (invalidated by any
+        ``set_property`` on the proxy)."""
+        return self.properties.get(proxy, key)
+
+    # -- driving -------------------------------------------------------------
+
+    def spawn(self, name: str, generator, *, priority: int = 0) -> AgentTask:
+        """Spawn a cooperative agent task (see CooperativeScheduler)."""
+        return self.tasks.spawn(name, generator, priority=priority)
+
+    def run_for(self, delta_ms: float) -> int:
+        return self.scheduler.run_for(delta_ms)
+
+    @property
+    def quiescent(self) -> bool:
+        """Every dispatcher lane idle; every task finished (or parked on
+        an externally-settled future, which only the caller can move)."""
+        if not all(d.idle for d in self._dispatchers.values()):
+            return False
+        return all(
+            task.finished or task.state == task_states.WAITING
+            for task in self.tasks.tasks
+        )
+
+    def drain(self, *, max_steps: int = 100_000) -> int:
+        """Advance virtual time until the runtime is quiescent.
+
+        Unlike ``Scheduler.drain`` this tolerates periodic substrate
+        timers (GPS polling etc.): it stops on *runtime* quiescence —
+        all shard lanes drained, all tasks done — not on an empty heap.
+        Returns callbacks executed.
+        """
+        executed = 0
+        for _ in range(max_steps):
+            if self.quiescent:
+                return executed
+            candidates = [
+                horizon
+                for horizon in (
+                    d.next_event_ms() for d in self._dispatchers.values()
+                )
+                if horizon is not None
+            ]
+            deadline = self.scheduler.next_deadline_ms()
+            if deadline is not None:
+                candidates.append(deadline)
+            if not candidates:
+                return executed  # nothing scheduled can move the state
+            target = max(min(candidates), self.scheduler.clock.now_ms)
+            executed += self.scheduler.run_until(target)
+        raise RuntimeError(
+            f"drain did not reach quiescence within {max_steps} steps"
+        )

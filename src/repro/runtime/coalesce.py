@@ -1,0 +1,143 @@
+"""Read coalescing and caching for idempotent proxy operations.
+
+Three independent savings, all safe only for reads:
+
+* **in-flight coalescing** — handled inside the dispatcher via coalesce
+  keys (HTTP GETs to the same URL share one execution while one is
+  queued or in service);
+* **location fix reuse** — :class:`LocationFixCache` serves the last fix
+  while it is younger than a staleness window on the virtual clock;
+* **property lookups** — :class:`PropertyReadCache` memoises
+  ``get_property`` per (proxy, key) and invalidates on every
+  ``setProperty`` through the proxy's property-change subscription.
+
+Every hit, miss and invalidation is a ``runtime.*`` counter so the
+benchmarks can report the saving and the property suite can prove the
+invalidation contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.util.clock import SimulatedClock
+
+
+class LocationFixCache:
+    """Serve a recent fix instead of touching the GPS again.
+
+    ``staleness_ms`` bounds how old (in virtual time) a reused fix may
+    be; ``0`` disables reuse entirely.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        *,
+        staleness_ms: float = 5_000.0,
+        metrics=None,
+        label: str = "location",
+    ) -> None:
+        if staleness_ms < 0:
+            raise ValueError(f"staleness_ms must be >= 0, got {staleness_ms}")
+        self._clock = clock
+        self.staleness_ms = staleness_ms
+        self._fix: Any = None
+        self._fixed_at_ms = -1.0
+        if metrics is None:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self._hits = metrics.counter("runtime.location_cache_hits", cache=label)
+        self._misses = metrics.counter("runtime.location_cache_misses", cache=label)
+
+    def get(self) -> Any:
+        """The cached fix if still fresh, else ``None`` (counted)."""
+        age = self._clock.now_ms - self._fixed_at_ms
+        if self._fix is not None and age <= self.staleness_ms:
+            self._hits.inc()
+            return self._fix
+        self._misses.inc()
+        return None
+
+    def put(self, fix: Any) -> None:
+        """Remember ``fix``, stamped at the current virtual instant."""
+        self._fix = fix
+        self._fixed_at_ms = self._clock.now_ms
+
+    def invalidate(self) -> None:
+        self._fix = None
+        self._fixed_at_ms = -1.0
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+
+class PropertyReadCache:
+    """Memoised ``get_property`` with setProperty invalidation.
+
+    Attach proxies explicitly; attachment subscribes to the proxy's
+    property-change notifications, so *any* ``set_property(key, ...)``
+    drops exactly that key's cached value — the invalidation-on-write
+    contract the hypothesis suite exercises.
+    """
+
+    def __init__(self, metrics=None, *, label: str = "properties") -> None:
+        self._values: Dict[Tuple[int, str], Any] = {}
+        self._attached: Dict[int, Any] = {}
+        if metrics is None:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self._hits = metrics.counter("runtime.property_cache_hits", cache=label)
+        self._misses = metrics.counter("runtime.property_cache_misses", cache=label)
+        self._invalidations = metrics.counter(
+            "runtime.property_cache_invalidations", cache=label
+        )
+
+    def attach(self, proxy) -> None:
+        """Start caching ``proxy``'s reads (idempotent per proxy)."""
+        key = id(proxy)
+        if key in self._attached:
+            return
+        self._attached[key] = proxy  # strong ref keeps id() stable
+        proxy.subscribe_property_changes(
+            lambda name, value, _key=key: self._invalidate(_key, name)
+        )
+
+    def get(self, proxy, key: str) -> Any:
+        """Cached property read (attaches the proxy on first use)."""
+        self.attach(proxy)
+        cache_key = (id(proxy), key)
+        if cache_key in self._values:
+            self._hits.inc()
+            return self._values[cache_key]
+        self._misses.inc()
+        value = proxy.get_property(key)
+        self._values[cache_key] = value
+        return value
+
+    def _invalidate(self, proxy_id: int, key: str) -> None:
+        self._values.pop((proxy_id, key), None)
+        self._invalidations.inc()
+
+    def cached_value(self, proxy, key: str) -> Optional[Any]:
+        """The raw cache slot (``None`` when absent) — test aid."""
+        return self._values.get((id(proxy), key))
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value

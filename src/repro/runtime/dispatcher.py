@@ -1,0 +1,339 @@
+"""Sharded dispatch in front of the M-Proxy layer.
+
+One :class:`Dispatcher` owns K worker shards for one platform.  Each
+shard is a serial lane with a bounded FIFO queue; a submitted request is
+
+1. **coalesced** — if it carries a coalesce key matching an in-flight
+   idempotent read, it attaches to that request's future and never
+   touches a queue;
+2. **admitted or shed** — a full shard queue rejects the request at the
+   door with :class:`~repro.errors.ProxyOverloadError` (a ``runtime.shed``
+   metric and a ``queue.shed`` span event record the decision);
+3. **executed on the shard's lane** — the shard runs the request's thunk
+   under :meth:`SimulatedClock.capture_charge`, so the substrate's
+   synchronous virtual-time charge lands on the shard's private
+   ``busy_until`` horizon instead of serialising the shared clock.
+   K shards therefore overlap in virtual time: makespan ≈ total work / K,
+   which is exactly what ``benchmarks/bench_concurrency.py`` measures.
+
+Span layer: with tracing enabled each executed request records a
+``queue:<operation>`` span (attributes: shard, queue wait) as the parent
+of the proxy's own ``dispatch → resilience → binding`` tree.  The span's
+virtual stamps are the *lane* times — two shards' spans genuinely
+overlap in a trace export.
+
+Determinism: shard selection is stable CRC32 key hashing (or
+least-loaded with lowest-index tie-breaking), queues are FIFO, and every
+completion is delivered through the shared scheduler heap with FIFO
+sequence numbers.  No wall clock, no unseeded randomness.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import itertools
+import zlib
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConfigurationError, ProxyError, ProxyOverloadError
+from repro.runtime.futures import Future
+from repro.util.clock import Scheduler
+
+
+class _Request:
+    """One admitted unit of work."""
+
+    __slots__ = (
+        "seq", "operation", "thunk", "future", "attached", "coalesce_key",
+        "tracer", "submit_ms", "start_ms", "charge_ms", "shard_index",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        coalesce_key: Optional[str],
+        tracer,
+    ) -> None:
+        self.seq = seq
+        self.operation = operation
+        self.thunk = thunk
+        self.future = Future()
+        self.attached: List[Future] = []
+        self.coalesce_key = coalesce_key
+        self.tracer = tracer
+        self.submit_ms = 0.0
+        self.start_ms = 0.0
+        self.charge_ms = 0.0
+        self.shard_index = -1
+
+
+class _Shard:
+    """One serial worker lane."""
+
+    __slots__ = ("index", "queue", "busy_until_ms", "pump_armed", "executed")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.queue: Deque[_Request] = collections.deque()
+        self.busy_until_ms = 0.0
+        self.pump_armed = False
+        self.executed = 0
+
+
+class Dispatcher:
+    """Bounded, sharded, coalescing dispatch for one platform.
+
+    Parameters
+    ----------
+    scheduler:
+        The shared virtual-time scheduler (same one the substrate and
+        resilience plane use).
+    platform:
+        Label stamped on metrics and spans (``android``/``s60``/…).
+    shards:
+        Worker lane count.
+    queue_depth:
+        Per-shard bounded queue length; submissions beyond it shed.
+    observability:
+        Hub for the dispatcher's own ``runtime.*`` metrics.  Per-request
+        spans go to the *submitter's* tracer (pass ``tracer=`` to
+        :meth:`submit`) so they join the proxy's span tree.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        platform: str = "any",
+        shards: int = 1,
+        queue_depth: int = 32,
+        observability=None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if queue_depth < 1:
+            raise ConfigurationError(f"queue_depth must be >= 1, got {queue_depth}")
+        self._scheduler = scheduler
+        self._clock = scheduler.clock
+        self.platform = platform
+        self.queue_depth = queue_depth
+        self._shards = [_Shard(index) for index in range(shards)]
+        self._inflight: Dict[str, _Request] = {}
+        self._seq = itertools.count()
+        self._rr = itertools.count()
+        if observability is not None:
+            metrics = observability.metrics
+        else:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        label = dict(platform=platform)
+        self._submitted = metrics.counter("runtime.submitted", **label)
+        self._completed = metrics.counter("runtime.completed", **label)
+        self._failed = metrics.counter("runtime.failed", **label)
+        self._shed = metrics.counter("runtime.shed", **label)
+        self._coalesced = metrics.counter("runtime.coalesced", **label)
+        self._queue_wait = metrics.histogram("runtime.queue_wait_ms", **label)
+        self._service = metrics.histogram("runtime.service_ms", **label)
+        self._depth_gauges = [
+            metrics.gauge("runtime.queue_depth", shard=str(index), **label)
+            for index in range(shards)
+        ]
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def idle(self) -> bool:
+        """No queued work and every lane's horizon has passed."""
+        now = self._clock.now_ms
+        return all(
+            not shard.queue and shard.busy_until_ms <= now
+            for shard in self._shards
+        )
+
+    def next_event_ms(self) -> Optional[float]:
+        """Earliest lane horizon still ahead of now (drain aid)."""
+        now = self._clock.now_ms
+        horizons = [
+            shard.busy_until_ms
+            for shard in self._shards
+            if shard.queue or shard.busy_until_ms > now
+        ]
+        return min(horizons) if horizons else None
+
+    def queue_depths(self) -> List[int]:
+        return [len(shard.queue) for shard in self._shards]
+
+    def executed_per_shard(self) -> List[int]:
+        return [shard.executed for shard in self._shards]
+
+    @property
+    def shed_count(self) -> int:
+        return self._shed.value
+
+    @property
+    def coalesced_count(self) -> int:
+        return self._coalesced.value
+
+    @property
+    def completed_count(self) -> int:
+        return self._completed.value
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        key: Optional[str] = None,
+        coalesce_key: Optional[str] = None,
+        tracer=None,
+    ) -> Future:
+        """Queue one proxy invocation; returns its future.
+
+        ``key`` pins the request to a stable shard (CRC32 hash) — use an
+        agent or session id for per-source FIFO ordering.  Without a key
+        the least-loaded shard wins (lowest index breaks ties).
+        ``coalesce_key`` marks the request as an idempotent read that may
+        share an in-flight execution with identical keys.
+        """
+        self._submitted.inc()
+        if coalesce_key is not None:
+            primary = self._inflight.get(coalesce_key)
+            if primary is not None:
+                self._coalesced.inc()
+                follower = Future()
+                primary.attached.append(follower)
+                return follower
+        shard = self._select_shard(key)
+        if len(shard.queue) >= self.queue_depth:
+            self._shed.inc()
+            error = ProxyOverloadError(
+                f"{operation} shed: shard {shard.index}/{self.platform} queue "
+                f"full ({self.queue_depth})"
+            )
+            if tracer is not None and tracer.enabled:
+                with tracer.span(
+                    f"queue:{operation}",
+                    platform=self.platform,
+                    shard=shard.index,
+                    outcome="shed",
+                ) as span:
+                    tracer.event(
+                        "queue.shed",
+                        operation=operation,
+                        shard=shard.index,
+                        depth=len(shard.queue),
+                    )
+                    span.mark_error(error)
+            return Future.failed(error)
+        request = _Request(
+            next(self._seq),
+            operation,
+            thunk,
+            coalesce_key=coalesce_key,
+            tracer=tracer,
+        )
+        request.submit_ms = self._clock.now_ms
+        request.shard_index = shard.index
+        shard.queue.append(request)
+        self._depth_gauges[shard.index].set(len(shard.queue))
+        if coalesce_key is not None:
+            self._inflight[coalesce_key] = request
+        self._pump(shard)
+        return request.future
+
+    # -- internals -----------------------------------------------------------
+
+    def _select_shard(self, key: Optional[str]) -> _Shard:
+        if len(self._shards) == 1:
+            return self._shards[0]
+        if key is not None:
+            index = zlib.crc32(key.encode("utf-8")) % len(self._shards)
+            return self._shards[index]
+        now = self._clock.now_ms
+
+        def load(shard: _Shard) -> tuple:
+            busy = 1 if shard.busy_until_ms > now else 0
+            return (len(shard.queue) + busy, shard.index)
+
+        return min(self._shards, key=load)
+
+    def _pump(self, shard: _Shard) -> None:
+        """Arm the shard's next execution at its lane horizon."""
+        if shard.pump_armed or not shard.queue:
+            return
+        shard.pump_armed = True
+        at = max(self._clock.now_ms, shard.busy_until_ms)
+        self._scheduler.call_at(
+            at,
+            lambda: self._run_head(shard),
+            name=f"dispatch.{self.platform}.shard{shard.index}",
+        )
+
+    def _run_head(self, shard: _Shard) -> None:
+        shard.pump_armed = False
+        if not shard.queue:
+            return  # pragma: no cover - defensive; queues only grow here
+        request = shard.queue.popleft()
+        self._depth_gauges[shard.index].set(len(shard.queue))
+        start = self._clock.now_ms
+        request.start_ms = start
+        wait_ms = start - request.submit_ms
+        self._queue_wait.observe(wait_ms)
+        result: Any = None
+        error: Optional[ProxyError] = None
+        tracer = request.tracer
+        if tracer is not None and tracer.enabled:
+            span_cm = tracer.span(
+                f"queue:{request.operation}",
+                platform=self.platform,
+                shard=shard.index,
+                wait_ms=wait_ms,
+            )
+        else:
+            span_cm = contextlib.nullcontext()
+        with self._clock.capture_charge() as capture:
+            try:
+                with span_cm:
+                    result = request.thunk()
+            except ProxyError as exc:
+                error = exc
+        request.charge_ms = capture.charge_ms
+        self._service.observe(request.charge_ms)
+        shard.busy_until_ms = start + request.charge_ms
+        shard.executed += 1
+        self._scheduler.call_at(
+            shard.busy_until_ms,
+            lambda: self._settle(request, result, error),
+            name=f"dispatch.{self.platform}.done{request.seq}",
+        )
+        self._pump(shard)
+
+    def _settle(
+        self, request: _Request, result: Any, error: Optional[ProxyError]
+    ) -> None:
+        if (
+            request.coalesce_key is not None
+            and self._inflight.get(request.coalesce_key) is request
+        ):
+            del self._inflight[request.coalesce_key]
+        futures = [request.future] + request.attached
+        if error is not None:
+            self._failed.inc(len(futures))
+            for future in futures:
+                future.fail(error)
+        else:
+            self._completed.inc(len(futures))
+            for future in futures:
+                future.resolve(result)

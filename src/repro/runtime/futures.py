@@ -1,0 +1,113 @@
+"""Deterministic single-threaded futures for the concurrency runtime.
+
+Nothing here involves threads: a :class:`Future` is a settled-exactly-once
+result box whose callbacks run synchronously, in registration order, at
+the instant it settles.  That makes completion ordering a pure function of
+the virtual-time schedule — the property the runtime's byte-identical
+trace contract rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ProxyError, SimulationError
+
+#: Lifecycle states.
+PENDING = "pending"
+RESOLVED = "resolved"
+FAILED = "failed"
+
+
+class FutureStateError(SimulationError):
+    """A future was settled twice or read before it settled."""
+
+
+class Future:
+    """One eventual dispatch result (value or uniform :class:`ProxyError`)."""
+
+    __slots__ = ("_state", "_value", "_error", "_callbacks")
+
+    def __init__(self) -> None:
+        self._state = PENDING
+        self._value: Any = None
+        self._error: Optional[ProxyError] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def resolved(cls, value: Any) -> "Future":
+        """A future already settled with ``value`` (cache hits)."""
+        future = cls()
+        future.resolve(value)
+        return future
+
+    @classmethod
+    def failed(cls, error: ProxyError) -> "Future":
+        """A future already settled with ``error`` (shed admissions)."""
+        future = cls()
+        future.fail(error)
+        return future
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def done(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def value(self) -> Any:
+        """The resolved value (``None`` while pending or failed)."""
+        return self._value
+
+    @property
+    def error(self) -> Optional[ProxyError]:
+        """The failure (``None`` while pending or resolved)."""
+        return self._error
+
+    def result(self) -> Any:
+        """The settled value; raises the failure, or if still pending."""
+        if self._state == RESOLVED:
+            return self._value
+        if self._state == FAILED:
+            assert self._error is not None
+            raise self._error
+        raise FutureStateError("future read before it settled")
+
+    # -- settling ------------------------------------------------------------
+
+    def resolve(self, value: Any) -> None:
+        if self._state != PENDING:
+            raise FutureStateError(f"future already {self._state}")
+        self._state = RESOLVED
+        self._value = value
+        self._fire()
+
+    def fail(self, error: ProxyError) -> None:
+        if self._state != PENDING:
+            raise FutureStateError(f"future already {self._state}")
+        self._state = FAILED
+        self._error = error
+        self._fire()
+
+    # -- callbacks -----------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` when settled (immediately if already);
+        callbacks fire synchronously in registration order."""
+        if self.done():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Future({self._state})"

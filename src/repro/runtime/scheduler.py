@@ -1,0 +1,254 @@
+"""The cooperative agent-task scheduler (virtual time, seeded).
+
+N agent workloads run as plain Python generators multiplexed over the one
+:class:`~repro.util.clock.Scheduler` the device substrate, resilience
+plane and observability plane already share.  A task yields:
+
+* ``None`` — give up the step; the task re-queues at the same instant and
+  runs again after every other currently-ready task of equal priority;
+* a number — sleep that many virtual milliseconds;
+* a :class:`~repro.runtime.futures.Future` — park until it settles; the
+  task resumes with the resolved value, or the failure is thrown into the
+  generator (so tasks handle uniform errors with ordinary ``try``).
+
+Determinism contract: ready tasks step in (priority desc, wake order)
+sequence — priority first, FIFO tie-breaking — and the only randomness
+available to workloads is :attr:`CooperativeScheduler.rng`, seeded at
+construction.  Two schedulers built with the same seed and driven with
+the same workload therefore interleave *identically*, down to the byte,
+which the property suite asserts on trace exports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProxyError
+from repro.runtime.futures import Future
+from repro.util.clock import Scheduler
+
+#: Task lifecycle states.
+READY = "ready"
+RUNNING = "running"
+SLEEPING = "sleeping"
+WAITING = "waiting"
+DONE = "done"
+FAILED = "failed"
+
+#: States a task can be woken from.
+_PARKED = (SLEEPING, WAITING)
+
+
+class AgentTask:
+    """One cooperatively-scheduled workload."""
+
+    __slots__ = (
+        "name", "priority", "seq", "state", "result", "error",
+        "_generator", "_send_value", "_throw_error", "steps",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        generator: Generator[Any, Any, Any],
+        *,
+        priority: int = 0,
+        seq: int = 0,
+    ) -> None:
+        self.name = name
+        self.priority = priority
+        self.seq = seq
+        self.state = READY
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.steps = 0
+        self._generator = generator
+        self._send_value: Any = None
+        self._throw_error: Optional[ProxyError] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AgentTask({self.name!r}, {self.state})"
+
+
+class CooperativeScheduler:
+    """Priority + FIFO cooperative multiplexer over the virtual clock.
+
+    Parameters
+    ----------
+    base:
+        The device world's event scheduler (and its clock) — tasks ride
+        the same heap as GPS fixes and SMS deliveries, so cross-layer
+        timing stays reproducible.
+    seed:
+        Seeds :attr:`rng`, the only RNG workloads may draw from.
+    observability:
+        Optional hub; task lifecycle counters land in its metrics
+        registry as ``runtime.tasks_*`` series.
+    """
+
+    def __init__(
+        self,
+        base: Scheduler,
+        *,
+        seed: int = 0,
+        observability=None,
+        name: str = "coop",
+    ) -> None:
+        self._base = base
+        self.name = name
+        self.rng = random.Random(f"runtime:{seed}")
+        self.tasks: List[AgentTask] = []
+        self._ready: List[Tuple[int, int, AgentTask]] = []
+        self._spawn_seq = itertools.count()
+        self._wake_seq = itertools.count()
+        self._drain_armed = False
+        if observability is not None:
+            metrics = observability.metrics
+        else:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self._spawned = metrics.counter("runtime.tasks_spawned", scheduler=name)
+        self._completed = metrics.counter("runtime.tasks_completed", scheduler=name)
+        self._failed = metrics.counter("runtime.tasks_failed", scheduler=name)
+        self._steps = metrics.counter("runtime.task_steps", scheduler=name)
+
+    @property
+    def clock(self):
+        return self._base.clock
+
+    @property
+    def base(self) -> Scheduler:
+        return self._base
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        generator: Generator[Any, Any, Any],
+        *,
+        priority: int = 0,
+    ) -> AgentTask:
+        """Register a workload; it takes its first step at the current
+        instant, ordered against other ready tasks by (priority desc,
+        spawn order)."""
+        task = AgentTask(
+            name, generator, priority=priority, seq=next(self._spawn_seq)
+        )
+        self.tasks.append(task)
+        self._spawned.inc()
+        self._make_ready(task)
+        return task
+
+    # -- driving -------------------------------------------------------------
+
+    def run_for(self, delta_ms: float) -> int:
+        """Advance the shared world; returns callbacks executed."""
+        return self._base.run_for(delta_ms)
+
+    def run_until(self, until_ms: float) -> int:
+        return self._base.run_until(until_ms)
+
+    # -- introspection -------------------------------------------------------
+
+    def failed_tasks(self) -> List[AgentTask]:
+        return [task for task in self.tasks if task.state == FAILED]
+
+    def unfinished_tasks(self) -> List[AgentTask]:
+        return [task for task in self.tasks if not task.finished]
+
+    @property
+    def all_finished(self) -> bool:
+        return all(task.finished for task in self.tasks)
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_ready(self, task: AgentTask) -> None:
+        task.state = READY
+        heapq.heappush(self._ready, (-task.priority, next(self._wake_seq), task))
+        if not self._drain_armed:
+            self._drain_armed = True
+            self._base.call_at(
+                self.clock.now_ms, self._drain, name=f"{self.name}.drain"
+            )
+
+    def _wake(self, task: AgentTask) -> None:
+        if task.state in _PARKED:
+            self._make_ready(task)
+
+    def _drain(self) -> None:
+        self._drain_armed = False
+        while self._ready:
+            _, _, task = heapq.heappop(self._ready)
+            if task.state != READY:
+                continue  # woken twice, or already stepped
+            self._step(task)
+
+    def _step(self, task: AgentTask) -> None:
+        task.state = RUNNING
+        task.steps += 1
+        self._steps.inc()
+        throw, task._throw_error = task._throw_error, None
+        send, task._send_value = task._send_value, None
+        try:
+            if throw is not None:
+                yielded = task._generator.throw(throw)
+            else:
+                yielded = task._generator.send(send)
+        except StopIteration as stop:
+            task.state = DONE
+            task.result = stop.value
+            self._completed.inc()
+        except Exception as exc:  # task isolation: one bad agent ≠ dead fleet
+            task.state = FAILED
+            task.error = exc
+            self._failed.inc()
+        else:
+            self._park(task, yielded)
+
+    def _park(self, task: AgentTask, yielded: Any) -> None:
+        if yielded is None:
+            self._make_ready(task)
+            return
+        if isinstance(yielded, Future):
+            task.state = WAITING
+            yielded.add_done_callback(self._resume_from(task))
+            return
+        if isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
+            if yielded < 0:
+                self._fail_bad_yield(task, yielded)
+                return
+            task.state = SLEEPING
+            self._base.call_later(
+                float(yielded),
+                lambda: self._wake(task),
+                name=f"{self.name}.sleep:{task.name}",
+            )
+            return
+        self._fail_bad_yield(task, yielded)
+
+    def _resume_from(self, task: AgentTask) -> Callable[[Future], None]:
+        def on_done(future: Future) -> None:
+            if future.error is not None:
+                task._throw_error = future.error
+            else:
+                task._send_value = future.value
+            self._wake(task)
+
+        return on_done
+
+    def _fail_bad_yield(self, task: AgentTask, yielded: Any) -> None:
+        task.state = FAILED
+        task.error = ConfigurationError(
+            f"task {task.name!r} yielded {yielded!r}; expected None, a "
+            "non-negative delay in ms, or a Future"
+        )
+        self._failed.inc()

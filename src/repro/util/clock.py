@@ -12,10 +12,11 @@ paper's evaluation.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.errors import ClockError
 
@@ -57,8 +58,41 @@ class SimulatedClock:
         self._now_ms = float(when_ms)
         return self._now_ms
 
+    @contextlib.contextmanager
+    def capture_charge(self) -> Iterator["ChargeCapture"]:
+        """Measure the virtual time charged inside the block, then roll
+        the clock back to the block's start.
+
+        This is the concurrency runtime's parallel-lane facility: a
+        worker shard executes a request (whose substrate charges advance
+        this clock synchronously), reads the captured charge, and replays
+        it on the shard's own lane — so K shards overlap in virtual time
+        instead of serialising on the shared clock.  Tasks scheduled by
+        side effects during the block keep their as-executed instants,
+        which are always at or after the block's start, so causality on
+        the scheduler heap is preserved.
+
+        Captures may nest; each level rolls back to its own start.
+        """
+        start = self._now_ms
+        capture = ChargeCapture()
+        try:
+            yield capture
+        finally:
+            capture.charge_ms = self._now_ms - start
+            self._now_ms = start
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimulatedClock(now_ms={self._now_ms:.3f})"
+
+
+class ChargeCapture:
+    """Result box for :meth:`SimulatedClock.capture_charge`."""
+
+    __slots__ = ("charge_ms",)
+
+    def __init__(self) -> None:
+        self.charge_ms = 0.0
 
 
 @dataclass(order=True)

@@ -1,0 +1,75 @@
+"""The cross-platform conformance suite.
+
+One parametrized harness runs the identical canonical scenario on every
+platform; the tests then compare the results *to each other*, not to
+per-platform expectations — so a new platform (or a regression in an old
+one) that behaves differently fails loudly unless the divergence is
+declared in :data:`harness.EXPECTED_DIVERGENCES`.
+"""
+
+import pytest
+
+from tests.conformance import harness
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: driver() for name, driver in harness.DRIVERS.items()}
+
+
+@pytest.fixture(scope="module", params=harness.PLATFORMS)
+def result(request, results):
+    return results[request.param]
+
+
+class TestCanonicalBehaviour:
+    def test_proximity_events(self, result):
+        assert result.events == harness.CANONICAL_EVENTS
+
+    def test_server_activity_log(self, result):
+        assert result.server_events == harness.CANONICAL_EVENTS
+
+    def test_location_fix_identical(self, results):
+        fixes = {name: r.fix for name, r in results.items()}
+        assert len(set(fixes.values())) == 1, f"fixes diverge: {fixes}"
+
+    def test_status_get_identical(self, results):
+        bodies = {name: r.status for name, r in results.items()}
+        assert len(set(bodies.values())) == 1, f"status GET diverges: {bodies}"
+        assert all(status == 200 for status, _ in bodies.values())
+
+
+class TestUniformErrors:
+    def test_invalid_latitude_code(self, result):
+        # semantic-plane validation: latitude outside [-90, 90] is the
+        # same uniform error on every platform.
+        assert result.invalid_latitude_code == 1003
+
+    def test_unknown_property_code(self, result):
+        assert result.unknown_property_code == 1004
+
+
+class TestSpanShape:
+    def test_location_span_shape_identical(self, results):
+        shapes = {name: r.location_span_shape for name, r in results.items()}
+        assert len(set(shapes.values())) == 1, f"span shapes diverge: {shapes}"
+
+    def test_shape_is_the_middleware_stack(self, result):
+        # dispatch → resilience → binding → native, exactly.
+        assert result.location_span_shape == (
+            "dispatch",
+            (("resilience", (("binding", (("native",),)),)),),
+        )
+
+
+class TestDeclaredDivergences:
+    def test_call_proxy_gap(self, results):
+        expected = harness.EXPECTED_DIVERGENCES["call_proxy"]
+        actual = {name: r.call_proxy for name, r in results.items()}
+        assert actual == expected
+
+    def test_no_undeclared_divergence_keys(self):
+        # Every declared divergence must cover every platform — partial
+        # declarations hide real gaps.
+        for key, per_platform in harness.EXPECTED_DIVERGENCES.items():
+            assert set(per_platform) == set(harness.PLATFORMS), key

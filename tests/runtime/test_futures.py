@@ -1,0 +1,70 @@
+"""Unit tests for the runtime's deterministic futures."""
+
+import pytest
+
+from repro.errors import ProxyTransientError
+from repro.runtime import Future, FutureStateError
+
+pytestmark = pytest.mark.concurrency
+
+
+class TestLifecycle:
+    def test_starts_pending(self):
+        future = Future()
+        assert not future.done()
+        assert future.state == "pending"
+        assert future.value is None and future.error is None
+
+    def test_resolve(self):
+        future = Future()
+        future.resolve(42)
+        assert future.done() and future.state == "resolved"
+        assert future.result() == 42
+
+    def test_fail(self):
+        future = Future()
+        error = ProxyTransientError("boom")
+        future.fail(error)
+        assert future.done() and future.state == "failed"
+        assert future.error is error
+        with pytest.raises(ProxyTransientError):
+            future.result()
+
+    def test_result_before_settle_raises(self):
+        with pytest.raises(FutureStateError):
+            Future().result()
+
+    def test_double_settle_rejected(self):
+        future = Future.resolved(1)
+        with pytest.raises(FutureStateError):
+            future.resolve(2)
+        with pytest.raises(FutureStateError):
+            future.fail(ProxyTransientError("late"))
+
+    def test_prebuilt_helpers(self):
+        assert Future.resolved("x").result() == "x"
+        failed = Future.failed(ProxyTransientError("shed"))
+        assert failed.error is not None
+
+
+class TestCallbacks:
+    def test_callbacks_fire_in_registration_order(self):
+        future = Future()
+        order = []
+        future.add_done_callback(lambda f: order.append("first"))
+        future.add_done_callback(lambda f: order.append("second"))
+        future.resolve(None)
+        assert order == ["first", "second"]
+
+    def test_callback_after_settle_fires_immediately(self):
+        future = Future.resolved(7)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.value))
+        assert seen == [7]
+
+    def test_callback_receives_the_future(self):
+        future = Future()
+        box = []
+        future.add_done_callback(box.append)
+        future.fail(ProxyTransientError("x"))
+        assert box[0] is future and box[0].error is not None
