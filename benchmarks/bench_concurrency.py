@@ -13,6 +13,15 @@ Queue latency percentiles come from the dispatcher's own
 same series operators would watch in production — the benchmark doubles
 as a check that the instrumentation tells the truth about queueing.
 
+Since the concurrency-observability layer landed, every load run also
+exports its trace and folds it back through the shard-timeline and
+critical-path analyzers: ``BENCH_concurrency.json`` carries per-shard
+utilization and the run/wait makespan decomposition, the timeline and
+flight documents are written next to it as artifacts, and the benchmark
+asserts the headline analyzer property — the critical path's virtual
+durations sum *exactly* to the drain makespan — plus byte-identical
+exports across two identically-seeded runs.
+
 Writes ``BENCH_concurrency.json`` (schema in docs/PERFORMANCE.md):
 virtual throughput/latency under ``metrics``; wall-clock harness cost
 under ``measured``.
@@ -24,8 +33,8 @@ import time
 import pytest
 
 from repro.bench.harness import format_table
-from repro.bench.results import BenchResult, write_bench_result
-from repro.obs import Observability
+from repro.bench.results import BenchResult, bench_output_dir, write_bench_result
+from repro.obs import CriticalPath, Observability, ShardTimelines
 from repro.runtime import ConcurrencyRuntime
 
 SHARD_COUNTS = (1, 2, 4, 8)
@@ -57,19 +66,33 @@ def run_load(
     dispatcher = runtime.dispatcher("bench")
     start_ms = clock.now_ms
     futures = [
-        dispatcher.submit("work", lambda: clock.advance(service_ms))
+        dispatcher.submit(
+            "work", lambda: clock.advance(service_ms), tracer=hub.tracer
+        )
         for _ in range(requests)
     ]
     runtime.drain()
     makespan_ms = clock.now_ms - start_ms
     assert all(future.done() and future.error is None for future in futures)
-    wait = hub.metrics.histogram("runtime.queue_wait_ms", platform="bench")
+    wait = hub.metrics.histogram("runtime.queue_wait_ms", source="bench")
+    timelines = ShardTimelines.from_spans(hub.tracer.finished_spans())
+    path = CriticalPath.from_timelines(timelines)
     return {
         "makespan_ms": makespan_ms,
         "throughput_per_s": requests / makespan_ms * 1_000.0,
         "queue_wait": wait.percentiles(),
         "shed": dispatcher.shed_count,
         "per_shard": dispatcher.executed_per_shard(),
+        "utilization": timelines.utilization_by_lane(),
+        "critical_path": {
+            "run_ms": path.run_ms,
+            "wait_ms": path.wait_ms,
+            "work_ms": path.work_ms,
+            "parallelism": round(path.parallelism, 6),
+        },
+        "timelines": timelines,
+        "path": path,
+        "trace": hub.export_jsonl(),
     }
 
 
@@ -109,6 +132,20 @@ def test_concurrency_scaling_summary():
     # Uniform load on K lanes: makespan is exactly work/K.
     for shards, r in results.items():
         assert r["makespan_ms"] == pytest.approx(REQUESTS * SERVICE_MS / shards)
+    # The analyzer's acceptance property: the critical path's step
+    # durations tile the drain window, so they sum *exactly* to the
+    # measured makespan — run + wait explains every virtual millisecond.
+    for shards, r in results.items():
+        path = r["path"]
+        assert path.total_ms == pytest.approx(r["makespan_ms"], abs=1e-9)
+        assert path.run_ms + path.wait_ms == pytest.approx(
+            r["makespan_ms"], abs=1e-9
+        )
+        # Uniform batch: every lane is fully packed from t0.
+        assert r["critical_path"]["wait_ms"] == pytest.approx(0.0, abs=1e-9)
+        assert len(r["utilization"]) == shards
+        for fraction in r["utilization"].values():
+            assert fraction == pytest.approx(1.0)
     # The acceptance floor: ≥3× throughput at 8 shards vs 1.
     speedup = results[1]["makespan_ms"] / results[8]["makespan_ms"]
     assert speedup >= 3.0, f"8-shard speedup only {speedup:.2f}x"
@@ -135,6 +172,12 @@ def test_concurrency_scaling_summary():
             "queue_wait_ms": {
                 str(shards): r["queue_wait"] for shards, r in results.items()
             },
+            "utilization": {
+                str(shards): r["utilization"] for shards, r in results.items()
+            },
+            "critical_path": {
+                str(shards): r["critical_path"] for shards, r in results.items()
+            },
             "speedup_8_vs_1": speedup,
         },
         measured={"harness_wall_ms": {str(k): v for k, v in wall.items()}},
@@ -144,6 +187,80 @@ def test_concurrency_scaling_summary():
         include_measured=not os.environ.get("REPRO_BENCH_DETERMINISTIC"),
     )
     print(f"\nwrote {path}")
+
+    # Companion artifacts for the CI bench smoke: the 8-shard run's
+    # timeline and critical-path documents, next to the BENCH json.
+    out_dir = bench_output_dir()
+    widest = results[SHARD_COUNTS[-1]]
+    timeline_path = out_dir / "TIMELINE_concurrency.json"
+    timeline_path.write_text(widest["timelines"].to_json(), encoding="utf-8")
+    cpath_path = out_dir / "CRITICAL_PATH_concurrency.json"
+    cpath_path.write_text(widest["path"].to_json(), encoding="utf-8")
+    print(f"wrote {timeline_path}")
+    print(f"wrote {cpath_path}")
+
+
+def test_concurrency_observability_determinism():
+    """Two identically-seeded load runs export byte-identical traces,
+    timelines and critical paths — the analyzers add no nondeterminism."""
+    first = run_load(4, seed=7)
+    second = run_load(4, seed=7)
+    assert first["trace"] == second["trace"]
+    assert first["timelines"].to_json() == second["timelines"].to_json()
+    assert first["path"].to_json() == second["path"].to_json()
+
+
+def run_overload(*, requests: int = 32, queue_depth: int = 4, seed: int = 0):
+    """Submit a burst far past admission capacity with the full
+    concurrency-observability stack installed; returns (hub, flight)."""
+    from repro.util.clock import Scheduler, SimulatedClock
+
+    scheduler = Scheduler(SimulatedClock())
+    hub = Observability(capture_real_time=False)
+    sampler = hub.install_sampler()
+    sampler.track("runtime.queue_depth")
+    sampler.track("runtime.inflight")
+    flight = hub.install_flight_recorder()
+    runtime = ConcurrencyRuntime(
+        scheduler,
+        shards=2,
+        queue_depth=queue_depth,
+        seed=seed,
+        observability=hub,
+    )
+    clock = scheduler.clock
+    dispatcher = runtime.dispatcher("bench")
+    for _ in range(requests):
+        dispatcher.submit(
+            "work", lambda: clock.advance(SERVICE_MS), tracer=hub.tracer
+        )
+    runtime.drain()
+    return hub, flight
+
+
+def test_concurrency_overload_flight_artifact():
+    """An overload burst produces exactly one cooldown-collapsed flight
+    dump; the document is deterministic and saved as a bench artifact."""
+    hub, flight = run_overload()
+    # The burst lands in one virtual instant, before any lane starts
+    # executing: each of the 2 lanes accepts queue_depth requests and
+    # sheds the rest — one dump for the burst, the remainder suppressed.
+    accepted = 2 * 4
+    assert flight.triggered == 1
+    dump = flight.last_dump
+    assert dump is not None
+    assert dump["reason"] == "queue.shed"
+    assert dump["suppressed"] == 32 - accepted - 1
+    assert any(event["name"] == "queue.shed" for event in dump["events"])
+    assert any(
+        sample["metric"] == "runtime.queue_depth" for sample in dump["samples"]
+    )
+    _, again = run_overload()
+    assert flight.to_json() == again.to_json()
+
+    out_path = bench_output_dir() / "FLIGHT_concurrency.json"
+    out_path.write_text(flight.to_json(), encoding="utf-8")
+    print(f"\nwrote {out_path}")
 
 
 def test_concurrency_coalescing_savings():

@@ -28,7 +28,7 @@ from repro.device.device import MobileDevice
 from repro.device.gps import Trajectory, Waypoint
 from repro.device.messaging import SmsCenter
 from repro.device.network import SimulatedNetwork
-from repro.obs import Observability
+from repro.obs import FlightRecorder, Observability
 from repro.obs.analyze.slo import SloEngine, SloSpec, SloStatus
 from repro.platforms.android.platform import AndroidPlatform
 from repro.runtime import AgentTask, ConcurrencyRuntime
@@ -73,9 +73,14 @@ class Fleet:
     #: The concurrency plane (``build_fleet(runtime=True)``); ``None``
     #: keeps the pre-runtime direct-call fleet behaviour.
     runtime: Optional[ConcurrencyRuntime] = None
+    #: The runtime's flight recorder (``build_fleet(flight_recorder=True)``).
+    flight: Optional[FlightRecorder] = None
     #: Operational alerts surfaced to the supervisor (see ``run_for``).
     alerts: List[str] = field(default_factory=list)
     _alerted_tasks: int = field(default=0, repr=False)
+    #: Highest flight-dump sequence already surfaced (dumps evict, so a
+    #: sequence cursor — not a list length — tracks what's new).
+    _alerted_dumps: int = field(default=0, repr=False)
 
     def run_for(self, delta_ms: float) -> int:
         """Advance the whole fleet's shared virtual time.
@@ -121,6 +126,16 @@ class Fleet:
                     f"{type(task.error).__name__}: {task.error}"
                 )
             self._alerted_tasks = len(failed)
+        if self.flight is not None:
+            for dump in self.flight.dumps:
+                if dump["sequence"] <= self._alerted_dumps:
+                    continue
+                self.alerts.append(
+                    f"[fleet-alert] flight dump #{dump['sequence']}: "
+                    f"{dump['reason']} @{dump['t_virtual_ms']:.1f}ms "
+                    f"({len(dump['spans'])} spans, {len(dump['events'])} events)"
+                )
+                self._alerted_dumps = dump["sequence"]
 
     # -- service-level objectives -------------------------------------------
 
@@ -137,6 +152,7 @@ class Fleet:
                 specs,
                 metrics=agent.device.obs.metrics,
                 tracer=agent.device.obs.tracer,
+                flight=self.flight,
             )
             agent.slo_cursor = 0
 
@@ -176,6 +192,7 @@ def build_fleet(
     leg_ms: float = 60_000.0,
     observability: bool = False,
     runtime: bool = False,
+    flight_recorder: bool = False,
     shards: int = 2,
     queue_depth: int = 32,
     runtime_seed: int = 0,
@@ -193,9 +210,18 @@ def build_fleet(
     ``runtime=True`` attaches a :class:`ConcurrencyRuntime` on the
     fleet's scheduler (sharded dispatch, coalescing, cooperative agent
     tasks); drive it with :func:`launch_fleet_on_runtime`.
+
+    ``flight_recorder=True`` (requires ``runtime=True``) installs a
+    :class:`~repro.obs.flight.FlightRecorder` plus a queue-depth /
+    in-flight time-series sampler on the runtime's hub, shadows every
+    agent handset's tracer into it (records tagged
+    ``source=<agent-id>``), and surfaces each incident dump as a
+    ``[fleet-alert]`` line from :meth:`Fleet.run_for`.
     """
     if agent_count < 1:
         raise ValueError("a fleet needs at least one agent")
+    if flight_recorder and not runtime:
+        raise ValueError("flight_recorder=True requires runtime=True")
     scheduler = Scheduler(SimulatedClock())
     shared_bus = EventBus()
     sms_center = SmsCenter(scheduler, shared_bus)
@@ -209,15 +235,23 @@ def build_fleet(
     )
     fleet = Fleet(scheduler=scheduler, server=server, supervisor=supervisor)
     if runtime:
+        hub = (
+            Observability(capture_real_time=False)
+            if (observability or flight_recorder)
+            else None
+        )
         fleet.runtime = ConcurrencyRuntime(
             scheduler,
             shards=shards,
             queue_depth=queue_depth,
             seed=runtime_seed,
-            observability=(
-                Observability(capture_real_time=False) if observability else None
-            ),
+            observability=hub,
         )
+        if flight_recorder:
+            sampler = hub.install_sampler()
+            sampler.track("runtime.queue_depth")
+            sampler.track("runtime.inflight")
+            fleet.flight = hub.install_flight_recorder()
     for index in range(agent_count):
         site_centre = destination_point(
             base_latitude, base_longitude, bearing=360.0 * index / agent_count,
@@ -261,6 +295,13 @@ def build_fleet(
         fleet.agents.append(
             FleetAgent(profile=profile, site=site, device=device, platform=platform)
         )
+    if fleet.flight is not None:
+        for agent in fleet.agents:
+            # Span ids are per-tracer, so tag each handset's records
+            # with its agent id (attach is a no-op on no-op tracers).
+            fleet.flight.attach(
+                agent.device.obs.tracer, source=agent.profile.agent_id
+            )
     return fleet
 
 

@@ -153,6 +153,7 @@ class ResilienceRuntime:
         self._scheduler = scheduler
         self._clock = scheduler.clock
         self.label = label
+        self._obs = observability
         if observability is not None:
             self._metrics = observability.metrics
             self._tracer = observability.tracer
@@ -195,6 +196,17 @@ class ResilienceRuntime:
                 from_state=frm.value,
                 to_state=to.value,
             )
+            if (
+                to.value == "open"
+                and self._obs is not None
+                and self._obs.flight is not None
+            ):
+                self._obs.flight.trigger(
+                    "breaker.open",
+                    operation=operation,
+                    runtime=self.label,
+                    from_state=frm.value,
+                )
 
         return observe
 

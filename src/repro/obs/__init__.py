@@ -52,7 +52,11 @@ from repro.obs.report import (
 from repro.obs.span import Span, SpanEvent
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, Tracer
 from repro.obs.quantiles import P2Quantile, StreamingPercentiles, quantile_label
+from repro.obs.flight import FlightRecorder, render_flight_text
+from repro.obs.timeline import ShardTimelines
+from repro.obs.timeseries import TimeSeries, TimeSeriesSampler
 from repro.obs.analyze import (
+    CriticalPath,
     LayerDelta,
     OperationProfile,
     OverheadProfile,
@@ -101,6 +105,11 @@ class Observability:
             if enabled
             else NOOP_TRACER
         )
+        self._clock = clock
+        #: Optional metric time-series sampler (see ``install_sampler``).
+        self.sampler: Optional[TimeSeriesSampler] = None
+        #: Optional flight recorder (see ``install_flight_recorder``).
+        self.flight: Optional[FlightRecorder] = None
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -113,7 +122,44 @@ class Observability:
         return self.tracer.enabled
 
     def bind_clock(self, clock: SimulatedClock) -> None:
+        self._clock = clock
         self.tracer.bind_clock(clock)
+        if self.sampler is not None:
+            self.sampler.bind_clock(clock)
+        if self.flight is not None:
+            self.flight.bind_clock(clock)
+
+    # -- concurrency observability --------------------------------------------
+
+    def install_sampler(self, **kwargs) -> TimeSeriesSampler:
+        """Attach a :class:`~repro.obs.timeseries.TimeSeriesSampler`
+        over this hub's registry (idempotent: returns the existing one).
+        Runtime components call :meth:`tick` at their scheduling points;
+        with no sampler installed a tick is one ``None`` check."""
+        if self.sampler is None:
+            kwargs.setdefault("clock", self._clock)
+            self.sampler = TimeSeriesSampler(self.metrics, **kwargs)
+            if self.flight is not None:
+                self.sampler.add_sink(self.flight.record_sample)
+        return self.sampler
+
+    def install_flight_recorder(self, **kwargs) -> FlightRecorder:
+        """Attach a :class:`~repro.obs.flight.FlightRecorder` shadowing
+        this hub's tracer (and sampler, when present).  Idempotent."""
+        if self.flight is None:
+            kwargs.setdefault("clock", self._clock)
+            self.flight = FlightRecorder(**kwargs)
+            self.flight.attach(self.tracer)
+            if self.sampler is not None:
+                self.sampler.add_sink(self.flight.record_sample)
+        return self.flight
+
+    def tick(self) -> int:
+        """Sample tracked time series at the current virtual instant
+        (runtime scheduling hooks call this unconditionally)."""
+        if self.sampler is None:
+            return 0
+        return self.sampler.tick()
 
     # -- convenience export surface -----------------------------------------
 
@@ -138,6 +184,8 @@ class Observability:
 
 __all__ = [
     "Counter",
+    "CriticalPath",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InMemoryExporter",
@@ -154,9 +202,12 @@ __all__ = [
     "SloEngine",
     "SloSpec",
     "SloStatus",
+    "ShardTimelines",
     "Span",
     "SpanEvent",
     "StreamingPercentiles",
+    "TimeSeries",
+    "TimeSeriesSampler",
     "Tracer",
     "breaker_report",
     "chaos_summary",
@@ -170,6 +221,7 @@ __all__ = [
     "quantile_label",
     "records_to_jsonl",
     "registry_report",
+    "render_flight_text",
     "render_metrics_text",
     "render_profile_text",
     "render_span_tree",

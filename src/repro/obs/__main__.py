@@ -1,4 +1,5 @@
-"""Entry point: ``python -m repro.obs {profile,slo,diff}``."""
+"""Entry point: ``python -m repro.obs
+{profile,slo,diff,timeline,critical-path,flight}``."""
 
 import sys
 

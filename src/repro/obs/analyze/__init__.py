@@ -15,17 +15,26 @@ native call (Figure 10) — directly from traces:
 * :mod:`repro.obs.analyze.slo` — declarative latency/error-budget SLOs
   evaluated over sliding virtual-time windows;
 * :mod:`repro.obs.analyze.diff` — profile diff and the perf-regression
-  gate the CI bench smoke runs in report-only mode.
+  gate the CI bench smoke runs in report-only mode;
+* :mod:`repro.obs.analyze.critical_path` — the chain of lane segments
+  that exactly explains a concurrent drain's makespan, plus per-span
+  slack (see ``docs/CONCURRENCY.md``).
 
 The determinism contract extends here: no wall-clock reads, no
 unseeded RNGs (policed by ``tests/chaos/test_determinism_lint.py``,
 whose scope includes all of ``obs/``) — two identically-seeded runs
 produce byte-identical profiles.
 
-CLI: ``python -m repro.obs {profile,slo,diff}`` operates on exported
-JSONL trace files (see ``docs/PERFORMANCE.md``).
+CLI: ``python -m repro.obs {profile,slo,diff,timeline,critical-path,
+flight}`` operates on exported JSONL trace files (see
+``docs/PERFORMANCE.md``).
 """
 
+from repro.obs.analyze.critical_path import (
+    CRITICAL_PATH_SCHEMA,
+    CriticalPath,
+    PathStep,
+)
 from repro.obs.analyze.diff import (
     LayerDelta,
     ProfileDiff,
@@ -51,9 +60,12 @@ from repro.obs.quantiles import (
 )
 
 __all__ = [
+    "CRITICAL_PATH_SCHEMA",
+    "CriticalPath",
     "DEFAULT_QUANTILES",
     "LAYERS",
     "LayerDelta",
+    "PathStep",
     "OperationProfile",
     "OverheadProfile",
     "P2Quantile",

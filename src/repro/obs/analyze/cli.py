@@ -1,7 +1,10 @@
 """``python -m repro.obs`` — trace analytics from the command line.
 
-Three subcommands, all operating on exported JSONL trace files (or, for
-``diff``, saved profile / BENCH documents):
+Six subcommands, all operating on exported JSONL trace files (or, for
+``diff``, saved profile / BENCH documents; for ``flight``, a saved
+flight-recorder document).  Every subcommand follows one convention: a
+positional ``trace`` input plus ``--format {text,json}`` (``--json`` is
+the shorthand), so scripts can pipe any analysis as JSON.
 
 * ``profile`` — the Figure-10 per-layer overhead decomposition, with
   optional flamegraph collapsed stacks, a top-N self-time table, and a
@@ -9,15 +12,21 @@ Three subcommands, all operating on exported JSONL trace files (or, for
 * ``slo`` — replay dispatch spans through an SLO engine and report
   attainment / breaches;
 * ``diff`` — compare two profiles and run the perf-regression gate
-  (report-only by default; ``--gate`` makes regressions exit non-zero).
+  (report-only by default; ``--gate`` makes regressions exit non-zero);
+* ``timeline`` — fold ``queue:<op>`` spans into per-shard Gantt
+  timelines with a USE-style utilization/saturation summary;
+* ``critical-path`` — the chain of lane segments that exactly explains
+  a concurrent drain's makespan, with per-span slack;
+* ``flight`` — render a flight-recorder incident document.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.analyze.critical_path import CriticalPath
 from repro.obs.analyze.diff import (
     DEFAULT_NOISE_FRAC,
     DEFAULT_NOISE_MS,
@@ -32,6 +41,18 @@ from repro.obs.analyze.overhead import (
     top_spans_text,
 )
 from repro.obs.analyze.slo import SloEngine, SloSpec
+from repro.obs.flight import FlightRecorder, render_flight_text
+from repro.obs.timeline import ShardTimelines
+
+#: (name, one-line description) — single source for subparsers and --help.
+COMMANDS: Tuple[Tuple[str, str], ...] = (
+    ("profile", "per-layer overhead decomposition of a trace"),
+    ("slo", "evaluate SLO specs over a trace's dispatch spans"),
+    ("diff", "compare two profiles / traces; optional regression gate"),
+    ("timeline", "per-shard Gantt timelines and USE summary from a trace"),
+    ("critical-path", "the lane-segment chain explaining a drain's makespan"),
+    ("flight", "render a saved flight-recorder incident document"),
+)
 
 
 def _read(path: str) -> str:
@@ -39,15 +60,39 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _format_parent() -> argparse.ArgumentParser:
+    """The shared output-format options every subcommand takes."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parent.add_argument(
+        "--json", action="store_const", const="json", dest="format",
+        help="shorthand for --format json",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
+    summary = "\n".join(f"  {name:<14} {text}" for name, text in COMMANDS)
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Trace analytics over exported JSONL span files.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Trace analytics over exported JSONL span files.\n\n"
+            "commands:\n"
+            f"{summary}\n\n"
+            "Every command takes its input file as a positional argument and\n"
+            "supports --format {text,json} (--json for short)."
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    parent = _format_parent()
+    helps = dict(COMMANDS)
 
     profile = commands.add_parser(
-        "profile", help="per-layer overhead decomposition of a trace"
+        "profile", help=helps["profile"], parents=[parent]
     )
     profile.add_argument("trace", help="JSONL trace export")
     profile.add_argument(
@@ -58,29 +103,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print the top-N spans by self-time")
     profile.add_argument("--flame", action="store_true",
                          help="print flamegraph collapsed stacks instead of the table")
-    profile.add_argument("--json", action="store_true", dest="as_json",
-                         help="print the deterministic JSON profile")
     profile.add_argument("--out", metavar="PATH",
                          help="also save the JSON profile to PATH")
 
-    slo = commands.add_parser("slo", help="evaluate SLOs over a trace")
+    slo = commands.add_parser("slo", help=helps["slo"], parents=[parent])
     slo.add_argument("trace", help="JSONL trace export")
     slo.add_argument(
         "--slo", action="append", required=True, metavar="SPEC", dest="specs",
         help="op:threshold_ms[:target[:window_ms[:platform]]] (repeatable)",
     )
-    slo.add_argument("--json", action="store_true", dest="as_json")
 
-    diff = commands.add_parser(
-        "diff", help="compare two profiles / traces; optional regression gate"
-    )
+    diff = commands.add_parser("diff", help=helps["diff"], parents=[parent])
     diff.add_argument("base", help="baseline trace JSONL, profile JSON, or BENCH json")
     diff.add_argument("new", help="candidate trace JSONL, profile JSON, or BENCH json")
     diff.add_argument("--noise-ms", type=float, default=DEFAULT_NOISE_MS)
     diff.add_argument("--noise-frac", type=float, default=DEFAULT_NOISE_FRAC)
     diff.add_argument("--gate", action="store_true",
                       help="exit 1 on regressions (default: report only)")
-    diff.add_argument("--json", action="store_true", dest="as_json")
+
+    timeline = commands.add_parser(
+        "timeline", help=helps["timeline"], parents=[parent]
+    )
+    timeline.add_argument("trace", help="JSONL trace export")
+    timeline.add_argument("--width", type=int, default=60, metavar="COLS",
+                          help="Gantt cell columns (default: 60)")
+    timeline.add_argument("--out", metavar="PATH",
+                          help="also save the JSON timeline document to PATH")
+
+    critical = commands.add_parser(
+        "critical-path", help=helps["critical-path"], parents=[parent]
+    )
+    critical.add_argument("trace", help="JSONL trace export")
+    critical.add_argument("--max-steps", type=int, default=40, metavar="N",
+                          help="path steps to show before eliding (default: 40)")
+    critical.add_argument("--out", metavar="PATH",
+                          help="also save the JSON path document to PATH")
+
+    flight = commands.add_parser(
+        "flight", help=helps["flight"], parents=[parent]
+    )
+    flight.add_argument("trace", help="saved flight-recorder JSON document")
     return parser
 
 
@@ -92,7 +154,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             handle.write(profile.to_json())
     if args.flame:
         print(collapsed_stacks(records, time=args.time))
-    elif args.as_json:
+    elif args.format == "json":
         print(profile.to_json(), end="")
     else:
         print(render_profile_text(profile))
@@ -113,7 +175,7 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         default=0.0,
     )
     statuses = engine.evaluate(last_t)
-    if args.as_json:
+    if args.format == "json":
         print(json.dumps(
             {"ingested": ingested, "statuses": [s.to_dict() for s in statuses]},
             sort_keys=True, indent=2,
@@ -140,7 +202,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         noise_ms=args.noise_ms,
         noise_frac=args.noise_frac,
     )
-    if args.as_json:
+    if args.format == "json":
         print(json.dumps(diff.to_dict(), sort_keys=True, indent=2))
     else:
         print(diff.render_text())
@@ -149,7 +211,47 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    timelines = ShardTimelines.from_records(parse_jsonl(_read(args.trace)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(timelines.to_json())
+    if args.format == "json":
+        print(timelines.to_json(), end="")
+    else:
+        print(timelines.render_text(width=args.width))
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    path = CriticalPath.from_records(parse_jsonl(_read(args.trace)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(path.to_json())
+    if args.format == "json":
+        print(path.to_json(), end="")
+    else:
+        print(path.render_text(max_steps=args.max_steps))
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    payload = FlightRecorder.parse(_read(args.trace))
+    if args.format == "json":
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(render_flight_text(payload))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
-    handlers = {"profile": _cmd_profile, "slo": _cmd_slo, "diff": _cmd_diff}
+    handlers = {
+        "profile": _cmd_profile,
+        "slo": _cmd_slo,
+        "diff": _cmd_diff,
+        "timeline": _cmd_timeline,
+        "critical-path": _cmd_critical_path,
+        "flight": _cmd_flight,
+    }
     return handlers[args.command](args)

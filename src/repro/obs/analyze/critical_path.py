@@ -1,0 +1,309 @@
+"""Critical-path analysis over concurrent trace exports.
+
+``bench_concurrency`` shows a K-shard drain finishing in roughly
+work/K virtual milliseconds — but *roughly* is not an explanation.  This
+module walks the lane schedule (the ``queue:<op>`` spans whose virtual
+intervals genuinely overlap across shards) **backwards from the last
+finisher** and produces the chain of segments that exactly accounts for
+the drain makespan:
+
+* a **run** step — a request executing on a lane, reached either because
+  it was the latest finisher or because the chain's current request
+  queued behind it on the same lane (a resource edge);
+* a **wait** step — an interval where no lane span ends (arrival gaps,
+  sleeps, substrate timers): nothing the dispatcher did could have
+  shortened it.
+
+The steps are contiguous by construction, so their durations sum to the
+makespan *exactly* — the acceptance property the concurrency benchmark
+asserts.  Alongside the path, every lane span gets a **slack**: how much
+longer it could have run without growing the makespan, assuming the work
+queued behind it on its lane shifts with it
+(``makespan_end − span_end − Σ later same-lane durations``).  Spans on a
+fully-packed critical lane have zero slack; big slack elsewhere is the
+imbalance that explains "why not K× at K shards".
+
+Everything is virtual-time arithmetic over the export — deterministic
+and byte-identical across identically-seeded runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.span import Span
+from repro.obs.timeline import LaneSegment, ShardLane, ShardTimelines
+
+CRITICAL_PATH_SCHEMA = "repro.obs.critical_path/v1"
+
+#: Two virtual instants closer than this are the same instant.
+_EPS = 1e-9
+
+
+class PathStep:
+    """One contiguous interval of the critical path."""
+
+    __slots__ = ("kind", "start_ms", "end_ms", "lane", "span_id", "operation")
+
+    def __init__(
+        self,
+        kind: str,
+        start_ms: float,
+        end_ms: float,
+        *,
+        lane: Optional[str] = None,
+        span_id: Optional[int] = None,
+        operation: Optional[str] = None,
+    ) -> None:
+        self.kind = kind  # "run" | "wait"
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.lane = lane
+        self.span_id = span_id
+        self.operation = operation
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "start_ms": round(self.start_ms, 6),
+            "end_ms": round(self.end_ms, 6),
+            "duration_ms": round(self.duration_ms, 6),
+            "lane": self.lane,
+            "span_id": self.span_id,
+            "operation": self.operation,
+        }
+
+
+class CriticalPath:
+    """The chain of segments that explains a concurrent drain's makespan."""
+
+    def __init__(self) -> None:
+        self.t0_ms = 0.0
+        self.t_end_ms = 0.0
+        #: Chronological path steps; contiguous over [t0, t_end].
+        self.steps: List[PathStep] = []
+        #: Every lane span with its slack, sorted (lane, start, span_id).
+        self.span_slack: List[Dict[str, Any]] = []
+        self.lane_count = 0
+        self.work_ms = 0.0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[Dict[str, Any]]) -> "CriticalPath":
+        return cls.from_timelines(ShardTimelines.from_records(records))
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Span]) -> "CriticalPath":
+        return cls.from_records([span.to_dict() for span in spans])
+
+    @classmethod
+    def from_timelines(cls, timelines: ShardTimelines) -> "CriticalPath":
+        path = cls()
+        lanes = [lane for lane in timelines.sorted_lanes() if lane.segments]
+        path.lane_count = len(lanes)
+        path.work_ms = sum(lane.busy_ms for lane in lanes)
+        if not lanes:
+            return path
+        path.t0_ms = timelines.t0_ms
+        path.t_end_ms = timelines.t_end_ms
+        flat: List[Tuple[ShardLane, LaneSegment]] = [
+            (lane, segment) for lane in lanes for segment in lane.segments
+        ]
+        path._walk(flat)
+        path._compute_slack(lanes)
+        return path
+
+    def _walk(self, flat: List[Tuple[ShardLane, LaneSegment]]) -> None:
+        """Backward sweep: cover [t0, t_end] with contiguous steps."""
+        steps: List[PathStep] = []
+        cursor = self.t_end_ms
+        current_lane: Optional[str] = None
+        while cursor > self.t0_ms + _EPS:
+            ending = [
+                (lane, segment)
+                for lane, segment in flat
+                if abs(segment.end_ms - cursor) <= _EPS
+            ]
+            if ending:
+                # Prefer continuing on the chain's lane (a resource
+                # edge: the successor queued behind this request), then
+                # the earliest-starting (longest) segment, then the
+                # smallest span id — all deterministic.
+                lane, segment = min(
+                    ending,
+                    key=lambda item: (
+                        0 if item[0].name == current_lane else 1,
+                        item[1].start_ms,
+                        item[1].span_id,
+                    ),
+                )
+                steps.append(
+                    PathStep(
+                        "run",
+                        segment.start_ms,
+                        cursor,
+                        lane=lane.name,
+                        span_id=segment.span_id,
+                        operation=segment.operation,
+                    )
+                )
+                cursor = segment.start_ms
+                current_lane = lane.name
+            else:
+                below = [
+                    segment.end_ms
+                    for _, segment in flat
+                    if segment.end_ms < cursor - _EPS
+                ]
+                floor = max(below) if below else self.t0_ms
+                steps.append(PathStep("wait", floor, cursor))
+                cursor = floor
+                current_lane = None
+        steps.reverse()
+        self.steps = steps
+
+    def _compute_slack(self, lanes: List[ShardLane]) -> None:
+        entries: List[Dict[str, Any]] = []
+        for lane in lanes:
+            trailing = 0.0
+            # Walk each lane back-to-front accumulating downstream work.
+            slack_by_id: Dict[int, float] = {}
+            for segment in reversed(lane.segments):
+                slack_by_id[segment.span_id] = max(
+                    0.0, self.t_end_ms - segment.end_ms - trailing
+                )
+                trailing += segment.duration_ms
+            for segment in lane.segments:
+                entries.append(
+                    {
+                        "lane": lane.name,
+                        "span_id": segment.span_id,
+                        "operation": segment.operation,
+                        "start_ms": round(segment.start_ms, 6),
+                        "end_ms": round(segment.end_ms, 6),
+                        "slack_ms": round(slack_by_id[segment.span_id], 6),
+                    }
+                )
+        entries.sort(key=lambda e: (e["lane"], e["start_ms"], e["span_id"]))
+        self.span_slack = entries
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.t_end_ms - self.t0_ms
+
+    @property
+    def run_ms(self) -> float:
+        return sum(step.duration_ms for step in self.steps if step.kind == "run")
+
+    @property
+    def wait_ms(self) -> float:
+        return sum(step.duration_ms for step in self.steps if step.kind == "wait")
+
+    @property
+    def total_ms(self) -> float:
+        """Sum of step durations — equals the makespan exactly (the
+        steps tile [t0, t_end] contiguously)."""
+        return sum(step.duration_ms for step in self.steps)
+
+    @property
+    def ideal_ms(self) -> float:
+        """Perfectly-balanced makespan: total work / lanes."""
+        if not self.lane_count:
+            return 0.0
+        return self.work_ms / self.lane_count
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved parallelism: work / makespan (K when lanes are
+        fully packed, lower when waits or imbalance stretch the drain)."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.work_ms / self.makespan_ms
+
+    def by_operation(self) -> Dict[str, float]:
+        """Critical-path run milliseconds attributed per operation."""
+        out: Dict[str, float] = {}
+        for step in self.steps:
+            if step.kind == "run" and step.operation is not None:
+                out[step.operation] = out.get(step.operation, 0.0) + step.duration_ms
+        return {name: round(ms, 6) for name, ms in sorted(out.items())}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": CRITICAL_PATH_SCHEMA,
+            "t0_ms": round(self.t0_ms, 6),
+            "t_end_ms": round(self.t_end_ms, 6),
+            "makespan_ms": round(self.makespan_ms, 6),
+            "run_ms": round(self.run_ms, 6),
+            "wait_ms": round(self.wait_ms, 6),
+            "work_ms": round(self.work_ms, 6),
+            "lane_count": self.lane_count,
+            "ideal_ms": round(self.ideal_ms, 6),
+            "parallelism": round(self.parallelism, 6),
+            "by_operation": self.by_operation(),
+            "steps": [step.to_dict() for step in self.steps],
+            "spans": self.span_slack,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialized form (sorted keys, 6-dp rounding)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+
+    def render_text(self, *, max_steps: int = 40) -> str:
+        """Operator view: the headline decomposition, the path steps
+        (elided in the middle past ``max_steps``), and the biggest-slack
+        spans that quantify the imbalance."""
+        if not self.steps:
+            return "(no lane spans in trace)"
+        lines = [
+            f"critical path: makespan {self.makespan_ms:.1f}ms = "
+            f"run {self.run_ms:.1f}ms + wait {self.wait_ms:.1f}ms "
+            f"({len(self.steps)} step(s))",
+            f"lanes={self.lane_count} work={self.work_ms:.1f}ms "
+            f"ideal={self.ideal_ms:.1f}ms parallelism={self.parallelism:.2f}",
+        ]
+        operations = self.by_operation()
+        if operations:
+            parts = ", ".join(f"{name}={ms:.1f}ms" for name, ms in operations.items())
+            lines.append(f"run time by operation: {parts}")
+        steps = self.steps
+        shown: List[Optional[PathStep]]
+        if len(steps) > max_steps:
+            head = max_steps // 2
+            tail = max_steps - head
+            shown = list(steps[:head]) + [None] + list(steps[-tail:])
+            elided = len(steps) - head - tail
+        else:
+            shown = list(steps)
+            elided = 0
+        for step in shown:
+            if step is None:
+                lines.append(f"  ... {elided} step(s) elided ...")
+                continue
+            if step.kind == "run":
+                lines.append(
+                    f"  @{step.start_ms:.1f}ms +{step.duration_ms:.1f}ms run  "
+                    f"queue:{step.operation} lane={step.lane} span={step.span_id}"
+                )
+            else:
+                lines.append(
+                    f"  @{step.start_ms:.1f}ms +{step.duration_ms:.1f}ms wait"
+                )
+        slackers = [e for e in self.span_slack if e["slack_ms"] > 0]
+        slackers.sort(key=lambda e: (-e["slack_ms"], e["lane"], e["span_id"]))
+        if slackers:
+            lines.append("largest slack (delay tolerated without growing makespan):")
+            for entry in slackers[:5]:
+                lines.append(
+                    f"  span {entry['span_id']} queue:{entry['operation']} "
+                    f"lane={entry['lane']} slack={entry['slack_ms']:.1f}ms"
+                )
+        return "\n".join(lines)

@@ -139,7 +139,14 @@ class SloEngine:
         ``slo:evaluate`` span with one ``slo.breach`` event each.
     """
 
-    def __init__(self, specs: Sequence[SloSpec], *, metrics=None, tracer=None) -> None:
+    def __init__(
+        self,
+        specs: Sequence[SloSpec],
+        *,
+        metrics=None,
+        tracer=None,
+        flight=None,
+    ) -> None:
         if not specs:
             raise ConfigurationError("an SLO engine needs at least one spec")
         names = [spec.name for spec in specs]
@@ -148,6 +155,8 @@ class SloEngine:
         self.specs = tuple(specs)
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional flight recorder; every newly-breached SLO triggers a dump.
+        self.flight = flight
         #: per-spec window entries: (t_ms, latency_ms, ok)
         self._windows: Dict[str, List[Tuple[float, float, bool]]] = {
             spec.name: [] for spec in self.specs
@@ -269,6 +278,15 @@ class SloEngine:
                         window_count=status.window_count,
                         reasons="; ".join(status.reasons),
                     )
+        if self.flight is not None:
+            for status in newly_breached:
+                self.flight.trigger(
+                    "slo.breach",
+                    slo=status.spec.name,
+                    attainment=round(status.attainment, 6),
+                    error_rate=round(status.error_rate, 6),
+                    reasons="; ".join(status.reasons),
+                )
 
     def breached(self) -> List[str]:
         """Names of the SLOs currently in breach (as of the last

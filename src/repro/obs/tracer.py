@@ -57,6 +57,9 @@ class NoopTracer:
     def bind_clock(self, clock: SimulatedClock) -> None:
         pass
 
+    def add_sink(self, sink) -> None:
+        pass
+
     @property
     def spans(self) -> List[Span]:
         return []
@@ -100,6 +103,7 @@ class Tracer:
         self._stack: List[Span] = []
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
+        self._sinks: List[Any] = []
 
     def bind_clock(self, clock: SimulatedClock) -> None:
         """Adopt the device's virtual clock (done by ``MobileDevice``)."""
@@ -138,12 +142,24 @@ class Tracer:
         self._stack.append(span)
         return span
 
+    def add_sink(self, sink) -> None:
+        """Register a callable invoked with every span as it finishes.
+
+        Sinks are how the flight recorder shadows the tracer without the
+        tracer knowing about it; with no sinks registered the per-span
+        cost is one truthiness check.
+        """
+        self._sinks.append(sink)
+
     def end_span(self, span: Span) -> None:
         """Close ``span`` (and anything left open beneath it)."""
         while self._stack:
             top = self._stack.pop()
             top.end_virtual_ms = self._virtual_now()
             top.end_real_ms = self._real_now()
+            if self._sinks:
+                for sink in self._sinks:
+                    sink(top)
             if top is span:
                 return
         raise ValueError(f"span {span.name!r} is not open on this tracer")

@@ -48,8 +48,8 @@ class LocationFixCache:
             from repro.obs import MetricsRegistry
 
             metrics = MetricsRegistry()
-        self._hits = metrics.counter("runtime.location_cache_hits", cache=label)
-        self._misses = metrics.counter("runtime.location_cache_misses", cache=label)
+        self._hits = metrics.counter("runtime.location_cache_hits", source=label)
+        self._misses = metrics.counter("runtime.location_cache_misses", source=label)
 
     def get(self) -> Any:
         """The cached fix if still fresh, else ``None`` (counted)."""
@@ -94,10 +94,10 @@ class PropertyReadCache:
             from repro.obs import MetricsRegistry
 
             metrics = MetricsRegistry()
-        self._hits = metrics.counter("runtime.property_cache_hits", cache=label)
-        self._misses = metrics.counter("runtime.property_cache_misses", cache=label)
+        self._hits = metrics.counter("runtime.property_cache_hits", source=label)
+        self._misses = metrics.counter("runtime.property_cache_misses", source=label)
         self._invalidations = metrics.counter(
-            "runtime.property_cache_invalidations", cache=label
+            "runtime.property_cache_invalidations", source=label
         )
 
     def attach(self, proxy) -> None:

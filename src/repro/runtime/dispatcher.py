@@ -99,9 +99,13 @@ class Dispatcher:
     queue_depth:
         Per-shard bounded queue length; submissions beyond it shed.
     observability:
-        Hub for the dispatcher's own ``runtime.*`` metrics.  Per-request
-        spans go to the *submitter's* tracer (pass ``tracer=`` to
-        :meth:`submit`) so they join the proxy's span tree.
+        Hub for the dispatcher's own ``runtime.*`` metrics (labelled
+        ``source=<platform>``).  Per-request spans go to the
+        *submitter's* tracer (pass ``tracer=`` to :meth:`submit`) so
+        they join the proxy's span tree.  When the hub carries a
+        time-series sampler / flight recorder, the dispatcher ticks the
+        sampler at every scheduling point (submit, execution start,
+        settle) and triggers a flight dump on sheds.
     """
 
     def __init__(
@@ -125,6 +129,7 @@ class Dispatcher:
         self._inflight: Dict[str, _Request] = {}
         self._seq = itertools.count()
         self._rr = itertools.count()
+        self._obs = observability
         if observability is not None:
             metrics = observability.metrics
         else:
@@ -132,7 +137,7 @@ class Dispatcher:
 
             metrics = MetricsRegistry()
         self.metrics = metrics
-        label = dict(platform=platform)
+        label = dict(source=platform)
         self._submitted = metrics.counter("runtime.submitted", **label)
         self._completed = metrics.counter("runtime.completed", **label)
         self._failed = metrics.counter("runtime.failed", **label)
@@ -140,10 +145,17 @@ class Dispatcher:
         self._coalesced = metrics.counter("runtime.coalesced", **label)
         self._queue_wait = metrics.histogram("runtime.queue_wait_ms", **label)
         self._service = metrics.histogram("runtime.service_ms", **label)
+        self._inflight_gauge = metrics.gauge("runtime.inflight", **label)
         self._depth_gauges = [
             metrics.gauge("runtime.queue_depth", shard=str(index), **label)
             for index in range(shards)
         ]
+
+    def _tick(self) -> None:
+        """Sample tracked time series at this scheduling point (no-op
+        without an installed sampler)."""
+        if self._obs is not None:
+            self._obs.tick()
 
     # -- introspection -------------------------------------------------------
 
@@ -214,6 +226,7 @@ class Dispatcher:
                 self._coalesced.inc()
                 follower = Future()
                 primary.attached.append(follower)
+                self._tick()
                 return follower
         shard = self._select_shard(key)
         if len(shard.queue) >= self.queue_depth:
@@ -236,6 +249,22 @@ class Dispatcher:
                         depth=len(shard.queue),
                     )
                     span.mark_error(error)
+            if self._obs is not None and self._obs.flight is not None:
+                flight = self._obs.flight
+                flight.note(
+                    "queue.shed",
+                    operation=operation,
+                    platform=self.platform,
+                    shard=shard.index,
+                    depth=len(shard.queue),
+                )
+                flight.trigger(
+                    "queue.shed",
+                    operation=operation,
+                    platform=self.platform,
+                    shard=shard.index,
+                )
+            self._tick()
             return Future.failed(error)
         request = _Request(
             next(self._seq),
@@ -251,6 +280,7 @@ class Dispatcher:
         if coalesce_key is not None:
             self._inflight[coalesce_key] = request
         self._pump(shard)
+        self._tick()
         return request.future
 
     # -- internals -----------------------------------------------------------
@@ -287,6 +317,7 @@ class Dispatcher:
             return  # pragma: no cover - defensive; queues only grow here
         request = shard.queue.popleft()
         self._depth_gauges[shard.index].set(len(shard.queue))
+        self._inflight_gauge.add(1)
         start = self._clock.now_ms
         request.start_ms = start
         wait_ms = start - request.submit_ms
@@ -319,6 +350,10 @@ class Dispatcher:
             name=f"dispatch.{self.platform}.done{request.seq}",
         )
         self._pump(shard)
+        # A drain tick: the queue-depth gauge just dropped, so sample it
+        # here too — not only at submit/settle — or bursts that drain
+        # between submissions would be invisible in the series.
+        self._tick()
 
     def _settle(
         self, request: _Request, result: Any, error: Optional[ProxyError]
@@ -329,6 +364,7 @@ class Dispatcher:
         ):
             del self._inflight[request.coalesce_key]
         futures = [request.future] + request.attached
+        self._inflight_gauge.add(-1)
         if error is not None:
             self._failed.inc(len(futures))
             for future in futures:
@@ -337,3 +373,4 @@ class Dispatcher:
             self._completed.inc(len(futures))
             for future in futures:
                 future.resolve(result)
+        self._tick()

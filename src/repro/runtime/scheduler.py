@@ -90,7 +90,10 @@ class CooperativeScheduler:
         Seeds :attr:`rng`, the only RNG workloads may draw from.
     observability:
         Optional hub; task lifecycle counters land in its metrics
-        registry as ``runtime.tasks_*`` series.
+        registry as ``runtime.tasks_*`` series (labelled
+        ``source=<name>``, matching the dispatcher's convention).  When
+        the hub carries a flight recorder, a task crash triggers a dump
+        capturing the moments before the failure.
     """
 
     def __init__(
@@ -109,16 +112,17 @@ class CooperativeScheduler:
         self._spawn_seq = itertools.count()
         self._wake_seq = itertools.count()
         self._drain_armed = False
+        self._obs = observability
         if observability is not None:
             metrics = observability.metrics
         else:
             from repro.obs import MetricsRegistry
 
             metrics = MetricsRegistry()
-        self._spawned = metrics.counter("runtime.tasks_spawned", scheduler=name)
-        self._completed = metrics.counter("runtime.tasks_completed", scheduler=name)
-        self._failed = metrics.counter("runtime.tasks_failed", scheduler=name)
-        self._steps = metrics.counter("runtime.task_steps", scheduler=name)
+        self._spawned = metrics.counter("runtime.tasks_spawned", source=name)
+        self._completed = metrics.counter("runtime.tasks_completed", source=name)
+        self._failed = metrics.counter("runtime.tasks_failed", source=name)
+        self._steps = metrics.counter("runtime.task_steps", source=name)
 
     @property
     def clock(self):
@@ -191,6 +195,8 @@ class CooperativeScheduler:
             if task.state != READY:
                 continue  # woken twice, or already stepped
             self._step(task)
+        if self._obs is not None:
+            self._obs.tick()
 
     def _step(self, task: AgentTask) -> None:
         task.state = RUNNING
@@ -211,6 +217,21 @@ class CooperativeScheduler:
             task.state = FAILED
             task.error = exc
             self._failed.inc()
+            if self._obs is not None and self._obs.flight is not None:
+                flight = self._obs.flight
+                flight.note(
+                    "task.crashed",
+                    task=task.name,
+                    scheduler=self.name,
+                    error=str(exc),
+                    steps=task.steps,
+                )
+                flight.trigger(
+                    "task.crashed",
+                    task=task.name,
+                    scheduler=self.name,
+                    error=str(exc),
+                )
         else:
             self._park(task, yielded)
 

@@ -4,8 +4,8 @@ import json
 
 import pytest
 
-from repro.obs import Tracer, export_jsonl
-from repro.obs.analyze.cli import main
+from repro.obs import FlightRecorder, Tracer, export_jsonl
+from repro.obs.analyze.cli import COMMANDS, build_parser, main
 from repro.util.clock import SimulatedClock
 
 pytestmark = pytest.mark.obs
@@ -23,6 +23,51 @@ def trace_path(tmp_path):
     path = tmp_path / "trace.jsonl"
     path.write_text(export_jsonl(tracer.finished_spans()), encoding="utf-8")
     return path
+
+
+def lane_record(span_id, start, end, *, shard, wait=0.0):
+    return {
+        "name": "queue:work",
+        "span_id": span_id,
+        "start_virtual_ms": start,
+        "end_virtual_ms": end,
+        "status": "ok",
+        "attributes": {"platform": "bench", "shard": shard, "wait_ms": wait},
+    }
+
+
+@pytest.fixture
+def lane_trace_path(tmp_path):
+    """A trace with overlapping ``queue:<op>`` lane spans on two shards."""
+    records = [
+        lane_record(1, 0.0, 10.0, shard=0),
+        lane_record(2, 10.0, 25.0, shard=0, wait=10.0),
+        lane_record(3, 0.0, 5.0, shard=1),
+    ]
+    path = tmp_path / "lanes.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestHelpConvention:
+    def test_help_enumerates_every_subcommand(self):
+        text = build_parser().format_help()
+        for name, description in COMMANDS:
+            assert name in text
+            assert description in text
+
+    def test_every_subcommand_accepts_format_and_json(self):
+        parser = build_parser()
+        extra = {"slo": ["--slo", "get:10"], "diff": ["y"]}
+        for name, _ in COMMANDS:
+            args = [name, "x"] + extra.get(name, [])
+            parsed = parser.parse_args(args + ["--json"])
+            assert parsed.format == "json"
+            parsed = parser.parse_args(args + ["--format", "text"])
+            assert parsed.format == "text"
 
 
 class TestProfileCommand:
@@ -102,3 +147,80 @@ class TestDiffCommand:
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["passed"] is True
+
+
+class TestTimelineCommand:
+    def test_text_gantt_and_use_summary(self, lane_trace_path, capsys):
+        assert main(["timeline", str(lane_trace_path), "--width", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "bench/0" in out
+        assert "bench/1" in out
+        assert "USE summary" in out
+
+    def test_json_and_out_file(self, lane_trace_path, tmp_path, capsys):
+        saved = tmp_path / "timeline.json"
+        assert main(
+            ["timeline", str(lane_trace_path), "--json", "--out", str(saved)]
+        ) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(saved.read_text())
+        assert printed["schema"] == "repro.obs.timeline/v1"
+        assert set(printed["segments"]) == {"bench/0", "bench/1"}
+
+
+class TestCriticalPathCommand:
+    def test_text_output(self, lane_trace_path, capsys):
+        assert main(["critical-path", str(lane_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "makespan" in out
+
+    def test_json_and_out_file(self, lane_trace_path, tmp_path, capsys):
+        saved = tmp_path / "path.json"
+        assert main(
+            [
+                "critical-path",
+                str(lane_trace_path),
+                "--json",
+                "--out",
+                str(saved),
+            ]
+        ) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(saved.read_text())
+        assert printed["schema"] == "repro.obs.critical_path/v1"
+        # The lane-0 chain exactly explains the 25ms makespan.
+        assert printed["makespan_ms"] == 25.0
+        assert sum(s["duration_ms"] for s in printed["steps"]) == 25.0
+
+
+@pytest.fixture
+def flight_path(tmp_path):
+    clock = SimulatedClock()
+    recorder = FlightRecorder(clock=clock)
+    tracer = Tracer(clock, capture_real_time=False)
+    recorder.attach(tracer, source="agent-0")
+    with tracer.span("queue:work", shard=0):
+        clock.advance(5.0)
+    recorder.trigger("task.crashed", task="doomed")
+    path = tmp_path / "flight.json"
+    path.write_text(recorder.to_json(), encoding="utf-8")
+    return path
+
+
+class TestFlightCommand:
+    def test_text_render(self, flight_path, capsys):
+        assert main(["flight", str(flight_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dump #1: task.crashed" in out
+        assert "queue:work" in out
+
+    def test_json_roundtrip(self, flight_path, capsys):
+        assert main(["flight", str(flight_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs.flight/v1"
+        assert payload["dumps"][0]["reason"] == "task.crashed"
+
+    def test_rejects_non_flight_document(self, trace_path):
+        with pytest.raises(ValueError):
+            main(["flight", str(trace_path)])

@@ -1,0 +1,131 @@
+"""Unit tests for shard-timeline reconstruction from trace records."""
+
+import json
+
+import pytest
+
+from repro.obs import ShardTimelines
+
+pytestmark = pytest.mark.obs
+
+
+def rec(span_id, start, end, *, shard, wait=0.0, platform="p", op="work",
+        outcome=None, status="ok"):
+    """A ``queue:<op>`` span record as ``export_jsonl`` would emit it."""
+    attributes = {"platform": platform, "shard": shard}
+    if outcome is not None:
+        attributes["outcome"] = outcome
+    else:
+        attributes["wait_ms"] = wait
+    return {
+        "name": f"queue:{op}",
+        "span_id": span_id,
+        "start_virtual_ms": start,
+        "end_virtual_ms": end,
+        "status": status,
+        "attributes": attributes,
+    }
+
+
+class TestReconstruction:
+    def test_lanes_group_by_platform_and_shard(self):
+        timelines = ShardTimelines.from_records([
+            rec(1, 0.0, 10.0, shard=0),
+            rec(2, 0.0, 10.0, shard=1),
+            rec(3, 0.0, 5.0, shard=0, platform="q"),
+        ])
+        assert sorted(lane.name for lane in timelines.sorted_lanes()) == [
+            "p/0", "p/1", "q/0",
+        ]
+        assert timelines.t0_ms == 0.0
+        assert timelines.t_end_ms == 10.0
+
+    def test_ignores_non_queue_and_unfinished_spans(self):
+        records = [
+            rec(1, 0.0, 10.0, shard=0),
+            {"name": "dispatch:work", "span_id": 2, "start_virtual_ms": 0.0,
+             "end_virtual_ms": 5.0, "attributes": {"shard": 0}},
+            dict(rec(3, 0.0, None, shard=0), end_virtual_ms=None),
+        ]
+        timelines = ShardTimelines.from_records(records)
+        (lane,) = timelines.sorted_lanes()
+        assert lane.executed == 1
+
+    def test_sheds_counted_not_segmented(self):
+        timelines = ShardTimelines.from_records([
+            rec(1, 0.0, 10.0, shard=0),
+            rec(2, 0.0, 0.0, shard=0, outcome="shed", status="error"),
+        ])
+        (lane,) = timelines.sorted_lanes()
+        assert lane.executed == 1
+        assert lane.sheds == 1
+        assert lane.shed_rate == pytest.approx(0.5)
+
+    def test_window_starts_at_earliest_submit(self):
+        # The request waited 4ms, so the window opens at its submit time.
+        timelines = ShardTimelines.from_records([
+            rec(1, 4.0, 10.0, shard=0, wait=4.0),
+        ])
+        assert timelines.t0_ms == 0.0
+        assert timelines.window_ms == 10.0
+
+
+class TestUseSummary:
+    def test_utilization_by_lane(self):
+        timelines = ShardTimelines.from_records([
+            rec(1, 0.0, 10.0, shard=0),
+            rec(2, 0.0, 5.0, shard=1),
+        ])
+        assert timelines.utilization_by_lane() == {"p/0": 1.0, "p/1": 0.5}
+
+    def test_queue_depth_percentiles_and_peak(self):
+        # Two requests submitted at t=0 on one lane: the second waits
+        # 10ms, so depth is 1 for the first 10ms then 0 for the next 10.
+        timelines = ShardTimelines.from_records([
+            rec(1, 0.0, 10.0, shard=0),
+            rec(2, 10.0, 20.0, shard=0, wait=10.0),
+        ])
+        (lane,) = timelines.sorted_lanes()
+        assert lane.peak_depth == 2  # both queued at the submit instant
+        # Depth dwell over the 20ms window: 10ms at 2, 10ms at 0.
+        depth = lane.depth_percentiles(timelines.t_end_ms)
+        assert depth["p50"] == 0.0
+        assert depth["p95"] == 2.0
+
+    def test_summary_errors_count_non_ok_statuses(self):
+        timelines = ShardTimelines.from_records([
+            rec(1, 0.0, 10.0, shard=0, status="error"),
+        ])
+        entry = timelines.summary()["lanes"][0]
+        assert entry["errors"] == 1
+
+
+class TestRendering:
+    def test_text_gantt_rows_and_use_lines(self):
+        timelines = ShardTimelines.from_records([
+            rec(1, 0.0, 10.0, shard=0),
+            rec(2, 0.0, 5.0, shard=1),
+        ])
+        text = timelines.render_text(width=10)
+        assert "p/0 |##########|" in text
+        assert "p/1 |#####.....|" in text
+        assert "USE summary (Utilization / Saturation / Errors):" in text
+
+    def test_empty_trace_renders_placeholder(self):
+        assert ShardTimelines.from_records([]).render_text() == (
+            "(no lane spans in trace)"
+        )
+
+    def test_narrow_width_rejected(self):
+        timelines = ShardTimelines.from_records([rec(1, 0.0, 10.0, shard=0)])
+        with pytest.raises(ValueError):
+            timelines.render_text(width=5)
+
+    def test_json_export_schema_and_determinism(self):
+        records = [rec(1, 0.0, 10.0, shard=0), rec(2, 0.0, 5.0, shard=1)]
+        first = ShardTimelines.from_records(records).to_json()
+        second = ShardTimelines.from_records(records).to_json()
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema"] == "repro.obs.timeline/v1"
+        assert set(payload["segments"]) == {"p/0", "p/1"}

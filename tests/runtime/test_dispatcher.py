@@ -113,7 +113,7 @@ class TestAdmissionControl:
         d = runtime.dispatcher("android")
         for _ in range(4):
             d.submit("burst", charge(world, 10.0))
-        assert hub.metrics.counter("runtime.shed", platform="android").value == 3
+        assert hub.metrics.counter("runtime.shed", source="android").value == 3
         runtime.drain()
 
 

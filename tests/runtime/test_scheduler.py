@@ -166,9 +166,9 @@ class TestIsolationAndResults:
         coop.spawn("bad", bad())
         world.run_for(10.0)
         metrics = hub.metrics
-        assert metrics.counter("runtime.tasks_spawned", scheduler="coop").value == 2
-        assert metrics.counter("runtime.tasks_completed", scheduler="coop").value == 1
-        assert metrics.counter("runtime.tasks_failed", scheduler="coop").value == 1
+        assert metrics.counter("runtime.tasks_spawned", source="coop").value == 2
+        assert metrics.counter("runtime.tasks_completed", source="coop").value == 1
+        assert metrics.counter("runtime.tasks_failed", source="coop").value == 1
 
 
 class TestSeededRng:

@@ -26,6 +26,16 @@ ALLOWLIST = frozenset(
     }
 )
 
+#: New concurrency-observability modules must stay in lint scope and off
+#: the allowlist: they are pure virtual-time analysis/capture code, so a
+#: wall-clock read in any of them is always a bug.
+CONCURRENCY_OBS_MODULES = (
+    "obs/timeline.py",
+    "obs/timeseries.py",
+    "obs/flight.py",
+    "obs/analyze/critical_path.py",
+)
+
 FORBIDDEN = (
     (re.compile(r"\btime\.(time|monotonic|perf_counter|process_time)\("), "wall-clock read"),
     (re.compile(r"\btime\.sleep\("), "wall-clock sleep"),
@@ -72,6 +82,18 @@ class TestWallClockLint:
         contain at least one pragma-tagged measurement line."""
         for relative in ALLOWLIST:
             assert PRAGMA in (SRC / relative).read_text(), relative
+
+    def test_concurrency_obs_modules_are_in_scope(self):
+        """The timeline/timeseries/flight/critical-path modules must be
+        scanned (present under ``src/repro``) and must never join the
+        allowlist — they have no legitimate wall-clock site."""
+        scanned = {str(path.relative_to(SRC)) for path in _sources()}
+        for relative in CONCURRENCY_OBS_MODULES:
+            assert relative in scanned, f"obs module left lint scope: {relative}"
+            assert relative not in ALLOWLIST, (
+                f"obs module must not be allowlisted: {relative}"
+            )
+            assert PRAGMA not in (SRC / relative).read_text(), relative
 
     def test_no_wall_clock_anywhere(self):
         violations = []
