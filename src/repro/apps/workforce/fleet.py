@@ -31,7 +31,7 @@ from repro.device.network import SimulatedNetwork
 from repro.obs import FlightRecorder, Observability
 from repro.obs.analyze.slo import SloEngine, SloSpec, SloStatus
 from repro.platforms.android.platform import AndroidPlatform
-from repro.runtime import AgentTask, ConcurrencyRuntime
+from repro.runtime import AdmissionConfig, AgentTask, ConcurrencyRuntime
 from repro.util.clock import Scheduler, SimulatedClock
 from repro.util.events import EventBus
 from repro.util.geo import GeoPoint, destination_point
@@ -81,6 +81,8 @@ class Fleet:
     #: Highest flight-dump sequence already surfaced (dumps evict, so a
     #: sequence cursor — not a list length — tracks what's new).
     _alerted_dumps: int = field(default=0, repr=False)
+    #: Per-platform cursor into the admission controller's storm log.
+    _alerted_storms: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def run_for(self, delta_ms: float) -> int:
         """Advance the whole fleet's shared virtual time.
@@ -126,6 +128,20 @@ class Fleet:
                     f"{type(task.error).__name__}: {task.error}"
                 )
             self._alerted_tasks = len(failed)
+            for platform, dispatcher in sorted(
+                self.runtime.dispatchers().items()
+            ):
+                controller = dispatcher.admission
+                if controller is None:
+                    continue
+                cursor = self._alerted_storms.get(platform, 0)
+                for storm in controller.storms[cursor:]:
+                    self.alerts.append(
+                        f"[fleet-alert] admission storm on {platform}: "
+                        f"{storm['rejections']} rejections in "
+                        f"{storm['window_ms']:.0f}ms (kind={storm['kind']})"
+                    )
+                self._alerted_storms[platform] = len(controller.storms)
         if self.flight is not None:
             for dump in self.flight.dumps:
                 if dump["sequence"] <= self._alerted_dumps:
@@ -196,6 +212,7 @@ def build_fleet(
     shards: int = 2,
     queue_depth: int = 32,
     runtime_seed: int = 0,
+    admission: Optional[AdmissionConfig] = None,
 ) -> Fleet:
     """Deploy ``agent_count`` Android agents on shared infrastructure.
 
@@ -211,6 +228,12 @@ def build_fleet(
     fleet's scheduler (sharded dispatch, coalescing, cooperative agent
     tasks); drive it with :func:`launch_fleet_on_runtime`.
 
+    ``admission=`` (requires ``runtime=True``) installs the adaptive
+    admission plane on the runtime: each agent's submissions are charged
+    to its own token-bucket tenant (``tenant=<agent-id>``), status polls
+    shed before location reports under pressure, and throttle/shed
+    storms surface as ``[fleet-alert] admission storm …`` lines.
+
     ``flight_recorder=True`` (requires ``runtime=True``) installs a
     :class:`~repro.obs.flight.FlightRecorder` plus a queue-depth /
     in-flight time-series sampler on the runtime's hub, shadows every
@@ -222,6 +245,8 @@ def build_fleet(
         raise ValueError("a fleet needs at least one agent")
     if flight_recorder and not runtime:
         raise ValueError("flight_recorder=True requires runtime=True")
+    if admission is not None and not runtime:
+        raise ValueError("admission= requires runtime=True")
     scheduler = Scheduler(SimulatedClock())
     shared_bus = EventBus()
     sms_center = SmsCenter(scheduler, shared_bus)
@@ -246,6 +271,7 @@ def build_fleet(
             queue_depth=queue_depth,
             seed=runtime_seed,
             observability=hub,
+            admission=admission,
         )
         if flight_recorder:
             sampler = hub.install_sampler()
@@ -335,7 +361,7 @@ def _agent_workload(
     status_url = f"http://{SERVER_HOST}{PATH_STATUS}"
     for _ in range(reports):
         yield period_ms
-        fix = yield runtime.get_location(logic.location)
+        fix = yield runtime.get_location(logic.location, tenant=agent_id)
         body = encode(
             {
                 "agent": agent_id,
@@ -349,10 +375,11 @@ def _agent_workload(
             "post",
             lambda body=body: logic.http.post(report_url, body),
             key=agent_id,
+            tenant=agent_id,
         )
         # Issued concurrently with the report: since every agent polls at
         # the same instant, the fleet's status GETs coalesce in flight.
-        status_future = runtime.http_get(logic.http, status_url)
+        status_future = runtime.http_get(logic.http, status_url, tenant=agent_id)
         result = yield report_future
         if not result.ok:
             logic.activity_events.append("report-failed")

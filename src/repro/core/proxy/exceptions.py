@@ -36,10 +36,12 @@ from repro.errors import (
     ProxyError,
     ProxyInvalidArgumentError,
     ProxyNetworkError,
+    ProxyOverloadError,
     ProxyPermissionError,
     ProxyPlatformError,
     ProxyPropertyError,
     ProxySensorError,
+    ProxyThrottledError,
     ProxyTimeoutError,
     ProxyTransientError,
     ProxyUnavailableError,
@@ -61,6 +63,8 @@ UNIFORM_ERRORS: Dict[str, Type[ProxyError]] = {
         ProxyBridgeError,
         ProxyCircuitOpenError,
         ProxySensorError,
+        ProxyOverloadError,
+        ProxyThrottledError,
     )
 }
 

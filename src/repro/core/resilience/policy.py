@@ -321,6 +321,17 @@ class ResilienceRuntime:
             if may_retry:
                 self.stats.inc("retries")
                 delay = policy.backoff.delay_ms(retry_index, self._jitter_rng)
+                # Admission throttles (1013) say exactly when the token
+                # bucket can cover a retry; backing off for less would
+                # guarantee another rejection, so the hint is a floor.
+                retry_after = getattr(error, "retry_after_ms", None)
+                if retry_after is not None and retry_after > delay:
+                    delay = float(retry_after)
+                    self._tracer.event(
+                        "retry.after_hint",
+                        operation=operation,
+                        retry_after_ms=delay,
+                    )
                 self._tracer.event(
                     "retry",
                     operation=operation,

@@ -149,6 +149,47 @@ class ProxyOverloadError(ProxyTransientError):
     Raised (or delivered through a rejected future) when a dispatcher
     shard's bounded queue is full.  Transient by definition: the same
     request may be admitted once the queue drains — but the runtime
-    itself never retries shed work, that choice belongs to the caller."""
+    itself never retries shed work, that choice belongs to the caller.
+
+    ``context`` carries the structured shed decision — platform, shard
+    index, queue depth and bound, priority class, shed reason — so a
+    flight dump or a supervisor alert is self-explanatory without
+    parsing the message text.  It stays on this side of the WebView
+    bridge (only the code and message travel as the JSON envelope)."""
 
     error_code = 1012
+
+    def __init__(self, message: str = "", *, context: dict = None) -> None:
+        super().__init__(message)
+        #: Structured shed decision (platform, shard, depth, bound,
+        #: priority, reason, ...); empty when raised bare.
+        self.context = dict(context or {})
+
+
+class ProxyThrottledError(ProxyTransientError):
+    """Admission control rejected this request over a rate budget.
+
+    Raised (or delivered through a rejected future) when the submitting
+    tenant's token bucket is empty.  Unlike a shed (1012) this is a
+    *policed* rejection: the request never competed for a queue slot,
+    and ``retry_after_ms`` tells the caller exactly how much virtual
+    time must pass before the bucket can cover it — the resilience
+    plane's backoff honours the hint when retrying.
+
+    ``context`` carries the structured throttle decision (platform,
+    tenant, operation, tokens remaining) like 1012's shed context."""
+
+    error_code = 1013
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        retry_after_ms: float = 0.0,
+        context: dict = None,
+    ) -> None:
+        super().__init__(message)
+        #: Virtual milliseconds until the bucket can cover the request.
+        self.retry_after_ms = float(retry_after_ms)
+        #: Structured throttle decision (platform, tenant, operation, ...).
+        self.context = dict(context or {})

@@ -18,7 +18,10 @@ native call (Figure 10) — directly from traces:
   gate the CI bench smoke runs in report-only mode;
 * :mod:`repro.obs.analyze.critical_path` — the chain of lane segments
   that exactly explains a concurrent drain's makespan, plus per-span
-  slack (see ``docs/CONCURRENCY.md``).
+  slack (see ``docs/CONCURRENCY.md``);
+* :mod:`repro.obs.analyze.admission` — shed / throttle / autoscale
+  breakdown folded from the admission plane's span events (see
+  ``docs/ADMISSION.md``).
 
 The determinism contract extends here: no wall-clock reads, no
 unseeded RNGs (policed by ``tests/chaos/test_determinism_lint.py``,
@@ -26,10 +29,11 @@ whose scope includes all of ``obs/``) — two identically-seeded runs
 produce byte-identical profiles.
 
 CLI: ``python -m repro.obs {profile,slo,diff,timeline,critical-path,
-flight}`` operates on exported JSONL trace files (see
+flight,admission}`` operates on exported JSONL trace files (see
 ``docs/PERFORMANCE.md``).
 """
 
+from repro.obs.analyze.admission import AdmissionReport, render_admission_text
 from repro.obs.analyze.critical_path import (
     CRITICAL_PATH_SCHEMA,
     CriticalPath,
@@ -60,6 +64,7 @@ from repro.obs.quantiles import (
 )
 
 __all__ = [
+    "AdmissionReport",
     "CRITICAL_PATH_SCHEMA",
     "CriticalPath",
     "DEFAULT_QUANTILES",
@@ -80,6 +85,7 @@ __all__ = [
     "parse_jsonl",
     "quantile_label",
     "records_to_jsonl",
+    "render_admission_text",
     "render_profile_text",
     "top_spans_text",
 ]

@@ -1,6 +1,6 @@
 """``python -m repro.obs`` — trace analytics from the command line.
 
-Six subcommands, all operating on exported JSONL trace files (or, for
+Seven subcommands, all operating on exported JSONL trace files (or, for
 ``diff``, saved profile / BENCH documents; for ``flight``, a saved
 flight-recorder document).  Every subcommand follows one convention: a
 positional ``trace`` input plus ``--format {text,json}`` (``--json`` is
@@ -17,7 +17,9 @@ the shorthand), so scripts can pipe any analysis as JSON.
   timelines with a USE-style utilization/saturation summary;
 * ``critical-path`` — the chain of lane segments that exactly explains
   a concurrent drain's makespan, with per-span slack;
-* ``flight`` — render a flight-recorder incident document.
+* ``flight`` — render a flight-recorder incident document;
+* ``admission`` — shed / throttle / autoscale breakdown from the
+  admission plane's span events.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import argparse
 import json
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.analyze.admission import AdmissionReport, render_admission_text
 from repro.obs.analyze.critical_path import CriticalPath
 from repro.obs.analyze.diff import (
     DEFAULT_NOISE_FRAC,
@@ -52,6 +55,7 @@ COMMANDS: Tuple[Tuple[str, str], ...] = (
     ("timeline", "per-shard Gantt timelines and USE summary from a trace"),
     ("critical-path", "the lane-segment chain explaining a drain's makespan"),
     ("flight", "render a saved flight-recorder incident document"),
+    ("admission", "shed/throttle/autoscale breakdown from a trace"),
 )
 
 
@@ -143,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         "flight", help=helps["flight"], parents=[parent]
     )
     flight.add_argument("trace", help="saved flight-recorder JSON document")
+
+    admission = commands.add_parser(
+        "admission", help=helps["admission"], parents=[parent]
+    )
+    admission.add_argument("trace", help="JSONL trace export")
+    admission.add_argument("--out", metavar="PATH",
+                           help="also save the JSON report to PATH")
     return parser
 
 
@@ -244,6 +255,18 @@ def _cmd_flight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_admission(args: argparse.Namespace) -> int:
+    report = AdmissionReport.from_records(parse_jsonl(_read(args.trace)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(render_admission_text(report))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     handlers = {
@@ -253,5 +276,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "critical-path": _cmd_critical_path,
         "flight": _cmd_flight,
+        "admission": _cmd_admission,
     }
     return handlers[args.command](args)

@@ -25,6 +25,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from repro.obs import Observability
+from repro.runtime.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AutoscalerConfig,
+    ShardAutoscaler,
+    TokenBucketConfig,
+)
 from repro.runtime.coalesce import LocationFixCache, PropertyReadCache
 from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.futures import Future, FutureStateError
@@ -33,7 +40,10 @@ from repro.runtime.scheduler import AgentTask, CooperativeScheduler
 from repro.util.clock import Scheduler
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "AgentTask",
+    "AutoscalerConfig",
     "ConcurrencyRuntime",
     "CooperativeScheduler",
     "Dispatcher",
@@ -41,6 +51,8 @@ __all__ = [
     "FutureStateError",
     "LocationFixCache",
     "PropertyReadCache",
+    "ShardAutoscaler",
+    "TokenBucketConfig",
 ]
 
 
@@ -68,6 +80,13 @@ class ConcurrencyRuntime:
         spans join that proxy's span tree.
     location_staleness_ms:
         Window for :meth:`get_location` fix reuse.
+    admission:
+        Optional :class:`~repro.runtime.admission.AdmissionConfig`
+        enabling the adaptive admission plane — token-bucket
+        throttling, priority-aware shedding, overflow leveling and (if
+        its ``autoscaler`` field is set) a per-dispatcher shard
+        autoscaler evaluated at every drain tick.  ``None`` (the
+        default) keeps static bounded queues.
     """
 
     def __init__(
@@ -80,6 +99,7 @@ class ConcurrencyRuntime:
         observability: Optional[Observability] = None,
         shards_per_platform: Optional[Dict[str, int]] = None,
         location_staleness_ms: float = 5_000.0,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         self.scheduler = scheduler
         self.observability = (
@@ -92,12 +112,18 @@ class ConcurrencyRuntime:
         self.seed = seed
         self.shards_per_platform = dict(shards_per_platform or {})
         self.location_staleness_ms = location_staleness_ms
+        self.admission = admission
         self.tasks = CooperativeScheduler(
             scheduler, seed=seed, observability=self.observability
         )
         self._dispatchers: Dict[str, Dispatcher] = {}
+        self._autoscalers: Dict[str, ShardAutoscaler] = {}
         self._location_caches: Dict[int, LocationFixCache] = {}
         self.properties = PropertyReadCache(self.observability.metrics)
+        if admission is not None and admission.autoscaler is not None:
+            # Fleet-driven runs advance time through the cooperative
+            # scheduler, so the control loop rides its drain passes.
+            self.tasks.add_drain_hook(self.evaluate_autoscalers)
 
     # -- dispatchers ---------------------------------------------------------
 
@@ -111,12 +137,31 @@ class ConcurrencyRuntime:
                 shards=self.shards_per_platform.get(platform, self.default_shards),
                 queue_depth=self.queue_depth,
                 observability=self.observability,
+                admission=self.admission,
             )
             self._dispatchers[platform] = dispatcher
+            if self.admission is not None and self.admission.autoscaler is not None:
+                self._autoscalers[platform] = ShardAutoscaler(
+                    dispatcher,
+                    self.admission.autoscaler,
+                    sampler=self.observability.sampler,
+                    observability=self.observability,
+                )
         return dispatcher
 
     def dispatchers(self) -> Dict[str, Dispatcher]:
         return dict(self._dispatchers)
+
+    def autoscalers(self) -> Dict[str, ShardAutoscaler]:
+        """Per-platform shard autoscalers (empty when admission is off)."""
+        return dict(self._autoscalers)
+
+    def evaluate_autoscalers(self) -> None:
+        """One control tick for every attached autoscaler (called at
+        drain instants; safe to call ad hoc in tests)."""
+        now = self.scheduler.clock.now_ms
+        for platform in sorted(self._autoscalers):
+            self._autoscalers[platform].evaluate(now)
 
     def submit(
         self,
@@ -127,10 +172,18 @@ class ConcurrencyRuntime:
         key: Optional[str] = None,
         coalesce_key: Optional[str] = None,
         tracer=None,
+        priority: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> Future:
         """Queue one invocation on ``platform``'s dispatcher."""
         return self.dispatcher(platform).submit(
-            operation, thunk, key=key, coalesce_key=coalesce_key, tracer=tracer
+            operation,
+            thunk,
+            key=key,
+            coalesce_key=coalesce_key,
+            tracer=tracer,
+            priority=priority,
+            tenant=tenant,
         )
 
     # -- proxy-aware conveniences -------------------------------------------
@@ -148,6 +201,8 @@ class ConcurrencyRuntime:
         *,
         key: Optional[str] = None,
         coalesce_key: Optional[str] = None,
+        priority: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> Future:
         """Queue a call on ``proxy``; platform and tracer are derived
         from its binding plane and attached observability hub."""
@@ -158,9 +213,18 @@ class ConcurrencyRuntime:
             key=key,
             coalesce_key=coalesce_key,
             tracer=self._tracer_of(proxy),
+            priority=priority,
+            tenant=tenant,
         )
 
-    def http_get(self, http_proxy, url: str, *, coalesce: bool = True) -> Future:
+    def http_get(
+        self,
+        http_proxy,
+        url: str,
+        *,
+        coalesce: bool = True,
+        tenant: Optional[str] = None,
+    ) -> Future:
         """Idempotent GET through the dispatcher.
 
         With ``coalesce`` on, concurrent GETs to the same URL on the
@@ -174,9 +238,16 @@ class ConcurrencyRuntime:
             "get",
             lambda: http_proxy.get(url),
             coalesce_key=coalesce_key,
+            tenant=tenant,
         )
 
-    def get_location(self, location_proxy, *, fresh: bool = False) -> Future:
+    def get_location(
+        self,
+        location_proxy,
+        *,
+        fresh: bool = False,
+        tenant: Optional[str] = None,
+    ) -> Future:
         """A location fix, reusing one younger than the staleness window.
 
         ``fresh=True`` bypasses (but still refreshes) the cache.  Fix
@@ -201,6 +272,7 @@ class ConcurrencyRuntime:
             "getLocation",
             location_proxy.get_location,
             coalesce_key=f"fix:{id(location_proxy)}",
+            tenant=tenant,
         )
 
         def remember(done: Future) -> None:
@@ -245,6 +317,8 @@ class ConcurrencyRuntime:
         """
         executed = 0
         for _ in range(max_steps):
+            if self._autoscalers:
+                self.evaluate_autoscalers()
             if self.quiescent:
                 return executed
             candidates = [

@@ -1,0 +1,224 @@
+"""The metrics-driven shard autoscaler.
+
+PR 5 built the loop's sensor half: the TimeSeriesSampler records
+per-shard ``runtime.queue_depth`` (and ``runtime.inflight``) series on
+every scheduling tick.  This module closes the loop — a
+:class:`ShardAutoscaler` reads those series at each drain tick and
+grows or shrinks its dispatcher's live shard count between configured
+bounds, so a diurnal wave gets lanes when the queues build and gives
+them back when traffic ebbs.
+
+Control shape (the classic auto-scaling-group pattern, made
+deterministic):
+
+* **signal** — mean queued requests per lane (sampler series when one
+  is installed, live queue depths otherwise) plus lane utilization;
+* **hysteresis** — the signal must persist for ``hysteresis_ticks``
+  consecutive evaluations before any resize, so one spiky tick never
+  flaps the fleet;
+* **cooldown** — after a resize the scaler holds for ``cooldown_ms`` of
+  virtual time, letting the new lane count absorb the backlog before
+  being judged.
+
+Determinism: evaluations happen at the runtime's drain ticks (virtual
+instants), every decision is pure arithmetic over sampled series, and
+the resize history is exported in decision order — identically-seeded
+runs resize identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Bounds and control constants for one dispatcher's scaler.
+
+    ``scale_up_depth`` / ``scale_down_depth`` are mean queued requests
+    per lane; the gap between them is the hysteresis band.  Scale-down
+    additionally requires lane utilization at or below
+    ``scale_down_utilization`` so a deep-but-draining backlog is never
+    answered by removing lanes.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    scale_up_depth: float = 4.0
+    scale_down_depth: float = 0.5
+    scale_down_utilization: float = 0.5
+    hysteresis_ticks: int = 3
+    cooldown_ms: float = 1_000.0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ConfigurationError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ConfigurationError("max_shards must be >= min_shards")
+        if self.scale_down_depth > self.scale_up_depth:
+            raise ConfigurationError(
+                "scale_down_depth must not exceed scale_up_depth"
+            )
+        if self.hysteresis_ticks < 1:
+            raise ConfigurationError("hysteresis_ticks must be >= 1")
+        if self.cooldown_ms < 0:
+            raise ConfigurationError("cooldown_ms must be >= 0")
+        if self.step < 1:
+            raise ConfigurationError("step must be >= 1")
+
+
+class ShardAutoscaler:
+    """Grows/shrinks one dispatcher between the configured bounds."""
+
+    def __init__(
+        self,
+        dispatcher,
+        config: AutoscalerConfig,
+        *,
+        sampler=None,
+        observability=None,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.config = config
+        self._sampler = sampler
+        self._obs = observability
+        metrics = (
+            observability.metrics
+            if observability is not None
+            else dispatcher.metrics
+        )
+        label = dict(source=dispatcher.platform)
+        self._shards_gauge = metrics.gauge("admission.shards", **label)
+        self._shards_gauge.set(dispatcher.shards)
+        self._resizes_up = metrics.counter(
+            "admission.autoscale_resizes", direction="up", **label
+        )
+        self._resizes_down = metrics.counter(
+            "admission.autoscale_resizes", direction="down", **label
+        )
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_resize_ms: Optional[float] = None
+        #: Decision history: dicts with t_ms / from / to / direction /
+        #: mean_depth / utilization (exported by the admission bench).
+        self.resizes: List[Dict[str, Any]] = []
+
+    # -- signal --------------------------------------------------------------
+
+    def _sampled_depths(self) -> Optional[List[float]]:
+        """Per-lane queue depth from the installed sampler's series
+        (last recorded value per live shard), or ``None`` when the
+        sampler has no matching series yet."""
+        if self._sampler is None:
+            return None
+        live = self.dispatcher.shards
+        depths: Dict[int, float] = {}
+        for series in self._sampler.tracked_series():
+            if series.metric != "runtime.queue_depth":
+                continue
+            if series.labels.get("source") != self.dispatcher.platform:
+                continue
+            try:
+                shard = int(series.labels.get("shard", ""))
+            except ValueError:
+                continue
+            if shard >= live or not series.points:
+                continue
+            depths[shard] = series.points[-1][1]
+        if not depths:
+            return None
+        return [depths.get(index, 0.0) for index in range(live)]
+
+    def signal(self) -> Dict[str, float]:
+        """The current control inputs: mean depth per lane, utilization."""
+        depths = self._sampled_depths()
+        if depths is None:
+            depths = [float(d) for d in self.dispatcher.queue_depths()]
+        lanes = max(1, self.dispatcher.shards)
+        return {
+            "mean_depth": sum(depths) / lanes,
+            "utilization": self.dispatcher.busy_lane_count() / lanes,
+        }
+
+    # -- control -------------------------------------------------------------
+
+    def evaluate(self, now_ms: float) -> Optional[int]:
+        """One control tick; returns the new shard count on a resize."""
+        config = self.config
+        inputs = self.signal()
+        mean_depth = inputs["mean_depth"]
+        utilization = inputs["utilization"]
+        if mean_depth >= config.scale_up_depth:
+            self._up_streak += 1
+            self._down_streak = 0
+        elif (
+            mean_depth <= config.scale_down_depth
+            and utilization <= config.scale_down_utilization
+        ):
+            self._down_streak += 1
+            self._up_streak = 0
+        else:
+            self._up_streak = 0
+            self._down_streak = 0
+        in_cooldown = (
+            self._last_resize_ms is not None
+            and now_ms - self._last_resize_ms < config.cooldown_ms
+        )
+        if in_cooldown:
+            return None
+        current = self.dispatcher.shards
+        target = current
+        if self._up_streak >= config.hysteresis_ticks:
+            target = min(config.max_shards, current + config.step)
+        elif self._down_streak >= config.hysteresis_ticks:
+            target = max(config.min_shards, current - config.step)
+        if target == current:
+            return None
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_resize_ms = now_ms
+        self.dispatcher.resize(target)
+        direction = "up" if target > current else "down"
+        (self._resizes_up if target > current else self._resizes_down).inc()
+        self._shards_gauge.set(target)
+        self.resizes.append(
+            {
+                "t_ms": round(now_ms, 6),
+                "from": current,
+                "to": target,
+                "direction": direction,
+                "mean_depth": round(mean_depth, 6),
+                "utilization": round(utilization, 6),
+            }
+        )
+        if self._obs is not None and self._obs.tracer.enabled:
+            tracer = self._obs.tracer
+            # Resizes happen at drain ticks, outside any invocation span,
+            # so the event needs its own (zero-duration) anchor span to
+            # survive into trace exports.
+            with tracer.span(
+                "autoscale:resize",
+                platform=self.dispatcher.platform,
+                outcome=direction,
+            ):
+                tracer.event(
+                    "autoscale.resize",
+                    platform=self.dispatcher.platform,
+                    from_shards=current,
+                    to_shards=target,
+                    direction=direction,
+                    mean_depth=round(mean_depth, 3),
+                )
+        if self._obs is not None and self._obs.flight is not None:
+            self._obs.flight.note(
+                "autoscale.resize",
+                platform=self.dispatcher.platform,
+                from_shards=current,
+                to_shards=target,
+                direction=direction,
+            )
+        return target

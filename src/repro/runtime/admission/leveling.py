@@ -1,0 +1,88 @@
+"""Queue-based load leveling: the shared overflow buffer.
+
+A burst that overflows every shard queue used to be shed at the door.
+With leveling, one bounded :class:`OverflowBuffer` sits *between* a
+platform's shard lanes: overflow is absorbed there, and whichever shard
+idles first drains it — so a short burst costs latency, not loss, and
+the buffer turns K independent queue bounds into one shared reservoir.
+
+The buffer is priority-aware like the shard queues: when it is full, an
+arriving request may evict a strictly lower-priority occupant (the
+newest of the lowest class, so older low-priority work keeps its FIFO
+claim as long as possible).  Draining hands back the highest class
+first, FIFO within a class.
+
+Determinism: plain list, linear scans, ties broken by submission
+sequence number — no hashing, no clocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class OverflowBuffer:
+    """Bounded, priority-ordered spill reservoir for one dispatcher.
+
+    Items are dispatcher requests — anything carrying ``priority`` and
+    ``seq`` attributes.  ``capacity=0`` builds a rejecting buffer
+    (leveling disabled but the call sites stay uniform).
+    """
+
+    __slots__ = ("capacity", "_items", "absorbed", "drained", "evicted")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"overflow capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self._items: List[Any] = []
+        #: Requests that entered the buffer instead of being shed.
+        self.absorbed = 0
+        #: Requests handed to an idling shard.
+        self.drained = 0
+        #: Occupants displaced by higher-priority arrivals.
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, request: Any, *, force: bool = False) -> Tuple[bool, Optional[Any]]:
+        """Absorb ``request``; returns ``(accepted, evicted_victim)``.
+
+        When full, a strictly lower-priority occupant (newest of the
+        lowest class) is evicted to make room; with no such victim the
+        offer is refused.  ``force=True`` bypasses the bound entirely —
+        used by shard shrinking, which must never drop already-admitted
+        work.
+        """
+        if force or len(self._items) < self.capacity:
+            self._items.append(request)
+            self.absorbed += 1
+            return True, None
+        victim = self._victim()
+        if victim is None or victim.priority >= request.priority:
+            return False, None
+        self._items.remove(victim)
+        self._items.append(request)
+        self.absorbed += 1
+        self.evicted += 1
+        return True, victim
+
+    def _victim(self) -> Optional[Any]:
+        """The occupant to displace: lowest priority, newest arrival."""
+        if not self._items:
+            return None
+        return min(self._items, key=lambda item: (item.priority, -item.seq))
+
+    def take(self) -> Optional[Any]:
+        """Drain one request: highest priority first, FIFO within class."""
+        if not self._items:
+            return None
+        head = min(self._items, key=lambda item: (-item.priority, item.seq))
+        self._items.remove(head)
+        self.drained += 1
+        return head

@@ -112,6 +112,7 @@ class CooperativeScheduler:
         self._spawn_seq = itertools.count()
         self._wake_seq = itertools.count()
         self._drain_armed = False
+        self._drain_hooks: List[Callable[[], None]] = []
         self._obs = observability
         if observability is not None:
             metrics = observability.metrics
@@ -151,6 +152,18 @@ class CooperativeScheduler:
         self._spawned.inc()
         self._make_ready(task)
         return task
+
+    def add_drain_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback to run at the end of every drain pass.
+
+        Drain passes are the runtime's natural control instants — every
+        ready task has stepped and virtual time is about to move — which
+        is where feedback controllers (the admission plane's shard
+        autoscaler) sample their signals.  Hooks run in registration
+        order, after the task steps and before the observability tick,
+        so anything a hook changes lands in the same tick's samples.
+        """
+        self._drain_hooks.append(hook)
 
     # -- driving -------------------------------------------------------------
 
@@ -195,6 +208,8 @@ class CooperativeScheduler:
             if task.state != READY:
                 continue  # woken twice, or already stepped
             self._step(task)
+        for hook in self._drain_hooks:
+            hook()
         if self._obs is not None:
             self._obs.tick()
 

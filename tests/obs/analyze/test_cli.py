@@ -224,3 +224,80 @@ class TestFlightCommand:
     def test_rejects_non_flight_document(self, trace_path):
         with pytest.raises(ValueError):
             main(["flight", str(trace_path)])
+
+
+def admission_record(span_id, events):
+    return {
+        "name": "queue:get",
+        "span_id": span_id,
+        "start_virtual_ms": 0.0,
+        "end_virtual_ms": 1.0,
+        "status": "error",
+        "attributes": {"platform": "android"},
+        "events": events,
+    }
+
+
+@pytest.fixture
+def admission_trace_path(tmp_path):
+    """A trace with shed, throttle and autoscale events."""
+    records = [
+        admission_record(1, [{
+            "name": "queue.shed", "t_virtual_ms": 1.0,
+            "attributes": {"platform": "android", "priority": "low",
+                           "reason": "evicted"},
+        }]),
+        admission_record(2, [{
+            "name": "queue.shed", "t_virtual_ms": 2.0,
+            "attributes": {"platform": "android", "priority": "normal",
+                           "reason": "queue_full"},
+        }]),
+        admission_record(3, [{
+            "name": "queue.throttled", "t_virtual_ms": 3.0,
+            "attributes": {"platform": "android", "priority": "low",
+                           "tenant": "agent-1", "retry_after_ms": 25.0},
+        }]),
+        admission_record(4, [{
+            "name": "autoscale.resize", "t_virtual_ms": 4.0,
+            "attributes": {"platform": "android", "from_shards": 2,
+                           "to_shards": 3, "direction": "up"},
+        }]),
+    ]
+    path = tmp_path / "admission.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestAdmissionCommand:
+    def test_text_output(self, admission_trace_path, capsys):
+        assert main(["admission", str(admission_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 shed, 1 throttled, 1 autoscaler resizes" in out
+        assert "evicted" in out
+        assert "queue_full" in out
+        assert "agent-1" in out
+
+    def test_json_and_out_file(self, admission_trace_path, tmp_path, capsys):
+        out_path = tmp_path / "admission.json"
+        assert main([
+            "admission", str(admission_trace_path),
+            "--json", "--out", str(out_path),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["shed_by_priority"] == {"low": 1, "normal": 1}
+        assert payload["shed_by_reason"] == {"evicted": 1, "queue_full": 1}
+        assert payload["throttled_by_tenant"] == {"agent-1": 1}
+        assert payload["resizes"] == [{
+            "t_ms": 4.0, "platform": "android",
+            "from": 2, "to": 3, "direction": "up",
+        }]
+
+    def test_empty_trace_reports_zeros(self, trace_path, capsys):
+        # a trace with no admission events is a valid (quiet) report
+        assert main(["admission", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 shed, 0 throttled, 0 autoscaler resizes" in out

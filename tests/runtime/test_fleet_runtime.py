@@ -127,3 +127,68 @@ class TestErrorSurfacing:
         # real texts first, surfaced alerts appended after
         assert inbox[-1] == "[fleet-alert] agent-1: log-failed"
         assert "Arrived at site" in inbox[0]
+
+
+class TestAdmissionStorms:
+    def test_admission_requires_runtime(self):
+        from repro.runtime import AdmissionConfig
+
+        with pytest.raises(ValueError):
+            build_fleet(2, admission=AdmissionConfig())
+
+    def _stormy_fleet(self):
+        from repro.runtime import AdmissionConfig
+
+        return build_fleet(
+            2,
+            runtime=True,
+            shards=1,
+            queue_depth=1,
+            admission=AdmissionConfig(
+                bucket=None,
+                overflow_capacity=0,
+                autoscaler=None,
+                storm_window_ms=1_000.0,
+                storm_threshold=3,
+            ),
+        )
+
+    def test_storm_surfaces_as_fleet_alert(self):
+        fleet = self._stormy_fleet()
+        launch_fleet(fleet)
+        dispatcher = fleet.runtime.dispatcher("android")
+        for _ in range(8):
+            dispatcher.submit("burst", lambda: None)
+        fleet.run_for(1_000.0)
+        storms = [a for a in fleet.alerts if "admission storm" in a]
+        assert len(storms) == 1
+        assert storms[0].startswith("[fleet-alert] admission storm on android:")
+        assert "kind=shed" in storms[0]
+
+    def test_storm_alert_not_duplicated_across_runs(self):
+        fleet = self._stormy_fleet()
+        launch_fleet(fleet)
+        dispatcher = fleet.runtime.dispatcher("android")
+        for _ in range(8):
+            dispatcher.submit("burst", lambda: None)
+        fleet.run_for(1_000.0)
+        fleet.run_for(1_000.0)
+        storms = [a for a in fleet.alerts if "admission storm" in a]
+        assert len(storms) == 1
+
+    def test_agent_submissions_charged_per_tenant(self):
+        from repro.runtime import AdmissionConfig, TokenBucketConfig
+
+        fleet = build_fleet(
+            2,
+            runtime=True,
+            admission=AdmissionConfig(
+                bucket=TokenBucketConfig(rate_per_s=1_000.0, capacity=1_000.0),
+                overflow_capacity=0,
+                autoscaler=None,
+            ),
+        )
+        launch_fleet_on_runtime(fleet, reports=2, period_ms=20_000.0)
+        fleet.run_for(RUN_MS)
+        controller = fleet.runtime.dispatcher("android").admission
+        assert set(controller.buckets()) >= {"agent-1", "agent-2"}
