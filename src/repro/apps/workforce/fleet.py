@@ -10,7 +10,7 @@ whole deployment advances under a single ``run_for``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 from repro.apps.workforce.common import (
     PATH_REPORT_LOCATION,
@@ -36,6 +36,10 @@ from repro.util.clock import Scheduler, SimulatedClock
 from repro.util.events import EventBus
 from repro.util.geo import GeoPoint, destination_point
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distrib.config import DistribConfig
+    from repro.faults.plan import FaultPlan
+
 SUPERVISOR_NUMBER = "+915550001"
 
 #: Per-agent failure events that must escalate to the supervisor.
@@ -53,6 +57,9 @@ class FleetAgent:
     device: MobileDevice
     platform: AndroidPlatform
     logic: WorkforceLogic = None
+    #: Home region in the distrib tier (``build_fleet(distrib=)``);
+    #: agents are assigned round-robin over the configured regions.
+    region: Optional[str] = None
     slo_engine: Optional[SloEngine] = None
     #: finished-span cursor so repeated SLO evaluations never double-ingest.
     slo_cursor: int = 0
@@ -213,6 +220,8 @@ def build_fleet(
     queue_depth: int = 32,
     runtime_seed: int = 0,
     admission: Optional[AdmissionConfig] = None,
+    distrib: Optional["DistribConfig"] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> Fleet:
     """Deploy ``agent_count`` Android agents on shared infrastructure.
 
@@ -240,6 +249,18 @@ def build_fleet(
     agent handset's tracer into it (records tagged
     ``source=<agent-id>``), and surfaces each incident dump as a
     ``[fleet-alert]`` line from :meth:`Fleet.run_for`.
+
+    ``distrib=`` (requires ``runtime=True``) mounts the distributed data
+    tier on the runtime (see ``docs/DISTRIBUTION.md``): agents get home
+    regions round-robin over ``distrib.regions``, successful location
+    reports mirror into the replicated ``reports`` table at the agent's
+    region, and the tier's idempotency store attaches to the shared SMS
+    center and network so retried substrate writes are exactly-once.
+
+    ``fault_plan=`` binds one :class:`~repro.faults.injector.FaultInjector`
+    over the shared substrate (SMS center + network), so chaos scenarios
+    can shake the whole fleet's infrastructure — not just one handset —
+    with a single seeded plan.
     """
     if agent_count < 1:
         raise ValueError("a fleet needs at least one agent")
@@ -247,10 +268,17 @@ def build_fleet(
         raise ValueError("flight_recorder=True requires runtime=True")
     if admission is not None and not runtime:
         raise ValueError("admission= requires runtime=True")
+    if distrib is not None and not runtime:
+        raise ValueError("distrib= requires runtime=True")
     scheduler = Scheduler(SimulatedClock())
     shared_bus = EventBus()
-    sms_center = SmsCenter(scheduler, shared_bus)
-    network = SimulatedNetwork(scheduler)
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(fault_plan, scheduler.clock)
+    sms_center = SmsCenter(scheduler, shared_bus, injector=injector)
+    network = SimulatedNetwork(scheduler, injector=injector)
     server = WorkforceServer(network)
     supervisor = MobileDevice(
         SUPERVISOR_NUMBER,
@@ -272,7 +300,15 @@ def build_fleet(
             seed=runtime_seed,
             observability=hub,
             admission=admission,
+            distrib=distrib,
         )
+        if fleet.runtime.distrib is not None:
+            tier = fleet.runtime.distrib
+            tier.bind_injector(injector)
+            # Substrate write sites share the tier's idempotency store so
+            # dedup counters land in the runtime hub's metrics.
+            sms_center.attach_idempotency(tier.idempotency)
+            network.attach_idempotency(tier.idempotency)
         if flight_recorder:
             sampler = hub.install_sampler()
             sampler.track("runtime.queue_depth")
@@ -318,8 +354,17 @@ def build_fleet(
         )
         platform = AndroidPlatform(device)
         platform.install(PACKAGE, ANDROID_PERMISSIONS)
+        region = None
+        if distrib is not None:
+            region = distrib.regions[index % len(distrib.regions)]
         fleet.agents.append(
-            FleetAgent(profile=profile, site=site, device=device, platform=platform)
+            FleetAgent(
+                profile=profile,
+                site=site,
+                device=device,
+                platform=platform,
+                region=region,
+            )
         )
     if fleet.flight is not None:
         for agent in fleet.agents:
@@ -331,12 +376,21 @@ def build_fleet(
     return fleet
 
 
-def launch_fleet(fleet: Fleet) -> None:
-    """Start the proxied workforce app on every agent handset."""
+def launch_fleet(fleet: Fleet, *, resilience=None) -> None:
+    """Start the proxied workforce app on every agent handset.
+
+    ``resilience=`` passes through to each agent's proxy factory — a
+    :class:`~repro.core.resilience.policy.ResiliencePolicy` applied to
+    every interface, or a callable like
+    :func:`~repro.core.resilience.policy.chaos_policy` invoked per
+    interface name.
+    """
     for agent in fleet.agents:
         config = WorkforceConfig(agent=agent.profile, site=agent.site)
         context = agent.platform.new_context(PACKAGE)
-        agent.logic = launch_on_android(agent.platform, context, config)
+        agent.logic = launch_on_android(
+            agent.platform, context, config, resilience=resilience
+        )
 
 
 def _agent_workload(
@@ -383,6 +437,19 @@ def _agent_workload(
         result = yield report_future
         if not result.ok:
             logic.activity_events.append("report-failed")
+        elif runtime.distrib is not None:
+            # Mirror the acknowledged report into the replicated table at
+            # the agent's home region; anti-entropy converges the other
+            # regions on it (chaos suite asserts this post-heal).
+            runtime.distrib.table("reports").put(
+                agent_id,
+                {
+                    "latitude": fix.latitude,
+                    "longitude": fix.longitude,
+                    "timestamp_ms": fix.timestamp_ms,
+                },
+                region=agent.region or runtime.distrib.config.home_region,
+            )
         status = yield status_future
         if not status.ok:
             logic.activity_events.append("status-failed")
@@ -393,18 +460,20 @@ def launch_fleet_on_runtime(
     *,
     reports: int = 3,
     period_ms: float = 20_000.0,
+    resilience=None,
 ) -> None:
     """Drive every agent's reporting loop through the concurrency runtime.
 
     Requires ``build_fleet(runtime=True)``.  Launches the proxied app
-    first if needed, then spawns one cooperative task per agent (FIFO
-    tie-broken in agent order).  Advance with ``fleet.run_for`` or
-    ``fleet.runtime.drain()``.
+    first if needed (``resilience=`` passes through to
+    :func:`launch_fleet`), then spawns one cooperative task per agent
+    (FIFO tie-broken in agent order).  Advance with ``fleet.run_for``
+    or ``fleet.runtime.drain()``.
     """
     if fleet.runtime is None:
         raise ValueError("build the fleet with runtime=True first")
     if any(agent.logic is None for agent in fleet.agents):
-        launch_fleet(fleet)
+        launch_fleet(fleet, resilience=resilience)
     for agent in fleet.agents:
         agent.task = fleet.runtime.spawn(
             f"workload:{agent.profile.agent_id}",

@@ -40,6 +40,7 @@ from repro.errors import (
     ProxyPermissionError,
     ProxyPlatformError,
     ProxyPropertyError,
+    ProxyReplicaUnavailableError,
     ProxySensorError,
     ProxyThrottledError,
     ProxyTimeoutError,
@@ -65,6 +66,7 @@ UNIFORM_ERRORS: Dict[str, Type[ProxyError]] = {
         ProxySensorError,
         ProxyOverloadError,
         ProxyThrottledError,
+        ProxyReplicaUnavailableError,
     )
 }
 

@@ -36,6 +36,11 @@ from repro.errors import (
 )
 from repro.obs import MetricsRegistry, NOOP_TRACER, Observability
 from repro.util.clock import Scheduler
+from repro.util.idempotency import (
+    chain_context,
+    current_chain,
+    next_chain_sequence,
+)
 
 #: A fallback is either the LAST_RESULT sentinel or ``f(error) -> value``
 #: (returning ``UNHANDLED`` to decline).
@@ -240,16 +245,29 @@ class ResilienceRuntime:
         ``resilience:<operation>`` span, each attempt a child
         ``binding:<operation>`` span, and every policy decision (retry,
         timeout, rejection, fallback, breaker transition) a span event.
+
+        Every execution also opens an **attempt chain** (see
+        :mod:`repro.util.idempotency`): one idempotency key shared by
+        all retries of this logical invocation, consulted by substrate
+        write sites so a retried-but-already-applied write (``ack_lost``
+        faults) is suppressed rather than duplicated.  When an outer
+        runtime's chain is already open (WebView JS over Android) the
+        inner execution rides it instead of minting a new key.
         """
+        if current_chain() is None:
+            key = f"{self.label}:{operation}:{next_chain_sequence()}"
+        else:
+            key = None  # riding the outer runtime's chain
         tracer = self._tracer
-        if not tracer.enabled:
-            return self._execute(binding, operation, thunk, fallback)
-        with tracer.span(
-            f"resilience:{operation}",
-            runtime=self.label,
-            max_attempts=self.policy.max_attempts,
-        ):
-            return self._execute(binding, operation, thunk, fallback)
+        with chain_context(key or "", tracer if tracer.enabled else None):
+            if not tracer.enabled:
+                return self._execute(binding, operation, thunk, fallback)
+            with tracer.span(
+                f"resilience:{operation}",
+                runtime=self.label,
+                max_attempts=self.policy.max_attempts,
+            ):
+                return self._execute(binding, operation, thunk, fallback)
 
     def _run_attempt(
         self, operation: str, thunk: Callable[[], Any], attempt: int

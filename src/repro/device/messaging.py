@@ -20,8 +20,10 @@ from repro.errors import SimulationError
 from repro.util.clock import Scheduler
 from repro.util.events import EventBus
 from repro.util.identifiers import IdGenerator
+from repro.util.idempotency import current_chain
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.distrib.idempotency import IdempotencyStore
     from repro.faults.injector import FaultInjector
 
 
@@ -116,6 +118,24 @@ class SmsCenter:
         self._unreachable: set = set()
         self._messages: Dict[str, SmsMessage] = {}
         self._inbox_log: Dict[str, List[SmsMessage]] = {}
+        self._idempotency: Optional["IdempotencyStore"] = None
+
+    def attach_idempotency(self, store: "IdempotencyStore") -> None:
+        """Share an idempotency store (the distrib tier's, usually).
+
+        Without one the SMSC lazily creates a private store the first
+        time a submission arrives inside an attempt chain — the
+        exactly-once guarantee holds either way; sharing just folds the
+        dedup counters into the tier's metrics.
+        """
+        self._idempotency = store
+
+    def _dedup_store(self) -> "IdempotencyStore":
+        if self._idempotency is None:
+            from repro.distrib.idempotency import IdempotencyStore
+
+            self._idempotency = IdempotencyStore(label="smsc")
+        return self._idempotency
 
     def attach(self, number: str, on_message: Callable[[SmsMessage], None]) -> None:
         """Register a device inbox callback for ``number``.
@@ -160,13 +180,46 @@ class SmsCenter:
 
         Delivery (or failure) happens after ``segments * latency`` of
         virtual time; the sender's ``on_report`` callback fires then.
+
+        Submissions inside an open attempt chain (the resilience layer's
+        retry scope) are **exactly-once**: the accept step is keyed by
+        the chain's idempotency key, so a retry after an ``ack_lost``
+        fault — the message was accepted but the acknowledgement never
+        reached the caller — returns the original tracking record
+        instead of submitting a duplicate.
         """
         if not recipient:
             raise ValueError("recipient must be non-empty")
         if text is None:
             raise ValueError("text must not be None")
-        if self._faults is not None and self._faults.decide("sms.submit") is not None:
+        fault = (
+            self._faults.decide("sms.submit") if self._faults is not None else None
+        )
+        if fault is not None and fault.kind == "carrier_unreachable":
             raise CarrierUnavailableError("injected fault: SMSC unreachable")
+        chain = current_chain()
+        if chain is not None:
+            message = self._dedup_store().execute(
+                f"sms:{chain.key}",
+                lambda: self._accept(sender, recipient, text, on_report),
+                site="sms.submit",
+            )
+        else:
+            message = self._accept(sender, recipient, text, on_report)
+        if fault is not None and fault.kind == "ack_lost":
+            raise CarrierUnavailableError(
+                "injected fault: submission accepted but ack lost"
+            )
+        return message
+
+    def _accept(
+        self,
+        sender: str,
+        recipient: str,
+        text: str,
+        on_report: Optional[Callable[[SmsDeliveryReport], None]],
+    ) -> SmsMessage:
+        """The side-effecting half of :meth:`submit` (dedup unit)."""
         message = SmsMessage(
             message_id=self._ids.next("sms"),
             sender=sender,

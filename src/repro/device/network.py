@@ -16,10 +16,15 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.util.clock import Scheduler
 from repro.util.identifiers import IdGenerator
+from repro.util.idempotency import current_chain
 from repro.util.latency import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.distrib.idempotency import IdempotencyStore
     from repro.faults.injector import FaultInjector, InjectedFault
+
+#: Methods whose handlers are assumed idempotent — never deduplicated.
+_SAFE_METHODS = frozenset({"GET", "HEAD", "OPTIONS"})
 
 
 class NetworkError(SimulationError):
@@ -114,6 +119,24 @@ class SimulatedNetwork:
         self._fail_queue: List[str] = []
         self._ids = IdGenerator()
         self._faults = injector
+        self._idempotency: Optional["IdempotencyStore"] = None
+
+    def attach_idempotency(self, store: "IdempotencyStore") -> None:
+        """Share an idempotency store (the distrib tier's, usually).
+
+        Without one the network lazily creates a private store the first
+        time a non-idempotent request dispatches inside an attempt
+        chain; sharing just folds the dedup counters into the tier's
+        metrics.
+        """
+        self._idempotency = store
+
+    def _dedup_store(self) -> "IdempotencyStore":
+        if self._idempotency is None:
+            from repro.distrib.idempotency import IdempotencyStore
+
+            self._idempotency = IdempotencyStore(label="network")
+        return self._idempotency
 
     def add_server(self, host: str) -> VirtualServer:
         """Create (or return the existing) virtual server for ``host``."""
@@ -139,6 +162,12 @@ class SimulatedNetwork:
         """Synchronous request: advances the virtual clock by the round trip.
 
         Used by the blocking HTTP stacks (S60's ``HttpConnection``).
+
+        Non-idempotent methods (anything outside GET/HEAD/OPTIONS)
+        dispatched inside an open attempt chain are **exactly-once**:
+        an ``ack_lost`` fault lets the server apply the request and then
+        loses the response, and the resilience layer's retry replays the
+        recorded response instead of re-applying the write.
         """
         self._precheck(request)
         fault = self._consult_faults()
@@ -154,7 +183,12 @@ class SimulatedNetwork:
             return HttpResponse(
                 status=fault.rule.status, body="injected server error"
             )
-        return self._dispatch(request)
+        response = self._dispatch_deduped(request)
+        if fault is not None and fault.kind == "ack_lost":
+            raise NetworkError(
+                "injected fault: request applied but response lost"
+            )
+        return response
 
     def request_async(
         self,
@@ -181,6 +215,11 @@ class SimulatedNetwork:
                     )
                 if fault is not None and fault.kind == "drop":
                     raise NetworkError("injected fault: request dropped")
+                if fault is not None and fault.kind == "ack_lost":
+                    self._dispatch_deduped(request)
+                    raise NetworkError(
+                        "injected fault: request applied but response lost"
+                    )
             except NetworkError as exc:
                 if on_error is None:
                     raise
@@ -191,7 +230,7 @@ class SimulatedNetwork:
                     HttpResponse(status=fault.rule.status, body="injected server error")
                 )
                 return
-            on_response(self._dispatch(request))
+            on_response(self._dispatch_deduped(request))
 
         self._scheduler.call_later(
             self.round_trip_latency_ms(), deliver, name=f"http-{request_id}"
@@ -212,3 +251,23 @@ class SimulatedNetwork:
 
     def _dispatch(self, request: HttpRequest) -> HttpResponse:
         return self._servers[request.host].handle(request)
+
+    def _dispatch_deduped(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch exactly once per attempt chain for unsafe methods.
+
+        Safe (idempotent) methods and chain-less dispatches go straight
+        through; a replayed chain key returns the recorded response
+        without touching the server.
+        """
+        method = request.method.upper()
+        chain = current_chain()
+        if chain is None or method in _SAFE_METHODS:
+            return self._dispatch(request)
+        key = f"http:{chain.key}:{method}:{request.host}{request.path}"
+        return self._dedup_store().execute(
+            key,
+            lambda: self._dispatch(request),
+            site="network.request",
+            method=method,
+            path=request.path,
+        )

@@ -1,0 +1,272 @@
+"""Tiered caches: region-local L1 over a replicated backing store.
+
+:class:`TieredCache` promotes the runtime's single-node caches to a
+two-tier design.  Each region keeps an L1 slot map (value, cached-at
+stamp, backing version); misses read through to the backing
+:class:`~repro.distrib.replication.ReplicatedTable`, writes buffer in a
+write-behind queue flushed after ``write_behind_delay_ms``, and every
+write fans an invalidation out to the *other* regions' L1s after the
+inter-region delay — dropped when a partition cuts the pair, which is
+exactly when ``distrib.cache_stale_reads`` starts counting: a read
+served from an L1 slot whose version is older than what the backing
+store already knows is a *stale* hit, and the counter quantifies the
+staleness the tier trades for latency.
+
+Two adapters keep the runtime API unchanged:
+:class:`TieredLocationFixCache` mirrors ``LocationFixCache`` (get/put/
+invalidate/hits/misses), :class:`TieredPropertyReadCache` subclasses
+``PropertyReadCache`` so proxy attachment and setProperty invalidation
+keep working, with writes mirrored into the tier and invalidations
+fanned out cross-region.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runtime.coalesce import PropertyReadCache
+from repro.util.clock import Scheduler
+
+from repro.distrib.config import DistribConfig
+from repro.distrib.replication import PartitionMap, ReplicatedTable
+
+
+class _L1Slot:
+    __slots__ = ("value", "cached_at_ms", "version")
+
+    def __init__(self, value: Any, cached_at_ms: float, version) -> None:
+        self.value = value
+        self.cached_at_ms = cached_at_ms
+        self.version = version
+
+
+class TieredCache:
+    """Read-through / write-behind cache over a replicated table.
+
+    ``loader`` (optional) supplies the value on a full miss — the
+    read-through source of truth (e.g. the GPS receiver); without one a
+    miss returns ``None`` and the caller populates via :meth:`put`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: DistribConfig,
+        scheduler: Scheduler,
+        backing: ReplicatedTable,
+        partitions: PartitionMap,
+        *,
+        loader: Optional[Callable[[str], Any]] = None,
+        observability=None,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self._scheduler = scheduler
+        self.backing = backing
+        self._partitions = partitions
+        self._loader = loader
+        self._metrics = observability.metrics if observability else None
+        self._l1: Dict[str, Dict[str, _L1Slot]] = {
+            region: {} for region in config.regions
+        }
+        self._pending: Dict[Tuple[str, str], Any] = {}
+
+    def _count(self, metric: str, **labels: Any) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(metric, cache=self.name, **labels).inc()
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str, *, region: Optional[str] = None) -> Any:
+        """The freshest value the region can see without blocking.
+
+        Order: fresh L1 slot (stale-hit accounting against the backing
+        version) → backing replica → read-through loader → ``None``.
+        """
+        target = region if region is not None else self.config.home_region
+        now = self._scheduler.clock.now_ms
+        slot = self._l1[target].get(key)
+        if slot is not None and now - slot.cached_at_ms <= (
+            self.config.cache_staleness_ms
+        ):
+            backing_version = self.backing.version_of(key, region=target)
+            if backing_version is not None and (
+                slot.version is None or slot.version < backing_version
+            ):
+                self._count("distrib.cache_stale_reads", region=target)
+            self._count("distrib.cache_hits", region=target)
+            return slot.value
+        self._count("distrib.cache_misses", region=target)
+        value = self.backing.get(key, region=target)
+        if value is not None:
+            version = self.backing.version_of(key, region=target)
+            self._l1[target][key] = _L1Slot(value, now, version)
+            return value
+        if self._loader is not None:
+            value = self._loader(key)
+            if value is not None:
+                self.put(key, value, region=target)
+            return value
+        return None
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, value: Any, *, region: Optional[str] = None) -> None:
+        """Write into the region's L1 now; the backing write happens
+        ``write_behind_delay_ms`` later (coalescing rapid re-writes),
+        and the other regions' L1 slots are invalidated after the
+        inter-region delay."""
+        target = region if region is not None else self.config.home_region
+        now = self._scheduler.clock.now_ms
+        self._l1[target][key] = _L1Slot(value, now, None)
+        pending_key = (target, key)
+        first_buffer = pending_key not in self._pending
+        self._pending[pending_key] = value
+        if first_buffer:
+            self._scheduler.call_later(
+                self.config.write_behind_delay_ms,
+                lambda: self._flush(target, key),
+                name=f"distrib:{self.name}:write-behind",
+            )
+        self._fan_out_invalidation(key, origin=target)
+
+    def _flush(self, region: str, key: str) -> None:
+        value = self._pending.pop((region, key), None)
+        if value is None:
+            return
+        self._count("distrib.cache_flushes", region=region)
+        version = self.backing.put(key, value, region=region)
+        slot = self._l1[region].get(key)
+        if slot is not None and slot.value == value:
+            slot.version = version
+
+    def flush_pending(self) -> int:
+        """Flush every buffered write now (shutdown / test aid)."""
+        flushed = 0
+        for region, key in sorted(self._pending):
+            self._flush(region, key)
+            flushed += 1
+        return flushed
+
+    def _fan_out_invalidation(self, key: str, *, origin: str) -> None:
+        for peer in self.config.regions:
+            if peer == origin:
+                continue
+            if not self._partitions.connected(origin, peer):
+                self._count("distrib.cache_invalidations_dropped", region=peer)
+                continue
+            self._count("distrib.cache_invalidations_sent", region=peer)
+            self._scheduler.call_later(
+                self.config.replication_delay_ms,
+                lambda peer=peer: self._apply_invalidation(peer, key, origin),
+                name=f"distrib:{self.name}:invalidate:{peer}",
+            )
+
+    def _apply_invalidation(self, region: str, key: str, origin: str) -> None:
+        if not self._partitions.connected(origin, region):
+            self._count("distrib.cache_invalidations_dropped", region=region)
+            return
+        if self._l1[region].pop(key, None) is not None:
+            self._count("distrib.cache_invalidations_applied", region=region)
+
+    def invalidate(self, key: str, *, region: Optional[str] = None) -> None:
+        """Drop the region's L1 slot and fan the invalidation out."""
+        target = region if region is not None else self.config.home_region
+        self._l1[target].pop(key, None)
+        self._pending.pop((target, key), None)
+        self._fan_out_invalidation(key, origin=target)
+
+    def l1_slot(self, key: str, *, region: Optional[str] = None) -> Optional[Any]:
+        """The raw L1 value (``None`` when absent) — test aid."""
+        target = region if region is not None else self.config.home_region
+        slot = self._l1[target].get(key)
+        return slot.value if slot is not None else None
+
+
+class TieredLocationFixCache:
+    """``LocationFixCache``-shaped adapter over a :class:`TieredCache`.
+
+    The runtime swaps this in per proxy when distrib is configured; the
+    fix lives under ``fix:<label>`` in the tier's home region, so other
+    regions converge on the latest fix through the backing table.
+    """
+
+    def __init__(
+        self,
+        tier: TieredCache,
+        *,
+        label: str = "location",
+        metrics=None,
+        staleness_ms: Optional[float] = None,
+    ) -> None:
+        self._tier = tier
+        self._key = f"fix:{label}"
+        self.staleness_ms = (
+            staleness_ms
+            if staleness_ms is not None
+            else tier.config.cache_staleness_ms
+        )
+        if metrics is None:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self._hits = metrics.counter("runtime.location_cache_hits", source=label)
+        self._misses = metrics.counter(
+            "runtime.location_cache_misses", source=label
+        )
+
+    def get(self) -> Any:
+        fix = self._tier.get(self._key)
+        if fix is not None:
+            self._hits.inc()
+            return fix
+        self._misses.inc()
+        return None
+
+    def put(self, fix: Any) -> None:
+        self._tier.put(self._key, fix)
+
+    def invalidate(self) -> None:
+        self._tier.invalidate(self._key)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+
+class TieredPropertyReadCache(PropertyReadCache):
+    """``PropertyReadCache`` whose writes mirror into the tier and whose
+    setProperty invalidations fan out cross-region.
+
+    The memoisation itself stays per-proxy/in-process (proxy identity
+    does not replicate); what the tier adds is a replicated shadow of
+    the latest property values under ``prop:<n>:<key>`` and the
+    cross-region invalidation path, so a remote region observing the
+    shadow never reads a value the origin already invalidated — modulo
+    the replication delay the staleness counters account for.
+    """
+
+    def __init__(self, tier: TieredCache, metrics=None, *, label: str = (
+            "properties")) -> None:
+        super().__init__(metrics, label=label)
+        self._tier = tier
+        self._labels: Dict[int, int] = {}
+
+    def _shadow_key(self, proxy_id: int, key: str) -> str:
+        ordinal = self._labels.setdefault(proxy_id, len(self._labels))
+        return f"prop:{ordinal}:{key}"
+
+    def get(self, proxy, key: str) -> Any:
+        value = super().get(proxy, key)
+        shadow = self._shadow_key(id(proxy), key)
+        if self._tier.l1_slot(shadow) != value:
+            self._tier.put(shadow, value)
+        return value
+
+    def _invalidate(self, proxy_id: int, key: str) -> None:
+        super()._invalidate(proxy_id, key)
+        self._tier.invalidate(self._shadow_key(proxy_id, key))

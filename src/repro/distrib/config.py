@@ -1,0 +1,98 @@
+"""Configuration for the distributed data tier.
+
+One frozen dataclass describes the whole tier: the region set, the
+replication/gossip cadence, the write quorum, and the cache/write-behind
+timings.  Everything is virtual-time milliseconds and a single integer
+seed — the tier derives per-table RNG streams from it, so the same
+config and seed replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default simulated regions.  Names are arbitrary labels; ordering
+#: matters — the first region is the *home* region where single-node
+#: components (the WebView notification table, local caches) write.
+DEFAULT_REGIONS: Tuple[str, ...] = ("ap-south", "eu-west")
+
+
+@dataclass(frozen=True)
+class DistribConfig:
+    """Immutable description of the distributed data tier.
+
+    Parameters
+    ----------
+    regions:
+        Simulated region names.  At least one; the first is the home
+        region.  Duplicates are rejected.
+    replication_delay_ms:
+        Virtual one-way latency of an inter-region replication or
+        invalidation message.
+    gossip_interval_ms:
+        Minimum virtual time between anti-entropy sweeps.  The sweep is
+        driven from the cooperative scheduler's drain hook, so it fires
+        at the first drain tick after the interval elapses.
+    gossip_fanout:
+        How many peers each region pulls from per sweep (clamped to the
+        peer count).
+    write_quorum:
+        How many replicas (including the origin) a write must be able
+        to reach; an unreachable quorum raises
+        :class:`~repro.errors.ProxyReplicaUnavailableError` (code 1014).
+    write_behind_delay_ms:
+        Virtual delay before a tiered cache flushes a buffered write to
+        its backing replicated table.
+    cache_staleness_ms:
+        Maximum age of a tiered-cache L1 slot before a read falls
+        through to the backing store.
+    idempotency_capacity:
+        Optional bound on remembered idempotency keys (FIFO eviction);
+        ``None`` keeps every key for the run (fine for simulation).
+    seed:
+        Root seed for every RNG stream the tier derives.
+    """
+
+    regions: Tuple[str, ...] = DEFAULT_REGIONS
+    replication_delay_ms: float = 250.0
+    gossip_interval_ms: float = 1_000.0
+    gossip_fanout: int = 1
+    write_quorum: int = 1
+    write_behind_delay_ms: float = 500.0
+    cache_staleness_ms: float = 5_000.0
+    idempotency_capacity: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", tuple(self.regions))
+        if not self.regions:
+            raise ConfigurationError("distrib needs at least one region")
+        if len(set(self.regions)) != len(self.regions):
+            raise ConfigurationError(f"duplicate regions: {self.regions}")
+        if self.replication_delay_ms < 0:
+            raise ConfigurationError("replication_delay_ms cannot be negative")
+        if self.gossip_interval_ms <= 0:
+            raise ConfigurationError("gossip_interval_ms must be positive")
+        if self.gossip_fanout < 1:
+            raise ConfigurationError("gossip_fanout must be >= 1")
+        if not 1 <= self.write_quorum <= len(self.regions):
+            raise ConfigurationError(
+                f"write_quorum must be in [1, {len(self.regions)}], "
+                f"got {self.write_quorum}"
+            )
+        if self.write_behind_delay_ms < 0:
+            raise ConfigurationError("write_behind_delay_ms cannot be negative")
+        if self.cache_staleness_ms <= 0:
+            raise ConfigurationError("cache_staleness_ms must be positive")
+        if self.idempotency_capacity is not None and self.idempotency_capacity < 1:
+            raise ConfigurationError(
+                "idempotency_capacity must be >= 1 when given"
+            )
+
+    @property
+    def home_region(self) -> str:
+        """The region single-node components write to (first declared)."""
+        return self.regions[0]

@@ -193,3 +193,25 @@ class ProxyThrottledError(ProxyTransientError):
         self.retry_after_ms = float(retry_after_ms)
         #: Structured throttle decision (platform, tenant, operation, ...).
         self.context = dict(context or {})
+
+
+class ProxyReplicaUnavailableError(ProxyTransientError):
+    """The distributed data tier could not reach its required replicas.
+
+    Raised by :class:`~repro.distrib.replication.ReplicatedTable` when a
+    write cannot assemble its configured quorum — the origin region is
+    partitioned from too many peers.  Transient by definition: the same
+    write may succeed once the partition heals (or via anti-entropy).
+
+    ``context`` carries the structured replica decision — origin region,
+    key, required quorum and the reachable-replica count — mirroring the
+    admission plane's 1012/1013 context convention, so a flight dump or
+    supervisor alert is self-explanatory.  It stays on this side of the
+    WebView bridge (only the code and message travel)."""
+
+    error_code = 1014
+
+    def __init__(self, message: str = "", *, context: dict = None) -> None:
+        super().__init__(message)
+        #: Structured replica decision (region, key, quorum, reachable).
+        self.context = dict(context or {})

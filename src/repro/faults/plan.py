@@ -18,16 +18,20 @@ from repro.errors import ConfigurationError
 #: choke point in the simulated substrate; a *kind* selects the failure
 #: mode injected there.
 FAULT_SITES: Dict[str, Tuple[str, ...]] = {
-    # SimulatedNetwork.request / request_async
-    "network.request": ("drop", "timeout", "http_error"),
+    # SimulatedNetwork.request / request_async.  ``ack_lost`` applies the
+    # write and *then* loses the acknowledgement — the duplicate-side-effect
+    # scenario the idempotency plane exists for.
+    "network.request": ("drop", "timeout", "http_error", "ack_lost"),
     # GpsReceiver._emit_fix
     "gps.fix": ("lost", "stale"),
-    # SmsCenter.submit
-    "sms.submit": ("carrier_unreachable",),
+    # SmsCenter.submit (``ack_lost`` as above: message accepted, ack lost)
+    "sms.submit": ("carrier_unreachable", "ack_lost"),
     # _BridgeMethod.__call__ (JS -> Java crossing)
     "webview.bridge": ("bridge_fault",),
     # NotificationTable.post (Java -> JS async result)
     "webview.notification": ("drop",),
+    # ReplicatedTable._send (inter-region replication message)
+    "distrib.replication": ("drop",),
 }
 
 #: Every known fault kind (union over sites).
@@ -144,6 +148,9 @@ class FaultPlan:
                 FaultRule("webview.bridge", "bridge_fault", rate, start_ms=start_ms),
                 FaultRule(
                     "webview.notification", "drop", rate, start_ms=start_ms
+                ),
+                FaultRule(
+                    "distrib.replication", "drop", rate, start_ms=start_ms
                 ),
             ),
         )

@@ -21,7 +21,10 @@ native call (Figure 10) — directly from traces:
   slack (see ``docs/CONCURRENCY.md``);
 * :mod:`repro.obs.analyze.admission` — shed / throttle / autoscale
   breakdown folded from the admission plane's span events (see
-  ``docs/ADMISSION.md``).
+  ``docs/ADMISSION.md``);
+* :mod:`repro.obs.analyze.distrib` — replication-lag / dedup / saga
+  tables folded from the distributed tier's spans and events (see
+  ``docs/DISTRIBUTION.md``).
 
 The determinism contract extends here: no wall-clock reads, no
 unseeded RNGs (policed by ``tests/chaos/test_determinism_lint.py``,
@@ -29,11 +32,12 @@ whose scope includes all of ``obs/``) — two identically-seeded runs
 produce byte-identical profiles.
 
 CLI: ``python -m repro.obs {profile,slo,diff,timeline,critical-path,
-flight,admission}`` operates on exported JSONL trace files (see
+flight,admission,distrib}`` operates on exported JSONL trace files (see
 ``docs/PERFORMANCE.md``).
 """
 
 from repro.obs.analyze.admission import AdmissionReport, render_admission_text
+from repro.obs.analyze.distrib import DistribReport, render_distrib_text
 from repro.obs.analyze.critical_path import (
     CRITICAL_PATH_SCHEMA,
     CriticalPath,
@@ -68,6 +72,7 @@ __all__ = [
     "CRITICAL_PATH_SCHEMA",
     "CriticalPath",
     "DEFAULT_QUANTILES",
+    "DistribReport",
     "LAYERS",
     "LayerDelta",
     "PathStep",
@@ -86,6 +91,7 @@ __all__ = [
     "quantile_label",
     "records_to_jsonl",
     "render_admission_text",
+    "render_distrib_text",
     "render_profile_text",
     "top_spans_text",
 ]

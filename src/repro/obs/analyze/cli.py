@@ -1,6 +1,6 @@
 """``python -m repro.obs`` — trace analytics from the command line.
 
-Seven subcommands, all operating on exported JSONL trace files (or, for
+Eight subcommands, all operating on exported JSONL trace files (or, for
 ``diff``, saved profile / BENCH documents; for ``flight``, a saved
 flight-recorder document).  Every subcommand follows one convention: a
 positional ``trace`` input plus ``--format {text,json}`` (``--json`` is
@@ -19,7 +19,9 @@ the shorthand), so scripts can pipe any analysis as JSON.
   a concurrent drain's makespan, with per-span slack;
 * ``flight`` — render a flight-recorder incident document;
 * ``admission`` — shed / throttle / autoscale breakdown from the
-  admission plane's span events.
+  admission plane's span events;
+* ``distrib`` — replication-lag / dedup / saga tables from the
+  distributed tier's spans and events.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.obs.analyze.admission import AdmissionReport, render_admission_text
 from repro.obs.analyze.critical_path import CriticalPath
+from repro.obs.analyze.distrib import DistribReport, render_distrib_text
 from repro.obs.analyze.diff import (
     DEFAULT_NOISE_FRAC,
     DEFAULT_NOISE_MS,
@@ -56,6 +59,7 @@ COMMANDS: Tuple[Tuple[str, str], ...] = (
     ("critical-path", "the lane-segment chain explaining a drain's makespan"),
     ("flight", "render a saved flight-recorder incident document"),
     ("admission", "shed/throttle/autoscale breakdown from a trace"),
+    ("distrib", "replication-lag/dedup/saga breakdown from a trace"),
 )
 
 
@@ -154,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
     admission.add_argument("trace", help="JSONL trace export")
     admission.add_argument("--out", metavar="PATH",
                            help="also save the JSON report to PATH")
+
+    distrib = commands.add_parser(
+        "distrib", help=helps["distrib"], parents=[parent]
+    )
+    distrib.add_argument("trace", help="JSONL trace export")
+    distrib.add_argument("--out", metavar="PATH",
+                         help="also save the JSON report to PATH")
     return parser
 
 
@@ -267,6 +278,18 @@ def _cmd_admission(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distrib(args: argparse.Namespace) -> int:
+    report = DistribReport.from_records(parse_jsonl(_read(args.trace)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(render_distrib_text(report))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     handlers = {
@@ -277,5 +300,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "critical-path": _cmd_critical_path,
         "flight": _cmd_flight,
         "admission": _cmd_admission,
+        "distrib": _cmd_distrib,
     }
     return handlers[args.command](args)

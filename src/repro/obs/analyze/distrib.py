@@ -1,0 +1,208 @@
+"""Distributed-tier analytics over exported traces.
+
+``python -m repro.obs distrib TRACE`` folds a JSONL trace export into
+one :class:`DistribReport`: per-table/per-region replication lag (from
+``replicate:<table>`` spans), gossip sweep activity (``gossip:<table>``
+spans), partition cuts and heals (``partition:<a>|<b>`` spans), dedup
+suppressions (``distrib.dedup`` events on resilience spans) and the
+saga span trees (``saga:*`` spans plus their lifecycle events).  Like
+the admission report, everything is recomputed from the trace alone —
+a saved CI export answers "did the regions converge and was anything
+applied twice?" without rerunning the scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["DistribReport", "render_distrib_text"]
+
+
+class _LagStat:
+    __slots__ = ("count", "total_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def add(self, lag_ms: float) -> None:
+        self.count += 1
+        self.total_ms += lag_ms
+        self.max_ms = max(self.max_ms, lag_ms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        mean = self.total_ms / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class DistribReport:
+    """Replication / dedup / saga activity folded from one trace."""
+
+    def __init__(self) -> None:
+        #: "table/region" → lag statistics.
+        self.replication: Dict[str, _LagStat] = {}
+        #: table → {"sweeps": n, "merges": n}.
+        self.gossip: Dict[str, Dict[str, int]] = {}
+        #: partition span name → {"cuts": n, "heals": n}.
+        self.partitions: Dict[str, Dict[str, int]] = {}
+        #: dedup store label → suppression count.
+        self.dedup_by_store: Dict[str, int] = {}
+        #: dedup site (``sms.submit`` / ``network.request``) → count.
+        self.dedup_by_site: Dict[str, int] = {}
+        #: saga name → status → count.
+        self.sagas: Dict[str, Dict[str, int]] = {}
+        #: saga name → failed-step counts.
+        self.saga_failures: Dict[str, int] = {}
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "DistribReport":
+        report = cls()
+        for record in records:
+            name = record.get("name") or ""
+            attributes = record.get("attributes") or {}
+            if name.startswith("replicate:"):
+                table = str(attributes.get("table", name.split(":", 1)[1]))
+                region = str(attributes.get("region", "unknown"))
+                lag = attributes.get("lag_ms")
+                stat = report.replication.setdefault(
+                    f"{table}/{region}", _LagStat()
+                )
+                stat.add(float(lag) if lag is not None else 0.0)
+            elif name.startswith("gossip:"):
+                table = str(attributes.get("table", name.split(":", 1)[1]))
+                entry = report.gossip.setdefault(
+                    table, {"sweeps": 0, "merges": 0}
+                )
+                entry["sweeps"] += 1
+                entry["merges"] += int(attributes.get("merges", 0) or 0)
+            elif name.startswith("partition:"):
+                pair = name.split(":", 1)[1]
+                entry = report.partitions.setdefault(
+                    pair, {"cuts": 0, "heals": 0}
+                )
+                if attributes.get("event") == "heal":
+                    entry["heals"] += 1
+                else:
+                    entry["cuts"] += 1
+            elif name.startswith("saga:"):
+                saga = str(attributes.get("saga", name.split(":", 1)[1]))
+                report.sagas.setdefault(saga, {})
+            for event in record.get("events") or []:
+                event_name = event.get("name")
+                event_attrs = event.get("attributes") or {}
+                if event_name == "distrib.dedup":
+                    _bump(
+                        report.dedup_by_store,
+                        str(event_attrs.get("store", "unknown")),
+                    )
+                    _bump(
+                        report.dedup_by_site,
+                        str(event_attrs.get("site", "unknown")),
+                    )
+                elif event_name in ("saga.completed", "saga.compensated"):
+                    saga = str(event_attrs.get("saga", "unknown"))
+                    status = event_name.split(".", 1)[1]
+                    _bump(report.sagas.setdefault(saga, {}), status)
+                elif event_name == "saga.step.failed":
+                    _bump(
+                        report.saga_failures,
+                        str(event_attrs.get("saga", "unknown")),
+                    )
+        return report
+
+    @property
+    def dedup_total(self) -> int:
+        return sum(self.dedup_by_store.values())
+
+    @property
+    def replication_total(self) -> int:
+        return sum(stat.count for stat in self.replication.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "replication_total": self.replication_total,
+            "replication": {
+                key: stat.to_dict()
+                for key, stat in sorted(self.replication.items())
+            },
+            "gossip": {
+                table: dict(entry)
+                for table, entry in sorted(self.gossip.items())
+            },
+            "partitions": {
+                pair: dict(entry)
+                for pair, entry in sorted(self.partitions.items())
+            },
+            "dedup_total": self.dedup_total,
+            "dedup_by_store": dict(sorted(self.dedup_by_store.items())),
+            "dedup_by_site": dict(sorted(self.dedup_by_site.items())),
+            "sagas": {
+                saga: dict(sorted(statuses.items()))
+                for saga, statuses in sorted(self.sagas.items())
+            },
+            "saga_failures": dict(sorted(self.saga_failures.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def _bump(table: Dict[str, int], key: str) -> None:
+    table[key] = table.get(key, 0) + 1
+
+
+def render_distrib_text(report: DistribReport) -> str:
+    """The operator-facing tables (``--format text``)."""
+    lines = [
+        f"distrib: {report.replication_total} replication applies, "
+        f"{report.dedup_total} dedup suppressions, "
+        f"{len(report.sagas)} saga names"
+    ]
+    if report.replication:
+        lines.append("  replication lag (table/region):")
+        for key, stat in sorted(report.replication.items()):
+            data = stat.to_dict()
+            lines.append(
+                f"    {key:<24} n={data['count']:<5} "
+                f"mean={data['mean_ms']:.1f}ms max={data['max_ms']:.1f}ms"
+            )
+    if report.gossip:
+        lines.append("  gossip:")
+        for table, entry in sorted(report.gossip.items()):
+            lines.append(
+                f"    {table:<24} sweeps={entry['sweeps']} "
+                f"merges={entry['merges']}"
+            )
+    if report.partitions:
+        lines.append("  partitions:")
+        for pair, entry in sorted(report.partitions.items()):
+            lines.append(
+                f"    {pair:<24} cuts={entry['cuts']} heals={entry['heals']}"
+            )
+    if report.dedup_by_store:
+        lines.append("  dedup by store:")
+        for store, count in sorted(report.dedup_by_store.items()):
+            lines.append(f"    {store:<12} {count}")
+    if report.dedup_by_site:
+        lines.append("  dedup by site:")
+        for site, count in sorted(report.dedup_by_site.items()):
+            lines.append(f"    {site:<16} {count}")
+    if report.sagas:
+        lines.append("  sagas:")
+        for saga, statuses in sorted(report.sagas.items()):
+            completed = statuses.get("completed", 0)
+            compensated = statuses.get("compensated", 0)
+            failures = report.saga_failures.get(saga, 0)
+            lines.append(
+                f"    {saga:<16} completed={completed} "
+                f"compensated={compensated} failed_steps={failures}"
+            )
+    if len(lines) == 1:
+        lines.append("  (no distrib activity in this trace)")
+    return "\n".join(lines)

@@ -22,7 +22,7 @@ virtual time via :meth:`SimulatedClock.capture_charge` — never raced.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.obs import Observability
 from repro.runtime.admission import (
@@ -38,6 +38,10 @@ from repro.runtime.futures import Future, FutureStateError
 from repro.runtime import scheduler as task_states
 from repro.runtime.scheduler import AgentTask, CooperativeScheduler
 from repro.util.clock import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distrib.config import DistribConfig
+    from repro.distrib.runtime import DistribRuntime
 
 __all__ = [
     "AdmissionConfig",
@@ -87,6 +91,14 @@ class ConcurrencyRuntime:
         its ``autoscaler`` field is set) a per-dispatcher shard
         autoscaler evaluated at every drain tick.  ``None`` (the
         default) keeps static bounded queues.
+    distrib:
+        Optional :class:`~repro.distrib.config.DistribConfig` mounting
+        the distributed data tier (see ``docs/DISTRIBUTION.md``): the
+        runtime's read caches become region-aware tiered caches, a
+        :class:`~repro.distrib.runtime.DistribRuntime` is exposed as
+        ``self.distrib``, and its anti-entropy gossip tick rides the
+        cooperative scheduler's drain instants.  ``None`` (the
+        default) keeps the single-node caches.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class ConcurrencyRuntime:
         shards_per_platform: Optional[Dict[str, int]] = None,
         location_staleness_ms: float = 5_000.0,
         admission: Optional[AdmissionConfig] = None,
+        distrib: Optional["DistribConfig"] = None,
     ) -> None:
         self.scheduler = scheduler
         self.observability = (
@@ -119,7 +132,20 @@ class ConcurrencyRuntime:
         self._dispatchers: Dict[str, Dispatcher] = {}
         self._autoscalers: Dict[str, ShardAutoscaler] = {}
         self._location_caches: Dict[int, LocationFixCache] = {}
-        self.properties = PropertyReadCache(self.observability.metrics)
+        self.distrib: Optional["DistribRuntime"] = None
+        if distrib is not None:
+            # Imported lazily: repro.distrib is an optional tier and the
+            # runtime package must stay importable without it in scope.
+            from repro.distrib.runtime import DistribRuntime
+
+            self.distrib = DistribRuntime(
+                scheduler, distrib, observability=self.observability
+            )
+            self.properties = self.distrib.property_cache()
+            # Gossip repair rides the same control instants as autoscaling.
+            self.tasks.add_drain_hook(self.distrib.tick)
+        else:
+            self.properties = PropertyReadCache(self.observability.metrics)
         if admission is not None and admission.autoscaler is not None:
             # Fleet-driven runs advance time through the cooperative
             # scheduler, so the control loop rides its drain passes.
@@ -256,12 +282,17 @@ class ConcurrencyRuntime:
         """
         cache = self._location_caches.get(id(location_proxy))
         if cache is None:
-            cache = LocationFixCache(
-                self.scheduler.clock,
-                staleness_ms=self.location_staleness_ms,
-                metrics=self.observability.metrics,
-                label=location_proxy.binding.platform,
-            )
+            if self.distrib is not None:
+                cache = self.distrib.location_cache(
+                    location_proxy.binding.platform
+                )
+            else:
+                cache = LocationFixCache(
+                    self.scheduler.clock,
+                    staleness_ms=self.location_staleness_ms,
+                    metrics=self.observability.metrics,
+                    label=location_proxy.binding.platform,
+                )
             self._location_caches[id(location_proxy)] = cache
         if not fresh:
             cached = cache.get()

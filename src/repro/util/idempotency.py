@@ -1,0 +1,80 @@
+"""Attempt-chain idempotency context.
+
+The resilience layer retries transient failures by re-invoking a
+binding thunk.  When the substrate *applied* the side effect but the
+acknowledgement was lost (``ack_lost`` faults), a bare retry duplicates
+the write.  The fix is an **attempt-chain key**: one logical invocation
+— the whole retry chain — shares a single key, published here, and the
+substrate write sites (``SmsCenter.submit``, ``SimulatedNetwork`` POST
+dispatch) consult an :class:`~repro.distrib.idempotency.IdempotencyStore`
+keyed by it, making re-applied writes a no-op.
+
+This module holds only the *context* — a plain stack, no store — so the
+device and resilience layers can import it without touching the distrib
+package.  Everything is single-threaded on the virtual clock, so a
+module-level stack is deterministic.
+
+Nesting rule: only the **outermost** resilience runtime opens a chain.
+A WebView JS proxy's runtime wraps an inner Android proxy; if the inner
+runtime minted its own key per attempt, every outer retry would carry a
+fresh inner key and dedup would never fire.  Inner scopes therefore
+ride the already-open chain.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional
+
+
+class ChainContext:
+    """One open attempt chain: the dedup key plus the tracer whose
+    in-flight span should receive ``distrib.dedup`` events."""
+
+    __slots__ = ("key", "tracer")
+
+    def __init__(self, key: str, tracer=None) -> None:
+        self.key = key
+        self.tracer = tracer
+
+
+_STACK: List[ChainContext] = []
+
+_SEQUENCE = 0
+
+
+def next_chain_sequence() -> int:
+    """A process-wide monotonic chain ordinal.
+
+    Chain keys must be unique across *every* resilience runtime — two
+    proxies with the same label would otherwise mint colliding keys and
+    dedup each other's first writes.  Execution order on the virtual
+    clock is deterministic, so a global counter preserves the same-seed
+    replay contract.
+    """
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return _SEQUENCE
+
+
+def current_chain() -> Optional[ChainContext]:
+    """The innermost open chain context, or ``None`` outside any."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextlib.contextmanager
+def chain_context(key: str, tracer=None) -> Iterator[ChainContext]:
+    """Open an attempt chain for one logical invocation.
+
+    Re-entrant: when a chain is already open the existing context is
+    reused (see the nesting rule above) and ``key`` is ignored.
+    """
+    if _STACK:
+        yield _STACK[-1]
+        return
+    context = ChainContext(key, tracer)
+    _STACK.append(context)
+    try:
+        yield context
+    finally:
+        _STACK.pop()

@@ -1,0 +1,120 @@
+"""Replicated notification table: Figure-6 parity plus cross-region lag."""
+
+import json
+
+import pytest
+
+from repro.distrib import DistribConfig, DistribRuntime
+from repro.util.clock import Scheduler, SimulatedClock
+
+pytestmark = pytest.mark.distrib
+
+REGIONS = ("ap-south", "eu-west")
+
+
+@pytest.fixture
+def tier():
+    scheduler = Scheduler(SimulatedClock())
+    return DistribRuntime(scheduler, DistribConfig(regions=REGIONS, seed=4))
+
+
+@pytest.fixture
+def table(tier):
+    return tier.notifications()
+
+
+class TestTableParity:
+    """Same contract as the single-node webview NotificationTable."""
+
+    def test_new_id_opens_an_empty_queue(self, table):
+        notification_id = table.new_id()
+        assert table.pending(notification_id) == 0
+        assert table.drain(notification_id) == []
+
+    def test_post_then_drain_fifo(self, table):
+        notification_id = table.new_id()
+        table.post(notification_id, "location", {"lat": 1.0}, 10.0)
+        table.post(notification_id, "location", {"lat": 2.0}, 20.0)
+        assert table.pending(notification_id) == 2
+        drained = table.drain(notification_id)
+        assert [n.payload["lat"] for n in drained] == [1.0, 2.0]
+        assert [n.posted_at_ms for n in drained] == [10.0, 20.0]
+        assert table.pending(notification_id) == 0
+        assert table.drain(notification_id) == []  # cursor advanced
+
+    def test_post_to_unknown_id_raises(self, table):
+        with pytest.raises(KeyError):
+            table.post("notif-999", "location", {}, 0.0)
+
+    def test_post_rejects_non_primitive_payload(self, table):
+        notification_id = table.new_id()
+        with pytest.raises(TypeError):
+            table.post(notification_id, "location", {"cb": lambda: None}, 0.0)
+
+    def test_drain_json_is_bridge_legal(self, table):
+        notification_id = table.new_id()
+        table.post(notification_id, "sms", {"status": "sent"}, 5.0)
+        payload = json.loads(table.drain_json(notification_id))
+        assert payload == [
+            {"kind": "sms", "payload": {"status": "sent"}, "posted_at_ms": 5.0}
+        ]
+
+    def test_close_forgets_the_id(self, table):
+        notification_id = table.new_id()
+        table.post(notification_id, "sms", {}, 0.0)
+        table.close(notification_id)
+        assert table.pending(notification_id) == 0
+        assert table.drain(notification_id) == []
+        table.close(notification_id)  # idempotent
+
+    def test_total_posted_counts_every_post(self, table):
+        first, second = table.new_id(), table.new_id()
+        table.post(first, "a", {}, 0.0)
+        table.post(second, "b", {}, 0.0)
+        table.drain(first)
+        assert table.total_posted == 2  # draining does not un-count
+
+
+class TestCrossRegion:
+    def test_peer_view_lags_by_replication_delay(self, tier, table):
+        notification_id = table.new_id()
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        table.post(notification_id, "location", {"lat": 1.0}, 0.0)
+        assert table.pending(notification_id) == 1
+        assert table.pending_in("eu-west", notification_id) == 0
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        assert table.pending_in("eu-west", notification_id) == 1
+
+    def test_unreplicated_id_reads_as_empty_remotely(self, table):
+        notification_id = table.new_id()
+        assert table.pending_in("eu-west", notification_id) == 0
+
+    def test_drained_cursor_replicates_no_resurrection(self, tier, table):
+        notification_id = table.new_id()
+        table.post(notification_id, "location", {"lat": 1.0}, 0.0)
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        assert table.pending_in("eu-west", notification_id) == 1
+        table.drain(notification_id)
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        # The peer sees the drain, not a resurrected queue.
+        assert table.pending_in("eu-west", notification_id) == 0
+
+    def test_close_tombstone_replicates(self, tier, table):
+        notification_id = table.new_id()
+        table.post(notification_id, "location", {}, 0.0)
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        table.close(notification_id)
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        assert table.pending_in("eu-west", notification_id) == 0
+        assert table.backing.get(notification_id, region="eu-west") is None
+
+    def test_partition_defers_peer_view_until_sweep(self, tier, table):
+        notification_id = table.new_id()
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        tier.partition("ap-south", "eu-west")
+        table.post(notification_id, "location", {}, 0.0)
+        tier.scheduler.run_for(tier.config.replication_delay_ms)
+        assert table.pending_in("eu-west", notification_id) == 0
+        tier.heal_all()
+        tier.run_until_converged()
+        assert table.pending_in("eu-west", notification_id) == 1

@@ -1,0 +1,184 @@
+"""Property-based tests for the distributed tier's four contracts.
+
+1. **Convergence** — for any seeded interleaving of writes, deletes and
+   partitions, once every partition heals and anti-entropy quiesces,
+   all replicas hold identical state.
+2. **Idempotence** — re-applying any already-applied versioned entry is
+   a no-op: replica state (content hash) is unchanged.
+3. **Determinism** — the same seed and the same scenario produce
+   byte-identical ``export_json`` output from fresh runtimes.
+4. **Saga invariants** — whatever prefix of a saga fails, compensation
+   restores the resource invariant (no orphaned reservations).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distrib import (
+    DistribConfig,
+    DistribRuntime,
+    ReplicaState,
+    SagaOrchestrator,
+    SagaStep,
+    VersionedEntry,
+)
+from repro.errors import ProxyNetworkError
+from repro.util.clock import Scheduler, SimulatedClock
+
+pytestmark = pytest.mark.distrib
+
+REGIONS = ("ap-south", "eu-west", "us-east")
+
+# One scripted operation against the tier:
+#   ("put", key ordinal, value, region ordinal)
+#   ("delete", key ordinal, region ordinal)
+#   ("partition", region ordinal, region ordinal)
+#   ("heal", region ordinal, region ordinal)
+#   ("advance", milliseconds)
+OP = st.one_of(
+    st.tuples(
+        st.just("put"),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=2),
+    ),
+    st.tuples(
+        st.just("delete"),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2),
+    ),
+    st.tuples(
+        st.just("partition"),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    ),
+    st.tuples(
+        st.just("heal"),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    ),
+    st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=500.0)),
+)
+OPS = st.lists(OP, min_size=1, max_size=40)
+
+
+def run_script(ops, *, seed):
+    """Apply a scripted interleaving to a fresh tier; return the tier."""
+    tier = DistribRuntime(
+        Scheduler(SimulatedClock()),
+        DistribConfig(regions=REGIONS, seed=seed),
+    )
+    table = tier.table("t")
+    for op in ops:
+        if op[0] == "put":
+            table.put(f"k{op[1]}", op[2], region=REGIONS[op[3]])
+        elif op[0] == "delete":
+            table.delete(f"k{op[1]}", region=REGIONS[op[2]])
+        elif op[0] == "partition":
+            if op[1] != op[2]:
+                tier.partition(REGIONS[op[1]], REGIONS[op[2]])
+        elif op[0] == "heal":
+            tier.heal(REGIONS[op[1]], REGIONS[op[2]])
+        else:
+            tier.scheduler.run_for(op[1])
+    return tier
+
+
+class TestConvergence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=9))
+    def test_replicas_identical_after_heal_and_quiesce(self, ops, seed):
+        tier = run_script(ops, seed=seed)
+        tier.heal_all()
+        tier.run_until_converged()
+        table = tier.table("t")
+        assert len(set(table.content_hashes().values())) == 1
+        assert table.converged
+
+
+class TestIdempotence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=9))
+    def test_extra_sweeps_after_quiesce_merge_nothing(self, ops, seed):
+        tier = run_script(ops, seed=seed)
+        tier.heal_all()
+        tier.run_until_converged()
+        table = tier.table("t")
+        before = table.content_hashes()
+        for _ in range(3):
+            assert table.anti_entropy_sweep() == 0
+        assert table.content_hashes() == before
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # key ordinal
+                st.integers(min_value=0, max_value=99),  # value
+                st.integers(min_value=1, max_value=20),  # version counter
+                st.integers(min_value=0, max_value=2),  # origin ordinal
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_reapplying_applied_entries_is_a_noop(self, entries):
+        replica = ReplicaState("a")
+        applied = []
+        for key_ordinal, value, counter, origin in entries:
+            entry = VersionedEntry(
+                f"k{key_ordinal}", value, (counter, REGIONS[origin]), 0.0
+            )
+            if replica.merge(entry):
+                applied.append(entry)
+        before = replica.content_hash()
+        for entry in applied:
+            assert not replica.merge(entry)
+        assert replica.content_hash() == before
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=9))
+    def test_same_seed_same_script_byte_identical_export(self, ops, seed):
+        def export():
+            tier = run_script(ops, seed=seed)
+            tier.heal_all()
+            tier.run_until_converged()
+            return tier.export_json()
+
+        assert export() == export()
+
+
+class TestSagaInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        step_count=st.integers(min_value=1, max_value=6),
+        fail_at=st.integers(min_value=0, max_value=6),
+    )
+    def test_compensation_restores_reservations(self, step_count, fail_at):
+        """However far the saga got, after compensation the reservation
+        ledger holds exactly the committed (completed-saga) entries —
+        never a reservation whose saga died."""
+        orch = SagaOrchestrator(Scheduler(SimulatedClock()))
+        ledger = {}
+        steps = []
+        for index in range(step_count):
+            def reserve(index=index):
+                ledger[f"r{index}"] = True
+                if index == fail_at:
+                    ledger.pop(f"r{index}")  # the failed step self-cleans
+                    raise ProxyNetworkError("injected")
+                return f"r{index}"
+
+            steps.append(
+                SagaStep(f"s{index}", reserve, lambda r: ledger.pop(r, None))
+            )
+        if fail_at < step_count:
+            with pytest.raises(ProxyNetworkError):
+                orch.run("reserve-all", steps)
+            assert ledger == {}  # every reservation rolled back
+        else:
+            execution = orch.run("reserve-all", steps)
+            assert execution.status == "completed"
+            assert set(ledger) == {f"r{i}" for i in range(step_count)}

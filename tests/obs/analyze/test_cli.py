@@ -301,3 +301,83 @@ class TestAdmissionCommand:
         assert main(["admission", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "0 shed, 0 throttled, 0 autoscaler resizes" in out
+
+
+def distrib_record(span_id, name, attributes, events=()):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "start_virtual_ms": 0.0,
+        "end_virtual_ms": 0.0,
+        "status": "ok",
+        "attributes": attributes,
+        "events": list(events),
+    }
+
+
+@pytest.fixture
+def distrib_trace_path(tmp_path):
+    """A trace with replication, gossip, partition, dedup and saga records."""
+    records = [
+        distrib_record(1, "replicate:reports", {
+            "table": "reports", "region": "eu-west", "lag_ms": 250.0,
+        }),
+        distrib_record(2, "replicate:reports", {
+            "table": "reports", "region": "eu-west", "lag_ms": 350.0,
+        }),
+        distrib_record(3, "gossip:reports", {"table": "reports", "merges": 4}),
+        distrib_record(4, "partition:ap-south|eu-west", {"event": "cut"}),
+        distrib_record(5, "partition:ap-south|eu-west", {"event": "heal"}),
+        distrib_record(6, "resilience:post", {"platform": "android"}, [
+            {"name": "distrib.dedup", "t_virtual_ms": 1.0,
+             "attributes": {"store": "network", "site": "network.request"}},
+        ]),
+        distrib_record(7, "saga:report", {"saga": "report"}, [
+            {"name": "saga.completed", "t_virtual_ms": 2.0,
+             "attributes": {"saga": "report", "steps": 2}},
+        ]),
+    ]
+    path = tmp_path / "distrib.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestDistribCommand:
+    def test_text_output(self, distrib_trace_path, capsys):
+        assert main(["distrib", str(distrib_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 replication applies, 1 dedup suppressions, 1 saga names" in out
+        assert "reports/eu-west" in out
+        assert "mean=300.0ms max=350.0ms" in out
+        assert "sweeps=1 merges=4" in out
+        assert "cuts=1 heals=1" in out
+        assert "network.request" in out
+        assert "completed=1 compensated=0" in out
+
+    def test_json_and_out_file(self, distrib_trace_path, tmp_path, capsys):
+        out_path = tmp_path / "distrib.json"
+        assert main([
+            "distrib", str(distrib_trace_path),
+            "--json", "--out", str(out_path),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["replication"] == {
+            "reports/eu-west": {"count": 2, "mean_ms": 300.0, "max_ms": 350.0}
+        }
+        assert payload["gossip"] == {"reports": {"sweeps": 1, "merges": 4}}
+        assert payload["partitions"] == {
+            "ap-south|eu-west": {"cuts": 1, "heals": 1}
+        }
+        assert payload["dedup_by_store"] == {"network": 1}
+        assert payload["dedup_by_site"] == {"network.request": 1}
+        assert payload["sagas"] == {"report": {"completed": 1}}
+
+    def test_quiet_trace_says_so(self, trace_path, capsys):
+        # a trace with no distrib activity is a valid (quiet) report
+        assert main(["distrib", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no distrib activity in this trace" in out

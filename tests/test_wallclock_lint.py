@@ -36,6 +36,18 @@ CONCURRENCY_OBS_MODULES = (
     "obs/analyze/critical_path.py",
 )
 
+#: The distributed tier is pure virtual-time simulation — replication
+#: delay, gossip intervals and cache staleness all ride the scheduler —
+#: so a wall-clock read in any of its modules is always a bug.
+DISTRIB_MODULES = (
+    "distrib/replication.py",
+    "distrib/cache.py",
+    "distrib/idempotency.py",
+    "distrib/saga.py",
+    "distrib/notifications.py",
+    "distrib/runtime.py",
+)
+
 FORBIDDEN = (
     (re.compile(r"\btime\.(time|monotonic|perf_counter|process_time)\("), "wall-clock read"),
     (re.compile(r"\btime\.sleep\("), "wall-clock sleep"),
@@ -92,6 +104,17 @@ class TestWallClockLint:
             assert relative in scanned, f"obs module left lint scope: {relative}"
             assert relative not in ALLOWLIST, (
                 f"obs module must not be allowlisted: {relative}"
+            )
+            assert PRAGMA not in (SRC / relative).read_text(), relative
+
+    def test_distrib_modules_are_in_scope(self):
+        """The distributed tier's modules must be scanned and must never
+        join the allowlist — they have no legitimate wall-clock site."""
+        scanned = {str(path.relative_to(SRC)) for path in _sources()}
+        for relative in DISTRIB_MODULES:
+            assert relative in scanned, f"distrib module left lint scope: {relative}"
+            assert relative not in ALLOWLIST, (
+                f"distrib module must not be allowlisted: {relative}"
             )
             assert PRAGMA not in (SRC / relative).read_text(), relative
 
