@@ -22,6 +22,12 @@ The acceptance claims checked here mirror ``tests/chaos``: replicas
 converge after the heal, dedup hits are strictly positive under the
 storm with zero duplicated side effects, compensation leaves no staging
 residue, and same-seed runs export byte-identical tier snapshots.
+
+The retry-storm run also exports its trace (``TRACE_distrib.jsonl``)
+and the causal analyzer's report over it (``CAUSAL_distrib.json``) to
+the bench output dir; the summary asserts the healthy storm is
+audit-clean (zero ``causal.violation``) and the CI "Causal audit" step
+re-runs ``python -m repro.obs causal --gate`` over the same trace.
 """
 
 import os
@@ -30,7 +36,8 @@ import pytest
 
 from repro.apps.workforce.fleet import build_fleet, launch_fleet_on_runtime
 from repro.bench.harness import format_table
-from repro.bench.results import BenchResult, write_bench_result
+from repro.bench.results import BenchResult, bench_output_dir, write_bench_result
+from repro.obs import CausalReport, parse_jsonl
 from repro.core.resilience import chaos_policy
 from repro.distrib import DistribConfig, DistribRuntime, SagaStep
 from repro.errors import ProxyReplicaUnavailableError
@@ -109,6 +116,8 @@ def run_retry_storm(*, seed=3, fault_seed=7, rate=0.4):
         ),
         "rounds_to_converge": rounds,
         "export": tier.export_json(),
+        "trace": fleet.runtime.observability.export_jsonl(),
+        "audit_clean": tier.monitor.clean,
     }
 
 
@@ -214,6 +223,27 @@ def test_distrib_summary():
         count == FLEET_REPORTS for count in storm["report_counts"].values()
     )
 
+    causal = CausalReport.from_records(parse_jsonl(storm["trace"]))
+    causal_data = causal.to_dict()
+    print(
+        f"causal audit: writes={causal_data['writes']} "
+        f"converged={causal_data['convergence']['converged']} "
+        f"max_window={causal_data['convergence']['max_window_ms']:.0f}ms "
+        f"violations={len(causal.violations)}"
+    )
+    # Healthy seeded storm → audit-clean happens-before graph.
+    assert storm["audit_clean"]
+    assert causal.violations == []
+    assert causal.acyclic
+    assert causal_data["convergence"]["converged"] > 0
+    out_dir = bench_output_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "TRACE_distrib.jsonl"
+    trace_path.write_text(storm["trace"], encoding="utf-8")
+    causal_path = out_dir / "CAUSAL_distrib.json"
+    causal_path.write_text(causal.to_json(), encoding="utf-8")
+    print(f"wrote {trace_path} and {causal_path}")
+
     sagas = run_sagas_under_partition()
     print(
         f"sagas: compensated={sagas['compensated']} "
@@ -249,6 +279,13 @@ def test_distrib_summary():
                 "duplicated_reports": storm["duplicated_reports"],
                 "rounds_to_converge": storm["rounds_to_converge"],
             },
+            "causal": {
+                "writes": causal_data["writes"],
+                "converged": causal_data["convergence"]["converged"],
+                "max_window_ms": causal_data["convergence"]["max_window_ms"],
+                "violations": len(causal.violations),
+                "acyclic": causal.acyclic,
+            },
             "sagas": {
                 "compensated": sagas["compensated"],
                 "completed": sagas["completed"],
@@ -270,9 +307,14 @@ def test_distrib_determinism():
         run_convergence(4, seed=5)["export"]
         == run_convergence(4, seed=5)["export"]
     )
+    first = run_retry_storm(seed=3, fault_seed=7)
+    second = run_retry_storm(seed=3, fault_seed=7)
+    assert first["export"] == second["export"]
+    # The causal report over the storm trace is byte-identical too —
+    # what makes committing CAUSAL_distrib.json as a CI artifact sane.
     assert (
-        run_retry_storm(seed=3, fault_seed=7)["export"]
-        == run_retry_storm(seed=3, fault_seed=7)["export"]
+        CausalReport.from_records(parse_jsonl(first["trace"])).to_json()
+        == CausalReport.from_records(parse_jsonl(second["trace"])).to_json()
     )
     assert (
         run_sagas_under_partition(seed=2)["export"]

@@ -90,6 +90,8 @@ class Fleet:
     _alerted_dumps: int = field(default=0, repr=False)
     #: Per-platform cursor into the admission controller's storm log.
     _alerted_storms: Dict[str, int] = field(default_factory=dict, repr=False)
+    #: Cursor into the distrib tier's causal-violation log.
+    _alerted_violations: int = field(default=0, repr=False)
 
     def run_for(self, delta_ms: float) -> int:
         """Advance the whole fleet's shared virtual time.
@@ -149,6 +151,15 @@ class Fleet:
                         f"{storm['window_ms']:.0f}ms (kind={storm['kind']})"
                     )
                 self._alerted_storms[platform] = len(controller.storms)
+            if self.runtime.distrib is not None:
+                violations = self.runtime.distrib.monitor.violations
+                for violation in violations[self._alerted_violations:]:
+                    self.alerts.append(
+                        f"[fleet-alert] causal violation: {violation['kind']} "
+                        f"in {violation.get('region', '?')} "
+                        f"@{violation['t_ms']:.1f}ms"
+                    )
+                self._alerted_violations = len(violations)
         if self.flight is not None:
             for dump in self.flight.dumps:
                 if dump["sequence"] <= self._alerted_dumps:
@@ -313,6 +324,10 @@ def build_fleet(
             sampler = hub.install_sampler()
             sampler.track("runtime.queue_depth")
             sampler.track("runtime.inflight")
+            if distrib is not None:
+                # Per-region replication lag: every (table, region) label
+                # set the causal tracker's gauge produces gets sampled.
+                sampler.track("distrib.lag_ms")
             fleet.flight = hub.install_flight_recorder()
     for index in range(agent_count):
         site_centre = destination_point(

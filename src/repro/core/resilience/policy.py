@@ -169,6 +169,11 @@ class ResilienceRuntime:
         self.breakers: Dict[str, CircuitBreaker] = {}
         self._last_results: Dict[str, Any] = {}
         self._jitter_rng = random.Random(f"{policy.seed}:{label}")
+        # Per-instance chain ordinal: unlike the process-global chain
+        # sequence (unique across runtimes, but not reproducible between
+        # two same-seed runs in one interpreter), this resets with the
+        # runtime, so the chain *tag* it mints is safe to stamp on spans.
+        self._chain_seq = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -256,10 +261,13 @@ class ResilienceRuntime:
         """
         if current_chain() is None:
             key = f"{self.label}:{operation}:{next_chain_sequence()}"
+            self._chain_seq += 1
+            tag = f"{self.label}:{operation}#{self._chain_seq}"
         else:
             key = None  # riding the outer runtime's chain
+            tag = None
         tracer = self._tracer
-        with chain_context(key or "", tracer if tracer.enabled else None):
+        with chain_context(key or "", tracer if tracer.enabled else None, tag):
             if not tracer.enabled:
                 return self._execute(binding, operation, thunk, fallback)
             with tracer.span(

@@ -12,6 +12,9 @@ substrate a production deployment of the middleware would run on:
 * :mod:`~repro.distrib.saga` — compensating multi-step flows;
 * :mod:`~repro.distrib.notifications` — the WebView notification table
   (paper Figure 6) replicated across regions;
+* :mod:`~repro.distrib.causal` — per-region vector clocks, causal span
+  stamps (``causal.origin`` / ``causal.vc``), write→visibility lag
+  tracking and the happens-before audit;
 * :mod:`~repro.distrib.runtime` — the bundle
   ``ConcurrencyRuntime(distrib=DistribConfig(...))`` mounts.
 
@@ -20,6 +23,14 @@ and string-seeded RNG streams: same seed, same scenario ⇒ byte-identical
 exports.
 """
 
+from repro.distrib.causal import (
+    CausalMonitor,
+    CausalStamp,
+    CausalTracker,
+    decode_vc,
+    encode_vc,
+    vc_dominates,
+)
 from repro.distrib.config import DEFAULT_REGIONS, DistribConfig
 from repro.distrib.idempotency import (
     ChainContext,
@@ -45,6 +56,9 @@ from repro.distrib.runtime import DistribRuntime
 
 __all__ = [
     "DEFAULT_REGIONS",
+    "CausalMonitor",
+    "CausalStamp",
+    "CausalTracker",
     "ChainContext",
     "DistribConfig",
     "DistribRuntime",
@@ -63,4 +77,7 @@ __all__ = [
     "VersionedEntry",
     "chain_context",
     "current_chain",
+    "decode_vc",
+    "encode_vc",
+    "vc_dominates",
 ]

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.runtime.coalesce import PropertyReadCache
 from repro.util.clock import Scheduler
 
+from repro.distrib.causal import CausalMonitor, CausalTracker, encode_vc
 from repro.distrib.config import DistribConfig
 from repro.distrib.replication import PartitionMap, ReplicatedTable
 
@@ -58,6 +59,8 @@ class TieredCache:
         *,
         loader: Optional[Callable[[str], Any]] = None,
         observability=None,
+        causal: Optional[CausalTracker] = None,
+        monitor: Optional[CausalMonitor] = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -65,7 +68,10 @@ class TieredCache:
         self.backing = backing
         self._partitions = partitions
         self._loader = loader
+        self._observability = observability
         self._metrics = observability.metrics if observability else None
+        self.causal = causal
+        self.monitor = monitor
         self._l1: Dict[str, Dict[str, _L1Slot]] = {
             region: {} for region in config.regions
         }
@@ -74,6 +80,13 @@ class TieredCache:
     def _count(self, metric: str, **labels: Any) -> None:
         if self._metrics is not None:
             self._metrics.counter(metric, cache=self.name, **labels).inc()
+
+    @property
+    def _tracer(self):
+        tracer = (
+            self._observability.tracer if self._observability else None
+        )
+        return tracer if tracer is not None and tracer.enabled else None
 
     # -- reads ----------------------------------------------------------------
 
@@ -94,6 +107,10 @@ class TieredCache:
                 slot.version is None or slot.version < backing_version
             ):
                 self._count("distrib.cache_stale_reads", region=target)
+            if self.monitor is not None:
+                self.monitor.check_cache_read(
+                    self.name, key, target, slot.cached_at_ms, now
+                )
             self._count("distrib.cache_hits", region=target)
             return slot.value
         self._count("distrib.cache_misses", region=target)
@@ -118,6 +135,8 @@ class TieredCache:
         inter-region delay."""
         target = region if region is not None else self.config.home_region
         now = self._scheduler.clock.now_ms
+        if self.causal is not None:
+            self.causal.tick(target)
         self._l1[target][key] = _L1Slot(value, now, None)
         pending_key = (target, key)
         first_buffer = pending_key not in self._pending
@@ -135,7 +154,16 @@ class TieredCache:
         if value is None:
             return
         self._count("distrib.cache_flushes", region=region)
-        version = self.backing.put(key, value, region=region)
+        tracer = self._tracer
+        if tracer is not None:
+            # The backing write's `write:<table>` span (with its causal
+            # stamp) nests under the flush span.
+            with tracer.span(
+                f"flush:{self.name}", cache=self.name, key=key, region=region
+            ):
+                version = self.backing.put(key, value, region=region)
+        else:
+            version = self.backing.put(key, value, region=region)
         slot = self._l1[region].get(key)
         if slot is not None and slot.value == value:
             slot.version = version
@@ -149,6 +177,17 @@ class TieredCache:
         return flushed
 
     def _fan_out_invalidation(self, key: str, *, origin: str) -> None:
+        # The causal context travels with the message: the origin
+        # region's clock at send time, plus the span the send happened
+        # under (the invalidation's ``causal.origin``).
+        vc = self.causal.clock(origin) if self.causal is not None else None
+        tracer = self._tracer
+        current = tracer.current_span if tracer is not None else None
+        origin_ref = (
+            f"{current.trace_id}:{current.span_id}"
+            if current is not None
+            else None
+        )
         for peer in self.config.regions:
             if peer == origin:
                 continue
@@ -158,16 +197,49 @@ class TieredCache:
             self._count("distrib.cache_invalidations_sent", region=peer)
             self._scheduler.call_later(
                 self.config.replication_delay_ms,
-                lambda peer=peer: self._apply_invalidation(peer, key, origin),
+                lambda peer=peer: self._apply_invalidation(
+                    peer, key, origin, vc=vc, origin_ref=origin_ref
+                ),
                 name=f"distrib:{self.name}:invalidate:{peer}",
             )
 
-    def _apply_invalidation(self, region: str, key: str, origin: str) -> None:
+    def _apply_invalidation(
+        self,
+        region: str,
+        key: str,
+        origin: str,
+        *,
+        vc=None,
+        origin_ref: Optional[str] = None,
+    ) -> None:
         if not self._partitions.connected(origin, region):
             self._count("distrib.cache_invalidations_dropped", region=region)
             return
-        if self._l1[region].pop(key, None) is not None:
+        now = self._scheduler.clock.now_ms
+        if self.causal is not None and vc:
+            self.causal.observe(region, vc)
+        applied = self._l1[region].pop(key, None) is not None
+        if self.monitor is not None:
+            self.monitor.invalidation_delivered(
+                self.name, key, region, origin, now
+            )
+        if applied:
             self._count("distrib.cache_invalidations_applied", region=region)
+        tracer = self._tracer
+        if tracer is not None:
+            attributes = {
+                "cache": self.name,
+                "key": key,
+                "region": region,
+                "origin": origin,
+                "applied": applied,
+            }
+            if vc:
+                attributes["causal.vc"] = encode_vc(vc)
+            if origin_ref is not None:
+                attributes["causal.origin"] = origin_ref
+            with tracer.span(f"invalidate:{self.name}", **attributes):
+                pass
 
     def invalidate(self, key: str, *, region: Optional[str] = None) -> None:
         """Drop the region's L1 slot and fan the invalidation out."""

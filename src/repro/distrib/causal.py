@@ -1,0 +1,376 @@
+"""Cross-region causal context: vector clocks, visibility, audits.
+
+The distributed tier's hops — replication applies, gossip merges,
+invalidation fan-out, write-behind flushes, saga steps, dedup hits —
+were individually observable after PR 7, but nothing *linked* them: a
+write in one region and its visibility in another were two unrelated
+spans.  This module adds the causal plumbing:
+
+* :class:`CausalTracker` keeps one vector clock per region, ticked on
+  every local causal event and merged (then ticked) when a remote
+  message lands.  Every table write is remembered as a
+  :class:`CausalStamp` — its vector clock, origin span reference and
+  per-region first-visibility times — so each downstream hop can stamp
+  ``causal.origin`` / ``causal.vc`` span attributes and the tracker can
+  set the per-``(table, region)`` ``distrib.lag_ms`` gauge the
+  time-series sampler tracks.
+* :class:`CausalMonitor` is the happens-before audit: it flags a read
+  served from an L1 slot that predates a *delivered* invalidation, and
+  an LWW merge where the overwritten value's vector clock strictly
+  dominates the winner's (causality inverted by the version order).
+  Each violation increments ``distrib.causal_violations``, lands as a
+  ``causal.violation`` span event, and triggers a FlightRecorder
+  incident dump.
+
+Healthy seeded runs are audit-clean by construction: table versions are
+minted from a per-table monotone counter, so a later write's vector
+clock can never be dominated by an earlier one's, and invalidation
+delivery pops the L1 slot it targets.  The checks exist for the same
+reason assertions do — injected faults, future refactors and forged
+states (the regression suite) must be *caught*, not silently absorbed.
+
+Determinism: the tracker and monitor hold plain dicts keyed by region
+and version tuples, mutated only from virtual-clock callbacks — their
+state (and the export in ``DistribRuntime.export_state``) is a pure
+function of the seeded scenario.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+
+__all__ = [
+    "CausalMonitor",
+    "CausalStamp",
+    "CausalTracker",
+    "decode_vc",
+    "encode_vc",
+    "vc_dominates",
+]
+
+#: A vector clock: region → event count (zero entries are implicit).
+VectorClock = Dict[str, int]
+
+
+def encode_vc(vc: VectorClock) -> str:
+    """Compact span-attribute form: ``"region:count,..."`` sorted by
+    region, zero components elided (``""`` for the empty clock)."""
+    return ",".join(
+        f"{region}:{count}" for region, count in sorted(vc.items()) if count
+    )
+
+
+def decode_vc(text: str) -> VectorClock:
+    """Inverse of :func:`encode_vc` (used by the trace analyzer)."""
+    vc: VectorClock = {}
+    for part in text.split(","):
+        if not part:
+            continue
+        region, _, count = part.rpartition(":")
+        vc[region] = int(count)
+    return vc
+
+
+def _normalize(vc: VectorClock) -> VectorClock:
+    return {region: count for region, count in vc.items() if count}
+
+
+def vc_dominates(a: VectorClock, b: VectorClock) -> bool:
+    """Strict domination: ``a`` ≥ ``b`` component-wise and ``a`` ≠ ``b``
+    — the happens-before relation on vector clocks."""
+    a, b = _normalize(a), _normalize(b)
+    if a == b:
+        return False
+    return all(a.get(region, 0) >= count for region, count in b.items())
+
+
+class CausalStamp:
+    """One write's causal identity: its vector clock at the origin, the
+    ``write:<table>`` span it was minted under, and the virtual time
+    each region first saw it (origin included, at lag zero)."""
+
+    __slots__ = ("table", "key", "version", "region", "vc", "t_ms",
+                 "span_ref", "visible")
+
+    def __init__(
+        self,
+        table: str,
+        key: str,
+        version: Tuple[int, str],
+        region: str,
+        vc: VectorClock,
+        t_ms: float,
+        span_ref: Optional[str] = None,
+    ) -> None:
+        self.table = table
+        self.key = key
+        self.version = version
+        self.region = region
+        self.vc = dict(vc)
+        self.t_ms = t_ms
+        #: ``"<trace_id>:<span_id>"`` of the origin write span, the
+        #: ``causal.origin`` attribute downstream hops carry.
+        self.span_ref = span_ref
+        #: region → virtual time the write first became visible there.
+        self.visible: Dict[str, float] = {region: t_ms}
+
+    @property
+    def version_label(self) -> str:
+        """The ``"<counter>@<region>"`` form span attributes use."""
+        return f"{self.version[0]}@{self.version[1]}"
+
+
+class CausalTracker:
+    """Per-region vector clocks plus per-write visibility bookkeeping.
+
+    One tracker serves a whole :class:`~repro.distrib.runtime.DistribRuntime`
+    — every table and cache shares it, so the clocks order events across
+    components, not just within one table.
+    """
+
+    def __init__(
+        self, regions: Sequence[str], *, metrics=None
+    ) -> None:
+        self.regions = tuple(regions)
+        self._metrics = metrics
+        self._clocks: Dict[str, VectorClock] = {
+            region: {} for region in self.regions
+        }
+        self._writes: Dict[Tuple[str, str, Tuple[int, str]], CausalStamp] = {}
+
+    def bind_metrics(self, metrics) -> None:
+        self._metrics = metrics
+
+    # -- clocks ---------------------------------------------------------------
+
+    def clock(self, region: str) -> VectorClock:
+        """A copy of the region's current vector clock."""
+        return dict(self._clocks[region])
+
+    def clocks(self) -> Dict[str, VectorClock]:
+        """All regions' clocks (copies, deterministic iteration)."""
+        return {region: dict(self._clocks[region]) for region in self.regions}
+
+    def tick(self, region: str) -> VectorClock:
+        """One local causal event at ``region``; returns the new clock."""
+        clock = self._clocks[region]
+        clock[region] = clock.get(region, 0) + 1
+        return dict(clock)
+
+    def observe(self, region: str, vc: VectorClock) -> VectorClock:
+        """A remote message carrying ``vc`` landed at ``region``:
+        component-wise max merge, then a local tick (the delivery is
+        itself an event)."""
+        clock = self._clocks[region]
+        for other, count in vc.items():
+            if count > clock.get(other, 0):
+                clock[other] = count
+        return self.tick(region)
+
+    # -- write bookkeeping ----------------------------------------------------
+
+    def note_write(
+        self,
+        table: str,
+        key: str,
+        version: Tuple[int, str],
+        region: str,
+        t_ms: float,
+        *,
+        span_ref: Optional[str] = None,
+        vc: Optional[VectorClock] = None,
+    ) -> CausalStamp:
+        """Record a table write at its origin; ticks the origin clock.
+
+        ``vc`` overrides the minted clock — the regression suite forges
+        stamps with it to prove the monitor catches inversions.
+        """
+        stamp_vc = dict(vc) if vc is not None else self.tick(region)
+        stamp = CausalStamp(
+            table, key, tuple(version), region, stamp_vc, t_ms, span_ref
+        )
+        self._writes[(table, key, stamp.version)] = stamp
+        return stamp
+
+    def lookup(
+        self, table: str, key: str, version: Tuple[int, str]
+    ) -> Optional[CausalStamp]:
+        return self._writes.get((table, key, tuple(version)))
+
+    def note_visible(
+        self,
+        table: str,
+        key: str,
+        version: Tuple[int, str],
+        region: str,
+        t_ms: float,
+    ) -> Optional[float]:
+        """The write became visible at ``region`` (replication apply or
+        gossip merge): merge its clock into the region's, record the
+        *first* visibility time, and set the ``distrib.lag_ms`` gauge.
+        Returns the lag for a first sighting, ``None`` otherwise."""
+        stamp = self.lookup(table, key, version)
+        if stamp is None:
+            return None
+        self.observe(region, stamp.vc)
+        if region in stamp.visible:
+            return None
+        stamp.visible[region] = t_ms
+        lag_ms = t_ms - stamp.t_ms
+        if self._metrics is not None:
+            self._metrics.gauge(
+                "distrib.lag_ms", table=table, region=region
+            ).set(lag_ms)
+        return lag_ms
+
+    def stamps(self) -> List[CausalStamp]:
+        """Every recorded write stamp, in write order."""
+        return list(self._writes.values())
+
+
+class CausalMonitor:
+    """The happens-before audit: flags causality violations.
+
+    Two detectors:
+
+    * **stale read after delivered invalidation** — a tiered-cache L1
+      hit whose slot was cached *before* an invalidation for that key
+      was delivered to the same region.  Delivery pops the slot, so
+      this firing means the popped state was resurrected (a bug, or a
+      forged test fixture).  Each delivered invalidation flags at most
+      once per (cache, key, region).
+    * **LWW causality inversion** — an LWW merge whose winner's vector
+      clock is strictly dominated by the value it overwrote: the
+      version order (the tiebreak the table actually applies) inverted
+      happens-before.
+
+    Each violation is recorded on :attr:`violations`, counted as
+    ``distrib.causal_violations`` (labels ``kind`` / ``region``),
+    emitted as a ``causal.violation`` span event (under the in-flight
+    span, or a dedicated zero-duration ``causal.audit`` span outside
+    one) and handed to the FlightRecorder as an incident dump.
+    """
+
+    def __init__(self, *, observability: Optional["Observability"] = None) -> None:
+        self._observability = observability
+        #: Violation records, in detection order.
+        self.violations: List[Dict[str, Any]] = []
+        #: (cache, key, region) → (delivered-at ms, origin region).
+        self._delivered: Dict[Tuple[str, str, str], Tuple[float, str]] = {}
+        self._flagged: set = set()
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run has been violation-free so far."""
+        return not self.violations
+
+    # -- invalidation bookkeeping --------------------------------------------
+
+    def invalidation_delivered(
+        self, cache: str, key: str, region: str, origin: str, t_ms: float
+    ) -> None:
+        """An invalidation for (cache, key) landed at ``region``."""
+        self._delivered[(cache, key, region)] = (t_ms, origin)
+
+    # -- detectors ------------------------------------------------------------
+
+    def check_cache_read(
+        self,
+        cache: str,
+        key: str,
+        region: str,
+        cached_at_ms: float,
+        t_ms: float,
+    ) -> Optional[Dict[str, Any]]:
+        """Audit an L1 hit: the slot must postdate every delivered
+        invalidation for its key."""
+        delivered = self._delivered.get((cache, key, region))
+        if delivered is None:
+            return None
+        delivered_ms, origin = delivered
+        if not (cached_at_ms < delivered_ms <= t_ms):
+            return None
+        fingerprint = ("stale_read", cache, key, region, delivered_ms)
+        if fingerprint in self._flagged:
+            return None
+        self._flagged.add(fingerprint)
+        return self._flag(
+            "stale_read_after_invalidation",
+            t_ms,
+            cache=cache,
+            key=key,
+            region=region,
+            origin=origin,
+            cached_at_ms=cached_at_ms,
+            invalidated_at_ms=delivered_ms,
+        )
+
+    def check_lww(
+        self,
+        table: str,
+        key: str,
+        region: str,
+        incoming: Optional[CausalStamp],
+        prior: Optional[CausalStamp],
+        t_ms: float,
+    ) -> Optional[Dict[str, Any]]:
+        """Audit an applied LWW merge: the overwritten value's clock
+        must not strictly dominate the winner's."""
+        if incoming is None or prior is None:
+            return None
+        if not vc_dominates(prior.vc, incoming.vc):
+            return None
+        fingerprint = ("lww", table, key, region, incoming.version)
+        if fingerprint in self._flagged:
+            return None
+        self._flagged.add(fingerprint)
+        return self._flag(
+            "lww_causality_inversion",
+            t_ms,
+            table=table,
+            key=key,
+            region=region,
+            winner=incoming.version_label,
+            overwritten=prior.version_label,
+            winner_vc=encode_vc(incoming.vc),
+            overwritten_vc=encode_vc(prior.vc),
+        )
+
+    # -- emission -------------------------------------------------------------
+
+    def _flag(self, kind: str, t_ms: float, **attributes: Any) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": kind, "t_ms": t_ms}
+        record.update(attributes)
+        self.violations.append(record)
+        hub = self._observability
+        if hub is not None:
+            hub.metrics.counter(
+                "distrib.causal_violations",
+                kind=kind,
+                region=str(attributes.get("region", "unknown")),
+            ).inc()
+            tracer = hub.tracer
+            if tracer.enabled:
+                if tracer.current_span is not None:
+                    tracer.event("causal.violation", kind=kind, **attributes)
+                else:
+                    # Events outside any span are dropped; anchor the
+                    # violation under a zero-duration audit span so it
+                    # always reaches the export.
+                    with tracer.span("causal.audit", kind=kind):
+                        tracer.event(
+                            "causal.violation", kind=kind, **attributes
+                        )
+            if hub.flight is not None:
+                hub.flight.trigger("causal.violation", kind=kind, **attributes)
+        return record
+
+    def export_state(self) -> List[Dict[str, Any]]:
+        """Violations in a canonical (sorted-key) form for exports."""
+        return [
+            {key: record[key] for key in sorted(record)}
+            for record in self.violations
+        ]

@@ -41,10 +41,15 @@ class IdempotencyStore:
         *,
         capacity: Optional[int] = None,
         label: str = "default",
+        region: Optional[str] = None,
     ) -> None:
         self._metrics = metrics
         self._capacity = capacity
         self.label = label
+        #: Home region of the guarded component (distrib wiring); adds
+        #: a ``region`` attribute to every ``distrib.dedup`` event so
+        #: suppressions join the cross-region causal graph.
+        self.region = region
         self._results: "OrderedDict[str, Any]" = OrderedDict()
 
     def bind_metrics(self, metrics) -> None:
@@ -89,9 +94,16 @@ class IdempotencyStore:
             ):
                 # The raw key embeds a process-global chain ordinal, so it
                 # stays out of the event — exports must be byte-identical
-                # across same-seed runs within one process too.
+                # across same-seed runs within one process too.  The
+                # chain *tag* (per-runtime ordinal) is reproducible and
+                # makes the suppression joinable in the causal graph.
+                extra: Dict[str, Any] = {}
+                if chain.tag:
+                    extra["chain"] = chain.tag
+                if self.region is not None:
+                    extra["region"] = self.region
                 chain.tracer.event(
-                    "distrib.dedup", store=self.label, **event_attrs
+                    "distrib.dedup", store=self.label, **extra, **event_attrs
                 )
             return self._results[key]
         self._count("distrib.dedup_misses")

@@ -106,17 +106,36 @@ class ReplicatedNotificationTable:
         return len(state["events"]) - state["drained"]
 
     def drain(self, notification_id: str) -> List[Notification]:
-        """Remove and return all queued notifications for an id (FIFO)."""
+        """Remove and return all queued notifications for an id (FIFO).
+
+        A non-empty drain advances the replicated cursor — a home-region
+        write like any other — under a ``notify.drain`` span so the
+        causal analyzer sees the drain (and its replication to peer
+        regions) as one hop.
+        """
         state = self._state(notification_id)
         if state is None:
             return []
         fresh = state["events"][state["drained"]:]
         if fresh:
-            self.backing.put(
-                notification_id,
-                {"events": state["events"], "drained": len(state["events"])},
-                region=self._home,
-            )
+            cursor = {
+                "events": state["events"],
+                "drained": len(state["events"]),
+            }
+            tracer = self.backing._tracer
+            if tracer is not None:
+                with tracer.span(
+                    "notify.drain",
+                    table=self.backing.name,
+                    notification_id=notification_id,
+                    region=self._home,
+                    drained=len(fresh),
+                ):
+                    self.backing.put(
+                        notification_id, cursor, region=self._home
+                    )
+            else:
+                self.backing.put(notification_id, cursor, region=self._home)
         return [
             Notification(notification_id, e["kind"], e["payload"], e["posted_at_ms"])
             for e in fresh

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Set, Tup
 from repro.errors import ProxyReplicaUnavailableError
 from repro.util.clock import Scheduler
 
+from repro.distrib.causal import CausalMonitor, CausalTracker, encode_vc
 from repro.distrib.config import DistribConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -149,6 +150,8 @@ class ReplicatedTable:
         *,
         observability: Optional["Observability"] = None,
         injector: Optional["FaultInjector"] = None,
+        causal: Optional[CausalTracker] = None,
+        monitor: Optional[CausalMonitor] = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -156,6 +159,8 @@ class ReplicatedTable:
         self._partitions = partitions
         self._observability = observability
         self._injector = injector
+        self.causal = causal
+        self.monitor = monitor
         self._replicas: Dict[str, ReplicaState] = {
             region: ReplicaState(region) for region in config.regions
         }
@@ -218,6 +223,25 @@ class ReplicatedTable:
             version=(self._counter, origin),
             updated_at_ms=self._scheduler.clock.now_ms,
         )
+        stamp = None
+        if self.causal is not None:
+            stamp = self.causal.note_write(
+                self.name, key, entry.version, origin, entry.updated_at_ms
+            )
+        tracer = self._tracer
+        if tracer is not None:
+            attributes = {
+                "table": self.name,
+                "key": key,
+                "region": origin,
+                "version": f"{entry.version[0]}@{origin}",
+            }
+            if stamp is not None:
+                attributes["causal.vc"] = encode_vc(stamp.vc)
+            with tracer.span(f"write:{self.name}", **attributes) as span:
+                pass
+            if stamp is not None:
+                stamp.span_ref = f"{span.trace_id}:{span.span_id}"
         self._replicas[origin].merge(entry)
         self._count("distrib.writes", region=origin)
         for peer in self.config.regions:
@@ -250,27 +274,54 @@ class ReplicatedTable:
         if not self._partitions.connected(origin, peer):
             self._count("distrib.replication_deferred", region=peer)
             return
+        prior = self._replicas[peer].get(entry.key)
         if not self._replicas[peer].merge(entry):
             self._count("distrib.replication_stale", region=peer)
             return
-        lag_ms = self._scheduler.clock.now_ms - entry.updated_at_ms
+        now = self._scheduler.clock.now_ms
+        lag_ms = now - entry.updated_at_ms
         self._count("distrib.replication_applied", region=peer)
         metrics = self._metrics
         if metrics is not None:
             metrics.histogram(
                 "distrib.replication_lag_ms", table=self.name, region=peer
             ).observe(lag_ms)
+        stamp = self._audit_merge(entry, prior, peer, now)
         tracer = self._tracer
         if tracer is not None:
-            with tracer.span(
-                f"replicate:{self.name}",
-                table=self.name,
-                key=entry.key,
-                origin=origin,
-                region=peer,
-                lag_ms=lag_ms,
-            ):
+            attributes = {
+                "table": self.name,
+                "key": entry.key,
+                "origin": origin,
+                "region": peer,
+                "lag_ms": lag_ms,
+                "version": f"{entry.version[0]}@{entry.version[1]}",
+            }
+            if stamp is not None:
+                attributes["causal.vc"] = encode_vc(stamp.vc)
+                if stamp.span_ref is not None:
+                    attributes["causal.origin"] = stamp.span_ref
+            with tracer.span(f"replicate:{self.name}", **attributes):
                 pass
+
+    def _audit_merge(self, entry, prior, region: str, now: float):
+        """Happens-before audit + visibility bookkeeping for one applied
+        merge; returns the incoming write's stamp (or ``None``)."""
+        causal = self.causal
+        if causal is None:
+            return None
+        stamp = causal.lookup(self.name, entry.key, entry.version)
+        if self.monitor is not None and prior is not None:
+            self.monitor.check_lww(
+                self.name,
+                entry.key,
+                region,
+                incoming=stamp,
+                prior=causal.lookup(self.name, entry.key, prior.version),
+                t_ms=now,
+            )
+        causal.note_visible(self.name, entry.key, entry.version, region, now)
+        return stamp
 
     # -- reads ----------------------------------------------------------------
 
@@ -294,8 +345,25 @@ class ReplicatedTable:
     def anti_entropy_sweep(self) -> int:
         """One gossip round: every region pulls from ``gossip_fanout``
         seeded-sampled peers, merging whatever is newer.  Returns the
-        number of entries merged; partitions block the pull."""
+        number of entries merged; partitions block the pull.
+
+        The ``gossip:<table>`` span opens *before* the merges so each
+        applied merge can attach a ``gossip.merge`` event (with the
+        origin write's causal stamp) to it; the merge count lands as a
+        span attribute just before the span closes.
+        """
+        tracer = self._tracer
+        span = (
+            tracer.start_span(
+                f"gossip:{self.name}",
+                table=self.name,
+                partitioned=self._partitions.active,
+            )
+            if tracer is not None
+            else None
+        )
         merges = 0
+        merges_by_region: Dict[str, int] = {}
         regions = list(self.config.regions)
         for region in regions:
             peers = [peer for peer in regions if peer != region]
@@ -308,24 +376,38 @@ class ReplicatedTable:
                     continue
                 replica = self._replicas[region]
                 for entry in self._replicas[peer].entries():
-                    if replica.merge(entry):
-                        merges += 1
+                    prior = replica.get(entry.key)
+                    if not replica.merge(entry):
+                        continue
+                    merges += 1
+                    merges_by_region[region] = (
+                        merges_by_region.get(region, 0) + 1
+                    )
+                    now = self._scheduler.clock.now_ms
+                    stamp = self._audit_merge(entry, prior, region, now)
+                    if tracer is not None:
+                        attributes = {
+                            "table": self.name,
+                            "key": entry.key,
+                            "region": region,
+                            "origin": peer,
+                            "version": f"{entry.version[0]}@{entry.version[1]}",
+                        }
+                        if stamp is not None:
+                            attributes["causal.vc"] = encode_vc(stamp.vc)
+                            if stamp.span_ref is not None:
+                                attributes["causal.origin"] = stamp.span_ref
+                        tracer.event("gossip.merge", **attributes)
         self._count("distrib.gossip_sweeps")
-        if merges:
-            metrics = self._metrics
-            if metrics is not None:
+        metrics = self._metrics
+        if metrics is not None:
+            for region in sorted(merges_by_region):
                 metrics.counter(
-                    "distrib.gossip_merges", table=self.name
-                ).inc(merges)
-        tracer = self._tracer
-        if tracer is not None:
-            with tracer.span(
-                f"gossip:{self.name}",
-                table=self.name,
-                merges=merges,
-                partitioned=self._partitions.active,
-            ):
-                pass
+                    "distrib.gossip_merges", table=self.name, region=region
+                ).inc(merges_by_region[region])
+        if span is not None:
+            span.set_attribute("merges", merges)
+            tracer.end_span(span)
         return merges
 
     # -- inspection -----------------------------------------------------------

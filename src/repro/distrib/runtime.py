@@ -35,6 +35,7 @@ from repro.distrib.cache import (
     TieredLocationFixCache,
     TieredPropertyReadCache,
 )
+from repro.distrib.causal import CausalMonitor, CausalTracker
 from repro.distrib.config import DistribConfig
 from repro.distrib.idempotency import IdempotencyStore
 from repro.distrib.notifications import ReplicatedNotificationTable
@@ -67,12 +68,26 @@ class DistribRuntime:
         self._location_caches: Dict[str, TieredLocationFixCache] = {}
         self._property_cache: Optional[TieredPropertyReadCache] = None
         self._notifications: Optional[ReplicatedNotificationTable] = None
+        #: Shared per-region vector clocks + write visibility tracking —
+        #: one tracker orders events across every table and cache.
+        self.causal = CausalTracker(
+            config.regions,
+            metrics=observability.metrics if observability else None,
+        )
+        #: The happens-before audit (stale reads, LWW inversions).
+        self.monitor = CausalMonitor(observability=observability)
         self.idempotency = IdempotencyStore(
             observability.metrics if observability else None,
             capacity=config.idempotency_capacity,
             label="distrib",
+            region=config.home_region,
         )
-        self.sagas = SagaOrchestrator(scheduler, observability=observability)
+        self.sagas = SagaOrchestrator(
+            scheduler,
+            observability=observability,
+            region=config.home_region,
+            causal=self.causal,
+        )
         self._last_sweep_ms = scheduler.clock.now_ms
 
     # -- wiring ---------------------------------------------------------------
@@ -105,6 +120,8 @@ class DistribRuntime:
                 self.partitions,
                 observability=self.observability,
                 injector=self._injector,
+                causal=self.causal,
+                monitor=self.monitor,
             )
             self._tables[name] = table
         return table
@@ -126,6 +143,8 @@ class DistribRuntime:
                 self.partitions,
                 loader=loader,
                 observability=self.observability,
+                causal=self.causal,
+                monitor=self.monitor,
             )
             self._caches[name] = cache
         elif loader is not None and cache._loader is None:
@@ -266,6 +285,13 @@ class DistribRuntime:
                 for name in sorted(self._tables)
             },
             "partitions": [list(edge) for edge in self.partitions.edges()],
+            "causal": {
+                "clocks": {
+                    region: dict(sorted(clock.items()))
+                    for region, clock in self.causal.clocks().items()
+                },
+                "violations": self.monitor.export_state(),
+            },
             # Count only: the raw keys embed a process-global chain
             # ordinal that would differ between same-seed runs sharing
             # one interpreter.

@@ -19,7 +19,14 @@ Tracing: each saga is one span tree — ``saga:<name>`` wrapping
 ``saga.step.failed`` / ``saga.completed`` / ``saga.compensated``
 events, so ``python -m repro.obs distrib`` can fold a trace into a
 saga table.  Metrics: ``distrib.sagas_started`` / ``_completed`` /
-``_compensated`` and ``distrib.saga_steps``.
+``_compensated`` and ``distrib.saga_steps`` (labelled with the home
+``region`` when the orchestrator is mounted region-aware).
+
+Causal joinability: a region-aware orchestrator stamps the ``saga:``
+span with ``region``, the vector clock at begin time (``causal.vc``)
+and — when the saga runs inside an open attempt chain — the chain's
+deterministic ``chain`` tag, so the causal analyzer can stitch retried
+saga attempts and their replicated writes into one cross-region graph.
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProxyError
 from repro.util.clock import Scheduler
+from repro.util.idempotency import current_chain
+
+from repro.distrib.causal import CausalTracker, encode_vc
 
 
 @dataclass(frozen=True)
@@ -82,8 +92,11 @@ class SagaExecution:
         orch = self._orchestrator
         orch._count("distrib.saga_steps", saga=self.name)
         tracer = orch._tracer
+        step_attrs: Dict[str, Any] = {"saga": self.name}
+        if orch.region is not None:
+            step_attrs["region"] = orch.region
         step_span = (
-            tracer.start_span(f"saga.step:{step.name}", saga=self.name)
+            tracer.start_span(f"saga.step:{step.name}", **step_attrs)
             if tracer is not None
             else None
         )
@@ -135,12 +148,15 @@ class SagaExecution:
         self.status = "compensated"
         orch = self._orchestrator
         tracer = orch._tracer
+        comp_attrs: Dict[str, Any] = {"saga": self.name, "reason": reason}
+        if orch.region is not None:
+            comp_attrs["region"] = orch.region
         for step, result in reversed(self.completed_steps):
             if step.compensation is None:
                 continue
             if tracer is not None:
                 with tracer.span(
-                    f"saga.compensate:{step.name}", saga=self.name, reason=reason
+                    f"saga.compensate:{step.name}", **comp_attrs
                 ):
                     step.compensation(result)
             else:
@@ -159,11 +175,27 @@ class SagaExecution:
 
 
 class SagaOrchestrator:
-    """Begins, runs and recovers sagas on the shared virtual clock."""
+    """Begins, runs and recovers sagas on the shared virtual clock.
 
-    def __init__(self, scheduler: Scheduler, *, observability=None) -> None:
+    ``region`` (optional) is the home region sagas execute in — it
+    labels every saga metric and span so timelines group by region;
+    ``causal`` (optional) is the tier's shared
+    :class:`~repro.distrib.causal.CausalTracker`, ticked at saga begin
+    so the ``saga:`` span carries the vector clock of its start.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        observability=None,
+        region: Optional[str] = None,
+        causal: Optional[CausalTracker] = None,
+    ) -> None:
         self._scheduler = scheduler
         self._observability = observability
+        self.region = region
+        self.causal = causal
         self._seq = 0
         self.executions: List[SagaExecution] = []
 
@@ -174,6 +206,8 @@ class SagaOrchestrator:
 
     def _count(self, metric: str, **labels: Any) -> None:
         if self._observability is not None:
+            if self.region is not None:
+                labels.setdefault("region", self.region)
             self._observability.metrics.counter(metric, **labels).inc()
 
     def begin(self, name: str) -> SagaExecution:
@@ -187,9 +221,17 @@ class SagaOrchestrator:
         self._count("distrib.sagas_started", saga=name)
         tracer = self._tracer
         if tracer is not None:
-            execution._span = tracer.start_span(
-                f"saga:{name}", saga=name, saga_id=self._seq
-            )
+            attributes: Dict[str, Any] = {"saga": name, "saga_id": self._seq}
+            if self.region is not None:
+                attributes["region"] = self.region
+                if self.causal is not None:
+                    attributes["causal.vc"] = encode_vc(
+                        self.causal.tick(self.region)
+                    )
+            chain = current_chain()
+            if chain is not None and getattr(chain, "tag", None):
+                attributes["chain"] = chain.tag
+            execution._span = tracer.start_span(f"saga:{name}", **attributes)
         return execution
 
     def run(self, name: str, steps: Sequence[SagaStep]) -> SagaExecution:

@@ -56,6 +56,7 @@ from repro.obs.flight import FlightRecorder, render_flight_text
 from repro.obs.timeline import ShardTimelines
 from repro.obs.timeseries import TimeSeries, TimeSeriesSampler
 from repro.obs.analyze import (
+    CausalReport,
     CriticalPath,
     LayerDelta,
     OperationProfile,
@@ -69,6 +70,7 @@ from repro.obs.analyze import (
     load_profile,
     parse_jsonl,
     records_to_jsonl,
+    render_causal_text,
     render_profile_text,
     top_spans_text,
 )
@@ -183,6 +185,7 @@ class Observability:
 
 
 __all__ = [
+    "CausalReport",
     "Counter",
     "CriticalPath",
     "FlightRecorder",
@@ -221,6 +224,7 @@ __all__ = [
     "quantile_label",
     "records_to_jsonl",
     "registry_report",
+    "render_causal_text",
     "render_flight_text",
     "render_metrics_text",
     "render_profile_text",

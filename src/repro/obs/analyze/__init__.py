@@ -24,7 +24,10 @@ native call (Figure 10) — directly from traces:
   ``docs/ADMISSION.md``);
 * :mod:`repro.obs.analyze.distrib` — replication-lag / dedup / saga
   tables folded from the distributed tier's spans and events (see
-  ``docs/DISTRIBUTION.md``).
+  ``docs/DISTRIBUTION.md``);
+* :mod:`repro.obs.analyze.causal` — the cross-region happens-before
+  graph: write→visibility latency percentiles, gossip convergence
+  paths, saga decomposition and the causality-violation audit.
 
 The determinism contract extends here: no wall-clock reads, no
 unseeded RNGs (policed by ``tests/chaos/test_determinism_lint.py``,
@@ -32,11 +35,16 @@ whose scope includes all of ``obs/``) — two identically-seeded runs
 produce byte-identical profiles.
 
 CLI: ``python -m repro.obs {profile,slo,diff,timeline,critical-path,
-flight,admission,distrib}`` operates on exported JSONL trace files (see
-``docs/PERFORMANCE.md``).
+flight,admission,distrib,causal}`` operates on exported JSONL trace
+files (see ``docs/PERFORMANCE.md``).
 """
 
 from repro.obs.analyze.admission import AdmissionReport, render_admission_text
+from repro.obs.analyze.causal import (
+    CAUSAL_SCHEMA,
+    CausalReport,
+    render_causal_text,
+)
 from repro.obs.analyze.distrib import DistribReport, render_distrib_text
 from repro.obs.analyze.critical_path import (
     CRITICAL_PATH_SCHEMA,
@@ -69,7 +77,9 @@ from repro.obs.quantiles import (
 
 __all__ = [
     "AdmissionReport",
+    "CAUSAL_SCHEMA",
     "CRITICAL_PATH_SCHEMA",
+    "CausalReport",
     "CriticalPath",
     "DEFAULT_QUANTILES",
     "DistribReport",
@@ -91,6 +101,7 @@ __all__ = [
     "quantile_label",
     "records_to_jsonl",
     "render_admission_text",
+    "render_causal_text",
     "render_distrib_text",
     "render_profile_text",
     "top_spans_text",

@@ -1,6 +1,6 @@
 """``python -m repro.obs`` — trace analytics from the command line.
 
-Eight subcommands, all operating on exported JSONL trace files (or, for
+Nine subcommands, all operating on exported JSONL trace files (or, for
 ``diff``, saved profile / BENCH documents; for ``flight``, a saved
 flight-recorder document).  Every subcommand follows one convention: a
 positional ``trace`` input plus ``--format {text,json}`` (``--json`` is
@@ -21,7 +21,10 @@ the shorthand), so scripts can pipe any analysis as JSON.
 * ``admission`` — shed / throttle / autoscale breakdown from the
   admission plane's span events;
 * ``distrib`` — replication-lag / dedup / saga tables from the
-  distributed tier's spans and events.
+  distributed tier's spans and events;
+* ``causal`` — the cross-region happens-before graph: visibility
+  latency, convergence paths, saga decomposition and the
+  causality-violation audit (``--gate`` fails on violations/cycles).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import json
 from typing import List, Optional, Sequence, Tuple
 
 from repro.obs.analyze.admission import AdmissionReport, render_admission_text
+from repro.obs.analyze.causal import CausalReport, render_causal_text
 from repro.obs.analyze.critical_path import CriticalPath
 from repro.obs.analyze.distrib import DistribReport, render_distrib_text
 from repro.obs.analyze.diff import (
@@ -60,6 +64,7 @@ COMMANDS: Tuple[Tuple[str, str], ...] = (
     ("flight", "render a saved flight-recorder incident document"),
     ("admission", "shed/throttle/autoscale breakdown from a trace"),
     ("distrib", "replication-lag/dedup/saga breakdown from a trace"),
+    ("causal", "cross-region happens-before graph and consistency audit"),
 )
 
 
@@ -165,6 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
     distrib.add_argument("trace", help="JSONL trace export")
     distrib.add_argument("--out", metavar="PATH",
                          help="also save the JSON report to PATH")
+
+    causal = commands.add_parser(
+        "causal", help=helps["causal"], parents=[parent]
+    )
+    causal.add_argument("trace", help="JSONL trace export")
+    causal.add_argument("--out", metavar="PATH",
+                        help="also save the JSON report to PATH")
+    causal.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 on causal violations or a happens-before cycle",
+    )
     return parser
 
 
@@ -290,6 +306,20 @@ def _cmd_distrib(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_causal(args: argparse.Namespace) -> int:
+    report = CausalReport.from_records(parse_jsonl(_read(args.trace)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(render_causal_text(report))
+    if args.gate and (report.violations or not report.acyclic):
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     handlers = {
@@ -301,5 +331,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "flight": _cmd_flight,
         "admission": _cmd_admission,
         "distrib": _cmd_distrib,
+        "causal": _cmd_causal,
     }
     return handlers[args.command](args)

@@ -97,8 +97,12 @@ class ConcurrencyRuntime:
         runtime's read caches become region-aware tiered caches, a
         :class:`~repro.distrib.runtime.DistribRuntime` is exposed as
         ``self.distrib``, and its anti-entropy gossip tick rides the
-        cooperative scheduler's drain instants.  ``None`` (the
-        default) keeps the single-node caches.
+        cooperative scheduler's drain instants.  Every cross-region hop
+        the tier makes is causally stamped (``causal.vc`` /
+        ``causal.origin`` span attributes, per-region vector clocks) and
+        audited for happens-before violations — see the ``causal``
+        section of ``docs/OBSERVABILITY.md``.  ``None`` (the default)
+        keeps the single-node caches.
     """
 
     def __init__(

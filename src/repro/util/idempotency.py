@@ -29,13 +29,23 @@ from typing import Iterator, List, Optional
 
 class ChainContext:
     """One open attempt chain: the dedup key plus the tracer whose
-    in-flight span should receive ``distrib.dedup`` events."""
+    in-flight span should receive ``distrib.dedup`` events.
 
-    __slots__ = ("key", "tracer")
+    ``tag`` is the chain's *trace-joinable* identity: where ``key``
+    embeds the process-global ordinal below (unique, but different
+    between two same-seed runs sharing one interpreter), the tag is
+    minted from a per-runtime counter — deterministic per run — so it
+    is safe to stamp on spans and events.  The causal analyzer uses it
+    to stitch a retried attempt chain's dedup hits and saga spans
+    together.
+    """
 
-    def __init__(self, key: str, tracer=None) -> None:
+    __slots__ = ("key", "tracer", "tag")
+
+    def __init__(self, key: str, tracer=None, tag: Optional[str] = None) -> None:
         self.key = key
         self.tracer = tracer
+        self.tag = tag
 
 
 _STACK: List[ChainContext] = []
@@ -63,16 +73,18 @@ def current_chain() -> Optional[ChainContext]:
 
 
 @contextlib.contextmanager
-def chain_context(key: str, tracer=None) -> Iterator[ChainContext]:
+def chain_context(
+    key: str, tracer=None, tag: Optional[str] = None
+) -> Iterator[ChainContext]:
     """Open an attempt chain for one logical invocation.
 
     Re-entrant: when a chain is already open the existing context is
-    reused (see the nesting rule above) and ``key`` is ignored.
+    reused (see the nesting rule above) and ``key``/``tag`` are ignored.
     """
     if _STACK:
         yield _STACK[-1]
         return
-    context = ChainContext(key, tracer)
+    context = ChainContext(key, tracer, tag)
     _STACK.append(context)
     try:
         yield context

@@ -381,3 +381,90 @@ class TestDistribCommand:
         assert main(["distrib", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "no distrib activity in this trace" in out
+
+
+@pytest.fixture
+def causal_trace_path(tmp_path):
+    """A write, its replication apply, and a dedup suppression."""
+    records = [
+        distrib_record(1, "write:reports", {
+            "table": "reports", "key": "agent-1", "version": "1@ap-south",
+            "region": "ap-south", "causal.vc": "ap-south:1",
+        }),
+        {
+            "name": "replicate:reports", "span_id": 2,
+            "start_virtual_ms": 250.0, "end_virtual_ms": 250.0,
+            "status": "ok", "events": [],
+            "attributes": {
+                "table": "reports", "key": "agent-1",
+                "version": "1@ap-south", "region": "eu-west",
+                "lag_ms": 250.0, "causal.origin": "None:1",
+                "causal.vc": "ap-south:1",
+            },
+        },
+        distrib_record(3, "resilience:post", {"platform": "android"}, [
+            {"name": "distrib.dedup", "t_virtual_ms": 1.0,
+             "attributes": {"store": "network", "chain": "Http:post#1",
+                            "region": "ap-south"}},
+        ]),
+    ]
+    path = tmp_path / "causal.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+@pytest.fixture
+def violation_trace_path(tmp_path):
+    records = [
+        distrib_record(1, "causal.audit", {"kind": "lww_causality_inversion"}, [
+            {"name": "causal.violation", "t_virtual_ms": 3.0,
+             "attributes": {"kind": "lww_causality_inversion",
+                            "table": "t", "key": "k", "region": "eu-west",
+                            "winner": "2@eu-west",
+                            "overwritten": "1@ap-south"}},
+        ]),
+    ]
+    path = tmp_path / "violation.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestCausalCommand:
+    def test_text_output(self, causal_trace_path, capsys):
+        assert main(["causal", str(causal_trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "acyclic" in out
+        assert "reports/eu-west" in out
+        assert "audit: clean" in out
+        assert "dedup chains joined: 1" in out
+
+    def test_json_and_out_file(self, causal_trace_path, tmp_path, capsys):
+        out_path = tmp_path / "causal.json"
+        assert main([
+            "causal", str(causal_trace_path),
+            "--json", "--out", str(out_path),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.obs.causal/v1"
+        assert payload["writes"] == 1
+        assert payload["visibility"]["reports/eu-west"]["count"] == 1
+        assert payload["visibility"]["reports/eu-west"]["max_ms"] == 250.0
+        assert payload["graph"]["acyclic"] is True
+        assert payload["dedup_chains"] == {"Http:post#1": 1}
+
+    def test_gate_passes_clean_trace(self, causal_trace_path):
+        assert main(["causal", str(causal_trace_path), "--gate"]) == 0
+
+    def test_gate_fails_on_violation(self, violation_trace_path, capsys):
+        assert main(["causal", str(violation_trace_path)]) == 0
+        assert main(["causal", str(violation_trace_path), "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS: 1" in out
+        assert "lww_causality_inversion" in out

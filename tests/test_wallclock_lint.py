@@ -34,6 +34,7 @@ CONCURRENCY_OBS_MODULES = (
     "obs/timeseries.py",
     "obs/flight.py",
     "obs/analyze/critical_path.py",
+    "obs/analyze/causal.py",
 )
 
 #: The distributed tier is pure virtual-time simulation — replication
@@ -46,6 +47,7 @@ DISTRIB_MODULES = (
     "distrib/saga.py",
     "distrib/notifications.py",
     "distrib/runtime.py",
+    "distrib/causal.py",
 )
 
 FORBIDDEN = (
