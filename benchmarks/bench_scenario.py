@@ -1,0 +1,116 @@
+"""Scenario replay throughput and the record/replay cost profile.
+
+The record/replay loop is the repo's cross-platform acceptance gate, so
+its cost is a first-class number: if replaying the bundled library gets
+slow, every CI run and every conformance check pays for it.  Recorded
+in ``BENCH_scenario.json``:
+
+* ``metrics`` (deterministic) — per-scenario step/outcome counts,
+  recording sizes in bytes, virtual milliseconds simulated, and the
+  declared/undeclared divergence counts over the full
+  scenario × platform replay matrix (the undeclared count must be 0 —
+  this benchmark doubles as the acceptance sweep);
+* ``measured`` (wall-clock) — record and replay throughput in
+  scenarios/second over the bundled library, and the full-matrix sweep
+  time.  Excluded under ``REPRO_BENCH_DETERMINISTIC=1``.
+"""
+
+import os
+import time
+
+from repro.bench.results import BenchResult, write_bench_result
+from repro.scenario import build, names, record, replay
+from repro.scenario.divergence import PLATFORMS
+
+#: Wall-clock throughput reps (kept small: CI smoke, not a soak).
+RECORD_REPS = 3
+
+
+def _virtual_ms(scenario) -> float:
+    return sum(
+        step.delta_ms for step in scenario.steps if step.kind == "advance"
+    )
+
+
+def test_scenario_bench():
+    recordings = {name: record(build(name)) for name in names()}
+
+    per_scenario = {}
+    declared_total = 0
+    undeclared_total = 0
+    sweep_start = time.perf_counter()  # wall-clock: measurement
+    for name, base in recordings.items():
+        declared = 0
+        undeclared = 0
+        for platform in PLATFORMS:
+            diff = replay(base, platform=platform).diff
+            declared += len(diff.declared)
+            undeclared += len(diff.undeclared)
+        declared_total += declared
+        undeclared_total += undeclared
+        per_scenario[name] = {
+            "steps": len(base.scenario.steps),
+            "outcomes": len(base.outcomes),
+            "recording_bytes": len(base.to_jsonl().encode("utf-8")),
+            "virtual_ms": _virtual_ms(base.scenario),
+            "declared_divergences": declared,
+            "undeclared_divergences": undeclared,
+        }
+    sweep_s = time.perf_counter() - sweep_start  # wall-clock: measurement
+
+    # The acceptance sweep: the whole matrix must be divergence-clean
+    # apart from declared gaps.
+    assert undeclared_total == 0, per_scenario
+    assert declared_total >= 1  # the S60 Call gap must be exercised
+
+    start = time.perf_counter()  # wall-clock: measurement
+    for _ in range(RECORD_REPS):
+        for name in names():
+            record(build(name))
+    record_s = time.perf_counter() - start  # wall-clock: measurement
+
+    start = time.perf_counter()  # wall-clock: measurement
+    for _ in range(RECORD_REPS):
+        for base in recordings.values():
+            replay(base)
+    replay_s = time.perf_counter() - start  # wall-clock: measurement
+
+    runs = RECORD_REPS * len(recordings)
+    result = BenchResult(
+        name="scenario",
+        params={
+            "scenarios": sorted(recordings),
+            "platforms": list(PLATFORMS),
+            "record_reps": RECORD_REPS,
+        },
+        metrics={
+            "per_scenario": per_scenario,
+            "matrix": {
+                "replays": len(recordings) * len(PLATFORMS),
+                "declared_divergences": declared_total,
+                "undeclared_divergences": undeclared_total,
+            },
+        },
+        measured={
+            "record_per_s": round(runs / record_s, 2),
+            "replay_per_s": round(runs / replay_s, 2),
+            "matrix_sweep_s": round(sweep_s, 4),
+        },
+    )
+    path = write_bench_result(
+        result,
+        include_measured=not os.environ.get("REPRO_BENCH_DETERMINISTIC"),
+    )
+    print(f"\nwrote {path}")
+    print(
+        f"record {result.measured['record_per_s']}/s, "
+        f"replay {result.measured['replay_per_s']}/s, "
+        f"matrix sweep {result.measured['matrix_sweep_s']}s"
+    )
+
+
+def test_scenario_bench_determinism():
+    """Same seed → byte-identical recordings and metrics halves."""
+    first = {name: record(build(name)).to_jsonl() for name in names()}
+    second = {name: record(build(name)).to_jsonl() for name in names()}
+    assert first == second

@@ -24,7 +24,10 @@ the shorthand), so scripts can pipe any analysis as JSON.
   distributed tier's spans and events;
 * ``causal`` — the cross-region happens-before graph: visibility
   latency, convergence paths, saga decomposition and the
-  causality-violation audit (``--gate`` fails on violations/cycles).
+  causality-violation audit (``--gate`` fails on violations/cycles);
+* ``scenario`` — record/replay declarative cross-platform scenarios and
+  diff recordings against the declared-divergence table (``--gate``
+  fails on undeclared divergences; see ``docs/SCENARIOS.md``).
 """
 
 from __future__ import annotations
@@ -65,6 +68,7 @@ COMMANDS: Tuple[Tuple[str, str], ...] = (
     ("admission", "shed/throttle/autoscale breakdown from a trace"),
     ("distrib", "replication-lag/dedup/saga breakdown from a trace"),
     ("causal", "cross-region happens-before graph and consistency audit"),
+    ("scenario", "record/replay cross-platform scenarios; divergence gate"),
 )
 
 
@@ -180,6 +184,52 @@ def build_parser() -> argparse.ArgumentParser:
     causal.add_argument(
         "--gate", action="store_true",
         help="exit 1 on causal violations or a happens-before cycle",
+    )
+
+    scenario = commands.add_parser("scenario", help=helps["scenario"])
+    actions = scenario.add_subparsers(dest="scenario_command", required=True)
+    actions.add_parser(
+        "list", help="list the bundled scenario library", parents=[parent]
+    )
+    sc_record = actions.add_parser(
+        "record", help="record a scenario into a JSONL recording",
+        parents=[parent],
+    )
+    sc_record.add_argument(
+        "scenario", help="bundled scenario name or scenario JSON file"
+    )
+    sc_record.add_argument(
+        "--platform", metavar="NAME", default=None,
+        help="record on this platform (default: the scenario's own)",
+    )
+    sc_record.add_argument("--out", metavar="PATH",
+                           help="write the JSONL recording to PATH")
+    sc_replay = actions.add_parser(
+        "replay", help="replay a recording on a platform and diff",
+        parents=[parent],
+    )
+    sc_replay.add_argument("recording", help="JSONL scenario recording")
+    sc_replay.add_argument(
+        "--platform", metavar="NAME", default=None,
+        help="replay on this platform (default: the recording's own)",
+    )
+    sc_replay.add_argument("--out", metavar="PATH",
+                           help="also save the JSON diff document to PATH")
+    sc_replay.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 on any undeclared divergence",
+    )
+    sc_diff = actions.add_parser(
+        "diff", help="diff two recordings of the same scenario",
+        parents=[parent],
+    )
+    sc_diff.add_argument("base", help="baseline JSONL scenario recording")
+    sc_diff.add_argument("other", help="candidate JSONL scenario recording")
+    sc_diff.add_argument("--out", metavar="PATH",
+                         help="also save the JSON diff document to PATH")
+    sc_diff.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 on any undeclared divergence",
     )
     return parser
 
@@ -320,6 +370,87 @@ def _cmd_causal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_scenario(spec: str):
+    """A bundled library name, or a path to a scenario JSON document."""
+    import os
+
+    from repro.scenario import LIBRARY, Scenario, build
+
+    if spec in LIBRARY:
+        return build(spec)
+    if os.path.exists(spec):
+        return Scenario.from_dict(json.loads(_read(spec)))
+    raise SystemExit(
+        f"unknown scenario {spec!r}: not a bundled name "
+        f"({', '.join(sorted(LIBRARY))}) and not a file"
+    )
+
+
+def _emit_diff(diff, args: argparse.Namespace) -> int:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(diff.to_json())
+    if args.format == "json":
+        print(diff.to_json(), end="")
+    else:
+        print(diff.render_text())
+    if args.gate and not diff.passed:
+        return 1
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import (
+        LIBRARY,
+        ScenarioRecording,
+        diff_recordings,
+        replay,
+    )
+    from repro.scenario import record as record_scenario
+
+    if args.scenario_command == "list":
+        entries = [
+            {"name": name, "platform": (s := LIBRARY[name]()).platform,
+             "steps": len(s.steps), "description": s.description}
+            for name in sorted(LIBRARY)
+        ]
+        if args.format == "json":
+            print(json.dumps(entries, sort_keys=True, indent=2))
+        else:
+            for entry in entries:
+                print(
+                    f"{entry['name']:<18} {entry['platform']:<8} "
+                    f"{entry['steps']:>2} steps  {entry['description']}"
+                )
+        return 0
+    if args.scenario_command == "record":
+        recording = record_scenario(
+            _load_scenario(args.scenario), platform=args.platform
+        )
+        text = recording.to_jsonl()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(
+                f"recorded {recording.scenario.name} on "
+                f"{recording.platform}: {len(recording.outcomes)} outcomes "
+                f"-> {args.out}"
+            )
+        else:
+            print(text, end="")
+        return 0
+    if args.scenario_command == "replay":
+        base = ScenarioRecording.parse(_read(args.recording))
+        result = replay(base, platform=args.platform)
+        return _emit_diff(result.diff, args)
+    # diff
+    diff = diff_recordings(
+        ScenarioRecording.parse(_read(args.base)),
+        ScenarioRecording.parse(_read(args.other)),
+    )
+    return _emit_diff(diff, args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     handlers = {
@@ -332,5 +463,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "admission": _cmd_admission,
         "distrib": _cmd_distrib,
         "causal": _cmd_causal,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)

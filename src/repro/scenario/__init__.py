@@ -1,0 +1,105 @@
+"""Scenario record/replay: the cross-platform test driver.
+
+MobiVine's core promise is that *the platform is an implementation
+detail*.  This package turns that promise into a general mechanism: an
+app flow is described once as a declarative
+:class:`~repro.scenario.model.Scenario` (proxied calls, callback
+expectations, fault-plan windows, virtual-clock advances, assertions),
+**recorded** against one platform into a seeded, byte-stable
+:class:`~repro.scenario.recording.ScenarioRecording` (JSONL), and
+**replayed** against any other — including a platform hot-registered
+mid-replay — producing a structured
+:class:`~repro.scenario.diff.ScenarioDiff` in which every divergence is
+either matched against the declared-divergence table
+(:mod:`~repro.scenario.divergence`, generalizing the paper's S60 Call
+gap) or reported as a failure.
+
+The bundled library (:mod:`~repro.scenario.library`) ships six recorded
+flows under ``tests/scenarios/``; the conformance suite and the CI
+recorded-scenario gate are both thin consumers of the replayer.  CLI:
+``python -m repro.obs scenario {list,record,replay,diff}`` (see
+``docs/SCENARIOS.md``).
+"""
+
+from repro.scenario.diff import (
+    DIFF_SCHEMA,
+    ScenarioDiff,
+    StepDivergence,
+    diff_recordings,
+)
+from repro.scenario.divergence import (
+    DECLARED_DIVERGENCES,
+    DeclaredDivergence,
+    expected_divergences,
+    find_declaration,
+    is_declared,
+)
+from repro.scenario.driver import (
+    SCENARIO_DRIVERS,
+    ScenarioWorld,
+    build_world,
+    normalized_shape,
+    register_scenario_driver,
+    unregister_scenario_driver,
+)
+from repro.scenario.library import LIBRARY, build, names
+from repro.scenario.model import (
+    AdvanceStep,
+    AssertStep,
+    BurstStep,
+    CallStep,
+    CallbacksStep,
+    RuntimeSpec,
+    SagaFlowStep,
+    Scenario,
+    ScenarioEnv,
+    SCENARIO_SCHEMA,
+)
+from repro.scenario.recorder import canonical_result, execute, record
+from repro.scenario.recording import (
+    RECORDING_SCHEMA,
+    ScenarioRecording,
+    shape_to_list,
+    shape_to_tuple,
+)
+from repro.scenario.replay import ReplayResult, replay
+
+__all__ = [
+    "AdvanceStep",
+    "AssertStep",
+    "BurstStep",
+    "CallStep",
+    "CallbacksStep",
+    "DECLARED_DIVERGENCES",
+    "DIFF_SCHEMA",
+    "DeclaredDivergence",
+    "LIBRARY",
+    "RECORDING_SCHEMA",
+    "ReplayResult",
+    "RuntimeSpec",
+    "SCENARIO_DRIVERS",
+    "SCENARIO_SCHEMA",
+    "SagaFlowStep",
+    "Scenario",
+    "ScenarioDiff",
+    "ScenarioEnv",
+    "ScenarioRecording",
+    "ScenarioWorld",
+    "StepDivergence",
+    "build",
+    "build_world",
+    "canonical_result",
+    "diff_recordings",
+    "execute",
+    "expected_divergences",
+    "find_declaration",
+    "is_declared",
+    "names",
+    "normalized_shape",
+    "record",
+    "register_scenario_driver",
+    "replay",
+    "shape_to_list",
+    "shape_to_tuple",
+    "unregister_scenario_driver",
+]

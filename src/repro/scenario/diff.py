@@ -1,0 +1,225 @@
+"""Structured diffs between two scenario recordings.
+
+:func:`diff_recordings` aligns two recordings of the same scenario step
+by step and compares every outcome field — results, uniform error
+codes, normalized span shapes, callback event sequences, admission
+ladders, saga statuses.  Each divergence is looked up in the declared
+divergence table (:mod:`~repro.scenario.divergence`): a declared one is
+reported with its reason and does not fail the diff; an **undeclared**
+one does.
+
+The report is deterministic and byte-stable (:meth:`ScenarioDiff.to_json`),
+so CI can commit/upload ``SCENARIO_DIFF_*.json`` artifacts and gate on
+``python -m repro.obs scenario diff --gate``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenario.divergence import (
+    DECLARED_DIVERGENCES,
+    DeclaredDivergence,
+    is_declared,
+)
+from repro.scenario.recording import ScenarioRecording, round_floats
+
+#: Schema tag for serialized diff documents.
+DIFF_SCHEMA = "repro.scenario-diff/v1"
+
+#: Bookkeeping keys never compared as behaviour.
+_META_KEYS = ("step", "kind", "probe")
+
+
+@dataclass(frozen=True)
+class StepDivergence:
+    """One per-step, per-field behaviour gap between two recordings."""
+
+    step_id: str
+    probe: str
+    field: str
+    base: Any
+    other: Any
+    declared: bool
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step_id": self.step_id,
+            "probe": self.probe,
+            "field": self.field,
+            "base": self.base,
+            "other": self.other,
+            "declared": self.declared,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioDiff:
+    """Every divergence between a base recording and another run."""
+
+    scenario: str
+    base_platform: str
+    other_platform: str
+    steps_compared: int
+    divergences: Tuple[StepDivergence, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "divergences", tuple(self.divergences))
+
+    @property
+    def undeclared(self) -> Tuple[StepDivergence, ...]:
+        return tuple(d for d in self.divergences if not d.declared)
+
+    @property
+    def declared(self) -> Tuple[StepDivergence, ...]:
+        return tuple(d for d in self.divergences if d.declared)
+
+    @property
+    def passed(self) -> bool:
+        """Zero undeclared divergences (declared ones are sanctioned)."""
+        return not self.undeclared
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": DIFF_SCHEMA,
+            "scenario": self.scenario,
+            "base_platform": self.base_platform,
+            "other_platform": self.other_platform,
+            "steps_compared": self.steps_compared,
+            "passed": self.passed,
+            "declared": [d.to_dict() for d in self.declared],
+            "undeclared": [d.to_dict() for d in self.undeclared],
+        }
+
+    def to_json(self) -> str:
+        return (
+            json.dumps(round_floats(self.to_dict()), sort_keys=True, indent=2)
+            + "\n"
+        )
+
+    def render_text(self) -> str:
+        lines = [
+            f"scenario {self.scenario}: {self.base_platform} vs "
+            f"{self.other_platform} — {self.steps_compared} steps, "
+            f"{len(self.declared)} declared / "
+            f"{len(self.undeclared)} undeclared divergences "
+            f"[{'PASS' if self.passed else 'FAIL'}]"
+        ]
+        for divergence in self.divergences:
+            marker = "declared" if divergence.declared else "UNDECLARED"
+            lines.append(
+                f"  {divergence.step_id} ({divergence.probe}) "
+                f"{divergence.field}: {divergence.base!r} -> "
+                f"{divergence.other!r} [{marker}]"
+            )
+            if divergence.reason:
+                lines.append(f"    reason: {divergence.reason}")
+        return "\n".join(lines)
+
+
+def _compare_step(
+    step_id: str,
+    probe: str,
+    base_outcome: Dict[str, Any],
+    other_outcome: Dict[str, Any],
+    base_platform: str,
+    other_platform: str,
+    registry: Sequence[DeclaredDivergence],
+) -> List[StepDivergence]:
+    found: List[StepDivergence] = []
+    fields = sorted(
+        (set(base_outcome) | set(other_outcome)) - set(_META_KEYS)
+    )
+    for field_name in fields:
+        base_value = base_outcome.get(field_name)
+        other_value = other_outcome.get(field_name)
+        if base_value == other_value:
+            continue
+        declaration = is_declared(
+            probe,
+            field_name,
+            base_platform,
+            base_value,
+            other_platform,
+            other_value,
+            registry,
+        )
+        found.append(
+            StepDivergence(
+                step_id=step_id,
+                probe=probe,
+                field=field_name,
+                base=base_value,
+                other=other_value,
+                declared=declaration is not None,
+                reason=declaration.reason if declaration is not None else "",
+            )
+        )
+    return found
+
+
+def diff_recordings(
+    base: ScenarioRecording,
+    other: ScenarioRecording,
+    registry: Sequence[DeclaredDivergence] = DECLARED_DIVERGENCES,
+) -> ScenarioDiff:
+    """Per-step structured diff of two runs of the same scenario."""
+    if base.scenario.name != other.scenario.name:
+        raise ConfigurationError(
+            f"cannot diff recordings of different scenarios: "
+            f"{base.scenario.name!r} vs {other.scenario.name!r}"
+        )
+    divergences: List[StepDivergence] = []
+    other_by_id = {outcome["step"]: outcome for outcome in other.outcomes}
+    compared = 0
+    for base_outcome in base.outcomes:
+        step_id = base_outcome["step"]
+        probe = base_outcome.get("probe", step_id)
+        other_outcome = other_by_id.pop(step_id, None)
+        if other_outcome is None:
+            divergences.append(
+                StepDivergence(
+                    step_id=step_id,
+                    probe=probe,
+                    field="presence",
+                    base="present",
+                    other="missing",
+                    declared=False,
+                )
+            )
+            continue
+        compared += 1
+        divergences.extend(
+            _compare_step(
+                step_id,
+                probe,
+                base_outcome,
+                other_outcome,
+                base.platform,
+                other.platform,
+                registry,
+            )
+        )
+    for step_id, other_outcome in other_by_id.items():
+        divergences.append(
+            StepDivergence(
+                step_id=step_id,
+                probe=other_outcome.get("probe", step_id),
+                field="presence",
+                base="missing",
+                other="present",
+                declared=False,
+            )
+        )
+    return ScenarioDiff(
+        scenario=base.scenario.name,
+        base_platform=base.platform,
+        other_platform=other.platform,
+        steps_compared=compared,
+        divergences=tuple(divergences),
+    )

@@ -1,0 +1,129 @@
+"""The declared-divergence table.
+
+MobiVine's conformance promise is *identical observable behaviour on
+every platform* — but the paper itself reports one honest exception:
+S60 ships no telephony Call API, so the uniform layer must refuse with
+error code 1002 where Android and WebView return a live proxy.  This
+module generalizes that pattern: any per-platform divergence a scenario
+is allowed to show must be **declared** here with its canonical value,
+the diverging platforms' values, and a reason.  Anything else a replay
+turns up is an undeclared divergence and fails the diff.
+
+Both suites consume one registry: the scenario replayer's
+:class:`~repro.scenario.diff.ScenarioDiff` classifies per-step
+divergences against it, and the conformance harness's legacy
+``EXPECTED_DIVERGENCES`` mapping is derived from it via
+:func:`expected_divergences`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+#: The platforms the bundled scenario library covers.
+PLATFORMS = ("android", "s60", "webview")
+
+
+@dataclass(frozen=True)
+class DeclaredDivergence:
+    """One sanctioned cross-platform behaviour gap.
+
+    ``probe`` keys the divergence to a scenario step (the step's
+    ``probe`` label, or its ``step_id`` when unlabeled); ``field`` names
+    the outcome field allowed to diverge.  ``canonical`` is what every
+    conforming platform produces; ``per_platform`` maps each diverging
+    platform to the value it is allowed to produce instead.
+    """
+
+    probe: str
+    field: str
+    canonical: Any
+    per_platform: Mapping[str, Any] = field(default_factory=dict)
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "per_platform", dict(self.per_platform))
+
+    def expected_value(self, platform: str) -> Any:
+        """What ``platform`` is allowed to produce for this probe/field."""
+        return self.per_platform.get(platform, self.canonical)
+
+    def matches(self, platform: str, value: Any) -> bool:
+        return value == self.expected_value(platform)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "probe": self.probe,
+            "field": self.field,
+            "canonical": self.canonical,
+            "per_platform": dict(self.per_platform),
+            "reason": self.reason,
+        }
+
+
+#: The registry.  Today's sole entry is the paper's S60 Call gap.
+DECLARED_DIVERGENCES: Tuple[DeclaredDivergence, ...] = (
+    DeclaredDivergence(
+        probe="call_proxy",
+        field="result",
+        canonical="available",
+        per_platform={"s60": 1002},
+        reason=(
+            "S60 ships no telephony Call API (the paper's capability "
+            "gap): create_proxy('Call', s60) must refuse with the "
+            "uniform ProxyUnavailableError, code 1002."
+        ),
+    ),
+)
+
+
+def find_declaration(
+    probe: str,
+    field_name: str,
+    registry: Sequence[DeclaredDivergence] = DECLARED_DIVERGENCES,
+) -> Optional[DeclaredDivergence]:
+    """The declaration covering ``(probe, field)``, or ``None``."""
+    for declaration in registry:
+        if declaration.probe == probe and declaration.field == field_name:
+            return declaration
+    return None
+
+
+def is_declared(
+    probe: str,
+    field_name: str,
+    base_platform: str,
+    base_value: Any,
+    other_platform: str,
+    other_value: Any,
+    registry: Sequence[DeclaredDivergence] = DECLARED_DIVERGENCES,
+) -> Optional[DeclaredDivergence]:
+    """Whether a concrete divergence is sanctioned, in either direction.
+
+    Returns the covering declaration when **both** sides show exactly
+    the value declared for their platform — a declared probe producing a
+    *different* wrong value is still a failure.
+    """
+    declaration = find_declaration(probe, field_name, registry)
+    if declaration is None:
+        return None
+    if declaration.matches(base_platform, base_value) and declaration.matches(
+        other_platform, other_value
+    ):
+        return declaration
+    return None
+
+
+def expected_divergences(
+    platforms: Sequence[str] = PLATFORMS,
+    registry: Sequence[DeclaredDivergence] = DECLARED_DIVERGENCES,
+) -> Dict[str, Dict[str, Any]]:
+    """The conformance suite's legacy view: probe → platform → value."""
+    return {
+        declaration.probe: {
+            platform: declaration.expected_value(platform)
+            for platform in platforms
+        }
+        for declaration in registry
+    }

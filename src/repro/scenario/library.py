@@ -1,0 +1,334 @@
+"""The bundled scenario library.
+
+Six recorded flows, each exercising one plane of the middleware through
+the same declarative DSL; their recordings live under
+``tests/scenarios/`` and CI replays every one on android/s60/webview
+with the declared-divergence gate (see ``docs/SCENARIOS.md``):
+
+* ``commute`` — the canonical conformance flow: full commute, probe
+  battery, span-shape capture (the conformance harness consumes this
+  scenario's replay);
+* ``retry_storm`` — a total network-drop window under the hardened
+  chaos policy: retries, breaker, degraded fallbacks, recovery;
+* ``partition_window`` — a blackout bracketing the first site arrival:
+  the event log degrades, the commute survives, the server's view is
+  the partition-shaped subset;
+* ``throttle_wave`` — token-bucket admission under two request waves:
+  the per-wave admitted/throttled (1013) ladder is the contract;
+* ``saga_flow`` — the locate → enrich → reserve → post report saga on
+  the replicated tier: completed, compensated-under-faults, recovered;
+* ``webview_drain`` — concurrent dispatch + coalesced fix reads + the
+  commute's callback drain, recorded on WebView (every result crosses
+  the JS bridge and notification tables) and replayed everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.apps.workforce.common import PATH_STATUS, SERVER_HOST
+from repro.scenario.model import (
+    AdvanceStep,
+    AssertStep,
+    BurstStep,
+    CallStep,
+    CallbacksStep,
+    RuntimeSpec,
+    SagaFlowStep,
+    Scenario,
+    ScenarioEnv,
+)
+
+_STATUS_URL = f"http://{SERVER_HOST}{PATH_STATUS}"
+
+#: Full away → site → away → site commute (two visits).
+COMMUTE_MS = 200_000.0
+
+
+def commute() -> Scenario:
+    """The canonical cross-platform conformance flow."""
+    return Scenario(
+        name="commute",
+        description=(
+            "Full workforce commute plus the conformance probe battery: "
+            "canonical events, fix, status GET, uniform error codes, the "
+            "Call capability probe and the normalized getLocation span "
+            "shape."
+        ),
+        platform="android",
+        steps=(
+            AdvanceStep("s00", COMMUTE_MS),
+            CallStep("s01", "logic", "reportLocation", probe="report"),
+            CallStep("s02", "location", "getLocation", probe="final_fix"),
+            CallStep(
+                "s03", "http", "get", {"url": _STATUS_URL}, probe="status_get"
+            ),
+            CallStep(
+                "s04",
+                "location",
+                "addProximityAlert",
+                {
+                    "latitude": 999.0,
+                    "longitude": 77.2,
+                    "altitude": 0.0,
+                    "radius": 500.0,
+                    "timer": -1,
+                },
+                probe="invalid_latitude",
+            ),
+            CallStep(
+                "s05",
+                "location",
+                "getProperty",
+                {"key": "noSuchProperty"},
+                probe="unknown_property",
+            ),
+            CallStep(
+                "s06",
+                "probe",
+                "createProxy",
+                {"interface": "Call"},
+                probe="call_proxy",
+            ),
+            CallStep(
+                "s07",
+                "location",
+                "getLocation",
+                probe="location_span",
+                capture_shape=True,
+            ),
+            CallbacksStep("s08", probe="proximity_events"),
+            CallStep("s09", "server", "activityLog", probe="server_events"),
+            AssertStep("s10", "s03", "result.status", "equals", 200),
+            AssertStep("s11", "s08", "events", "contains", "arrived"),
+        ),
+    )
+
+
+def retry_storm() -> Scenario:
+    """A 30 s total network outage under the hardened chaos policy."""
+    return Scenario(
+        name="retry_storm",
+        description=(
+            "Total network-drop window [10s, 40s): the chaos policy "
+            "retries with backoff, the breaker opens, fallbacks serve "
+            "degraded responses, and the substrate recovers cleanly."
+        ),
+        platform="android",
+        env=ScenarioEnv(
+            resilience="chaos",
+            fault_rules=(
+                {
+                    "site": "network.request",
+                    "kind": "drop",
+                    "rate": 1.0,
+                    "start_ms": 10_000.0,
+                    "end_ms": 40_000.0,
+                },
+            ),
+        ),
+        steps=(
+            AdvanceStep("s00", 5_000.0),
+            CallStep(
+                "s01", "http", "get", {"url": _STATUS_URL}, probe="healthy_get"
+            ),
+            AdvanceStep("s02", 10_000.0),
+            CallStep("s03", "logic", "reportLocation", probe="storm_report"),
+            CallStep(
+                "s04", "http", "get", {"url": _STATUS_URL}, probe="storm_get"
+            ),
+            AdvanceStep("s05", 65_000.0),
+            CallStep(
+                "s06",
+                "http",
+                "get",
+                {"url": _STATUS_URL},
+                probe="recovered_get",
+                capture_shape=True,
+            ),
+            CallbacksStep("s07", probe="storm_events"),
+            AssertStep("s08", "s06", "result.status", "equals", 200),
+        ),
+    )
+
+
+def partition_window() -> Scenario:
+    """A blackout window bracketing the first site arrival."""
+    return Scenario(
+        name="partition_window",
+        description=(
+            "Network partition [40s, 60s) covers the first arrival: the "
+            "activity POST degrades (log-failed), the commute continues, "
+            "and the server's activity log is the partition-shaped "
+            "subset of the canonical sequence."
+        ),
+        platform="android",
+        env=ScenarioEnv(
+            resilience="chaos",
+            fault_rules=(
+                {
+                    "site": "network.request",
+                    "kind": "drop",
+                    "rate": 1.0,
+                    "start_ms": 40_000.0,
+                    "end_ms": 60_000.0,
+                },
+            ),
+        ),
+        steps=(
+            AdvanceStep("s00", 100_000.0),
+            CallbacksStep("s01", probe="partition_events"),
+            AdvanceStep("s02", 100_000.0),
+            CallbacksStep("s03", probe="healed_events"),
+            CallStep("s04", "logic", "reportLocation", probe="healed_report"),
+            CallStep("s05", "server", "reportCount", probe="report_count"),
+            CallStep("s06", "server", "activityLog", probe="server_events"),
+            AssertStep("s07", "s01", "events", "contains", "arrived"),
+            AssertStep("s08", "s05", "result", "equals", 1),
+        ),
+    )
+
+
+def throttle_wave() -> Scenario:
+    """Two request waves against a small per-tenant token bucket."""
+    return Scenario(
+        name="throttle_wave",
+        description=(
+            "A 10-request wave against a 4-token bucket (5/s refill): the "
+            "admitted/throttled-1013 ladder per wave is the recorded "
+            "admission contract, identical on every platform."
+        ),
+        platform="android",
+        env=ScenarioEnv(
+            runtime=RuntimeSpec(
+                shards=2,
+                queue_depth=8,
+                admission={
+                    "rate_per_s": 5.0,
+                    "capacity": 4.0,
+                    "overflow_capacity": 0,
+                },
+            ),
+        ),
+        steps=(
+            AdvanceStep("s00", 2_000.0),
+            BurstStep(
+                "s01", op="get", count=10, tenant="wave", probe="first_wave"
+            ),
+            AdvanceStep("s02", 2_000.0),
+            BurstStep(
+                "s03", op="get", count=6, tenant="wave", probe="second_wave"
+            ),
+            AssertStep("s04", "s01", "counts.1013", "equals", 6),
+            AssertStep("s05", "s03", "counts.ok", "equals", 4),
+        ),
+    )
+
+
+def saga_flow() -> Scenario:
+    """The report saga: completed, compensated under faults, recovered."""
+    return Scenario(
+        name="saga_flow",
+        description=(
+            "locate -> enrich -> reserve -> post on the replicated tier: "
+            "a clean completion, a compensated run inside a network-drop "
+            "window (the reservation is rolled back), and a recovery."
+        ),
+        platform="android",
+        env=ScenarioEnv(
+            fault_rules=(
+                {
+                    "site": "network.request",
+                    "kind": "drop",
+                    "rate": 1.0,
+                    "start_ms": 30_000.0,
+                    "end_ms": 31_000.0,
+                },
+            ),
+            runtime=RuntimeSpec(
+                shards=2,
+                queue_depth=8,
+                distrib={
+                    "regions": ["ap-south", "eu-west"],
+                    "replication_delay_ms": 100.0,
+                    "gossip_interval_ms": 500.0,
+                },
+            ),
+        ),
+        steps=(
+            AdvanceStep("s00", 5_000.0),
+            SagaFlowStep("s01", saga="report", probe="clean_saga"),
+            AdvanceStep("s02", 25_100.0),
+            SagaFlowStep("s03", saga="report", probe="faulted_saga"),
+            AdvanceStep("s04", 10_000.0),
+            SagaFlowStep("s05", saga="report", probe="recovered_saga"),
+            AssertStep("s06", "s03", "status", "equals", "compensated"),
+            AssertStep("s07", "s05", "status", "equals", "completed"),
+        ),
+    )
+
+
+def webview_drain() -> Scenario:
+    """Concurrent dispatch + coalesced reads + the commute callback drain."""
+    return Scenario(
+        name="webview_drain",
+        description=(
+            "Recorded on WebView so every result crosses the JS bridge "
+            "and notification tables: a 6-GET dispatch burst, a 4-read "
+            "coalesced fix burst, then the commute's proximity callbacks "
+            "drained in two windows."
+        ),
+        platform="webview",
+        env=ScenarioEnv(runtime=RuntimeSpec(shards=2, queue_depth=8)),
+        steps=(
+            AdvanceStep("s00", 5_000.0),
+            BurstStep(
+                "s01", op="get", count=6, tenant="drain", probe="get_burst"
+            ),
+            BurstStep(
+                "s02",
+                op="getLocation",
+                count=4,
+                tenant="drain",
+                probe="fix_burst",
+            ),
+            AdvanceStep("s03", 95_000.0),
+            CallbacksStep("s04", probe="first_visit_events"),
+            CallStep(
+                "s05",
+                "http",
+                "get",
+                {"url": _STATUS_URL},
+                probe="status_span",
+                capture_shape=True,
+            ),
+            AdvanceStep("s06", 100_000.0),
+            CallbacksStep("s07", probe="second_visit_events"),
+            CallStep("s08", "server", "activityLog", probe="server_events"),
+            AssertStep("s09", "s08", "result", "contains", "arrived"),
+        ),
+    )
+
+
+#: name → builder for every bundled scenario.
+LIBRARY: Dict[str, Callable[[], Scenario]] = {
+    "commute": commute,
+    "retry_storm": retry_storm,
+    "partition_window": partition_window,
+    "throttle_wave": throttle_wave,
+    "saga_flow": saga_flow,
+    "webview_drain": webview_drain,
+}
+
+
+def names() -> Tuple[str, ...]:
+    return tuple(sorted(LIBRARY))
+
+
+def build(name: str) -> Scenario:
+    try:
+        return LIBRARY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; bundled: {', '.join(names())}"
+        ) from None

@@ -1,0 +1,294 @@
+"""The scenario step executor and Recorder.
+
+One executor serves both halves of the record/replay loop: *recording*
+runs a declarative :class:`~repro.scenario.model.Scenario` against a
+freshly built world and captures every outcome — proxied call results
+canonicalized to platform-independent values, uniform error codes,
+callback firings, normalized span-tree shapes, admission/saga outcome
+ladders — into a byte-stable
+:class:`~repro.scenario.recording.ScenarioRecording`; *replay* (see
+:mod:`~repro.scenario.replay`) re-executes the embedded scenario on
+another platform through this same executor, so the two sides can never
+drift apart.
+
+Canonicalization policy: platform polling artifacts (fix timestamps,
+message ids) are deliberately **not** part of the canonical result —
+they differ legitimately per platform — while everything the app can
+observe (coordinates to ~10 m, HTTP status/body, error codes, event
+order) is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.workforce.common import (
+    PATH_REPORT_LOCATION,
+    SERVER_HOST,
+    encode,
+)
+from repro.core.proxy.datatypes import HttpResult, Location
+from repro.errors import ProxyError
+from repro.scenario.driver import (
+    ScenarioWorld,
+    _SilentListener,
+    build_world,
+    normalized_shape,
+)
+from repro.scenario.model import Scenario
+from repro.scenario.recording import ScenarioRecording, shape_to_list
+
+
+#: Resilience fallback responses start with this uniform marker.
+_DEGRADED_PREFIX = "resilience: degraded response"
+
+
+def canonical_result(value: Any) -> Any:
+    """A proxied result reduced to its platform-independent essence."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, Location):
+        # ~10 m resolution; timestamps are per-platform polling artifacts.
+        return {
+            "latitude": round(value.latitude, 4),
+            "longitude": round(value.longitude, 4),
+        }
+    if isinstance(value, HttpResult):
+        body = value.body
+        # Degraded fallback bodies carry platform-specific diagnostics
+        # (exception class, binding name); the uniform contract is only
+        # the degraded 503 itself.
+        if body.startswith(_DEGRADED_PREFIX):
+            body = _DEGRADED_PREFIX
+        return {"status": value.status, "body": body, "ok": value.ok}
+    if isinstance(value, (list, tuple)):
+        return [canonical_result(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical_result(item) for key, item in value.items()}
+    return {"type": type(value).__name__}
+
+
+def _capture_shapes(world: ScenarioWorld) -> List[List]:
+    tracer = world.hub.tracer
+    return [
+        shape_to_list(normalized_shape(tracer, root)) for root in tracer.roots()
+    ]
+
+
+def _run_call(step, world: ScenarioWorld) -> Dict[str, Any]:
+    outcome: Dict[str, Any] = {}
+    if step.capture_shape:
+        world.hub.tracer.reset()
+    try:
+        result = _dispatch_call(step, world)
+    except ProxyError as exc:
+        outcome["result"] = None
+        outcome["error_code"] = exc.error_code
+    else:
+        outcome["result"] = canonical_result(result)
+        outcome["error_code"] = None
+    if step.capture_shape:
+        outcome["shape"] = _capture_shapes(world)
+    return outcome
+
+
+def _dispatch_call(step, world: ScenarioWorld) -> Any:
+    target, op, args = step.target, step.op, dict(step.args)
+    logic = world.logic
+    if target == "location":
+        if op == "getLocation":
+            return logic.location.get_location()
+        if op == "addProximityAlert":
+            logic.location.add_proximity_alert(
+                args["latitude"],
+                args["longitude"],
+                args.get("altitude", 0.0),
+                args.get("radius", 500.0),
+                args.get("timer", -1),
+                _SilentListener(),
+            )
+            return "registered"
+        if op == "getProperty":
+            return logic.location.get_property(args["key"])
+        if op == "setProperty":
+            logic.location.set_property(args["key"], args["value"])
+            return "set"
+    if target == "http":
+        if op == "get":
+            return logic.http.get(args["url"])
+        if op == "post":
+            return logic.http.post(args["url"], args["body"])
+    if target == "sms" and op == "sendTextMessage":
+        logic.sms.send_text_message(args["number"], args["text"])
+        # Message ids are per-platform artifacts; acceptance is canonical.
+        return "sent"
+    if target == "logic" and op == "reportLocation":
+        logic.report_location()
+        return "reported"
+    if target == "server":
+        server = world.bundle.server
+        if op == "activityLog":
+            return [record.event for record in server.activity_log()]
+        if op == "reportCount":
+            track = server.track_of(logic.config.agent.agent_id)
+            return 0 if track is None else track.report_count
+    if target == "probe" and op == "createProxy":
+        return world.probe_interface(args["interface"])
+    raise AssertionError(f"unhandled call step {target}.{op}")  # pragma: no cover
+
+
+def _run_burst(step, world: ScenarioWorld) -> Dict[str, Any]:
+    runtime = world.runtime
+    assert runtime is not None  # validated by the scenario model
+    futures = []
+    for index in range(step.count):
+        if step.op == "get":
+            url = f"http://{SERVER_HOST}/api/status?burst={step.step_id}&i={index}"
+            futures.append(
+                runtime.http_get(
+                    world.logic.http,
+                    url,
+                    coalesce=step.coalesce,
+                    tenant=step.tenant,
+                )
+            )
+        else:  # getLocation
+            futures.append(
+                runtime.get_location(
+                    world.logic.location, fresh=True, tenant=step.tenant
+                )
+            )
+    world.drain_runtime()
+    results: List[Any] = []
+    for future in futures:
+        if future.error is not None:
+            results.append(future.error.error_code)
+        else:
+            results.append("ok")
+    counts: Dict[str, int] = {}
+    for item in results:
+        key = str(item)
+        counts[key] = counts.get(key, 0) + 1
+    return {"results": results, "counts": counts}
+
+
+def _run_saga(step, world: ScenarioWorld) -> Dict[str, Any]:
+    runtime = world.runtime
+    assert runtime is not None and runtime.distrib is not None
+    distrib = runtime.distrib
+    logic = world.logic
+    reservations = distrib.table("reservations")
+    execution = distrib.sagas.begin(step.saga)
+    reservation_key = f"{step.saga}:{execution.saga_id}"
+    error_code: Optional[int] = None
+    try:
+        fix = execution.step("locate", logic.location.get_location)
+        payload = execution.step(
+            "enrich",
+            lambda: encode(
+                {
+                    "agent": logic.config.agent.agent_id,
+                    "latitude": fix.latitude,
+                    "longitude": fix.longitude,
+                    "timestamp_ms": fix.timestamp_ms,
+                }
+            ),
+        )
+        execution.step(
+            "reserve",
+            lambda: reservations.put(reservation_key, "pending"),
+            lambda _result: reservations.delete(reservation_key),
+        )
+        result = execution.step(
+            "post",
+            lambda: logic.http.post(
+                f"http://{SERVER_HOST}{PATH_REPORT_LOCATION}", payload
+            ),
+        )
+        if result.ok:
+            reservations.put(reservation_key, "reported")
+            execution.complete()
+        else:
+            execution.compensate(reason=f"http-{result.status}")
+    except ProxyError as exc:
+        error_code = exc.error_code
+    reserved = reservations.get(reservation_key)
+    return {
+        "status": execution.status,
+        "steps": [saga_step.name for saga_step, _ in execution.completed_steps],
+        "error_code": error_code,
+        "reservation": canonical_result(reserved),
+    }
+
+
+def _lookup_path(outcome: Dict[str, Any], path: str) -> Any:
+    value: Any = outcome
+    for part in path.split("."):
+        if isinstance(value, dict):
+            value = value.get(part)
+        elif isinstance(value, list) and part.isdigit():
+            index = int(part)
+            value = value[index] if index < len(value) else None
+        else:
+            return None
+    return value
+
+
+def _run_assert(step, outcomes_by_id: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    referenced = outcomes_by_id.get(step.step_ref, {})
+    actual = _lookup_path(referenced, step.path)
+    if step.op == "equals":
+        ok = actual == step.value
+    else:  # contains
+        ok = isinstance(actual, (list, str)) and step.value in actual
+    return {"ok": ok, "actual": actual, "expected": step.value, "op": step.op}
+
+
+def execute(scenario: Scenario, world: ScenarioWorld) -> List[Dict[str, Any]]:
+    """Run every step against ``world``; returns the outcome list."""
+    outcomes: List[Dict[str, Any]] = []
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for step in scenario.steps:
+        outcome: Dict[str, Any] = {"step": step.step_id, "kind": step.kind}
+        probe = getattr(step, "probe", None)
+        if probe is not None:
+            outcome["probe"] = probe
+        if step.kind == "call":
+            outcome.update(_run_call(step, world))
+        elif step.kind == "advance":
+            world.advance(step.delta_ms)
+            outcome["advanced_ms"] = step.delta_ms
+        elif step.kind == "callbacks":
+            outcome["events"] = world.drain_callbacks()
+        elif step.kind == "burst":
+            outcome.update(_run_burst(step, world))
+        elif step.kind == "saga":
+            outcome.update(_run_saga(step, world))
+        elif step.kind == "assert":
+            outcome.update(_run_assert(step, by_id))
+        else:  # pragma: no cover - model validates kinds
+            raise AssertionError(f"unhandled step kind {step.kind!r}")
+        outcomes.append(outcome)
+        by_id[step.step_id] = outcome
+    return outcomes
+
+
+def record(
+    scenario: Scenario, platform: Optional[str] = None
+) -> ScenarioRecording:
+    """Capture one live run of ``scenario`` as a byte-stable recording.
+
+    ``platform`` defaults to the scenario's declared target.  The world
+    is built fresh (same seed → same world), executed step by step, and
+    torn down with the recording as the only artifact.
+    """
+    target = platform or scenario.platform
+    world = build_world(target, scenario)
+    outcomes = execute(scenario, world)
+    return ScenarioRecording(
+        scenario=scenario.with_platform(scenario.platform),
+        platform=target,
+        outcomes=tuple(outcomes),
+    )

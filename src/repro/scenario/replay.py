@@ -1,0 +1,57 @@
+"""The Replayer: re-execute a recording on any platform and diff.
+
+:func:`replay` rebuilds the scenario embedded in a recording, runs it
+through the same step executor that produced the recording — on the
+recording's platform, any other registered platform, or one
+hot-registered via
+:func:`~repro.scenario.driver.register_scenario_driver` mid-replay —
+and returns both the fresh recording and the structured
+:class:`~repro.scenario.diff.ScenarioDiff` against the base.
+
+Same platform + same seed ⇒ the replay is byte-identical to the base
+and the diff is empty; a different platform must diverge only where the
+declared-divergence table says it may.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.scenario.diff import ScenarioDiff, diff_recordings
+from repro.scenario.divergence import DECLARED_DIVERGENCES, DeclaredDivergence
+from repro.scenario.recorder import record
+from repro.scenario.recording import ScenarioRecording
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One replay: the fresh recording plus its diff against the base."""
+
+    base: ScenarioRecording
+    replayed: ScenarioRecording
+    diff: ScenarioDiff
+
+    @property
+    def passed(self) -> bool:
+        return self.diff.passed
+
+
+def replay(
+    base: ScenarioRecording,
+    platform: Optional[str] = None,
+    registry: Sequence[DeclaredDivergence] = DECLARED_DIVERGENCES,
+) -> ReplayResult:
+    """Re-execute ``base``'s scenario and diff the outcomes.
+
+    ``platform`` defaults to the platform the base was recorded on
+    (pure determinism check); any registered platform name replays
+    cross-platform.
+    """
+    target = platform or base.platform
+    replayed = record(base.scenario, platform=target)
+    return ReplayResult(
+        base=base,
+        replayed=replayed,
+        diff=diff_recordings(base, replayed, registry),
+    )

@@ -1,36 +1,42 @@
-"""Cross-platform conformance harness.
+"""Cross-platform conformance harness — a thin replayer consumer.
 
-One canonical scenario — the full workforce commute plus a battery of
-probes — executed identically on Android, S60 and WebView.  The suite
-asserts the middleware's core promise: *the platform is an
-implementation detail*.  Canonical results (activity events, location
-fixes, HTTP responses), uniform error codes and normalized span-tree
-shapes must be identical across platforms; any divergence must be
-declared in :data:`EXPECTED_DIVERGENCES` with the reason, or the suite
-fails.
+The canonical scenario (the full workforce commute plus a battery of
+probes) now lives in the scenario library as
+:func:`repro.scenario.library.commute`, with its baseline recording
+bundled at ``tests/scenarios/commute.jsonl``.  This harness replays the
+baseline on each platform through :func:`repro.scenario.replay` and
+unpacks the replayed outcomes into the flat
+:class:`ConformanceResult` the suite compares across platforms.
 
-Today the only declared divergence is the paper's S60 capability gap:
-S60 has no Call API, so ``create_proxy("Call", s60)`` raises the uniform
-:class:`~repro.errors.ProxyUnavailableError` (code 1002) where Android
-and WebView return a live proxy.
+Divergence declarations are shared with the scenario suite: the legacy
+:data:`EXPECTED_DIVERGENCES` probe map is derived from the generalized
+declared-divergence table (:mod:`repro.scenario.divergence`), so the S60
+Call capability gap is declared exactly once for both suites.
 """
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.apps.workforce import scenario
-from repro.apps.workforce.common import PATH_STATUS, SERVER_HOST
-from repro.apps.workforce.proxied import (
-    WorkforceLogic,
-    launch_on_android,
-    launch_on_s60,
-    launch_on_webview,
+from repro.scenario import (
+    ScenarioRecording,
+    expected_divergences,
+    normalized_shape,
+    replay,
+    shape_to_tuple,
 )
-from repro.core.plugin.packaging import WebViewPlatformExtension
-from repro.core.proxies import create_proxy
-from repro.core.proxy.callbacks import ProximityListener
-from repro.errors import ProxyError
-from repro.obs import Observability
+
+__all__ = [
+    "PLATFORMS",
+    "RUN_MS",
+    "CANONICAL_EVENTS",
+    "EXPECTED_DIVERGENCES",
+    "ConformanceResult",
+    "DRIVERS",
+    "normalized_shape",
+    "replay_commute",
+]
 
 PLATFORMS = ("android", "s60", "webview")
 
@@ -40,40 +46,19 @@ RUN_MS = 200_000.0
 #: What the canonical commute must produce everywhere.
 CANONICAL_EVENTS = ["arrived", "departed", "arrived"]
 
-#: Declared, reasoned divergences.  ``call_proxy`` is the paper's S60
-#: capability gap: no telephony Call API exists on that platform, so the
-#: uniform layer must refuse with error code 1002 rather than pretend.
-EXPECTED_DIVERGENCES: Dict[str, Dict[str, object]] = {
-    "call_proxy": {"android": "available", "webview": "available", "s60": 1002},
-}
+#: Declared, reasoned divergences, keyed by probe name — derived from
+#: the scenario layer's generalized table.  ``call_proxy`` is the
+#: paper's S60 capability gap: no telephony Call API exists on that
+#: platform, so the uniform layer must refuse with error code 1002
+#: rather than pretend.
+EXPECTED_DIVERGENCES: Dict[str, Dict[str, object]] = expected_divergences(
+    PLATFORMS
+)
 
-
-class _NullListener(ProximityListener):
-    def proximity_event(self, *args) -> None:  # pragma: no cover - never fires
-        pass
-
-
-def normalized_shape(tracer, span) -> Tuple:
-    """A span subtree reduced to its layer shape.
-
-    Span names are ``layer:operation``; the shape keeps the layer only.
-    Everything below the binding layer (``substrate``, ``bridge``) is
-    platform plumbing — WebView legitimately runs two substrate hops
-    through its bridge where Android runs one — so those subtrees
-    collapse to a single ``native`` leaf.  What remains is the uniform
-    middleware shape every platform must share.
-    """
-    layer = span.name.split(":", 1)[0]
-    if layer in ("substrate", "bridge"):
-        return ("native",)
-    children = tuple(
-        normalized_shape(tracer, child) for child in tracer.children_of(span)
-    )
-    deduped: List[Tuple] = []
-    for child in children:
-        if not (deduped and deduped[-1] == child == ("native",)):
-            deduped.append(child)
-    return (layer, tuple(deduped))
+#: The bundled baseline recording of the canonical commute scenario.
+BASE_RECORDING = Path(__file__).resolve().parent.parent / (
+    "scenarios/commute.jsonl"
+)
 
 
 @dataclass
@@ -81,7 +66,6 @@ class ConformanceResult:
     """Everything the canonical scenario produced on one platform."""
 
     platform: str
-    logic: WorkforceLogic
     #: site proximity events, in order (the app's observable behaviour).
     events: List[str]
     #: server-side activity log events (the enterprise's view).
@@ -100,81 +84,66 @@ class ConformanceResult:
     location_span_shape: Tuple
 
 
-def _canonical(platform_name, sc, logic, hub, call_proxy) -> ConformanceResult:
-    sc.platform.run_for(RUN_MS)
-    logic.report_location()
-    fix = logic.location.get_location()
-    status = logic.http.get(f"http://{SERVER_HOST}{PATH_STATUS}")
-    try:
-        logic.location.add_proximity_alert(
-            999.0, 77.2, 0.0, 500.0, -1, _NullListener()
-        )
-        invalid_latitude = None
-    except ProxyError as exc:
-        invalid_latitude = exc.error_code
-    try:
-        logic.location.get_property("noSuchProperty")
-        unknown_property = None
-    except ProxyError as exc:
-        unknown_property = exc.error_code
-    hub.tracer.reset()
-    logic.location.get_location()
-    roots = hub.tracer.roots()
-    assert len(roots) == 1, f"{platform_name}: expected one root span"
-    shape = normalized_shape(hub.tracer, roots[0])
+def _load_base() -> ScenarioRecording:
+    return ScenarioRecording.parse(
+        BASE_RECORDING.read_text(encoding="utf-8")
+    )
+
+
+def _by_probe(recording: ScenarioRecording) -> Dict[str, Dict]:
+    return {
+        outcome["probe"]: outcome
+        for outcome in recording.outcomes
+        if "probe" in outcome
+    }
+
+
+def _unpack(recording: ScenarioRecording) -> ConformanceResult:
+    probes = _by_probe(recording)
+    status = probes["status_get"]["result"]
+    fix = probes["final_fix"]["result"]
+    call = probes["call_proxy"]
+    shapes = probes["location_span"]["shape"]
+    assert len(shapes) == 1, (
+        f"{recording.platform}: expected one root span, got {len(shapes)}"
+    )
     return ConformanceResult(
-        platform=platform_name,
-        logic=logic,
-        events=[e for e in logic.activity_events if e in ("arrived", "departed")],
-        server_events=[record.event for record in sc.server.activity_log()],
-        fix=(round(fix.latitude, 4), round(fix.longitude, 4)),
-        status=(status.status, status.body),
-        invalid_latitude_code=invalid_latitude,
-        unknown_property_code=unknown_property,
-        call_proxy=call_proxy,
-        location_span_shape=shape,
+        platform=recording.platform,
+        events=[
+            event
+            for event in probes["proximity_events"]["events"]
+            if event in ("arrived", "departed")
+        ],
+        server_events=list(probes["server_events"]["result"]),
+        fix=(fix["latitude"], fix["longitude"]),
+        status=(status["status"], status["body"]),
+        invalid_latitude_code=probes["invalid_latitude"]["error_code"],
+        unknown_property_code=probes["unknown_property"]["error_code"],
+        call_proxy=(
+            call["result"] if call["error_code"] is None else call["error_code"]
+        ),
+        location_span_shape=shape_to_tuple(shapes[0]),
     )
 
 
-def _call_probe(platform_object) -> object:
-    try:
-        create_proxy("Call", platform_object)
-        return "available"
-    except ProxyError as exc:
-        return exc.error_code
+def replay_commute(platform_name: str) -> ConformanceResult:
+    """Replay the bundled commute baseline on ``platform_name``.
 
-
-def run_android() -> ConformanceResult:
-    hub = Observability(capture_real_time=False)
-    sc = scenario.build_android(observability=hub)
-    logic = launch_on_android(sc.platform, sc.new_context(), sc.config)
-    return _canonical("android", sc, logic, hub, _call_probe(sc.platform))
-
-
-def run_s60() -> ConformanceResult:
-    hub = Observability(capture_real_time=False)
-    sc = scenario.build_s60(observability=hub)
-    logic = launch_on_s60(sc.platform, sc.config)
-    return _canonical("s60", sc, logic, hub, _call_probe(sc.platform))
-
-
-def run_webview() -> ConformanceResult:
-    hub = Observability(capture_real_time=False)
-    sc = scenario.build_webview(observability=hub)
-    webview = sc.platform.new_webview()
-    WebViewPlatformExtension().install_wrappers(
-        webview, sc.platform, sc.new_context(), ["Location", "Sms", "Http", "Call"]
+    The replay must carry zero undeclared divergences against the
+    committed baseline — a platform that drifts fails here, before the
+    suite even compares results across platforms.
+    """
+    result = replay(_load_base(), platform=platform_name)
+    assert result.passed, (
+        f"{platform_name}: undeclared divergences vs the bundled "
+        f"baseline:\n"
+        + json.dumps(
+            [d.to_dict() for d in result.diff.undeclared], indent=2
+        )
     )
-    holder = {}
-
-    def page(window) -> None:
-        # Proxies (and the Call probe) must bind inside the live page —
-        # the JS wrappers only exist in the loaded window.
-        holder["logic"] = launch_on_webview(sc.platform, sc.config)
-        holder["call"] = _call_probe(sc.platform)
-
-    webview.load_page(page)
-    return _canonical("webview", sc, holder["logic"], hub, holder["call"])
+    return _unpack(result.replayed)
 
 
-DRIVERS = {"android": run_android, "s60": run_s60, "webview": run_webview}
+DRIVERS = {
+    name: (lambda name=name: replay_commute(name)) for name in PLATFORMS
+}

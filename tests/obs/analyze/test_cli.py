@@ -62,8 +62,10 @@ class TestHelpConvention:
     def test_every_subcommand_accepts_format_and_json(self):
         parser = build_parser()
         extra = {"slo": ["--slo", "get:10"], "diff": ["y"]}
+        # `scenario` nests its own actions; `list` carries the convention.
+        argv = {"scenario": ["scenario", "list"]}
         for name, _ in COMMANDS:
-            args = [name, "x"] + extra.get(name, [])
+            args = argv.get(name, [name, "x"] + extra.get(name, []))
             parsed = parser.parse_args(args + ["--json"])
             assert parsed.format == "json"
             parsed = parser.parse_args(args + ["--format", "text"])

@@ -1,0 +1,137 @@
+"""``python -m repro.obs scenario {list,record,replay,diff}``."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze.cli import main
+from repro.scenario import ScenarioRecording, build, names, record
+
+pytestmark = pytest.mark.scenario
+
+
+@pytest.fixture()
+def commute_path(tmp_path):
+    path = tmp_path / "commute.jsonl"
+    path.write_text(record(build("commute")).to_jsonl(), encoding="utf-8")
+    return path
+
+
+def tampered_copy(path, tmp_path):
+    base = ScenarioRecording.parse(path.read_text(encoding="utf-8"))
+    outcomes = tuple(
+        {**outcome, "result": "tampered"}
+        if outcome["step"] == "s02"
+        else outcome
+        for outcome in base.outcomes
+    )
+    tampered = ScenarioRecording(
+        scenario=base.scenario, platform=base.platform, outcomes=outcomes
+    )
+    out = tmp_path / "tampered.jsonl"
+    out.write_text(tampered.to_jsonl(), encoding="utf-8")
+    return out
+
+
+class TestList:
+    def test_text(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in names():
+            assert name in out
+
+    def test_json(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in entries] == sorted(names())
+        assert all(entry["description"] for entry in entries)
+
+
+class TestRecord:
+    def test_record_bundled_to_file(self, tmp_path, capsys):
+        out = tmp_path / "rec.jsonl"
+        assert main(["scenario", "record", "throttle_wave", "--out", str(out)]) == 0
+        recording = ScenarioRecording.parse(out.read_text(encoding="utf-8"))
+        assert recording.scenario.name == "throttle_wave"
+        assert "throttle_wave" in capsys.readouterr().out
+
+    def test_record_stdout_is_the_jsonl(self, capsys):
+        assert main(["scenario", "record", "throttle_wave"]) == 0
+        out = capsys.readouterr().out
+        assert out == record(build("throttle_wave")).to_jsonl()
+
+    def test_record_scenario_json_file(self, tmp_path, capsys):
+        spec = tmp_path / "scenario.json"
+        spec.write_text(json.dumps(build("commute").to_dict()), encoding="utf-8")
+        assert main(["scenario", "record", str(spec)]) == 0
+        parsed = ScenarioRecording.parse(capsys.readouterr().out)
+        assert parsed.scenario.name == "commute"
+
+    def test_record_on_another_platform(self, tmp_path):
+        out = tmp_path / "rec.jsonl"
+        main(["scenario", "record", "commute", "--platform", "s60",
+              "--out", str(out)])
+        recording = ScenarioRecording.parse(out.read_text(encoding="utf-8"))
+        assert recording.platform == "s60"
+        assert recording.outcome("s06")["result"] == 1002
+
+    def test_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "record", "no_such_flow"])
+
+
+class TestReplay:
+    def test_cross_platform_gate_passes(self, commute_path, capsys):
+        code = main([
+            "scenario", "replay", str(commute_path),
+            "--platform", "s60", "--gate", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert [d["probe"] for d in payload["declared"]] == ["call_proxy"]
+
+    def test_gate_fails_on_tampered_base(self, commute_path, tmp_path, capsys):
+        tampered = tampered_copy(commute_path, tmp_path)
+        code = main([
+            "scenario", "replay", str(tampered), "--gate",
+        ])
+        assert code == 1
+        assert "UNDECLARED" in capsys.readouterr().out
+
+    def test_diff_document_saved(self, commute_path, tmp_path):
+        out = tmp_path / "diff.json"
+        main(["scenario", "replay", str(commute_path), "--platform",
+              "webview", "--out", str(out)])
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.scenario-diff/v1"
+        assert payload["other_platform"] == "webview"
+
+
+class TestDiff:
+    def test_identical_recordings_pass(self, commute_path, capsys):
+        code = main([
+            "scenario", "diff", str(commute_path), str(commute_path),
+            "--gate",
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_gate_exits_nonzero_on_undeclared_divergence(
+        self, commute_path, tmp_path, capsys
+    ):
+        tampered = tampered_copy(commute_path, tmp_path)
+        code = main([
+            "scenario", "diff", str(commute_path), str(tampered),
+            "--gate", "--json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is False
+        assert payload["undeclared"][0]["step_id"] == "s02"
+
+    def test_without_gate_reports_only(self, commute_path, tmp_path):
+        tampered = tampered_copy(commute_path, tmp_path)
+        assert main(
+            ["scenario", "diff", str(commute_path), str(tampered)]
+        ) == 0

@@ -1,0 +1,91 @@
+"""The generalized declared-divergence table."""
+
+import pytest
+
+from repro.scenario import (
+    DECLARED_DIVERGENCES,
+    DeclaredDivergence,
+    expected_divergences,
+    find_declaration,
+    is_declared,
+)
+from repro.scenario.divergence import PLATFORMS
+
+pytestmark = pytest.mark.scenario
+
+GAP = DeclaredDivergence(
+    probe="sensor",
+    field="result",
+    canonical=42,
+    per_platform={"s60": 1002},
+    reason="test gap",
+)
+
+
+class TestDeclaration:
+    def test_expected_value_falls_back_to_canonical(self):
+        assert GAP.expected_value("android") == 42
+        assert GAP.expected_value("s60") == 1002
+
+    def test_matches(self):
+        assert GAP.matches("android", 42)
+        assert GAP.matches("s60", 1002)
+        assert not GAP.matches("s60", 42)
+        assert not GAP.matches("android", 1002)
+
+
+class TestLookup:
+    def test_find_declaration(self):
+        assert find_declaration("call_proxy", "result") is not None
+        assert find_declaration("call_proxy", "shape") is None
+        assert find_declaration("no_such_probe", "result") is None
+
+    def test_declared_in_both_directions(self):
+        registry = (GAP,)
+        assert is_declared(
+            "sensor", "result", "android", 42, "s60", 1002, registry
+        )
+        assert is_declared(
+            "sensor", "result", "s60", 1002, "webview", 42, registry
+        )
+
+    def test_wrong_value_on_a_declared_probe_still_fails(self):
+        registry = (GAP,)
+        # s60 diverging with a value *other* than its declared one is an
+        # undeclared divergence, not a sanctioned gap.
+        assert (
+            is_declared("sensor", "result", "android", 42, "s60", 9999, registry)
+            is None
+        )
+        assert (
+            is_declared("sensor", "result", "android", 41, "s60", 1002, registry)
+            is None
+        )
+
+    def test_undeclared_probe(self):
+        assert is_declared("other", "result", "android", 1, "s60", 2, (GAP,)) is None
+
+
+class TestRegistry:
+    def test_s60_call_gap_is_the_sole_entry(self):
+        assert len(DECLARED_DIVERGENCES) == 1
+        gap = DECLARED_DIVERGENCES[0]
+        assert gap.probe == "call_proxy"
+        assert gap.canonical == "available"
+        assert gap.per_platform == {"s60": 1002}
+        assert gap.reason
+
+    def test_legacy_conformance_view(self):
+        # The shape the conformance suite consumed before the table was
+        # generalized: probe -> platform -> expected value, every
+        # platform covered.
+        legacy = expected_divergences()
+        assert legacy == {
+            "call_proxy": {
+                "android": "available",
+                "webview": "available",
+                "s60": 1002,
+            }
+        }
+        for per_platform in legacy.values():
+            assert set(per_platform) == set(PLATFORMS)

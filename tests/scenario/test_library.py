@@ -1,0 +1,65 @@
+"""The bundled scenario library and its committed recordings.
+
+This is the acceptance gate the CI recorded-scenario step re-runs:
+every committed recording under ``tests/scenarios/`` must replay on
+android, s60 and webview with **zero undeclared divergences**, and
+re-recording any scenario from source must reproduce the committed
+bytes exactly (the regeneration guard — a behaviour change that shifts
+a recording must be committed deliberately).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import ScenarioRecording, build, names, record, replay
+from repro.scenario.divergence import PLATFORMS
+
+pytestmark = pytest.mark.scenario
+
+SCENARIOS_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+
+def load_recording(name: str) -> ScenarioRecording:
+    return ScenarioRecording.parse(
+        (SCENARIOS_DIR / f"{name}.jsonl").read_text(encoding="utf-8")
+    )
+
+
+class TestBundle:
+    def test_every_library_scenario_has_a_committed_recording(self):
+        committed = {path.stem for path in SCENARIOS_DIR.glob("*.jsonl")}
+        assert committed == set(names())
+
+    def test_unknown_name_is_refused(self):
+        with pytest.raises(KeyError, match="bundled"):
+            build("no_such_flow")
+
+    @pytest.mark.parametrize("name", names())
+    def test_regeneration_guard(self, name):
+        # Re-recording from source must reproduce the committed bytes.
+        committed = (SCENARIOS_DIR / f"{name}.jsonl").read_text(
+            encoding="utf-8"
+        )
+        assert record(build(name)).to_jsonl() == committed
+
+    @pytest.mark.parametrize("name", names())
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_replays_everywhere_without_undeclared_divergence(
+        self, name, platform
+    ):
+        result = replay(load_recording(name), platform=platform)
+        assert result.passed, result.diff.render_text()
+
+    def test_call_gap_appears_only_as_the_declared_divergence(self):
+        declared = [
+            (name, d.probe)
+            for name in names()
+            for platform in PLATFORMS
+            for d in replay(
+                load_recording(name), platform=platform
+            ).diff.declared
+        ]
+        # Exactly one scenario carries the Call probe; only its s60
+        # replay may show the declared gap, nothing else anywhere.
+        assert declared == [("commute", "call_proxy")]

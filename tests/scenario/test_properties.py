@@ -1,0 +1,101 @@
+"""Property-based contracts of the record/replay loop.
+
+1. **Determinism** — for hypothesis-generated scenarios, recording and
+   same-platform replay are byte-identical: the recording is a pure
+   function of (scenario, seed, platform).
+2. **Fixed point** — replaying a replay changes nothing: recordings are
+   canonical on construction, so the loop converges in one step.
+3. **No undeclared self-divergence** — arbitrary interleavings of
+   calls, clock advances and callback drains never diff against
+   themselves on the same platform; every divergence the replayer can
+   report is a genuine cross-run behaviour gap.
+
+The step pool deliberately spans the probe battery (including the
+error-code probes and the Call capability probe) so the properties
+exercise the same vocabulary as the bundled library, just in shapes
+the unit tests never picked by hand.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.workforce.common import PATH_STATUS, SERVER_HOST
+from repro.scenario import (
+    AdvanceStep,
+    CallStep,
+    CallbacksStep,
+    Scenario,
+    ScenarioEnv,
+    diff_recordings,
+    record,
+    replay,
+)
+
+pytestmark = pytest.mark.scenario
+
+_STATUS_URL = f"http://{SERVER_HOST}{PATH_STATUS}"
+
+#: (builder, needs_index) — every entry must be safe at any virtual time.
+_STEP_POOL = (
+    lambda i: AdvanceStep(f"s{i}", 7_500.0),
+    lambda i: AdvanceStep(f"s{i}", 45_000.0),
+    lambda i: CallStep(f"s{i}", "location", "getLocation"),
+    lambda i: CallStep(f"s{i}", "http", "get", {"url": _STATUS_URL}),
+    lambda i: CallStep(f"s{i}", "logic", "reportLocation"),
+    lambda i: CallStep(
+        f"s{i}", "location", "getProperty", {"key": "noSuchProperty"}
+    ),
+    lambda i: CallStep(
+        f"s{i}", "probe", "createProxy", {"interface": "Call"},
+        probe="call_proxy",
+    ),
+    lambda i: CallStep(
+        f"s{i}", "location", "getLocation", capture_shape=True
+    ),
+    lambda i: CallbacksStep(f"s{i}"),
+    lambda i: CallStep(f"s{i}", "server", "activityLog"),
+)
+
+SCENARIOS = st.builds(
+    lambda picks, seed, resilience: Scenario(
+        name="generated",
+        seed=seed,
+        env=ScenarioEnv(resilience=resilience),
+        steps=tuple(
+            _STEP_POOL[pick](index) for index, pick in enumerate(picks)
+        ),
+    ),
+    picks=st.lists(
+        st.integers(min_value=0, max_value=len(_STEP_POOL) - 1),
+        min_size=1,
+        max_size=6,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+    resilience=st.sampled_from(("default", "chaos")),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario=SCENARIOS)
+def test_same_seed_record_replay_is_byte_identical(scenario):
+    base = record(scenario)
+    result = replay(base)
+    assert result.replayed.to_jsonl() == base.to_jsonl()
+
+
+@settings(max_examples=10, deadline=None)
+@given(scenario=SCENARIOS)
+def test_replay_of_replay_is_a_fixed_point(scenario):
+    once = replay(record(scenario))
+    twice = replay(once.replayed)
+    assert twice.replayed.to_jsonl() == once.replayed.to_jsonl()
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario=SCENARIOS)
+def test_no_undeclared_self_divergence(scenario):
+    first = record(scenario)
+    second = record(scenario)
+    diff = diff_recordings(first, second)
+    assert diff.passed
+    assert diff.divergences == ()

@@ -1,0 +1,179 @@
+"""The Recorder: canonical results and byte-stable captures."""
+
+import json
+
+import pytest
+
+from repro.apps.workforce.common import PATH_STATUS, SERVER_HOST
+from repro.core.proxy.datatypes import HttpResult, Location
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    AdvanceStep,
+    AssertStep,
+    CallStep,
+    Scenario,
+    ScenarioRecording,
+    build,
+    canonical_result,
+    record,
+)
+
+pytestmark = pytest.mark.scenario
+
+
+class TestCanonicalResult:
+    def test_location_drops_polling_artifacts(self):
+        fix = Location(
+            latitude=28.61234567, longitude=77.2098765, altitude=210.0,
+            timestamp_ms=123456.0,
+        )
+        assert canonical_result(fix) == {
+            "latitude": 28.6123,
+            "longitude": 77.2099,
+        }
+
+    def test_http_result(self):
+        result = HttpResult(status=200, body='{"ok": true}')
+        assert canonical_result(result) == {
+            "status": 200,
+            "body": '{"ok": true}',
+            "ok": True,
+        }
+
+    def test_degraded_body_truncates_platform_diagnostics(self):
+        degraded = HttpResult(
+            status=503,
+            body=(
+                "resilience: degraded response (get failed on android: "
+                "IOException: injected fault)"
+            ),
+        )
+        assert canonical_result(degraded)["body"] == (
+            "resilience: degraded response"
+        )
+
+    def test_scalars_and_containers(self):
+        assert canonical_result(None) is None
+        assert canonical_result(True) is True
+        assert canonical_result(0.123456789) == 0.123457
+        assert canonical_result([1, (2.0000004, "x")]) == [1, [2.0, "x"]]
+        assert canonical_result({"k": 1.25, 7: "v"}) == {"k": 1.25, "7": "v"}
+
+    def test_unknown_types_reduce_to_their_name(self):
+        class Opaque:
+            pass
+
+        assert canonical_result(Opaque()) == {"type": "Opaque"}
+
+
+class TestRecord:
+    def test_same_seed_recordings_are_byte_identical(self):
+        first = record(build("commute"))
+        second = record(build("commute"))
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_recording_round_trips_through_jsonl(self):
+        recording = record(build("throttle_wave"))
+        parsed = ScenarioRecording.parse(recording.to_jsonl())
+        assert parsed.to_jsonl() == recording.to_jsonl()
+        assert parsed.scenario == recording.scenario
+        assert parsed.outcomes == recording.outcomes
+
+    def test_commute_outcomes(self):
+        recording = record(build("commute"))
+        assert recording.outcome("s04")["error_code"] == 1003
+        assert recording.outcome("s05")["error_code"] == 1004
+        assert recording.outcome("s06")["result"] == "available"
+        assert recording.outcome("s08")["events"] == [
+            "arrived", "departed", "arrived",
+        ]
+        assert recording.outcome("s07")["shape"] == [
+            ["dispatch", [["resilience", [["binding", [["native", []]]]]]]],
+        ]
+        assert all(
+            outcome["ok"]
+            for outcome in recording.outcomes
+            if outcome["kind"] == "assert"
+        )
+
+    def test_throttle_ladder_is_recorded(self):
+        recording = record(build("throttle_wave"))
+        first = recording.outcome("s01")
+        # 4-token bucket, 10 requests: exactly the first 4 admitted.
+        assert first["results"] == ["ok"] * 4 + [1013] * 6
+        assert first["counts"] == {"ok": 4, "1013": 6}
+
+    def test_saga_statuses(self):
+        recording = record(build("saga_flow"))
+        assert recording.outcome("s01")["status"] == "completed"
+        faulted = recording.outcome("s03")
+        assert faulted["status"] == "compensated"
+        # The reservation row was rolled back by the compensation.
+        assert faulted["reservation"] is None
+        assert recording.outcome("s05")["status"] == "completed"
+
+    def test_outcome_count_must_match_steps(self):
+        recording = record(build("commute"))
+        with pytest.raises(ConfigurationError, match="outcomes"):
+            ScenarioRecording(
+                scenario=recording.scenario,
+                platform=recording.platform,
+                outcomes=recording.outcomes[:-1],
+            )
+
+    def test_full_call_vocabulary(self):
+        # The dispatch paths the bundled library happens not to use:
+        # http.post, sms.sendTextMessage, location.setProperty, plus
+        # assert paths that index into lists and search strings.
+        scenario = Scenario(
+            name="vocabulary",
+            steps=(
+                AdvanceStep("s0", 1_000.0),
+                CallStep(
+                    "s1",
+                    "http",
+                    "post",
+                    {
+                        "url": f"http://{SERVER_HOST}{PATH_STATUS}",
+                        "body": "{}",
+                    },
+                ),
+                CallStep(
+                    "s2",
+                    "sms",
+                    "sendTextMessage",
+                    {"number": "+15550100", "text": "scenario ping"},
+                ),
+                CallStep(
+                    "s3",
+                    "location",
+                    "setProperty",
+                    {"key": "provider", "value": "gps"},
+                ),
+                CallStep(
+                    "s4",
+                    "location",
+                    "getProperty",
+                    {"key": "provider"},
+                ),
+                CallStep("s5", "server", "activityLog"),
+                AssertStep("s6", "s2", "result", "equals", "sent"),
+                AssertStep("s7", "s4", "result", "contains", "gps"),
+                AssertStep("s8", "s5", "result.0", "equals", None),
+                AssertStep("s9", "s1", "result.nope.deep", "equals", None),
+            ),
+        )
+        recording = record(scenario)
+        assert recording.outcome("s2")["result"] == "sent"
+        assert recording.outcome("s3")["result"] == "set"
+        assert recording.outcome("s4")["result"] == "gps"
+        for step_id in ("s6", "s7", "s8", "s9"):
+            assert recording.outcome(step_id)["ok"], step_id
+
+    def test_jsonl_is_pure_canonical_json(self):
+        text = record(build("commute")).to_jsonl()
+        for line in text.splitlines():
+            payload = json.loads(line)
+            assert json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ) == line

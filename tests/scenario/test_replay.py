@@ -1,0 +1,140 @@
+"""The Replayer: cross-platform diffs, gates, hot-registered platforms."""
+
+import json
+
+import pytest
+
+from repro.core.descriptor.model import _PLATFORM_LANGUAGES, register_platform
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    AdvanceStep,
+    CallbacksStep,
+    Scenario,
+    ScenarioRecording,
+    build,
+    diff_recordings,
+    record,
+    register_scenario_driver,
+    replay,
+    unregister_scenario_driver,
+)
+from repro.scenario.driver import SCENARIO_DRIVERS
+
+pytestmark = pytest.mark.scenario
+
+
+@pytest.fixture(scope="module")
+def commute_base():
+    return record(build("commute"))
+
+
+class TestSamePlatformReplay:
+    def test_replay_is_byte_identical(self, commute_base):
+        result = replay(commute_base)
+        assert result.passed
+        assert result.diff.divergences == ()
+        assert result.replayed.to_jsonl() == commute_base.to_jsonl()
+
+    def test_replay_of_replay_is_a_fixed_point(self, commute_base):
+        once = replay(commute_base)
+        twice = replay(once.replayed)
+        assert twice.replayed.to_jsonl() == once.replayed.to_jsonl()
+        assert twice.passed
+
+
+class TestCrossPlatformReplay:
+    def test_s60_shows_only_the_declared_call_gap(self, commute_base):
+        result = replay(commute_base, platform="s60")
+        assert result.passed
+        assert [d.probe for d in result.diff.declared] == ["call_proxy"]
+        (gap,) = result.diff.declared
+        assert (gap.base, gap.other) == ("available", 1002)
+        assert gap.reason
+
+    def test_webview_is_divergence_free(self, commute_base):
+        result = replay(commute_base, platform="webview")
+        assert result.diff.divergences == ()
+
+    def test_unknown_platform_is_refused(self, commute_base):
+        with pytest.raises(ConfigurationError, match="no scenario driver"):
+            replay(commute_base, platform="palmos")
+
+
+class TestInjectedDivergence:
+    def tamper(self, base, step_id, field, value):
+        outcomes = []
+        for outcome in base.outcomes:
+            outcome = dict(outcome)
+            if outcome["step"] == step_id:
+                outcome[field] = value
+            outcomes.append(outcome)
+        return ScenarioRecording(
+            scenario=base.scenario,
+            platform=base.platform,
+            outcomes=tuple(outcomes),
+        )
+
+    def test_tampered_result_is_an_undeclared_divergence(self, commute_base):
+        tampered = self.tamper(commute_base, "s02", "result", {"latitude": 0.0})
+        diff = diff_recordings(commute_base, tampered)
+        assert not diff.passed
+        (divergence,) = diff.undeclared
+        assert divergence.step_id == "s02"
+        assert divergence.field == "result"
+
+    def test_wrong_value_on_declared_probe_still_fails(self, commute_base):
+        # The Call probe may diverge *to the declared code* only.
+        tampered = self.tamper(commute_base, "s06", "result", 1008)
+        diff = diff_recordings(commute_base, tampered)
+        assert not diff.passed
+        assert [d.probe for d in diff.undeclared] == ["call_proxy"]
+
+    def test_diff_json_reports_the_divergence(self, commute_base):
+        tampered = self.tamper(commute_base, "s05", "error_code", 1000)
+        payload = json.loads(
+            diff_recordings(commute_base, tampered).to_json()
+        )
+        assert payload["passed"] is False
+        assert payload["undeclared"][0]["probe"] == "unknown_property"
+
+
+class TestDiffAlignment:
+    def test_different_scenarios_refuse_to_diff(self, commute_base):
+        other = record(build("throttle_wave"))
+        with pytest.raises(ConfigurationError, match="different scenarios"):
+            diff_recordings(commute_base, other)
+
+    def test_presence_divergences(self):
+        def variant(step_id):
+            return Scenario(
+                name="presence",
+                steps=(AdvanceStep("s0", 1_000.0), CallbacksStep(step_id)),
+            )
+
+        base = record(variant("s1"))
+        other = record(variant("s2"))
+        diff = diff_recordings(base, other)
+        assert not diff.passed
+        fields = {(d.step_id, d.base, d.other) for d in diff.undeclared}
+        assert ("s1", "present", "missing") in fields
+        assert ("s2", "missing", "present") in fields
+
+
+class TestHotRegisteredPlatform:
+    def test_replay_against_a_platform_registered_mid_run(self, commute_base):
+        # The paper's extension story: a brand-new platform joins by
+        # publishing its descriptor vocabulary and a world builder — and
+        # an existing recording replays against it unchanged.  The new
+        # platform reuses the android bindings, so it must conform with
+        # zero divergences (its Call proxy is available).
+        register_platform("newos", "java")
+        register_scenario_driver("newos", SCENARIO_DRIVERS["android"])
+        try:
+            result = replay(commute_base, platform="newos")
+            assert result.replayed.platform == "newos"
+            assert result.diff.divergences == ()
+        finally:
+            unregister_scenario_driver("newos")
+            _PLATFORM_LANGUAGES.pop("newos", None)
+        with pytest.raises(ConfigurationError):
+            replay(commute_base, platform="newos")

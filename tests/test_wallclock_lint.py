@@ -50,6 +50,20 @@ DISTRIB_MODULES = (
     "distrib/causal.py",
 )
 
+#: The scenario record/replay layer exists to make runs byte-identical
+#: across platforms and time: a wall-clock read in any of its modules
+#: would leak into committed recordings, so none is ever legitimate.
+SCENARIO_MODULES = (
+    "scenario/model.py",
+    "scenario/divergence.py",
+    "scenario/driver.py",
+    "scenario/recorder.py",
+    "scenario/recording.py",
+    "scenario/replay.py",
+    "scenario/diff.py",
+    "scenario/library.py",
+)
+
 FORBIDDEN = (
     (re.compile(r"\btime\.(time|monotonic|perf_counter|process_time)\("), "wall-clock read"),
     (re.compile(r"\btime\.sleep\("), "wall-clock sleep"),
@@ -117,6 +131,18 @@ class TestWallClockLint:
             assert relative in scanned, f"distrib module left lint scope: {relative}"
             assert relative not in ALLOWLIST, (
                 f"distrib module must not be allowlisted: {relative}"
+            )
+            assert PRAGMA not in (SRC / relative).read_text(), relative
+
+    def test_scenario_modules_are_in_scope(self):
+        """The record/replay layer must be scanned and must never join
+        the allowlist — a wall-clock read there would leak into the
+        committed byte-stable recordings."""
+        scanned = {str(path.relative_to(SRC)) for path in _sources()}
+        for relative in SCENARIO_MODULES:
+            assert relative in scanned, f"scenario module left lint scope: {relative}"
+            assert relative not in ALLOWLIST, (
+                f"scenario module must not be allowlisted: {relative}"
             )
             assert PRAGMA not in (SRC / relative).read_text(), relative
 
