@@ -11,11 +11,17 @@ branch.  Three tiers are measured on the same Android Location binding:
   ``perf_counter`` reads per span).
 
 Micro tiers isolate the tracer itself: a no-op span vs. a recorded
-span vs. a counter increment.
+span vs. a counter increment.  On top of the tiers, the pipeline
+comparison times the two production postures end to end — full tracing
+(retain every span, export everything) against the streaming telemetry
+pipeline at a 1% head rate (bounded ring, export only what sampling
+kept) — and asserts the sampled posture's per-invocation cost is
+strictly below full tracing's.
 
-The last case writes ``BENCH_obs.json`` (see docs/PERFORMANCE.md):
-deterministic traced span accounting under ``metrics``, wall-clock
-micro timings under ``measured``.
+The last case writes ``BENCH_observability.json`` (see
+docs/PERFORMANCE.md): deterministic traced span accounting and sampling
+accounting under ``metrics``, wall-clock micro timings and the
+sampled-vs-full comparison under ``measured``.
 
 Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_observability.py
 """
@@ -28,7 +34,14 @@ import pytest
 from repro.apps.workforce import scenario
 from repro.bench.results import BenchResult, write_bench_result
 from repro.core.proxies import create_proxy
-from repro.obs import MetricsRegistry, NOOP_TRACER, Observability, OverheadProfile, Tracer
+from repro.obs import (
+    MetricsRegistry,
+    NOOP_TRACER,
+    Observability,
+    OverheadProfile,
+    PipelineConfig,
+    Tracer,
+)
 from repro.util.clock import SimulatedClock
 
 pytestmark = pytest.mark.obs
@@ -113,8 +126,56 @@ def _micro_ms(fn, rounds: int = 2_000) -> float:
     return (time.perf_counter() - start) * 1_000.0 / rounds
 
 
-def test_bench_obs_result():
-    """Write BENCH_obs.json: traced span accounting + micro timings."""
+#: Invocations per posture in the sampled-vs-full comparison.  Export
+#: cost amortizes over these, so the count must be large enough that
+#: serializing ~5 spans/invocation (full) vs ~1% of that (sampled)
+#: dominates run-to-run noise.
+PIPELINE_INVOCATIONS = 600
+SAMPLE_RATE = 0.01
+SAMPLE_SEED = 17
+
+
+def _posture_ms(sampled: bool, invocations: int = PIPELINE_INVOCATIONS):
+    """Per-invocation wall-clock cost of one telemetry posture, export
+    included; returns ``(ms, pipeline-or-None, exported_line_count)``."""
+    hub = Observability(capture_real_time=False)
+    pipeline = None
+    if sampled:
+        pipeline = hub.install_pipeline(
+            PipelineConfig(
+                default_rate=SAMPLE_RATE, seed=SAMPLE_SEED, streaming=True
+            )
+        )
+    proxy = _location_proxy(hub)
+    start = time.perf_counter()
+    for _ in range(invocations):
+        proxy.get_location()
+    payload = pipeline.export_jsonl() if sampled else hub.export_jsonl()
+    elapsed_ms = (time.perf_counter() - start) * 1_000.0
+    return elapsed_ms / invocations, pipeline, payload.count("\n")
+
+
+def test_sampled_vs_full_tracing_overhead():
+    """The tentpole perf claim: streaming 1% sampling costs strictly
+    less per invocation than full tracing (which pays list growth plus
+    serialization of every span at export)."""
+    full_ms, _, full_lines = _posture_ms(sampled=False)
+    sampled_ms, pipeline, sampled_lines = _posture_ms(sampled=True)
+    accounting = pipeline.accounting()
+    # Same seed, same traffic → the keep/drop decisions (and therefore
+    # the exported line count) are a pure function of the config.
+    assert accounting["traces_total"] >= PIPELINE_INVOCATIONS
+    assert 0 < accounting["traces_kept"] < accounting["traces_total"]
+    assert sampled_lines < full_lines
+    assert sampled_ms < full_ms, (
+        f"sampled tracing must beat full tracing: "
+        f"{sampled_ms:.6f}ms >= {full_ms:.6f}ms per invocation"
+    )
+
+
+def test_bench_observability_result():
+    """Write BENCH_observability.json: traced span accounting, sampling
+    accounting, micro timings and the sampled-vs-full comparison."""
     repetitions = 5
     hub = Observability(capture_real_time=False)
     proxy = _location_proxy(hub)
@@ -133,13 +194,23 @@ def test_bench_obs_result():
         tracer.reset()
 
     registry = MetricsRegistry()
+    full_ms, _, _ = _posture_ms(sampled=False)
+    sampled_ms, pipeline, _ = _posture_ms(sampled=True)
     result = BenchResult(
-        name="obs",
-        params={"repetitions": repetitions},
+        name="observability",
+        params={
+            "repetitions": repetitions,
+            "pipeline_invocations": PIPELINE_INVOCATIONS,
+            "sample_rate": SAMPLE_RATE,
+            "sample_seed": SAMPLE_SEED,
+        },
         metrics={
             "getLocation_android": entry.to_dict(),
             "spans_per_invocation": sum(entry.layer_spans.values()) / repetitions,
             "profile": profile.to_dict(),
+            # Deterministic: keep/drop is a seeded pure function of the
+            # (identical) trace stream, so these counts are byte-stable.
+            "sampling": pipeline.accounting(),
         },
         measured={
             "noop_span_ms": _micro_ms(
@@ -149,6 +220,9 @@ def test_bench_obs_result():
             "counter_inc_ms": _micro_ms(
                 lambda: registry.counter("resilience.attempts", runtime="bench").inc()
             ),
+            "full_tracing_ms_per_invocation": full_ms,
+            "sampled_tracing_ms_per_invocation": sampled_ms,
+            "sampling_speedup": full_ms / sampled_ms if sampled_ms else 0.0,
         },
     )
     path = write_bench_result(

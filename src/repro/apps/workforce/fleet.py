@@ -29,7 +29,10 @@ from repro.device.gps import Trajectory, Waypoint
 from repro.device.messaging import SmsCenter
 from repro.device.network import SimulatedNetwork
 from repro.obs import FlightRecorder, Observability
+from repro.obs.analyze.admission import AdmissionReport
+from repro.obs.analyze.causal import CausalReport
 from repro.obs.analyze.slo import SloEngine, SloSpec, SloStatus
+from repro.obs.pipeline import HealthReport, PipelineConfig, TelemetryPipeline
 from repro.platforms.android.platform import AndroidPlatform
 from repro.runtime import AdmissionConfig, AgentTask, ConcurrencyRuntime
 from repro.util.clock import Scheduler, SimulatedClock
@@ -82,6 +85,10 @@ class Fleet:
     runtime: Optional[ConcurrencyRuntime] = None
     #: The runtime's flight recorder (``build_fleet(flight_recorder=True)``).
     flight: Optional[FlightRecorder] = None
+    #: The fleet-wide telemetry pipeline (``build_fleet(pipeline=...)``):
+    #: every agent tracer (tagged ``source=<agent-id>``) plus the runtime
+    #: hub's tracer drain into one sampled, bounded, rolled-up stream.
+    pipeline: Optional[TelemetryPipeline] = None
     #: Operational alerts surfaced to the supervisor (see ``run_for``).
     alerts: List[str] = field(default_factory=list)
     _alerted_tasks: int = field(default=0, repr=False)
@@ -92,6 +99,8 @@ class Fleet:
     _alerted_storms: Dict[str, int] = field(default_factory=dict, repr=False)
     #: Cursor into the distrib tier's causal-violation log.
     _alerted_violations: int = field(default=0, repr=False)
+    #: Whether install_slos already subscribed to the pipeline stream.
+    _slo_observing: bool = field(default=False, repr=False)
 
     def run_for(self, delta_ms: float) -> int:
         """Advance the whole fleet's shared virtual time.
@@ -180,6 +189,11 @@ class Fleet:
 
         The fleet must have been built with ``observability=True`` —
         dispatch spans are what the engines ingest.
+
+        With a telemetry pipeline attached, each engine subscribes to
+        the pipeline's completed-trace stream instead of rescanning its
+        tracer: observers fire for *every* trace before sampling, so SLO
+        evaluation stays exact even when the tracers retain nothing.
         """
         for agent in self.agents:
             agent.slo_engine = SloEngine(
@@ -189,6 +203,18 @@ class Fleet:
                 flight=self.flight,
             )
             agent.slo_cursor = 0
+        if self.pipeline is not None and not self._slo_observing:
+            self.pipeline.add_observer(self._ingest_trace_for_slos)
+            self._slo_observing = True
+
+    def _ingest_trace_for_slos(self, source, spans) -> None:
+        """Pipeline observer: route a completed trace to its agent's
+        SLO engine (runtime-hub traces carry no agent source; skip)."""
+        for agent in self.agents:
+            if agent.profile.agent_id == source:
+                if agent.slo_engine is not None:
+                    agent.slo_engine.ingest_spans(spans)
+                return
 
     def evaluate_slos(self) -> Dict[str, List[SloStatus]]:
         """Ingest each agent's newly-finished dispatch spans and judge
@@ -199,11 +225,43 @@ class Fleet:
             engine = agent.slo_engine
             if engine is None:
                 continue
-            finished = agent.device.obs.tracer.finished_spans()
-            engine.ingest_spans(finished[agent.slo_cursor:])
-            agent.slo_cursor = len(finished)
+            if not self._slo_observing:
+                # No pipeline stream — rescan the tracer from the cursor.
+                finished = agent.device.obs.tracer.finished_spans()
+                engine.ingest_spans(finished[agent.slo_cursor:])
+                agent.slo_cursor = len(finished)
             statuses[agent.profile.agent_id] = engine.evaluate(now_ms)
         return statuses
+
+    def health_report(self, *, strict: bool = False) -> HealthReport:
+        """The live fleet health console (``build_fleet(pipeline=...)``).
+
+        Fuses the pipeline's sampling accounting and RED rollups with
+        the admission and causal views recomputed from the *retained*
+        spans (tail rules guarantee every shed/throttle/violation trace
+        is in the ring), current SLO state when SLOs are installed, and
+        the flight recorder's incident log when one is attached.
+        """
+        if self.pipeline is None:
+            raise ValueError("build the fleet with pipeline= first")
+        records = self.pipeline.retention.records()
+        slo_statuses = None
+        if any(agent.slo_engine is not None for agent in self.agents):
+            slo_statuses = [
+                status
+                for statuses in self.evaluate_slos().values()
+                for status in statuses
+            ]
+        return HealthReport.build(
+            self.pipeline,
+            admission=AdmissionReport.from_records(records),
+            causal=CausalReport.from_records(records),
+            slo_statuses=slo_statuses,
+            flight_payload=(
+                self.flight.to_dict() if self.flight is not None else None
+            ),
+            strict=strict,
+        )
 
     def breached_slos(self) -> Dict[str, List[str]]:
         """Agents currently in breach (as of the last evaluation),
@@ -233,6 +291,7 @@ def build_fleet(
     admission: Optional[AdmissionConfig] = None,
     distrib: Optional["DistribConfig"] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> Fleet:
     """Deploy ``agent_count`` Android agents on shared infrastructure.
 
@@ -268,6 +327,16 @@ def build_fleet(
     region, and the tier's idempotency store attaches to the shared SMS
     center and network so retried substrate writes are exactly-once.
 
+    ``pipeline=`` (a :class:`~repro.obs.pipeline.PipelineConfig`;
+    requires ``observability=True``) installs one fleet-wide
+    :class:`~repro.obs.pipeline.TelemetryPipeline`: every agent
+    handset's tracer drains into it tagged ``source=<agent-id>`` (plus
+    the runtime hub's tracer as ``source=runtime`` when one exists),
+    head sampling and tail keep rules bound retention, RED rollups
+    aggregate every trace, and :meth:`Fleet.health_report` fuses it all.
+    With ``pipeline.streaming`` the tracers stop retaining spans — the
+    production-scale mode where telemetry memory is O(config).
+
     ``fault_plan=`` binds one :class:`~repro.faults.injector.FaultInjector`
     over the shared substrate (SMS center + network), so chaos scenarios
     can shake the whole fleet's infrastructure — not just one handset —
@@ -281,6 +350,8 @@ def build_fleet(
         raise ValueError("admission= requires runtime=True")
     if distrib is not None and not runtime:
         raise ValueError("distrib= requires runtime=True")
+    if pipeline is not None and not observability:
+        raise ValueError("pipeline= requires observability=True")
     scheduler = Scheduler(SimulatedClock())
     shared_bus = EventBus()
     injector = None
@@ -386,6 +457,18 @@ def build_fleet(
             # Span ids are per-tracer, so tag each handset's records
             # with its agent id (attach is a no-op on no-op tracers).
             fleet.flight.attach(
+                agent.device.obs.tracer, source=agent.profile.agent_id
+            )
+    if pipeline is not None:
+        runtime_hub = fleet.runtime.observability if fleet.runtime else None
+        fleet.pipeline = TelemetryPipeline(
+            pipeline,
+            metrics=runtime_hub.metrics if runtime_hub is not None else None,
+        )
+        if runtime_hub is not None:
+            fleet.pipeline.attach(runtime_hub.tracer, source="runtime")
+        for agent in fleet.agents:
+            fleet.pipeline.attach(
                 agent.device.obs.tracer, source=agent.profile.agent_id
             )
     return fleet

@@ -26,7 +26,7 @@ from typing import Any, Dict, Optional, Union
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: Environment override for where ``BENCH_*.json`` files land
-#: (default: the current working directory, i.e. the repo root in CI).
+#: (default: the repo root when running from a checkout, else CWD).
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 
@@ -76,8 +76,20 @@ class BenchResult:
         return f"BENCH_{self.name}.json"
 
 
+def _default_bench_dir() -> pathlib.Path:
+    """The repo root when this module runs from a checkout (three levels
+    above ``src/repro/bench/``, identified by its ``pyproject.toml``),
+    so ``BENCH_*.json`` lands in one predictable place no matter which
+    directory pytest was launched from; plain CWD otherwise."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").is_file():
+        return root
+    return pathlib.Path(".")
+
+
 def bench_output_dir() -> pathlib.Path:
-    return pathlib.Path(os.environ.get(BENCH_DIR_ENV) or ".")
+    override = os.environ.get(BENCH_DIR_ENV)
+    return pathlib.Path(override) if override else _default_bench_dir()
 
 
 def write_bench_result(

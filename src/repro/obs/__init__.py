@@ -74,6 +74,14 @@ from repro.obs.analyze import (
     render_profile_text,
     top_spans_text,
 )
+from repro.obs.pipeline import (
+    HealthReport,
+    PipelineConfig,
+    RedRollups,
+    SpanRetention,
+    TelemetryPipeline,
+    render_health_text,
+)
 from repro.util.clock import SimulatedClock
 
 
@@ -112,6 +120,8 @@ class Observability:
         self.sampler: Optional[TimeSeriesSampler] = None
         #: Optional flight recorder (see ``install_flight_recorder``).
         self.flight: Optional[FlightRecorder] = None
+        #: Optional telemetry pipeline (see ``install_pipeline``).
+        self.pipeline: Optional[TelemetryPipeline] = None
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -156,6 +166,23 @@ class Observability:
                 self.sampler.add_sink(self.flight.record_sample)
         return self.flight
 
+    def install_pipeline(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        source: Optional[str] = None,
+    ) -> TelemetryPipeline:
+        """Attach a :class:`~repro.obs.pipeline.TelemetryPipeline` as a
+        sink of this hub's tracer, sharing this hub's metrics registry
+        (the ``obs.*`` accounting series land next to everything else).
+        Idempotent: returns the existing pipeline.  With
+        ``config.streaming`` the tracer stops retaining spans and the
+        pipeline's bounded ring becomes the only span storage."""
+        if self.pipeline is None:
+            self.pipeline = TelemetryPipeline(config, metrics=self.metrics)
+            self.pipeline.attach(self.tracer, source=source)
+        return self.pipeline
+
     def tick(self) -> int:
         """Sample tracked time series at the current virtual instant
         (runtime scheduling hooks call this unconditionally)."""
@@ -190,6 +217,7 @@ __all__ = [
     "CriticalPath",
     "FlightRecorder",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "InMemoryExporter",
     "JsonlFileExporter",
@@ -201,14 +229,18 @@ __all__ = [
     "OperationProfile",
     "OverheadProfile",
     "P2Quantile",
+    "PipelineConfig",
     "ProfileDiff",
+    "RedRollups",
     "SloEngine",
     "SloSpec",
     "SloStatus",
     "ShardTimelines",
     "Span",
     "SpanEvent",
+    "SpanRetention",
     "StreamingPercentiles",
+    "TelemetryPipeline",
     "TimeSeries",
     "TimeSeriesSampler",
     "Tracer",
@@ -226,6 +258,7 @@ __all__ = [
     "registry_report",
     "render_causal_text",
     "render_flight_text",
+    "render_health_text",
     "render_metrics_text",
     "render_profile_text",
     "render_span_tree",

@@ -1,5 +1,6 @@
 """Entry point: ``python -m repro.obs
-{profile,slo,diff,timeline,critical-path,flight}``."""
+{profile,slo,diff,timeline,critical-path,flight,admission,distrib,causal,
+scenario,health}``."""
 
 import sys
 

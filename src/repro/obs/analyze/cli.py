@@ -1,7 +1,7 @@
 """``python -m repro.obs`` — trace analytics from the command line.
 
-Nine subcommands, all operating on exported JSONL trace files (or, for
-``diff``, saved profile / BENCH documents; for ``flight``, a saved
+Eleven subcommands, all operating on exported JSONL trace files (or,
+for ``diff``, saved profile / BENCH documents; for ``flight``, a saved
 flight-recorder document).  Every subcommand follows one convention: a
 positional ``trace`` input plus ``--format {text,json}`` (``--json`` is
 the shorthand), so scripts can pipe any analysis as JSON.
@@ -27,7 +27,12 @@ the shorthand), so scripts can pipe any analysis as JSON.
   causality-violation audit (``--gate`` fails on violations/cycles);
 * ``scenario`` — record/replay declarative cross-platform scenarios and
   diff recordings against the declared-divergence table (``--gate``
-  fails on undeclared divergences; see ``docs/SCENARIOS.md``).
+  fails on undeclared divergences; see ``docs/SCENARIOS.md``);
+* ``health`` — the fleet health console: replay a trace through the
+  telemetry pipeline and fuse sampling accounting, RED rollups, SLO
+  state, admission outcomes, flight incidents and the causal audit into
+  one report (``--gate`` fails on drops, overflows, tail misses,
+  causal violations or SLO breaches).
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ from repro.obs.analyze.overhead import (
 )
 from repro.obs.analyze.slo import SloEngine, SloSpec
 from repro.obs.flight import FlightRecorder, render_flight_text
+from repro.obs.pipeline import HealthReport, PipelineConfig, render_health_text
 from repro.obs.timeline import ShardTimelines
 
 #: (name, one-line description) — single source for subparsers and --help.
@@ -69,6 +75,7 @@ COMMANDS: Tuple[Tuple[str, str], ...] = (
     ("distrib", "replication-lag/dedup/saga breakdown from a trace"),
     ("causal", "cross-region happens-before graph and consistency audit"),
     ("scenario", "record/replay cross-platform scenarios; divergence gate"),
+    ("health", "fleet health console over a trace; telemetry health gate"),
 )
 
 
@@ -230,6 +237,52 @@ def build_parser() -> argparse.ArgumentParser:
     sc_diff.add_argument(
         "--gate", action="store_true",
         help="exit 1 on any undeclared divergence",
+    )
+
+    health = commands.add_parser(
+        "health", help=helps["health"], parents=[parent]
+    )
+    health.add_argument("trace", help="JSONL trace export")
+    health.add_argument(
+        "--flight", metavar="PATH", default=None,
+        help="also fold a saved flight-recorder JSON document in",
+    )
+    health.add_argument(
+        "--slo", action="append", metavar="SPEC", dest="specs", default=[],
+        help="op:threshold_ms[:target[:window_ms[:platform]]] (repeatable)",
+    )
+    health.add_argument(
+        "--rate", type=float, default=1.0, metavar="R",
+        help="head-sampling keep rate to replay at (default: 1.0)",
+    )
+    health.add_argument(
+        "--rate-op", action="append", metavar="CLASS=R", dest="rate_ops",
+        default=[], help="per-op-class rate override (repeatable)",
+    )
+    health.add_argument("--seed", type=int, default=0,
+                        help="sampling seed (default: 0)")
+    health.add_argument(
+        "--retain", type=int, default=4096, metavar="N",
+        help="retention ring capacity in spans (default: 4096)",
+    )
+    health.add_argument(
+        "--max-series", type=int, default=64, metavar="N",
+        help="rollup key-cardinality bound (default: 64)",
+    )
+    health.add_argument(
+        "--max-metric-series", type=int, default=None, metavar="N",
+        help="label-cardinality guard on the pipeline's metrics registry",
+    )
+    health.add_argument("--out", metavar="PATH",
+                        help="also save the JSON health report to PATH")
+    health.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 on drops, overflows, tail misses, causal violations "
+             "or SLO breaches",
+    )
+    health.add_argument(
+        "--strict", action="store_true",
+        help="with --gate, also fail on any anomalous trace at all",
     )
     return parser
 
@@ -451,6 +504,43 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return _emit_diff(diff, args)
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    rates = {}
+    for override in args.rate_ops:
+        op, sep, rate = override.partition("=")
+        if not sep:
+            raise SystemExit(f"--rate-op must be CLASS=RATE, got {override!r}")
+        rates[op] = float(rate)
+    config = PipelineConfig(
+        default_rate=args.rate,
+        rates=rates,
+        seed=args.seed,
+        span_capacity=args.retain,
+        max_series=args.max_series,
+        max_metric_series=args.max_metric_series,
+    )
+    flight_payload = (
+        FlightRecorder.parse(_read(args.flight)) if args.flight else None
+    )
+    report = HealthReport.from_records(
+        parse_jsonl(_read(args.trace)),
+        config=config,
+        slo_specs=[SloSpec.parse(text) for text in args.specs],
+        flight_payload=flight_payload,
+        strict=args.strict,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(render_health_text(report))
+    if args.gate and not report.healthy:
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     handlers = {
@@ -464,5 +554,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "distrib": _cmd_distrib,
         "causal": _cmd_causal,
         "scenario": _cmd_scenario,
+        "health": _cmd_health,
     }
     return handlers[args.command](args)

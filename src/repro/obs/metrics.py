@@ -134,14 +134,40 @@ class Histogram:
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
-class MetricsRegistry:
-    """The per-device instrument store."""
+#: Label set every over-limit series collapses into (see the guard below).
+OVERFLOW_LABELS: Dict[str, str] = {"other": "true"}
 
-    def __init__(self) -> None:
+#: The guard's own accounting series must never trip the guard.
+_GUARD_EXEMPT = ("obs.cardinality_overflow",)
+
+
+class MetricsRegistry:
+    """The per-device instrument store.
+
+    ``max_series_per_metric`` is the label-cardinality guard: once a
+    metric name holds that many distinct label sets, further *new* label
+    sets collapse into one ``{other="true"}`` series and the
+    ``obs.cardinality_overflow`` counter (labelled with the offending
+    metric name) increments — memory stays O(config) even when a label
+    like ``tenant=`` is fed unbounded traffic.  ``None`` (the default)
+    keeps the registry unbounded, which is what every existing plane
+    expects; the telemetry pipeline opts the bound in.
+    """
+
+    def __init__(self, *, max_series_per_metric: Optional[int] = None) -> None:
         #: (name, labels_key) -> instrument
         self._instruments: Dict[Tuple[str, LabelsKey], Any] = {}
         #: name -> kind string, to reject kind clashes early.
         self._kinds: Dict[str, str] = {}
+        self.max_series_per_metric = max_series_per_metric
+        #: name -> count of distinct (non-overflow) label sets.
+        self._series_counts: Dict[str, int] = {}
+
+    def set_cardinality_limit(self, max_series_per_metric: Optional[int]) -> None:
+        """(Re)configure the guard; existing series are never evicted."""
+        if max_series_per_metric is not None and max_series_per_metric < 1:
+            raise ConfigurationError("max_series_per_metric must be >= 1")
+        self.max_series_per_metric = max_series_per_metric
 
     # -- instrument access ---------------------------------------------------
 
@@ -155,9 +181,28 @@ class MetricsRegistry:
         key = (name, _labels_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
+            limit = self.max_series_per_metric
+            counted = labels != OVERFLOW_LABELS
+            if (
+                limit is not None
+                and counted
+                and name not in _GUARD_EXEMPT
+                and self._series_counts.get(name, 0) >= limit
+            ):
+                overflow = self._instruments.get((name, _labels_key(OVERFLOW_LABELS)))
+                self._get(
+                    "counter", "obs.cardinality_overflow", {"metric": name}
+                ).inc()
+                if overflow is not None:
+                    return overflow
+                labels = dict(OVERFLOW_LABELS)
+                key = (name, _labels_key(labels))
+                counted = False
             label_strs = {k: str(v) for k, v in labels.items()}
             instrument = _KINDS[kind](name, label_strs, **extra)
             self._instruments[key] = instrument
+            if counted:
+                self._series_counts[name] = self._series_counts.get(name, 0) + 1
         return instrument
 
     def counter(self, name: str, **labels: Any) -> Counter:

@@ -1,0 +1,62 @@
+"""Bounded span retention: the ring buffer kept traces land in.
+
+Retention is the pipeline's only span storage in streaming mode, so its
+bound is what makes telemetry memory O(config) instead of O(traffic).
+Evictions are never silent: every span pushed out of the ring is
+counted in :attr:`SpanRetention.dropped` (surfaced as
+``obs.dropped_spans`` and a health-gate failure) — the operator learns
+the ring was sized too small rather than discovering truncated traces
+during an incident.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List
+
+from repro.errors import ConfigurationError
+
+
+class SpanRetention:
+    """A FIFO ring of retained span records (plain dicts)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("retention capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.total = 0
+
+    def extend(self, records: Iterable[Dict[str, Any]]) -> None:
+        ring = self._ring
+        for record in records:
+            if len(ring) == self.capacity:
+                self.dropped += 1
+            ring.append(record)
+            self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Retained records, oldest first."""
+        return list(self._ring)
+
+    def export_jsonl(self) -> str:
+        """Retained records as deterministic JSON Lines (sorted keys —
+        byte-identical for identical record sequences)."""
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self._ring
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "retained": len(self._ring),
+            "total": self.total,
+            "dropped": self.dropped,
+        }

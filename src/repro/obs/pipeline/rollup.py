@@ -1,0 +1,250 @@
+"""Streaming RED rollups: rate / errors / duration, with exemplars.
+
+One :class:`RollupSeries` per ``(op, platform, region, tenant)`` key
+streams request counts, error counts, a fixed-bucket duration histogram
+and P² percentiles — O(1) memory per series, O(config) series total
+(the key bound collapses excess keys into one ``other=true`` series).
+
+Rollups are fed from **every** completed trace *before* the sampling
+decision, which is the pipeline's core accounting guarantee: rollup
+request/error counts always equal what an unsampled run would report,
+no matter how aggressive the head rate is.  Sampling only affects
+*exemplars* — each histogram bucket remembers the most recent **kept**
+trace id that landed in it, so an operator can drill from a latency
+bucket straight back to a retained trace.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.quantiles import DEFAULT_QUANTILES, quantile_label
+
+#: Rollup key: (op, platform, region, tenant).
+RollupKey = Tuple[str, str, str, str]
+
+#: Placeholder for key dimensions a trace doesn't carry.
+UNKNOWN = "-"
+
+
+class RollupSeries:
+    """RED accumulation for one rollup key.
+
+    Unlike the registry's :class:`~repro.obs.metrics.Histogram`, no P²
+    estimators stream alongside the buckets — the rollup path runs per
+    completed trace on the invocation hot path, so percentiles are
+    interpolated from the bucket counts at *read* time instead
+    (``histogram_quantile`` style: exact bucket, linear within it).
+    """
+
+    __slots__ = (
+        "op", "platform", "region", "tenant", "collapsed",
+        "bounds", "bucket_counts", "overflow", "count", "errors", "sum",
+        "max", "exemplars", "first_ms", "last_ms",
+    )
+
+    def __init__(
+        self,
+        key: RollupKey,
+        *,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+        collapsed: bool = False,
+    ) -> None:
+        self.op, self.platform, self.region, self.tenant = key
+        self.collapsed = collapsed
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.errors = 0
+        self.sum = 0.0
+        self.max = 0.0
+        #: Latest kept trace ref per bucket; index ``len(bounds)`` is +Inf.
+        self.exemplars: List[Optional[str]] = [None] * (len(self.bounds) + 1)
+        self.first_ms: Optional[float] = None
+        self.last_ms: Optional[float] = None
+
+    def observe(
+        self,
+        duration_ms: float,
+        *,
+        error: bool,
+        t_ms: float,
+        exemplar: Optional[str] = None,
+    ) -> None:
+        index = bisect.bisect_left(self.bounds, duration_ms)
+        if index < len(self.bounds):
+            self.bucket_counts[index] += 1
+        else:
+            self.overflow += 1
+        if exemplar is not None:
+            self.exemplars[min(index, len(self.bounds))] = exemplar
+        self.count += 1
+        if error:
+            self.errors += 1
+        self.sum += duration_ms
+        if duration_ms > self.max:
+            self.max = duration_ms
+        if self.first_ms is None:
+            self.first_ms = t_ms
+        self.last_ms = t_ms
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def key(self) -> RollupKey:
+        return (self.op, self.platform, self.region, self.tenant)
+
+    @property
+    def error_ratio(self) -> float:
+        return self.errors / self.count if self.count else 0.0
+
+    def rate_per_s(self) -> float:
+        """Requests per virtual second over the observed window (count
+        itself when the window is degenerate)."""
+        if self.first_ms is None or self.last_ms is None:
+            return 0.0
+        window_ms = self.last_ms - self.first_ms
+        if window_ms <= 0.0:
+            return float(self.count)
+        return self.count / (window_ms / 1_000.0)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0.0 when empty; the
+        overflow bucket interpolates up to the observed maximum)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            if bucket_count:
+                running += bucket_count
+                if running >= rank:
+                    fraction = (rank - (running - bucket_count)) / bucket_count
+                    return min(lower + (bound - lower) * fraction, self.max)
+            lower = bound
+        if self.overflow:
+            fraction = (rank - running) / self.overflow
+            return lower + (max(self.max, lower) - lower) * fraction
+        return min(lower, self.max)
+
+    def percentiles(self) -> Dict[str, float]:
+        return {quantile_label(q): self.quantile(q) for q in DEFAULT_QUANTILES}
+
+    def to_dict(self) -> Dict[str, Any]:
+        labels = {
+            "op": self.op,
+            "platform": self.platform,
+            "region": self.region,
+            "tenant": self.tenant,
+        }
+        if self.collapsed:
+            labels = {"other": "true"}
+        buckets = []
+        running = 0
+        for bound, bucket_count, exemplar in zip(
+            self.bounds, self.bucket_counts, self.exemplars
+        ):
+            running += bucket_count
+            buckets.append({"le": bound, "count": running, "exemplar": exemplar})
+        buckets.append(
+            {"le": "+Inf", "count": running + self.overflow,
+             "exemplar": self.exemplars[-1]}
+        )
+        return {
+            "labels": labels,
+            "count": self.count,
+            "errors": self.errors,
+            "error_ratio": round(self.error_ratio, 6),
+            "rate_per_s": round(self.rate_per_s(), 6),
+            "duration_sum_ms": round(self.sum, 6),
+            "percentiles": {
+                label: round(value, 6)
+                for label, value in self.percentiles().items()
+            },
+            "buckets": buckets,
+        }
+
+
+class RedRollups:
+    """The bounded series store.
+
+    ``max_series`` caps distinct keys; observations for keys beyond the
+    cap fold into one ``other=true`` series, counted in
+    ``collapsed_observations`` and — when a registry is attached — the
+    ``obs.cardinality_overflow{metric="obs.rollup"}`` counter, so the
+    health gate can see the bound was hit.
+    """
+
+    def __init__(
+        self,
+        *,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+        max_series: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.bounds = tuple(bounds)
+        self.max_series = max_series
+        self._metrics = metrics
+        self._series: Dict[RollupKey, RollupSeries] = {}
+        self._collapsed: Optional[RollupSeries] = None
+        self.collapsed_observations = 0
+
+    def observe(
+        self,
+        key: RollupKey,
+        duration_ms: float,
+        *,
+        error: bool,
+        t_ms: float,
+        exemplar: Optional[str] = None,
+    ) -> RollupSeries:
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                self.collapsed_observations += 1
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "obs.cardinality_overflow", metric="obs.rollup"
+                    ).inc()
+                if self._collapsed is None:
+                    self._collapsed = RollupSeries(
+                        ("other", "other", "other", "other"),
+                        bounds=self.bounds,
+                        collapsed=True,
+                    )
+                series = self._collapsed
+            else:
+                series = self._series[key] = RollupSeries(key, bounds=self.bounds)
+        series.observe(duration_ms, error=error, t_ms=t_ms, exemplar=exemplar)
+        return series
+
+    # -- reading -------------------------------------------------------------
+
+    def series(self) -> List[RollupSeries]:
+        """Every series in sorted key order, the collapsed one last."""
+        ordered = [self._series[key] for key in sorted(self._series)]
+        if self._collapsed is not None:
+            ordered.append(self._collapsed)
+        return ordered
+
+    @property
+    def requests(self) -> int:
+        return sum(series.count for series in self.series())
+
+    @property
+    def errors(self) -> int:
+        return sum(series.errors for series in self.series())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "series": [series.to_dict() for series in self.series()],
+            "distinct_keys": len(self._series),
+            "max_series": self.max_series,
+            "collapsed_observations": self.collapsed_observations,
+            "requests": self.requests,
+            "errors": self.errors,
+        }

@@ -1,0 +1,139 @@
+"""Sampling decisions: deterministic head sampling + tail keep rules.
+
+Head sampling decides *before looking at the trace* whether it is kept,
+from a seeded hash of the trace identity — cheap, stateless, and
+deterministic (same seed, same traffic, same keeps), unlike
+``random()``-based samplers whose exports differ run to run.
+
+Tail rules decide *after the trace completes* and exist to make
+sampling safe: a trace exhibiting any anomaly — error status, queue
+shed/throttle, breaker open, SLO breach, causal violation, or a
+duration above the op class's streaming P² p99 — is always kept no
+matter what the head decision said.  The chaos suite asserts zero
+tail-rule misses at 1% head sampling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.pipeline.records import SpanLike
+from repro.obs.quantiles import P2Quantile
+
+#: Event names whose presence anywhere in a trace forces retention.
+ANOMALY_EVENTS = frozenset(
+    {
+        "queue.shed",
+        "queue.throttled",
+        "breaker.open",
+        "slo.breach",
+        "causal.violation",
+    }
+)
+
+#: Tail-keep rule identifiers, in reporting order.
+RULE_ERROR = "error"
+RULE_SLOW = "slow.p99"
+
+
+def head_keep(seed: int, source: Optional[str], trace_id: int, rate: float) -> bool:
+    """The deterministic keep/drop decision for one trace.
+
+    Hashes ``seed:source:trace_id`` (SHA-256, first 8 bytes as a uniform
+    draw in ``[0, 1)``) and keeps the trace when the draw lands under
+    ``rate``.  Pure: no state, no clock, no randomness.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    key = f"{seed}:{source or ''}:{trace_id}".encode("utf-8")
+    digest = hashlib.sha256(key).digest()
+    draw = int.from_bytes(digest[:8], "big") / 2.0**64
+    return draw < rate
+
+
+def anomaly_rules(spans: Sequence[SpanLike]) -> List[str]:
+    """Tail-keep rules the trace trips, deduplicated, in rule order.
+
+    ``breaker.transition`` events count as ``breaker.open`` when the
+    transition lands in the open state — the resilience runtime emits
+    transitions, not a dedicated open event.
+
+    This runs for *every* completed trace (it is what makes sampling
+    safe), so the scan branches once per span on its shape and skips
+    event handling entirely for the event-free common case instead of
+    going through the generic ``records`` accessors.
+    """
+    rules: List[str] = []
+    seen = set()
+    for span in spans:
+        if isinstance(span, dict):
+            status = span.get("status", "ok")
+            events = span.get("events")
+        else:
+            status = span.status
+            events = span.events
+        if status != "ok" and RULE_ERROR not in seen:
+            seen.add(RULE_ERROR)
+            rules.append(RULE_ERROR)
+        if not events:
+            continue
+        for event in events:
+            if isinstance(event, dict):
+                name = event.get("name", "")
+                attributes = event.get("attributes") or {}
+            else:
+                name = event.name
+                attributes = event.attributes
+            if name in ANOMALY_EVENTS:
+                rule = name
+            elif (
+                name == "breaker.transition"
+                and attributes.get("to_state") == "open"
+            ):
+                rule = "breaker.open"
+            else:
+                continue
+            if rule not in seen:
+                seen.add(rule)
+                rules.append(rule)
+    return rules
+
+
+class TailRules:
+    """The stateful slow-trace rule: per-op-class streaming P² p99.
+
+    Event/error anomalies are stateless (:func:`anomaly_rules`); the
+    latency rule needs history.  Each op class streams its root
+    durations through one P² estimator and, once ``min_count``
+    observations have armed it, any duration strictly above the current
+    p99 estimate is kept.  Check-then-observe: a trace is judged against
+    the threshold built from the traffic *before* it, so the decision
+    sequence is deterministic and independent of the keep outcomes.
+    """
+
+    def __init__(self, *, min_count: int = 32) -> None:
+        self.min_count = min_count
+        self._p99: Dict[str, P2Quantile] = {}
+
+    def is_slow(self, op: str, duration_ms: float) -> bool:
+        estimator = self._p99.get(op)
+        if estimator is None or estimator.count < self.min_count:
+            return False
+        return duration_ms > estimator.value
+
+    def observe(self, op: str, duration_ms: float) -> None:
+        estimator = self._p99.get(op)
+        if estimator is None:
+            estimator = self._p99[op] = P2Quantile(0.99)
+        estimator.observe(duration_ms)
+
+    def threshold(self, op: str) -> Optional[float]:
+        """The current p99 estimate for an op class (``None`` before the
+        rule arms)."""
+        estimator = self._p99.get(op)
+        if estimator is None or estimator.count < self.min_count:
+            return None
+        return estimator.value

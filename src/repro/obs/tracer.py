@@ -60,6 +60,11 @@ class NoopTracer:
     def add_sink(self, sink) -> None:
         pass
 
+    retaining = False
+
+    def set_retention(self, retain: bool) -> None:
+        pass
+
     @property
     def spans(self) -> List[Span]:
         return []
@@ -96,6 +101,7 @@ class Tracer:
         clock: Optional[SimulatedClock] = None,
         *,
         capture_real_time: bool = True,
+        retain: bool = True,
     ) -> None:
         self._clock = clock
         self._capture_real_time = capture_real_time
@@ -104,6 +110,18 @@ class Tracer:
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._sinks: List[Any] = []
+        #: Streaming mode (``retain=False``): spans flow to sinks and are
+        #: discarded once their trace completes — the telemetry pipeline's
+        #: bounded ring becomes the only retention, keeping the tracer
+        #: O(deepest trace) instead of O(run length).
+        self._retain = retain
+        # Read-path indices: children by parent id, roots and finished
+        # spans in completion order, plus memoized snapshot lists so the
+        # analyze/ modules never rescan ``_spans`` per call.
+        self._children: dict = {}
+        self._roots: List[Span] = []
+        self._spans_cache: Optional[List[Span]] = None
+        self._finished_cache: Optional[List[Span]] = None
 
     def bind_clock(self, clock: SimulatedClock) -> None:
         """Adopt the device's virtual clock (done by ``MobileDevice``)."""
@@ -140,6 +158,11 @@ class Tracer:
             span.set_attribute(key, value)
         self._spans.append(span)
         self._stack.append(span)
+        self._spans_cache = None
+        if parent is not None:
+            self._children.setdefault(parent.span_id, []).append(span)
+        else:
+            self._roots.append(span)
         return span
 
     def add_sink(self, sink) -> None:
@@ -157,9 +180,20 @@ class Tracer:
             top = self._stack.pop()
             top.end_virtual_ms = self._virtual_now()
             top.end_real_ms = self._real_now()
+            self._finished_cache = None
             if self._sinks:
                 for sink in self._sinks:
                     sink(top)
+            if top.parent_id is None and not self._retain:
+                # Streaming mode: the trace just completed and every sink
+                # has seen it — drop the whole tree (traces never
+                # interleave on the single span stack, so everything
+                # recorded since the root opened belongs to it).
+                self._spans.clear()
+                self._children.clear()
+                self._roots.clear()
+                self._spans_cache = None
+                self._finished_cache = None
             if top is span:
                 return
         raise ValueError(f"span {span.name!r} is not open on this tracer")
@@ -194,18 +228,40 @@ class Tracer:
     # -- reading -------------------------------------------------------------
 
     @property
+    def retaining(self) -> bool:
+        """Whether finished traces stay readable on the tracer (see
+        ``retain=``); streaming tracers only feed their sinks."""
+        return self._retain
+
+    def set_retention(self, retain: bool) -> None:
+        """Flip streaming mode (the telemetry pipeline does this when it
+        attaches with ``streaming=True``).  Takes effect at the next
+        trace completion; already-retained spans stay readable."""
+        self._retain = retain
+
+    @property
     def spans(self) -> List[Span]:
-        """Every span started so far, in start order."""
-        return list(self._spans)
+        """Every span started so far, in start order (memoized — the
+        snapshot list is rebuilt only after new spans arrive)."""
+        if self._spans_cache is None:
+            self._spans_cache = list(self._spans)
+        return self._spans_cache
 
     def finished_spans(self) -> List[Span]:
-        return [span for span in self._spans if span.finished]
+        """Finished spans in start order (memoized — rebuilt only after
+        a span actually finishes, not on every access)."""
+        if self._finished_cache is None:
+            self._finished_cache = [span for span in self._spans if span.finished]
+        return self._finished_cache
 
     def roots(self) -> List[Span]:
-        return [span for span in self._spans if span.parent_id is None]
+        """Trace roots in start order (maintained, not rescanned)."""
+        return list(self._roots)
 
     def children_of(self, span: Span) -> List[Span]:
-        return [s for s in self._spans if s.parent_id == span.span_id]
+        """Direct children of ``span`` via the parent-id index (O(k),
+        not O(n) — the scenario recorder walks whole span forests)."""
+        return list(self._children.get(span.span_id, ()))
 
     def reset(self) -> None:
         """Drop recorded spans (id counters keep running — determinism
@@ -213,3 +269,7 @@ class Tracer:
         if self._stack:
             raise ValueError("cannot reset while spans are open")
         self._spans.clear()
+        self._children.clear()
+        self._roots.clear()
+        self._spans_cache = None
+        self._finished_cache = None

@@ -355,6 +355,7 @@ class Dispatcher:
                         platform=self.platform,
                         outcome="throttled",
                         priority=priority_name(priority),
+                        tenant=tenant,
                     ) as span:
                         tracer.event("queue.throttled", **throttle.context)
                         span.mark_error(throttle)
@@ -494,6 +495,7 @@ class Dispatcher:
                 shard=context["shard"],
                 outcome="shed",
                 priority=context["priority"],
+                tenant=request.tenant,
             ) as span:
                 tracer.event("queue.shed", **context)
                 span.mark_error(error)
@@ -654,6 +656,7 @@ class Dispatcher:
                 platform=self.platform,
                 shard=shard.index,
                 wait_ms=wait_ms,
+                tenant=request.tenant,
             )
         else:
             span_cm = contextlib.nullcontext()

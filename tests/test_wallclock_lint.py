@@ -50,6 +50,21 @@ DISTRIB_MODULES = (
     "distrib/causal.py",
 )
 
+#: The telemetry pipeline is deterministic by construction — seeded-hash
+#: head sampling, virtual-duration tail rules, virtual-timestamp rollups
+#: — and its exports must be byte-identical across identically-seeded
+#: runs, so a wall-clock read in any of its modules is always a bug.
+PIPELINE_MODULES = (
+    "obs/pipeline/__init__.py",
+    "obs/pipeline/config.py",
+    "obs/pipeline/records.py",
+    "obs/pipeline/sampler.py",
+    "obs/pipeline/rollup.py",
+    "obs/pipeline/retention.py",
+    "obs/pipeline/pipeline.py",
+    "obs/pipeline/health.py",
+)
+
 #: The scenario record/replay layer exists to make runs byte-identical
 #: across platforms and time: a wall-clock read in any of its modules
 #: would leak into committed recordings, so none is ever legitimate.
@@ -131,6 +146,18 @@ class TestWallClockLint:
             assert relative in scanned, f"distrib module left lint scope: {relative}"
             assert relative not in ALLOWLIST, (
                 f"distrib module must not be allowlisted: {relative}"
+            )
+            assert PRAGMA not in (SRC / relative).read_text(), relative
+
+    def test_pipeline_modules_are_in_scope(self):
+        """The sampling/rollup/health pipeline must be scanned and must
+        never join the allowlist — a wall-clock read there would break
+        the same-seed byte-identical export guarantee."""
+        scanned = {str(path.relative_to(SRC)) for path in _sources()}
+        for relative in PIPELINE_MODULES:
+            assert relative in scanned, f"pipeline module left lint scope: {relative}"
+            assert relative not in ALLOWLIST, (
+                f"pipeline module must not be allowlisted: {relative}"
             )
             assert PRAGMA not in (SRC / relative).read_text(), relative
 
